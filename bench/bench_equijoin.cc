@@ -1,0 +1,92 @@
+// E1 — Equijoins are perfect and solved in linear time (Theorems 3.2, 4.1).
+//
+// Regenerates the quantitative content of Section 3.1: for equijoin
+// workloads of growing output size m, the sort-merge pebbler always achieves
+// π = m (ratio exactly 1), and its running time grows linearly in m. The
+// "time/m" column stabilizing is the linear-time claim of Theorem 4.1.
+
+#include <cstdio>
+
+#include "core/analyzer.h"
+#include "join/workload.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace pebblejoin {
+namespace {
+
+void RunSweep() {
+  std::printf(
+      "E1: equijoin pebbling (Theorem 3.2: pi = m; Theorem 4.1: linear "
+      "time)\n\n");
+  TablePrinter table({"keys", "|R|", "|S|", "m", "pi_hat", "pi", "pi/m",
+                      "perfect", "solve_us", "us_per_edge"});
+
+  const JoinAnalyzer analyzer;
+  for (int keys : {100, 400, 1600, 6400, 25600, 102400}) {
+    EquijoinWorkloadOptions options;
+    options.num_keys = keys;
+    options.min_left_dup = 1;
+    options.max_left_dup = 3;
+    options.min_right_dup = 1;
+    options.max_right_dup = 3;
+    options.key_match_rate = 0.9;
+    options.seed = 1000 + keys;
+    const Realization<int64_t> w = GenerateEquijoinWorkload(options);
+
+    Stopwatch timer;
+    const JoinAnalysis a = analyzer.AnalyzeEquiJoin(w.left, w.right);
+    const double micros = timer.ElapsedMicros();
+
+    table.AddRow({FormatInt(keys), FormatInt(w.left.size()),
+                  FormatInt(w.right.size()), FormatInt(a.output_size),
+                  FormatInt(a.solution.hat_cost),
+                  FormatInt(a.solution.effective_cost),
+                  FormatDouble(a.cost_ratio, 4),
+                  a.perfect ? "yes" : "NO", FormatDouble(micros, 1),
+                  FormatDouble(micros / static_cast<double>(a.output_size),
+                               4)});
+  }
+  std::fputs(table.Render().c_str(), stdout);
+  std::printf(
+      "\nExpected shape: pi/m = 1.0000 on every row (equijoins pebble\n"
+      "perfectly); us_per_edge roughly constant (linear-time solver).\n");
+}
+
+void RunSkewSweep() {
+  std::printf(
+      "\nE1b: skew — one heavy key (K_{d,d} block) among light keys\n\n");
+  TablePrinter table({"heavy_dup", "m", "pi", "pi/m", "perfect"});
+  const JoinAnalyzer analyzer;
+  for (int dup : {2, 8, 32, 128}) {
+    EquijoinWorkloadOptions options;
+    options.num_keys = 64;
+    options.min_left_dup = options.max_left_dup = 1;
+    options.min_right_dup = options.max_right_dup = 1;
+    options.seed = 7;
+    Realization<int64_t> w = GenerateEquijoinWorkload(options);
+    // Heavy key: dup copies on both sides.
+    for (int i = 0; i < dup; ++i) {
+      w.left.Add(-1);
+      w.right.Add(-1);
+    }
+    const JoinAnalysis a = analyzer.AnalyzeEquiJoin(w.left, w.right);
+    table.AddRow({FormatInt(dup), FormatInt(a.output_size),
+                  FormatInt(a.solution.effective_cost),
+                  FormatDouble(a.cost_ratio, 4),
+                  a.perfect ? "yes" : "NO"});
+  }
+  std::fputs(table.Render().c_str(), stdout);
+  std::printf(
+      "\nSkew does not change the verdict: complete-bipartite blocks of any\n"
+      "shape are pebbled perfectly (Lemma 3.2).\n");
+}
+
+}  // namespace
+}  // namespace pebblejoin
+
+int main() {
+  pebblejoin::RunSweep();
+  pebblejoin::RunSkewSweep();
+  return 0;
+}

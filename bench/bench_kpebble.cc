@@ -1,0 +1,87 @@
+// E14 (k-pebble / buffer pool) — how extra memory buys back the jumps.
+//
+// Two sweeps over the k-pebble generalization (k buffer slots; k = 2 is
+// the paper's game):
+//  (a) fetches vs k on the worst-case family and on random graphs — the
+//      Gₙ hardness evaporates at k = 3 (one slot pins the hub), matching
+//      the intuition that the paper's results are about *two*-buffer
+//      scheduling;
+//  (b) replacement policies at fixed k — LRU vs random vs min-remaining-
+//      degree, the buffer-manager analogue of the ablation benches.
+
+#include <cstdio>
+
+#include "graph/generators.h"
+#include "kpebble/k_pebble_game.h"
+#include "util/table.h"
+
+namespace pebblejoin {
+namespace {
+
+int64_t Fetches(const Graph& g, int k, EvictionPolicy policy) {
+  KPebbleOptions options;
+  options.k = k;
+  options.policy = policy;
+  options.seed = 5;
+  return ScheduleKPebbles(g, options).fetches;
+}
+
+void RunBufferSweep() {
+  std::printf(
+      "E14a: fetches vs buffer slots k (min-remaining-degree policy)\n\n");
+  TablePrinter table({"graph", "m", "lower_bound", "k=2", "k=3", "k=4",
+                      "k=8"});
+  auto add = [&](const char* name, const Graph& g) {
+    table.AddRow({name, FormatInt(g.num_edges()),
+                  FormatInt(KPebbleFetchLowerBound(g)),
+                  FormatInt(Fetches(g, 2,
+                                    EvictionPolicy::kMinRemainingDegree)),
+                  FormatInt(Fetches(g, 3,
+                                    EvictionPolicy::kMinRemainingDegree)),
+                  FormatInt(Fetches(g, 4,
+                                    EvictionPolicy::kMinRemainingDegree)),
+                  FormatInt(Fetches(g, 8,
+                                    EvictionPolicy::kMinRemainingDegree))});
+  };
+  add("G_8", WorstCaseFamily(8).ToGraph());
+  add("G_16", WorstCaseFamily(16).ToGraph());
+  add("G_32", WorstCaseFamily(32).ToGraph());
+  add("rand 8x8 m24", RandomConnectedBipartite(8, 8, 24, 3).ToGraph());
+  add("rand 10x10 m40", RandomConnectedBipartite(10, 10, 40, 4).ToGraph());
+  add("K_8,8", CompleteBipartite(8, 8).ToGraph());
+  std::fputs(table.Render().c_str(), stdout);
+  std::printf(
+      "\nExpected shape: G_n collapses to its lower bound at k = 3 (the\n"
+      "hub stays resident); dense graphs keep improving with k; k = 2\n"
+      "matches the two-pebble game costs.\n");
+}
+
+void RunPolicySweep() {
+  std::printf("\nE14b: replacement policies at k = 4\n\n");
+  TablePrinter table(
+      {"graph", "lower_bound", "min-degree", "lru", "random"});
+  auto add = [&](const char* name, const Graph& g) {
+    table.AddRow({name, FormatInt(KPebbleFetchLowerBound(g)),
+                  FormatInt(Fetches(g, 4,
+                                    EvictionPolicy::kMinRemainingDegree)),
+                  FormatInt(Fetches(g, 4, EvictionPolicy::kLru)),
+                  FormatInt(Fetches(g, 4, EvictionPolicy::kRandom))});
+  };
+  add("G_16", WorstCaseFamily(16).ToGraph());
+  add("rand 8x8 m30", RandomConnectedBipartite(8, 8, 30, 7).ToGraph());
+  add("rand 12x12 m50", RandomConnectedBipartite(12, 12, 50, 8).ToGraph());
+  add("K_10,10", CompleteBipartite(10, 10).ToGraph());
+  std::fputs(table.Render().c_str(), stdout);
+  std::printf(
+      "\nExpected shape: min-remaining-degree <= lru <= random on most\n"
+      "rows (knowing the future workload beats recency).\n");
+}
+
+}  // namespace
+}  // namespace pebblejoin
+
+int main() {
+  pebblejoin::RunBufferSweep();
+  pebblejoin::RunPolicySweep();
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Micro-benchmarks of the library's kernels (google-benchmark): join-graph
+// construction (hash vs nested loop vs sweep vs inverted index), line-graph
+// materialization, and each pebbler. These time the machinery the
+// experiment benches rely on; the E1–E9 binaries measure the paper's
+// claims themselves.
+
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.h"
+#include "graph/line_graph.h"
+#include "join/join_graph_builder.h"
+#include "join/signature_join.h"
+#include "join/predicates.h"
+#include "join/workload.h"
+#include "solver/dfs_tree_pebbler.h"
+#include "solver/greedy_walk_pebbler.h"
+#include "solver/local_search_pebbler.h"
+#include "solver/sort_merge_pebbler.h"
+
+namespace pebblejoin {
+namespace {
+
+Realization<int64_t> EquijoinInput(int keys) {
+  EquijoinWorkloadOptions options;
+  options.num_keys = keys;
+  options.seed = 11;
+  return GenerateEquijoinWorkload(options);
+}
+
+void BM_EquiJoinGraph_Hash(benchmark::State& state) {
+  const Realization<int64_t> w = EquijoinInput(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildEquiJoinGraph(w.left, w.right));
+  }
+}
+BENCHMARK(BM_EquiJoinGraph_Hash)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_EquiJoinGraph_NestedLoop(benchmark::State& state) {
+  const Realization<int64_t> w = EquijoinInput(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BuildJoinGraphNestedLoop(w.left, w.right, EqualityPredicate()));
+  }
+}
+BENCHMARK(BM_EquiJoinGraph_NestedLoop)->Arg(100)->Arg(1000);
+
+void BM_OverlapJoinGraph_Sweep(benchmark::State& state) {
+  RectWorkloadOptions options;
+  options.num_left = static_cast<int>(state.range(0));
+  options.num_right = static_cast<int>(state.range(0));
+  options.seed = 3;
+  const Realization<Rect> w = GenerateRectWorkload(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildOverlapJoinGraph(w.left, w.right));
+  }
+}
+BENCHMARK(BM_OverlapJoinGraph_Sweep)->Arg(100)->Arg(400)->Arg(1600);
+
+void BM_SetContainmentJoinGraph(benchmark::State& state) {
+  SetWorkloadOptions options;
+  options.num_left = static_cast<int>(state.range(0));
+  options.num_right = static_cast<int>(state.range(0));
+  options.universe = 40;
+  options.seed = 3;
+  const Realization<IntSet> w = GenerateSetWorkload(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildSetContainmentJoinGraph(w.left, w.right));
+  }
+}
+BENCHMARK(BM_SetContainmentJoinGraph)->Arg(100)->Arg(400)->Arg(1600);
+
+void BM_SetContainmentJoinGraph_Signature(benchmark::State& state) {
+  SetWorkloadOptions options;
+  options.num_left = static_cast<int>(state.range(0));
+  options.num_right = static_cast<int>(state.range(0));
+  options.universe = 40;
+  options.seed = 3;
+  const Realization<IntSet> w = GenerateSetWorkload(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildSetContainmentJoinGraphSignature(
+        w.left, w.right, 64, nullptr));
+  }
+}
+BENCHMARK(BM_SetContainmentJoinGraph_Signature)->Arg(100)->Arg(400)->Arg(1600);
+
+void BM_LineGraphBuild(benchmark::State& state) {
+  const Graph g = RandomConnectedBipartite(
+                      static_cast<int>(state.range(0)) / 8,
+                      static_cast<int>(state.range(0)) / 8,
+                      static_cast<int>(state.range(0)), 5)
+                      .ToGraph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildLineGraph(g));
+  }
+}
+BENCHMARK(BM_LineGraphBuild)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_SortMergePebbler(benchmark::State& state) {
+  const Graph g = CompleteBipartite(static_cast<int>(state.range(0)),
+                                    static_cast<int>(state.range(0)))
+                      .ToGraph();
+  const SortMergePebbler pebbler;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pebbler.PebbleConnected(g));
+  }
+}
+BENCHMARK(BM_SortMergePebbler)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_GreedyWalkPebbler(benchmark::State& state) {
+  const Graph g = RandomConnectedBipartite(
+                      static_cast<int>(state.range(0)) / 8,
+                      static_cast<int>(state.range(0)) / 8,
+                      static_cast<int>(state.range(0)), 5)
+                      .ToGraph();
+  const GreedyWalkPebbler pebbler;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pebbler.PebbleConnected(g));
+  }
+}
+BENCHMARK(BM_GreedyWalkPebbler)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_DfsTreePebbler(benchmark::State& state) {
+  const Graph g = RandomConnectedBipartite(
+                      static_cast<int>(state.range(0)) / 8,
+                      static_cast<int>(state.range(0)) / 8,
+                      static_cast<int>(state.range(0)), 5)
+                      .ToGraph();
+  const DfsTreePebbler pebbler;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pebbler.PebbleConnected(g));
+  }
+}
+BENCHMARK(BM_DfsTreePebbler)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_LocalSearchPebbler(benchmark::State& state) {
+  const Graph g = RandomConnectedBipartite(
+                      static_cast<int>(state.range(0)) / 8,
+                      static_cast<int>(state.range(0)) / 8,
+                      static_cast<int>(state.range(0)), 5)
+                      .ToGraph();
+  const LocalSearchPebbler pebbler;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pebbler.PebbleConnected(g));
+  }
+}
+BENCHMARK(BM_LocalSearchPebbler)->Arg(128)->Arg(256);
+
+}  // namespace
+}  // namespace pebblejoin

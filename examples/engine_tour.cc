@@ -1,0 +1,101 @@
+// Engine tour: the pebble game as a lens on a database engine.
+//
+// Walks one equijoin through three layers of the library:
+//   1. real executors (sort-merge / hash / block nested loop) emitting
+//      their pebble traces, scored against the optimal cost m;
+//   2. the page-fetch view ([6]): the same join on disk pages, clustered
+//      vs random layout;
+//   3. the buffer-pool view (k pebbles): how additional memory slots
+//      erase the jumps.
+
+#include <cstdio>
+
+#include "exec/join_executors.h"
+#include "join/join_graph_builder.h"
+#include "join/workload.h"
+#include "kpebble/k_pebble_game.h"
+#include "paging/page_schedule.h"
+#include "pebble/scheme_verifier.h"
+#include "solver/local_search_pebbler.h"
+#include "util/table.h"
+
+int main() {
+  using namespace pebblejoin;
+
+  // One workload for the whole tour.
+  EquijoinWorkloadOptions options;
+  options.num_keys = 64;
+  options.min_left_dup = 1;
+  options.max_left_dup = 4;
+  options.min_right_dup = 1;
+  options.max_right_dup = 4;
+  options.seed = 424242;
+  const Realization<int64_t> w = GenerateEquijoinWorkload(options);
+  const BipartiteGraph join_graph = BuildEquiJoinGraph(w.left, w.right);
+  const Graph flat = join_graph.ToGraph();
+  std::printf("workload: |R|=%d |S|=%d, output m=%d\n\n", w.left.size(),
+              w.right.size(), join_graph.num_edges());
+
+  // --- Layer 1: executors -------------------------------------------------
+  std::printf("Layer 1: executor traces as pebbling schemes\n\n");
+  {
+    TablePrinter table({"algorithm", "pi", "pi/m", "comparisons"});
+    auto row = [&](const char* name, const ExecutionTrace& trace) {
+      const VerificationResult verdict = VerifyScheme(flat, trace.scheme);
+      JP_CHECK(verdict.valid);
+      table.AddRow({name, FormatInt(verdict.effective_cost),
+                    FormatDouble(static_cast<double>(verdict.effective_cost) /
+                                     join_graph.num_edges(),
+                                 4),
+                    FormatInt(trace.comparisons)});
+    };
+    row("sort-merge", SortMergeJoinExecute(w.left, w.right));
+    row("hash join", HashJoinExecute(w.left, w.right));
+    row("bnl (b=8)", BlockNestedLoopExecute(w.left, w.right, 8));
+    std::fputs(table.Render().c_str(), stdout);
+    std::printf(
+        "\nSort-merge hits pi = m — a running algorithm realizing the\n"
+        "Theorem 3.2 perfect schedule. Hash join pays for probe hops.\n\n");
+  }
+
+  // --- Layer 2: pages -----------------------------------------------------
+  std::printf("Layer 2: the page-fetch view (capacity 4)\n\n");
+  {
+    const LocalSearchPebbler pebbler;
+    const PageSchedule clustered = SchedulePageFetches(
+        join_graph, SequentialLayout(join_graph.left_size(), 4),
+        SequentialLayout(join_graph.right_size(), 4), pebbler);
+    const PageSchedule random = SchedulePageFetches(
+        join_graph, RandomLayout(join_graph.left_size(), 4, 1),
+        RandomLayout(join_graph.right_size(), 4, 2), pebbler);
+    TablePrinter table({"layout", "page_pairs", "fetches", "lower_bound"});
+    table.AddRow({"clustered", FormatInt(clustered.page_graph.num_edges()),
+                  FormatInt(clustered.page_fetches),
+                  FormatInt(clustered.lower_bound)});
+    table.AddRow({"random", FormatInt(random.page_graph.num_edges()),
+                  FormatInt(random.page_fetches),
+                  FormatInt(random.lower_bound)});
+    std::fputs(table.Render().c_str(), stdout);
+    std::printf(
+        "\nThe clustered layout keeps each key's block on one page pair;\n"
+        "this is the model in which PEBBLE was first shown NP-complete.\n\n");
+  }
+
+  // --- Layer 3: buffers ---------------------------------------------------
+  std::printf("Layer 3: the buffer-pool view (k pebbles)\n\n");
+  {
+    TablePrinter table({"k", "fetches", "lower_bound"});
+    for (int k : {2, 3, 4, 8, 16}) {
+      KPebbleOptions kopts;
+      kopts.k = k;
+      const KPebbleSchedule schedule = ScheduleKPebbles(flat, kopts);
+      table.AddRow({FormatInt(k), FormatInt(schedule.fetches),
+                    FormatInt(KPebbleFetchLowerBound(flat))});
+    }
+    std::fputs(table.Render().c_str(), stdout);
+    std::printf(
+        "\nk = 2 is the paper's game; each extra slot buys back re-reads\n"
+        "until every tuple is fetched exactly once.\n");
+  }
+  return 0;
+}

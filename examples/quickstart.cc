@@ -1,0 +1,45 @@
+// Quickstart: analyze an equijoin through the public API.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+// The paper's Theorem 3.2 in one sitting: an equijoin's join graph is a
+// disjoint union of complete bipartite blocks, so it can always be pebbled
+// "perfectly" — every pebble move after the first deletes a result edge —
+// and the analyzer's sort-merge solver finds that scheme in linear time.
+
+#include <cstdio>
+
+#include "core/analyzer.h"
+#include "core/report.h"
+
+int main() {
+  using namespace pebblejoin;
+
+  // Two single-column relations joined on equality. Values repeat —
+  // relations are multisets, and duplicate keys create K_{k,l} blocks in
+  // the join graph.
+  KeyRelation orders("orders", {1001, 1001, 1002, 1003, 1003, 1003});
+  KeyRelation lineitems("lineitems", {1001, 1002, 1002, 1003, 1004});
+
+  JoinAnalyzer analyzer;
+  const JoinAnalysis analysis = analyzer.AnalyzeEquiJoin(orders, lineitems);
+
+  std::fputs(FormatAnalysis(analysis).c_str(), stdout);
+
+  std::printf("\nPebbling scheme (each pair deletes one join result):\n ");
+  for (const PebbleConfig& config : analysis.solution.scheme.configs) {
+    std::printf(" (%d,%d)", config.a, config.b);
+  }
+  std::printf("\n");
+
+  // The headline guarantee: equijoins are perfect.
+  if (analysis.perfect) {
+    std::printf(
+        "\nEvery configuration deleted an edge: pi = m = %lld "
+        "(Theorem 3.2).\n",
+        static_cast<long long>(analysis.output_size));
+  }
+  return analysis.perfect ? 0 : 1;
+}

@@ -1,0 +1,79 @@
+// Set-containment joins are universal (Lemma 3.3) — and that is exactly
+// why they are hard.
+//
+// This demo (1) runs a realistic set-containment workload through the
+// analyzer, (2) takes an arbitrary "hard" bipartite graph and *dresses it
+// up* as a set-containment join whose join graph is exactly that graph,
+// showing that no structure is off-limits for this predicate, and (3)
+// builds the paper's worst-case family as a containment join and watches
+// the cost ratio exceed 1.
+
+#include <cstdio>
+
+#include "core/analyzer.h"
+#include "core/report.h"
+#include "graph/generators.h"
+#include "join/realizers.h"
+#include "join/workload.h"
+#include "pebble/bounds.h"
+#include "util/table.h"
+
+int main() {
+  using namespace pebblejoin;
+  JoinAnalyzer analyzer;
+
+  // (1) A realistic workload: small "query" sets probing larger "document"
+  // sets for containment.
+  std::printf("-- Part 1: random set-containment workload --\n");
+  SetWorkloadOptions workload;
+  workload.num_left = 40;
+  workload.num_right = 40;
+  workload.universe = 25;
+  workload.seed = 2001;
+  const Realization<IntSet> sets = GenerateSetWorkload(workload);
+  std::fputs(
+      FormatAnalysis(analyzer.AnalyzeSetContainment(sets.left, sets.right))
+          .c_str(),
+      stdout);
+
+  // (2) Universality: ANY bipartite graph is some containment join's graph.
+  std::printf(
+      "\n-- Part 2: Lemma 3.3 — realizing an arbitrary graph as a join --\n");
+  const BipartiteGraph target = RandomConnectedBipartite(7, 7, 16, 42);
+  const Realization<IntSet> realized = RealizeAsSetContainment(target);
+  std::printf("target graph : %s\n", target.DebugString().c_str());
+  std::printf("left tuples  :");
+  for (const IntSet& s : realized.left.tuples()) {
+    std::printf(" %s", s.DebugString().c_str());
+  }
+  std::printf("\nright tuples :");
+  for (const IntSet& s : realized.right.tuples()) {
+    std::printf(" %s", s.DebugString().c_str());
+  }
+  std::printf("\n\n");
+  std::fputs(FormatAnalysis(analyzer.AnalyzeSetContainment(realized.left,
+                                                           realized.right))
+                 .c_str(),
+             stdout);
+
+  // (3) The worst case: the Figure-1 family as a containment join.
+  std::printf(
+      "\n-- Part 3: the Theorem 3.3 family as a containment join --\n\n");
+  TablePrinter table({"n", "m", "pi", "closed_form", "ratio"});
+  for (int n : {4, 8, 16, 32}) {
+    const Realization<IntSet> hard =
+        RealizeAsSetContainment(WorstCaseFamily(n));
+    const JoinAnalysis a =
+        analyzer.AnalyzeSetContainment(hard.left, hard.right);
+    table.AddRow({FormatInt(n), FormatInt(a.output_size),
+                  FormatInt(a.solution.effective_cost),
+                  FormatInt(WorstCaseFamilyOptimalCost(n)),
+                  FormatDouble(a.cost_ratio, 4)});
+  }
+  std::fputs(table.Render().c_str(), stdout);
+  std::printf(
+      "\nNo algorithm — of any running time — can bring these ratios to 1:\n"
+      "the family needs 1.25m - 1 moves (Theorem 3.3), and deciding the\n"
+      "optimum in general is NP-complete and MAX-SNP-complete (Thm 4.4).\n");
+  return 0;
+}

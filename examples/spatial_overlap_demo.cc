@@ -1,0 +1,62 @@
+// Spatial-overlap joins: realistic rectangle workloads, plus the
+// Lemma 3.4 construction showing the worst-case family arises from
+// actual rectangles.
+//
+// The demo sweeps rectangle density (average extent) and reports how the
+// pebbling cost ratio responds: sparse overlap graphs look matching-like
+// (ratio 1), moderately dense ones develop jumps, and the engineered
+// worst case approaches 1.25.
+
+#include <cstdio>
+
+#include "core/analyzer.h"
+#include "core/report.h"
+#include "join/realizers.h"
+#include "join/workload.h"
+#include "util/table.h"
+
+int main() {
+  using namespace pebblejoin;
+  JoinAnalyzer analyzer;
+
+  std::printf("-- Part 1: rectangle workloads at varying density --\n\n");
+  TablePrinter table(
+      {"avg_extent", "m", "components", "pi", "ratio", "perfect"});
+  for (double extent : {2.0, 5.0, 10.0, 20.0}) {
+    RectWorkloadOptions options;
+    options.num_left = 60;
+    options.num_right = 60;
+    options.space = 100.0;
+    options.min_extent = extent * 0.5;
+    options.max_extent = extent * 1.5;
+    options.seed = 31337;
+    const Realization<Rect> w = GenerateRectWorkload(options);
+    const JoinAnalysis a = analyzer.AnalyzeSpatialOverlap(w.left, w.right);
+    table.AddRow({FormatDouble(extent, 1), FormatInt(a.output_size),
+                  FormatInt(a.classification.bounds.betti_zero),
+                  FormatInt(a.solution.effective_cost),
+                  FormatDouble(a.cost_ratio, 4),
+                  a.perfect ? "yes" : "no"});
+  }
+  std::fputs(table.Render().c_str(), stdout);
+
+  std::printf(
+      "\n-- Part 2: Lemma 3.4 — the worst-case family from rectangles --\n");
+  const int n = 8;
+  const Realization<Rect> hard = RealizeWorstCaseAsSpatial(n);
+  std::printf("\nhub strip      : %s\n",
+              hard.left.tuple(0).DebugString().c_str());
+  std::printf("private strip 0: %s\n",
+              hard.left.tuple(1).DebugString().c_str());
+  std::printf("vertical strip0: %s\n\n",
+              hard.right.tuple(0).DebugString().c_str());
+  const JoinAnalysis a = analyzer.AnalyzeSpatialOverlap(hard.left, hard.right);
+  std::fputs(FormatAnalysis(a).c_str(), stdout);
+  std::printf(
+      "\nThese %d + %d rectangles force pi = %lld > m = %lld: spatial\n"
+      "overlap cannot always be pebbled perfectly, unlike equijoins.\n",
+      hard.left.size(), hard.right.size(),
+      static_cast<long long>(a.solution.effective_cost),
+      static_cast<long long>(a.output_size));
+  return 0;
+}

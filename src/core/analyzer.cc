@@ -1,0 +1,74 @@
+#include "core/analyzer.h"
+
+#include "join/join_graph_builder.h"
+
+namespace pebblejoin {
+
+JoinAnalyzer::JoinAnalyzer(AnalyzerOptions options)
+    : options_(options), exact_(options.exact) {}
+
+const Pebbler& JoinAnalyzer::PrimaryFor(
+    const JoinGraphClassification& c) const {
+  switch (options_.solver) {
+    case SolverChoice::kAuto:
+      return c.equijoin_shape ? static_cast<const Pebbler&>(sort_merge_)
+                              : static_cast<const Pebbler&>(local_search_);
+    case SolverChoice::kSortMerge:
+      return sort_merge_;
+    case SolverChoice::kGreedyWalk:
+      return greedy_;
+    case SolverChoice::kDfsTree:
+      return dfs_tree_;
+    case SolverChoice::kLocalSearch:
+      return local_search_;
+    case SolverChoice::kIls:
+      return ils_;
+    case SolverChoice::kExact:
+      return exact_;
+  }
+  return greedy_;
+}
+
+JoinAnalysis JoinAnalyzer::AnalyzeJoinGraph(const BipartiteGraph& join_graph,
+                                            PredicateClass predicate) const {
+  JoinAnalysis analysis;
+  analysis.predicate = predicate;
+  analysis.left_size = join_graph.left_size();
+  analysis.right_size = join_graph.right_size();
+  analysis.output_size = join_graph.num_edges();
+
+  const Graph flat = join_graph.ToGraph();
+  analysis.classification = ClassifyJoinGraph(flat);
+
+  const ComponentPebbler driver(&PrimaryFor(analysis.classification),
+                                &greedy_);
+  analysis.solution = driver.Solve(flat);
+  analysis.perfect =
+      analysis.solution.effective_cost == analysis.output_size;
+  analysis.cost_ratio =
+      (analysis.output_size == 0)
+          ? 1.0
+          : static_cast<double>(analysis.solution.effective_cost) /
+                static_cast<double>(analysis.output_size);
+  return analysis;
+}
+
+JoinAnalysis JoinAnalyzer::AnalyzeEquiJoin(const KeyRelation& left,
+                                           const KeyRelation& right) const {
+  return AnalyzeJoinGraph(BuildEquiJoinGraph(left, right),
+                          PredicateClass::kEquality);
+}
+
+JoinAnalysis JoinAnalyzer::AnalyzeSetContainment(
+    const SetRelation& left, const SetRelation& right) const {
+  return AnalyzeJoinGraph(BuildSetContainmentJoinGraph(left, right),
+                          PredicateClass::kSetContainment);
+}
+
+JoinAnalysis JoinAnalyzer::AnalyzeSpatialOverlap(
+    const RectRelation& left, const RectRelation& right) const {
+  return AnalyzeJoinGraph(BuildOverlapJoinGraph(left, right),
+                          PredicateClass::kSpatialOverlap);
+}
+
+}  // namespace pebblejoin

@@ -1,0 +1,94 @@
+// JoinAnalyzer: the library's front door.
+//
+// Given two relations and a join predicate (or a prebuilt join graph), it
+// builds the join graph, classifies it, picks a pebbler, produces a
+// verified pebbling scheme, and reports the costs against the paper's
+// bounds. Example:
+//
+//   JoinAnalyzer analyzer;
+//   KeyRelation r("R", {1, 1, 2});
+//   KeyRelation s("S", {1, 2, 2});
+//   JoinAnalysis a = analyzer.AnalyzeEquiJoin(r, s);
+//   // a.solution.effective_cost == a.output_size  (equijoins are perfect)
+
+#ifndef PEBBLEJOIN_CORE_ANALYZER_H_
+#define PEBBLEJOIN_CORE_ANALYZER_H_
+
+#include <cstdint>
+
+#include "core/classifier.h"
+#include "graph/bipartite_graph.h"
+#include "join/predicates.h"
+#include "join/relation.h"
+#include "solver/component_pebbler.h"
+#include "solver/dfs_tree_pebbler.h"
+#include "solver/exact_pebbler.h"
+#include "solver/greedy_walk_pebbler.h"
+#include "solver/ils_pebbler.h"
+#include "solver/local_search_pebbler.h"
+#include "solver/sort_merge_pebbler.h"
+
+namespace pebblejoin {
+
+// Which pebbler drives the analysis.
+enum class SolverChoice {
+  // Sort-merge on complete-bipartite components, local search elsewhere.
+  kAuto,
+  kSortMerge,     // refuses non-equijoin shapes (greedy fallback used)
+  kGreedyWalk,    // fast, <= 2m
+  kDfsTree,       // Theorem 3.1 guarantee, <= m + ⌊(m−1)/4⌋ per component
+  kLocalSearch,   // strong polynomial solver
+  kIls,           // local search + double-bridge restarts (strongest poly)
+  kExact,         // optimal; small components only (greedy fallback beyond)
+};
+
+struct AnalyzerOptions {
+  SolverChoice solver = SolverChoice::kAuto;
+  ExactPebbler::Options exact;
+};
+
+// Everything the analyzer learned about one join.
+struct JoinAnalysis {
+  PredicateClass predicate = PredicateClass::kGeneral;
+  int left_size = 0;
+  int right_size = 0;
+  int64_t output_size = 0;  // m, number of joining pairs
+  JoinGraphClassification classification;
+  PebbleSolution solution;
+  bool perfect = false;  // solution.effective_cost == m
+  double cost_ratio = 1.0;  // effective_cost / m (1.0 when m == 0)
+};
+
+class JoinAnalyzer {
+ public:
+  JoinAnalyzer() : JoinAnalyzer(AnalyzerOptions()) {}
+  explicit JoinAnalyzer(AnalyzerOptions options);
+
+  // Predicate-specific entry points; these use the specialized join-graph
+  // builders from join/join_graph_builder.h.
+  JoinAnalysis AnalyzeEquiJoin(const KeyRelation& left,
+                               const KeyRelation& right) const;
+  JoinAnalysis AnalyzeSetContainment(const SetRelation& left,
+                                     const SetRelation& right) const;
+  JoinAnalysis AnalyzeSpatialOverlap(const RectRelation& left,
+                                     const RectRelation& right) const;
+
+  // Analyzes a prebuilt join graph attributed to `predicate`.
+  JoinAnalysis AnalyzeJoinGraph(const BipartiteGraph& join_graph,
+                                PredicateClass predicate) const;
+
+ private:
+  const Pebbler& PrimaryFor(const JoinGraphClassification& c) const;
+
+  AnalyzerOptions options_;
+  SortMergePebbler sort_merge_;
+  GreedyWalkPebbler greedy_;
+  DfsTreePebbler dfs_tree_;
+  LocalSearchPebbler local_search_;
+  IlsPebbler ils_;
+  ExactPebbler exact_;
+};
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_CORE_ANALYZER_H_

@@ -1,0 +1,17 @@
+#include "core/classifier.h"
+
+#include "graph/graph_properties.h"
+
+namespace pebblejoin {
+
+JoinGraphClassification ClassifyJoinGraph(const Graph& join_graph) {
+  JoinGraphClassification result;
+  result.equijoin_shape = ComponentsAreCompleteBipartite(join_graph);
+  result.bounds = ComputeBounds(join_graph);
+  result.realizable_as = result.equijoin_shape
+                             ? PredicateClass::kEquality
+                             : PredicateClass::kSetContainment;
+  return result;
+}
+
+}  // namespace pebblejoin

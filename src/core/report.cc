@@ -1,0 +1,46 @@
+#include "core/report.h"
+
+#include <cstdio>
+
+namespace pebblejoin {
+
+std::string FormatAnalysis(const JoinAnalysis& analysis) {
+  char line[256];
+  std::string out;
+
+  std::snprintf(line, sizeof(line), "join predicate : %s\n",
+                PredicateClassName(analysis.predicate));
+  out += line;
+  std::snprintf(line, sizeof(line), "|R| x |S|      : %d x %d\n",
+                analysis.left_size, analysis.right_size);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "output size m  : %lld  (components: %lld)\n",
+                static_cast<long long>(analysis.output_size),
+                static_cast<long long>(
+                    analysis.classification.bounds.betti_zero));
+  out += line;
+  std::snprintf(line, sizeof(line), "equijoin shape : %s\n",
+                analysis.classification.equijoin_shape ? "yes" : "no");
+  out += line;
+  const PebblingBounds& bounds = analysis.classification.bounds;
+  std::snprintf(line, sizeof(line),
+                "pi(G) bounds   : %lld <= pi <= %lld  "
+                "(Thm 3.1 bound: %lld)\n",
+                static_cast<long long>(bounds.lower),
+                static_cast<long long>(bounds.upper_general),
+                static_cast<long long>(bounds.upper_dfs_bound));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "achieved       : pi_hat=%lld  pi=%lld  jumps=%lld  "
+                "ratio=%.4f%s\n",
+                static_cast<long long>(analysis.solution.hat_cost),
+                static_cast<long long>(analysis.solution.effective_cost),
+                static_cast<long long>(analysis.solution.jumps),
+                analysis.cost_ratio,
+                analysis.perfect ? "  (perfect)" : "");
+  out += line;
+  return out;
+}
+
+}  // namespace pebblejoin

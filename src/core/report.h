@@ -1,0 +1,17 @@
+// Human-readable rendering of a JoinAnalysis.
+
+#ifndef PEBBLEJOIN_CORE_REPORT_H_
+#define PEBBLEJOIN_CORE_REPORT_H_
+
+#include <string>
+
+#include "core/analyzer.h"
+
+namespace pebblejoin {
+
+// Multi-line summary: predicate, sizes, bounds, achieved cost, verdict.
+std::string FormatAnalysis(const JoinAnalysis& analysis);
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_CORE_REPORT_H_

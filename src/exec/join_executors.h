@@ -1,0 +1,65 @@
+// Join executors that emit their pebble traces.
+//
+// Section 2 of the paper remarks that "the merge phase of a sort-merge join
+// does in some sense resemble this pebbling game". This module makes the
+// resemblance exact: each executor actually evaluates a join the way a
+// database engine would and records, for every result pair it produces, the
+// pebbling configuration it held at that moment. The emitted trace is a
+// PebblingScheme over the join graph, checked by the standard verifier, so
+// algorithm behavior and the abstract model are compared in the same units:
+//
+//   * SortMergeJoinExecute — sorts both inputs and merges; on equijoin
+//     inputs its trace is a *perfect* scheme (π = m), which is exactly the
+//     content of Theorems 3.2/4.1;
+//   * HashJoinExecute — builds a hash table on one side and probes; probe
+//     order groups by build rows within a probe row, also perfect on
+//     equijoins;
+//   * BlockNestedLoopExecute — the naive engine: scans S once per R-block;
+//     its trace is valid but wasteful, giving an executable upper-bound
+//     contrast.
+//
+// All executors work on key relations (the predicate the algorithms are
+// designed for); the returned trace uses the join-graph vertex ids produced
+// by BuildEquiJoinGraph on the same inputs (left tuple i ↦ vertex i, right
+// tuple j ↦ vertex left_size + j).
+
+#ifndef PEBBLEJOIN_EXEC_JOIN_EXECUTORS_H_
+#define PEBBLEJOIN_EXEC_JOIN_EXECUTORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "join/relation.h"
+#include "pebble/pebbling_scheme.h"
+
+namespace pebblejoin {
+
+// The output of an executor: result pairs in emission order plus the
+// pebble trace (one configuration per result pair, in the same order).
+struct ExecutionTrace {
+  // (left tuple index, right tuple index) in emission order.
+  std::vector<std::pair<int, int>> results;
+  // The pebble trace over the flattened join graph.
+  PebblingScheme scheme;
+  int64_t comparisons = 0;  // predicate evaluations performed
+};
+
+// Sort-merge join: sort R and S by key, merge, emit each key's block in
+// the boustrophedon order the merge naturally produces.
+ExecutionTrace SortMergeJoinExecute(const KeyRelation& left,
+                                    const KeyRelation& right);
+
+// Hash join: build on `right`, probe with `left` in storage order.
+ExecutionTrace HashJoinExecute(const KeyRelation& left,
+                               const KeyRelation& right);
+
+// Block nested loop join with `block_size` left tuples per block.
+// Requires block_size >= 1.
+ExecutionTrace BlockNestedLoopExecute(const KeyRelation& left,
+                                      const KeyRelation& right,
+                                      int block_size);
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_EXEC_JOIN_EXECUTORS_H_

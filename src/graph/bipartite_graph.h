@@ -1,0 +1,76 @@
+// Bipartite graphs, the natural shape of a join graph: one vertex per tuple
+// of R on the left, one per tuple of S on the right, one edge per joining
+// pair (Section 2 of the paper).
+
+#ifndef PEBBLEJOIN_GRAPH_BIPARTITE_GRAPH_H_
+#define PEBBLEJOIN_GRAPH_BIPARTITE_GRAPH_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace pebblejoin {
+
+// A bipartite graph with an explicit left/right bipartition. Left vertices
+// are 0..left_size-1 and right vertices 0..right_size-1 *within their side*;
+// edges are (left, right) pairs with dense ids in insertion order.
+//
+// `ToGraph()` flattens to a plain Graph in which left vertex l keeps id l and
+// right vertex r becomes id left_size + r; edge ids are preserved. All
+// pebbling machinery operates on the flattened Graph.
+class BipartiteGraph {
+ public:
+  struct Edge {
+    int left = 0;
+    int right = 0;
+  };
+
+  BipartiteGraph() = default;
+  BipartiteGraph(int left_size, int right_size);
+
+  // Adds the edge (left, right); returns its id. Rejects duplicates.
+  int AddEdge(int left, int right);
+
+  int left_size() const { return left_size_; }
+  int right_size() const { return right_size_; }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  const Edge& edge(int e) const;
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  bool HasEdge(int left, int right) const;
+
+  int LeftDegree(int left) const;
+  int RightDegree(int right) const;
+
+  // Right neighbors of a left vertex / left neighbors of a right vertex.
+  const std::vector<int>& LeftAdjacency(int left) const;
+  const std::vector<int>& RightAdjacency(int right) const;
+
+  // Flattens to a Graph (see class comment). Edge ids are preserved.
+  Graph ToGraph() const;
+
+  // Vertex id of left/right vertices in the flattened Graph.
+  int FlatLeftId(int left) const { return left; }
+  int FlatRightId(int right) const { return left_size_ + right; }
+
+  // True if the two graphs have identical bipartition sizes and identical
+  // edge *sets* (order-insensitive). This is equality under the canonical
+  // vertex correspondence, not isomorphism.
+  bool SameEdgeSet(const BipartiteGraph& other) const;
+
+  std::string DebugString() const;
+
+ private:
+  int left_size_ = 0;
+  int right_size_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<int>> left_adj_;   // left -> right neighbors
+  std::vector<std::vector<int>> right_adj_;  // right -> left neighbors
+};
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_GRAPH_BIPARTITE_GRAPH_H_

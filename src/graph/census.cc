@@ -1,0 +1,145 @@
+#include "graph/census.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "graph/components.h"
+#include "util/check.h"
+
+namespace pebblejoin {
+
+namespace {
+
+// Adjacency bitmask with bit (l * right + r) for edge (l, r).
+uint64_t MaskOf(const BipartiteGraph& g) {
+  uint64_t mask = 0;
+  for (const BipartiteGraph::Edge& e : g.edges()) {
+    mask |= uint64_t{1} << (e.left * g.right_size() + e.right);
+  }
+  return mask;
+}
+
+// Applies row/column permutations to a mask.
+uint64_t PermuteMask(uint64_t mask, int left, int right,
+                     const std::vector<int>& row_perm,
+                     const std::vector<int>& col_perm) {
+  uint64_t out = 0;
+  for (int l = 0; l < left; ++l) {
+    for (int r = 0; r < right; ++r) {
+      if ((mask >> (l * right + r)) & 1) {
+        out |= uint64_t{1} << (row_perm[l] * right + col_perm[r]);
+      }
+    }
+  }
+  return out;
+}
+
+// Transposes a left×right mask into a right×left mask.
+uint64_t TransposeMask(uint64_t mask, int left, int right) {
+  uint64_t out = 0;
+  for (int l = 0; l < left; ++l) {
+    for (int r = 0; r < right; ++r) {
+      if ((mask >> (l * right + r)) & 1) {
+        out |= uint64_t{1} << (r * left + l);
+      }
+    }
+  }
+  return out;
+}
+
+uint64_t CanonicalMask(uint64_t mask, int left, int right,
+                       bool allow_swap) {
+  uint64_t best = ~uint64_t{0};
+  std::vector<int> row_perm(left);
+  for (int i = 0; i < left; ++i) row_perm[i] = i;
+  do {
+    std::vector<int> col_perm(right);
+    for (int i = 0; i < right; ++i) col_perm[i] = i;
+    do {
+      best = std::min(best,
+                      PermuteMask(mask, left, right, row_perm, col_perm));
+    } while (std::next_permutation(col_perm.begin(), col_perm.end()));
+  } while (std::next_permutation(row_perm.begin(), row_perm.end()));
+
+  if (allow_swap) {
+    best = std::min(best, CanonicalMask(TransposeMask(mask, left, right),
+                                        right, left, /*allow_swap=*/false));
+  }
+  return best;
+}
+
+BipartiteGraph GraphFromMask(uint64_t mask, int left, int right) {
+  BipartiteGraph g(left, right);
+  for (int l = 0; l < left; ++l) {
+    for (int r = 0; r < right; ++r) {
+      if ((mask >> (l * right + r)) & 1) g.AddEdge(l, r);
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+uint64_t CanonicalBipartiteKey(const BipartiteGraph& g) {
+  JP_CHECK(g.left_size() <= kMaxCensusSide &&
+           g.right_size() <= kMaxCensusSide);
+  JP_CHECK(g.left_size() * g.right_size() <= 25);
+  return CanonicalMask(MaskOf(g), g.left_size(), g.right_size(),
+                       g.left_size() == g.right_size());
+}
+
+std::vector<BipartiteGraph> EnumerateConnectedBipartite(int left, int right,
+                                                        int edges) {
+  JP_CHECK(1 <= left && left <= kMaxCensusSide);
+  JP_CHECK(1 <= right && right <= kMaxCensusSide);
+  JP_CHECK(left * right <= 25);
+  JP_CHECK(0 <= edges && edges <= left * right);
+
+  std::vector<BipartiteGraph> representatives;
+  std::unordered_set<uint64_t> seen;
+  const int cells = left * right;
+
+  // Enumerate all edge subsets of the requested size via the classic
+  // same-popcount bit trick.
+  if (edges == 0) return representatives;
+  uint64_t mask = (uint64_t{1} << edges) - 1;
+  const uint64_t limit = uint64_t{1} << cells;
+  while (mask < limit) {
+    // Quick degree screen: every row and column must be nonempty
+    // (connected + spanning requires no isolated vertices).
+    bool spanning = true;
+    for (int l = 0; l < left && spanning; ++l) {
+      const uint64_t row = (mask >> (l * right)) &
+                           ((uint64_t{1} << right) - 1);
+      if (row == 0) spanning = false;
+    }
+    for (int r = 0; r < right && spanning; ++r) {
+      bool hit = false;
+      for (int l = 0; l < left && !hit; ++l) {
+        if ((mask >> (l * right + r)) & 1) hit = true;
+      }
+      if (!hit) spanning = false;
+    }
+    if (spanning) {
+      const uint64_t key = CanonicalMask(
+          mask, left, right, /*allow_swap=*/left == right);
+      if (seen.insert(key).second) {
+        BipartiteGraph g = GraphFromMask(mask, left, right);
+        if (IsConnectedIgnoringIsolated(g.ToGraph()) &&
+            g.num_edges() == edges) {
+          representatives.push_back(std::move(g));
+        } else {
+          // Canonical key recorded anyway: disconnected graphs of this
+          // class need not be revisited.
+        }
+      }
+    }
+    // Next mask with the same popcount (Gosper's hack).
+    const uint64_t c = mask & (~mask + 1);
+    const uint64_t r = mask + c;
+    mask = (((r ^ mask) >> 2) / c) | r;
+  }
+  return representatives;
+}
+
+}  // namespace pebblejoin

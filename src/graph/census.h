@@ -1,0 +1,42 @@
+// Exhaustive census of small bipartite graphs.
+//
+// Enumerates ALL connected bipartite graphs with given side sizes and edge
+// count, deduplicated up to isomorphism (including the left/right swap when
+// the sides have equal size). This turns Theorem 3.1 and Lemma 2.3 from
+// sampled properties into exhaustively verified ones on small instances,
+// and locates the extremal graphs that attain the upper bound (Theorem 3.3
+// says the Gₙ family does; the census shows what else does).
+//
+// Feasibility: sides ≤ 4 means at most 2^16 candidate edge sets and
+// 4!·4!·2 = 1152 permutations per canonical-form reduction — milliseconds.
+
+#ifndef PEBBLEJOIN_GRAPH_CENSUS_H_
+#define PEBBLEJOIN_GRAPH_CENSUS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+
+namespace pebblejoin {
+
+// Maximum side size the census supports (canonical form is factorial in
+// this).
+inline constexpr int kMaxCensusSide = 5;
+
+// Canonical key of a bipartite graph: the lexicographically smallest
+// adjacency bitmask over all row/column permutations (and the side swap
+// when left_size == right_size). Two graphs have equal keys iff they are
+// isomorphic as bipartite graphs.
+uint64_t CanonicalBipartiteKey(const BipartiteGraph& g);
+
+// All connected bipartite graphs with exactly `left` × `right` vertices
+// (every vertex non-isolated) and `edges` edges, one representative per
+// isomorphism class. Requires 1 <= left, right <= kMaxCensusSide and
+// left*right <= 25 (the bitmask width budget).
+std::vector<BipartiteGraph> EnumerateConnectedBipartite(int left, int right,
+                                                        int edges);
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_GRAPH_CENSUS_H_

@@ -1,0 +1,47 @@
+// Connected components. β₀(G), the number of connected components among
+// non-isolated vertices, enters the paper's effective-cost definition
+// π(G) = π̂(G) − β₀(G) (Definition 2.2); isolated vertices are removed
+// a priori in the paper's model and are therefore not counted here.
+
+#ifndef PEBBLEJOIN_GRAPH_COMPONENTS_H_
+#define PEBBLEJOIN_GRAPH_COMPONENTS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace pebblejoin {
+
+// The decomposition of a graph into connected components.
+struct ComponentDecomposition {
+  // component_of[v] is the component index of vertex v, or -1 if v is
+  // isolated (degree zero).
+  std::vector<int> component_of;
+  // Number of components among non-isolated vertices (the paper's β₀).
+  int num_components = 0;
+  // edges_of[c] lists the edge ids in component c, in increasing order.
+  std::vector<std::vector<int>> edges_of;
+  // vertices_of[c] lists the vertex ids in component c, in discovery order.
+  std::vector<std::vector<int>> vertices_of;
+};
+
+// Computes the component decomposition of `g` by BFS.
+ComponentDecomposition FindComponents(const Graph& g);
+
+// β₀(G): the number of connected components, ignoring isolated vertices.
+int BettiZero(const Graph& g);
+
+// True if all non-isolated vertices lie in a single component and there is
+// at least one edge.
+bool IsConnectedIgnoringIsolated(const Graph& g);
+
+// Extracts the subgraph induced by one component. `vertex_map` receives, for
+// each vertex of the subgraph, the original vertex id; `edge_map` likewise
+// maps subgraph edge ids to original edge ids. Either output may be null.
+Graph ExtractComponent(const Graph& g, const ComponentDecomposition& decomp,
+                       int component, std::vector<int>* vertex_map,
+                       std::vector<int>* edge_map);
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_GRAPH_COMPONENTS_H_

@@ -1,0 +1,81 @@
+// Graph generators for tests and benchmark workloads.
+//
+// Includes the paper's named constructions: complete bipartite graphs
+// (equijoin components, Lemma 3.2), matchings (Lemma 2.4), and the Figure-1
+// worst-case family {G₃, G₄, …} with π(Gₙ) = 1.25m − 1 (Theorem 3.3).
+
+#ifndef PEBBLEJOIN_GRAPH_GENERATORS_H_
+#define PEBBLEJOIN_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "graph/graph.h"
+
+namespace pebblejoin {
+
+// K_{k,l}: every left vertex joined to every right vertex. Requires k, l >= 1.
+BipartiteGraph CompleteBipartite(int k, int l);
+
+// A perfect matching with m edges (m components, each a single edge).
+BipartiteGraph MatchingGraph(int m);
+
+// A path with m edges, alternating sides. Requires m >= 1.
+BipartiteGraph PathGraph(int m);
+
+// An even cycle with 2k edges. Requires k >= 2.
+BipartiteGraph EvenCycle(int k);
+
+// A star K_{1,m}: one left center joined to m right leaves. Requires m >= 1.
+BipartiteGraph StarGraph(int m);
+
+// The Figure-1 worst-case family Gₙ, n >= 3: a "double star" whose line
+// graph is K_n plus n pendant nodes. Concretely: left vertex 0 is a center
+// adjacent to right vertices 0..n-1, and each right vertex i is additionally
+// adjacent to its private left vertex 1+i. m = 2n edges; edge ids 2i and
+// 2i+1 are respectively the spoke (center, i) and the pendant (1+i, i).
+// Theorem 3.3: π(Gₙ) = 1.25m − 1 = 2.5n − 1.
+BipartiteGraph WorstCaseFamily(int n);
+
+// G(l, r, p): each of the l·r candidate edges present with probability p.
+BipartiteGraph RandomBipartite(int left, int right, double p, uint64_t seed);
+
+// A uniformly random bipartite graph with exactly m distinct edges.
+// Requires 0 <= m <= left·right.
+BipartiteGraph RandomBipartiteWithEdges(int left, int right, int m,
+                                        uint64_t seed);
+
+// A random *connected* bipartite graph with m edges spanning all left+right
+// vertices: a random spanning tree over the two sides plus m − (L+R−1)
+// random extra edges. Requires m >= left + right - 1 and m <= left·right and
+// left, right >= 1.
+BipartiteGraph RandomConnectedBipartite(int left, int right, int m,
+                                        uint64_t seed);
+
+// A disjoint union: places `b` side by side after `a` (left/right vertex ids
+// of `b` are shifted by a's sizes; edge ids of `b` follow a's).
+BipartiteGraph DisjointUnion(const BipartiteGraph& a, const BipartiteGraph& b);
+
+// --- General (not necessarily bipartite) graph generators, used by the TSP
+// --- reduction pipeline (Theorems 4.3/4.4).
+
+// Erdős–Rényi G(n, p) as a simple graph.
+Graph RandomGraph(int n, double p, uint64_t seed);
+
+// A random connected graph with maximum degree <= max_degree: a random
+// degree-respecting spanning tree plus extra random edges while respecting
+// the bound. `extra_edges` is a target, not a guarantee (the bound may make
+// fewer possible). Requires n >= 1, max_degree >= 2.
+Graph RandomConnectedBoundedDegree(int n, int max_degree, int extra_edges,
+                                   uint64_t seed);
+
+// Complete graph K_n as a Graph.
+Graph CompleteGraph(int n);
+
+// A simple cycle C_n. Requires n >= 3.
+Graph CycleGraph(int n);
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_GRAPH_GENERATORS_H_

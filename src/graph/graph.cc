@@ -1,0 +1,84 @@
+#include "graph/graph.h"
+
+#include "util/check.h"
+
+namespace pebblejoin {
+
+int Graph::Edge::Other(int w) const {
+  JP_CHECK(w == u || w == v);
+  return (w == u) ? v : u;
+}
+
+bool Graph::Edge::Touches(const Edge& other) const {
+  return u == other.u || u == other.v || v == other.u || v == other.v;
+}
+
+Graph::Graph(int num_vertices) {
+  JP_CHECK(num_vertices >= 0);
+  incident_.resize(num_vertices);
+}
+
+int Graph::AddVertices(int count) {
+  JP_CHECK(count >= 0);
+  const int first = num_vertices();
+  incident_.resize(incident_.size() + count);
+  return first;
+}
+
+int Graph::AddEdge(int u, int v) {
+  JP_CHECK(0 <= u && u < num_vertices());
+  JP_CHECK(0 <= v && v < num_vertices());
+  JP_CHECK_MSG(u != v, "self-loops are not allowed");
+  JP_CHECK_MSG(!HasEdge(u, v), "parallel edges are not allowed");
+  const int id = num_edges();
+  edges_.push_back(Edge{u, v});
+  incident_[u].push_back(id);
+  incident_[v].push_back(id);
+  return id;
+}
+
+const Graph::Edge& Graph::edge(int e) const {
+  JP_CHECK(0 <= e && e < num_edges());
+  return edges_[e];
+}
+
+int Graph::Degree(int v) const {
+  JP_CHECK(0 <= v && v < num_vertices());
+  return static_cast<int>(incident_[v].size());
+}
+
+const std::vector<int>& Graph::IncidentEdges(int v) const {
+  JP_CHECK(0 <= v && v < num_vertices());
+  return incident_[v];
+}
+
+std::vector<int> Graph::Neighbors(int v) const {
+  JP_CHECK(0 <= v && v < num_vertices());
+  std::vector<int> out;
+  out.reserve(incident_[v].size());
+  for (int e : incident_[v]) out.push_back(edges_[e].Other(v));
+  return out;
+}
+
+bool Graph::HasEdge(int u, int v) const { return FindEdge(u, v) != -1; }
+
+int Graph::FindEdge(int u, int v) const {
+  JP_CHECK(0 <= u && u < num_vertices());
+  JP_CHECK(0 <= v && v < num_vertices());
+  const int probe = (Degree(u) <= Degree(v)) ? u : v;
+  const int other = (probe == u) ? v : u;
+  for (int e : incident_[probe]) {
+    if (edges_[e].Other(probe) == other) return e;
+  }
+  return -1;
+}
+
+std::string Graph::DebugString() const {
+  std::string out = "Graph(" + std::to_string(num_vertices()) + " vertices):";
+  for (const Edge& e : edges_) {
+    out += " " + std::to_string(e.u) + "-" + std::to_string(e.v);
+  }
+  return out;
+}
+
+}  // namespace pebblejoin

@@ -1,0 +1,69 @@
+// A simple undirected graph with stable edge identifiers.
+//
+// The pebble game of Cai et al. (PODS 2001) is played on the *edge set* of a
+// join graph, so edges are first-class here: every edge has a dense integer
+// id assigned in insertion order, and all pebbling schemes, line graphs, and
+// solvers refer to edges by id.
+
+#ifndef PEBBLEJOIN_GRAPH_GRAPH_H_
+#define PEBBLEJOIN_GRAPH_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+namespace pebblejoin {
+
+// An undirected simple graph. Vertices are 0..num_vertices()-1; edges are
+// 0..num_edges()-1 in insertion order. Parallel edges and self-loops are
+// rejected (join graphs are simple: a pair of tuples joins at most once).
+class Graph {
+ public:
+  struct Edge {
+    int u = 0;
+    int v = 0;
+
+    // Returns the endpoint that is not `w`. Requires w ∈ {u, v}.
+    int Other(int w) const;
+    // True if this edge and `other` share at least one endpoint.
+    bool Touches(const Edge& other) const;
+  };
+
+  Graph() = default;
+  explicit Graph(int num_vertices);
+
+  // Appends `count` fresh isolated vertices; returns the id of the first.
+  int AddVertices(int count);
+
+  // Adds the undirected edge {u, v} and returns its id. Aborts on self-loops
+  // and duplicate edges (callers own deduplication; see HasEdge()).
+  int AddEdge(int u, int v);
+
+  int num_vertices() const { return static_cast<int>(incident_.size()); }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  const Edge& edge(int e) const;
+  int Degree(int v) const;
+
+  // Ids of edges incident to `v`, in insertion order.
+  const std::vector<int>& IncidentEdges(int v) const;
+
+  // Neighbor vertex ids of `v` (one per incident edge), in insertion order.
+  std::vector<int> Neighbors(int v) const;
+
+  // True if the undirected edge {u, v} is present. O(min(deg u, deg v)).
+  bool HasEdge(int u, int v) const;
+
+  // Returns the id of edge {u, v}, or -1 if absent.
+  int FindEdge(int u, int v) const;
+
+  // Human-readable dump, e.g. "Graph(5 vertices): 0-1 1-2 ...".
+  std::string DebugString() const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<int>> incident_;  // vertex -> incident edge ids
+};
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_GRAPH_GRAPH_H_

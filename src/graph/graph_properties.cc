@@ -1,0 +1,97 @@
+#include "graph/graph_properties.h"
+
+#include <algorithm>
+
+#include "graph/components.h"
+#include "util/check.h"
+
+namespace pebblejoin {
+
+std::optional<std::vector<int>> TwoColor(const Graph& g) {
+  std::vector<int> color(g.num_vertices(), -1);
+  std::vector<int> stack;
+  for (int start = 0; start < g.num_vertices(); ++start) {
+    if (color[start] != -1) continue;
+    color[start] = 0;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const int v = stack.back();
+      stack.pop_back();
+      for (int e : g.IncidentEdges(v)) {
+        const int w = g.edge(e).Other(v);
+        if (color[w] == -1) {
+          color[w] = 1 - color[v];
+          stack.push_back(w);
+        } else if (color[w] == color[v]) {
+          return std::nullopt;
+        }
+      }
+    }
+  }
+  return color;
+}
+
+bool IsBipartite(const Graph& g) { return TwoColor(g).has_value(); }
+
+bool ComponentsAreCompleteBipartite(const Graph& g) {
+  const std::optional<std::vector<int>> color = TwoColor(g);
+  if (!color.has_value()) return false;
+  const ComponentDecomposition decomp = FindComponents(g);
+  for (int c = 0; c < decomp.num_components; ++c) {
+    int64_t side0 = 0;
+    int64_t side1 = 0;
+    for (int v : decomp.vertices_of[c]) {
+      ((*color)[v] == 0 ? side0 : side1) += 1;
+    }
+    // A component 2-colored with sides of sizes a and b is complete
+    // bipartite iff it has exactly a*b edges (it can never have more in a
+    // simple bipartite graph).
+    if (static_cast<int64_t>(decomp.edges_of[c].size()) != side0 * side1) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<std::array<int, 4>> FindInducedClaw(const Graph& g) {
+  for (int center = 0; center < g.num_vertices(); ++center) {
+    const std::vector<int> nbrs = g.Neighbors(center);
+    const int d = static_cast<int>(nbrs.size());
+    if (d < 3) continue;
+    for (int i = 0; i < d; ++i) {
+      for (int j = i + 1; j < d; ++j) {
+        if (g.HasEdge(nbrs[i], nbrs[j])) continue;
+        for (int k = j + 1; k < d; ++k) {
+          if (!g.HasEdge(nbrs[i], nbrs[k]) && !g.HasEdge(nbrs[j], nbrs[k])) {
+            return std::array<int, 4>{center, nbrs[i], nbrs[j], nbrs[k]};
+          }
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+int MaxDegree(const Graph& g) {
+  int max_degree = 0;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    max_degree = std::max(max_degree, g.Degree(v));
+  }
+  return max_degree;
+}
+
+std::vector<int> DegreeHistogram(const Graph& g) {
+  std::vector<int> histogram(MaxDegree(g) + 1, 0);
+  for (int v = 0; v < g.num_vertices(); ++v) ++histogram[g.Degree(v)];
+  return histogram;
+}
+
+int NumNonIsolatedVertices(const Graph& g) {
+  int count = 0;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    if (g.Degree(v) > 0) ++count;
+  }
+  return count;
+}
+
+}  // namespace pebblejoin

@@ -1,0 +1,136 @@
+#include "graph/hamiltonian.h"
+
+#include <cstdint>
+#include <utility>
+
+#include "util/check.h"
+
+namespace pebblejoin {
+
+namespace {
+
+// Adjacency as bitmasks, for the subset DP.
+std::vector<uint32_t> AdjacencyMasks(const Graph& g) {
+  JP_CHECK(g.num_vertices() <= kMaxHamiltonianVertices);
+  std::vector<uint32_t> adj(g.num_vertices(), 0);
+  for (int e = 0; e < g.num_edges(); ++e) {
+    const Graph::Edge& edge = g.edge(e);
+    adj[edge.u] |= uint32_t{1} << edge.v;
+    adj[edge.v] |= uint32_t{1} << edge.u;
+  }
+  return adj;
+}
+
+// reach[mask] = set of vertices v such that some simple path visits exactly
+// `mask` and ends at v. Standard O(2^n · n) Held–Karp-style reachability.
+std::vector<uint32_t> PathEndpoints(const Graph& g) {
+  const int n = g.num_vertices();
+  const std::vector<uint32_t> adj = AdjacencyMasks(g);
+  std::vector<uint32_t> reach(size_t{1} << n, 0);
+  for (int v = 0; v < n; ++v) reach[uint32_t{1} << v] = uint32_t{1} << v;
+  for (uint32_t mask = 1; mask < (uint32_t{1} << n); ++mask) {
+    uint32_t ends = reach[mask];
+    if (ends == 0) continue;
+    uint32_t candidates = ends;
+    while (candidates != 0) {
+      const int v = __builtin_ctz(candidates);
+      candidates &= candidates - 1;
+      uint32_t nexts = adj[v] & ~mask;
+      while (nexts != 0) {
+        const int w = __builtin_ctz(nexts);
+        nexts &= nexts - 1;
+        reach[mask | (uint32_t{1} << w)] |= uint32_t{1} << w;
+      }
+    }
+  }
+  return reach;
+}
+
+// Reconstructs a path ending at `end` that covers `mask`, given the DP table.
+std::vector<int> ReconstructPath(const Graph& g,
+                                 const std::vector<uint32_t>& reach,
+                                 uint32_t full_mask, int end) {
+  const std::vector<uint32_t> adj = AdjacencyMasks(g);
+  std::vector<int> path;
+  uint32_t mask = full_mask;
+  int v = end;
+  while (true) {
+    path.push_back(v);
+    const uint32_t rest = mask & ~(uint32_t{1} << v);
+    if (rest == 0) break;
+    // Find a predecessor u adjacent to v with a path over `rest` ending at u.
+    uint32_t preds = adj[v] & reach[rest];
+    JP_CHECK_MSG(preds != 0, "DP table inconsistent during reconstruction");
+    v = __builtin_ctz(preds);
+    mask = rest;
+  }
+  // Built back-to-front.
+  std::vector<int> forward(path.rbegin(), path.rend());
+  return forward;
+}
+
+}  // namespace
+
+bool HasHamiltonianPath(const Graph& g) {
+  const int n = g.num_vertices();
+  if (n == 0) return false;
+  if (n == 1) return true;
+  const std::vector<uint32_t> reach = PathEndpoints(g);
+  return reach[(uint32_t{1} << n) - 1] != 0;
+}
+
+std::optional<std::vector<int>> FindHamiltonianPath(const Graph& g) {
+  const int n = g.num_vertices();
+  if (n == 0) return std::nullopt;
+  if (n == 1) return std::vector<int>{0};
+  const std::vector<uint32_t> reach = PathEndpoints(g);
+  const uint32_t full = (uint32_t{1} << n) - 1;
+  if (reach[full] == 0) return std::nullopt;
+  const int end = __builtin_ctz(reach[full]);
+  return ReconstructPath(g, reach, full, end);
+}
+
+std::optional<std::vector<int>> FindHamiltonianPathBetween(const Graph& g,
+                                                           int start,
+                                                           int end) {
+  const int n = g.num_vertices();
+  JP_CHECK(0 <= start && start < n && 0 <= end && end < n && start != end);
+  // Endpoint-constrained variant: seed the DP only from `start`.
+  const std::vector<uint32_t> adj = AdjacencyMasks(g);
+  std::vector<uint32_t> reach(size_t{1} << n, 0);
+  reach[uint32_t{1} << start] = uint32_t{1} << start;
+  for (uint32_t mask = 1; mask < (uint32_t{1} << n); ++mask) {
+    uint32_t ends = reach[mask];
+    if (ends == 0) continue;
+    uint32_t candidates = ends;
+    while (candidates != 0) {
+      const int v = __builtin_ctz(candidates);
+      candidates &= candidates - 1;
+      uint32_t nexts = adj[v] & ~mask;
+      while (nexts != 0) {
+        const int w = __builtin_ctz(nexts);
+        nexts &= nexts - 1;
+        reach[mask | (uint32_t{1} << w)] |= uint32_t{1} << w;
+      }
+    }
+  }
+  const uint32_t full = (uint32_t{1} << n) - 1;
+  if ((reach[full] & (uint32_t{1} << end)) == 0) return std::nullopt;
+  return ReconstructPath(g, reach, full, end);
+}
+
+std::vector<std::pair<int, int>> HamiltonianPathEndpointPairs(const Graph& g) {
+  std::vector<std::pair<int, int>> pairs;
+  const int n = g.num_vertices();
+  if (n < 2) return pairs;
+  for (int s = 0; s < n; ++s) {
+    for (int e = s + 1; e < n; ++e) {
+      if (FindHamiltonianPathBetween(g, s, e).has_value()) {
+        pairs.emplace_back(s, e);
+      }
+    }
+  }
+  return pairs;
+}
+
+}  // namespace pebblejoin

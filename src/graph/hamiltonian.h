@@ -1,0 +1,39 @@
+// Exact Hamiltonian-path search (bitmask dynamic programming).
+//
+// Used for: Proposition 2.1 (perfect pebbling ⇔ Hamiltonian path in L(G)),
+// verifying the diamond gadget's corner-to-corner path table (Theorem 4.3),
+// and cross-checking the exact pebbling solver on small instances. Intended
+// for graphs of at most ~24 vertices; callers must respect kMaxVertices.
+
+#ifndef PEBBLEJOIN_GRAPH_HAMILTONIAN_H_
+#define PEBBLEJOIN_GRAPH_HAMILTONIAN_H_
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace pebblejoin {
+
+// Largest vertex count the bitmask DP accepts.
+inline constexpr int kMaxHamiltonianVertices = 26;
+
+// True if `g` has a Hamiltonian path (visiting every vertex exactly once).
+// Requires g.num_vertices() <= kMaxHamiltonianVertices.
+bool HasHamiltonianPath(const Graph& g);
+
+// Returns one Hamiltonian path as a vertex sequence, or nullopt if none.
+std::optional<std::vector<int>> FindHamiltonianPath(const Graph& g);
+
+// Returns one Hamiltonian path with the given endpoints (in order from
+// `start` to `end`), or nullopt if none exists.
+std::optional<std::vector<int>> FindHamiltonianPathBetween(const Graph& g,
+                                                           int start, int end);
+
+// Enumerates the endpoint pairs {s, e} (s < e) for which a Hamiltonian path
+// exists. Useful for characterizing gadgets exhaustively.
+std::vector<std::pair<int, int>> HamiltonianPathEndpointPairs(const Graph& g);
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_GRAPH_HAMILTONIAN_H_

@@ -1,0 +1,18 @@
+#include "graph/incidence_graph.h"
+
+#include "util/check.h"
+
+namespace pebblejoin {
+
+BipartiteGraph BuildIncidenceGraph(const Graph& g) {
+  BipartiteGraph b(g.num_vertices(), g.num_edges());
+  for (int e = 0; e < g.num_edges(); ++e) {
+    const Graph::Edge& edge = g.edge(e);
+    const int id_u = b.AddEdge(edge.u, e);
+    const int id_v = b.AddEdge(edge.v, e);
+    JP_CHECK(id_u == 2 * e && id_v == 2 * e + 1);
+  }
+  return b;
+}
+
+}  // namespace pebblejoin

@@ -1,0 +1,25 @@
+// Incidence graphs (Theorem 4.4).
+//
+// The L-reduction from TSP-3(1,2) to PEBBLE maps a graph G = (V, E) to its
+// incidence bipartite graph B = (X, Y, E') with X = V, Y = E, and an edge
+// (v, e) whenever v is an endpoint of e in G. The line graph of B is G with
+// every degree-i vertex expanded into a clique K_i.
+
+#ifndef PEBBLEJOIN_GRAPH_INCIDENCE_GRAPH_H_
+#define PEBBLEJOIN_GRAPH_INCIDENCE_GRAPH_H_
+
+#include "graph/bipartite_graph.h"
+#include "graph/graph.h"
+
+namespace pebblejoin {
+
+// Builds the incidence bipartite graph of `g`: left vertex v per vertex of
+// g, right vertex e per edge of g, edges (v, e) for each incidence. The
+// result has exactly 2·|E(g)| edges, and edge ids are ordered so that edge
+// 2e and 2e+1 of the result are the two incidences of g's edge e (endpoint u
+// first, then v).
+BipartiteGraph BuildIncidenceGraph(const Graph& g);
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_GRAPH_INCIDENCE_GRAPH_H_

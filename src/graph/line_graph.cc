@@ -1,0 +1,42 @@
+#include "graph/line_graph.h"
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace pebblejoin {
+
+int64_t LineGraphEdgeCount(const Graph& g) {
+  int64_t total = 0;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    const int64_t d = g.Degree(v);
+    total += d * (d - 1) / 2;
+  }
+  return total;
+}
+
+Graph BuildLineGraph(const Graph& g) {
+  Graph line(g.num_edges());
+  // Two edges of a simple graph share at most one endpoint, except that they
+  // cannot share two (that would be a parallel edge), so enumerating pairs
+  // within each vertex's incidence list enumerates each L(G) edge exactly
+  // once.
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    const std::vector<int>& inc = g.IncidentEdges(v);
+    for (size_t i = 0; i < inc.size(); ++i) {
+      for (size_t j = i + 1; j < inc.size(); ++j) {
+        line.AddEdge(inc[i], inc[j]);
+      }
+    }
+  }
+  JP_CHECK(line.num_edges() == LineGraphEdgeCount(g));
+  return line;
+}
+
+std::optional<Graph> BuildLineGraphWithBudget(const Graph& g,
+                                              int64_t max_edges) {
+  if (LineGraphEdgeCount(g) > max_edges) return std::nullopt;
+  return BuildLineGraph(g);
+}
+
+}  // namespace pebblejoin

@@ -1,0 +1,61 @@
+#include "io/dot_export.h"
+
+#include "util/check.h"
+
+namespace pebblejoin {
+
+std::string ExportDot(const BipartiteGraph& g, const DotOptions& options) {
+  std::string out = "graph " + options.name + " {\n";
+  out += "  rankdir=LR;\n";
+  out += "  subgraph cluster_left {\n    label=\"R\";\n";
+  for (int l = 0; l < g.left_size(); ++l) {
+    out += "    L" + std::to_string(l) + " [shape=box];\n";
+  }
+  out += "  }\n";
+  out += "  subgraph cluster_right {\n    label=\"S\";\n";
+  for (int r = 0; r < g.right_size(); ++r) {
+    out += "    R" + std::to_string(r) + " [shape=ellipse];\n";
+  }
+  out += "  }\n";
+
+  // Position of each edge in the pebbling order, when provided.
+  std::vector<int> position;
+  std::vector<bool> jump_into;
+  if (options.edge_order.has_value()) {
+    const std::vector<int>& order = *options.edge_order;
+    JP_CHECK_MSG(static_cast<int>(order.size()) == g.num_edges(),
+                 "edge order length mismatch");
+    position.assign(g.num_edges(), -1);
+    jump_into.assign(g.num_edges(), false);
+    const Graph flat = g.ToGraph();
+    for (size_t i = 0; i < order.size(); ++i) {
+      JP_CHECK(0 <= order[i] && order[i] < g.num_edges());
+      JP_CHECK_MSG(position[order[i]] == -1, "edge order repeats an edge");
+      position[order[i]] = static_cast<int>(i);
+      if (i > 0 &&
+          !flat.edge(order[i]).Touches(flat.edge(order[i - 1]))) {
+        jump_into[order[i]] = true;
+      }
+    }
+  }
+
+  for (int e = 0; e < g.num_edges(); ++e) {
+    const BipartiteGraph::Edge& edge = g.edge(e);
+    out += "  L" + std::to_string(edge.left) + " -- R" +
+           std::to_string(edge.right);
+    if (!position.empty()) {
+      out += " [label=\"" + std::to_string(position[e] + 1) + "\"";
+      if (jump_into[e]) out += ", color=red, penwidth=2";
+      out += "]";
+    }
+    out += ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string ExportDot(const BipartiteGraph& g) {
+  return ExportDot(g, DotOptions());
+}
+
+}  // namespace pebblejoin

@@ -1,0 +1,39 @@
+// Graphviz DOT export for join graphs and pebbling schemes.
+//
+// Renders a bipartite join graph with left tuples as boxes and right tuples
+// as ellipses; optionally annotates every edge with its position in a
+// pebbling order and highlights jump transitions, so `dot -Tsvg` produces
+// the Figure-1-style pictures of the paper from live data:
+//
+//   pebblejoin gen worstcase 5 | pebblejoin dot > g.dot && dot -Tsvg g.dot
+
+#ifndef PEBBLEJOIN_IO_DOT_EXPORT_H_
+#define PEBBLEJOIN_IO_DOT_EXPORT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+
+namespace pebblejoin {
+
+// Options controlling the rendering.
+struct DotOptions {
+  // When set, edges are labeled with their 1-based position in this order
+  // (a permutation of the graph's edge ids) and jump transitions are drawn
+  // bold red.
+  std::optional<std::vector<int>> edge_order;
+  // Graph name in the DOT header.
+  std::string name = "join_graph";
+};
+
+// Serializes `g` as an undirected Graphviz graph.
+std::string ExportDot(const BipartiteGraph& g, const DotOptions& options);
+
+// Convenience overload without a pebbling order.
+std::string ExportDot(const BipartiteGraph& g);
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_IO_DOT_EXPORT_H_

@@ -1,0 +1,170 @@
+#include "io/graph_io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+namespace pebblejoin {
+
+namespace {
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+// Splits `text` into whitespace-separated tokens, dropping '#' comments.
+std::vector<std::string> Tokenize(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream words(line);
+    std::string word;
+    while (words >> word) tokens.push_back(word);
+  }
+  return tokens;
+}
+
+std::optional<int> ParseInt(const std::string& token) {
+  if (token.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(token.c_str(), &end, 10);
+  if (errno != 0 || end != token.c_str() + token.size()) return std::nullopt;
+  if (value < std::numeric_limits<int>::min() ||
+      value > std::numeric_limits<int>::max()) {
+    return std::nullopt;
+  }
+  return static_cast<int>(value);
+}
+
+}  // namespace
+
+std::string SerializeBipartiteGraph(const BipartiteGraph& g) {
+  std::string out = "bipartite " + std::to_string(g.left_size()) + " " +
+                    std::to_string(g.right_size()) + " " +
+                    std::to_string(g.num_edges()) + "\n";
+  for (const BipartiteGraph::Edge& e : g.edges()) {
+    out += std::to_string(e.left) + " " + std::to_string(e.right) + "\n";
+  }
+  return out;
+}
+
+std::string SerializeGraph(const Graph& g) {
+  std::string out = "graph " + std::to_string(g.num_vertices()) + " " +
+                    std::to_string(g.num_edges()) + "\n";
+  for (int e = 0; e < g.num_edges(); ++e) {
+    out += std::to_string(g.edge(e).u) + " " + std::to_string(g.edge(e).v) +
+           "\n";
+  }
+  return out;
+}
+
+std::optional<BipartiteGraph> ParseBipartiteGraph(const std::string& text,
+                                                  std::string* error) {
+  const std::vector<std::string> tokens = Tokenize(text);
+  if (tokens.size() < 4 || tokens[0] != "bipartite") {
+    SetError(error, "expected header: bipartite <left> <right> <edges>");
+    return std::nullopt;
+  }
+  const auto left = ParseInt(tokens[1]);
+  const auto right = ParseInt(tokens[2]);
+  const auto edges = ParseInt(tokens[3]);
+  if (!left || !right || !edges || *left < 0 || *right < 0 || *edges < 0) {
+    SetError(error, "malformed header numbers");
+    return std::nullopt;
+  }
+  if (static_cast<int>(tokens.size()) != 4 + 2 * *edges) {
+    SetError(error, "edge list length does not match header");
+    return std::nullopt;
+  }
+  BipartiteGraph g(*left, *right);
+  for (int e = 0; e < *edges; ++e) {
+    const auto l = ParseInt(tokens[4 + 2 * e]);
+    const auto r = ParseInt(tokens[5 + 2 * e]);
+    if (!l || !r || *l < 0 || *l >= *left || *r < 0 || *r >= *right) {
+      SetError(error, "edge " + std::to_string(e) + " out of range");
+      return std::nullopt;
+    }
+    if (g.HasEdge(*l, *r)) {
+      SetError(error, "duplicate edge at position " + std::to_string(e));
+      return std::nullopt;
+    }
+    g.AddEdge(*l, *r);
+  }
+  return g;
+}
+
+std::optional<Graph> ParseGraph(const std::string& text,
+                                std::string* error) {
+  const std::vector<std::string> tokens = Tokenize(text);
+  if (tokens.size() < 3 || tokens[0] != "graph") {
+    SetError(error, "expected header: graph <vertices> <edges>");
+    return std::nullopt;
+  }
+  const auto vertices = ParseInt(tokens[1]);
+  const auto edges = ParseInt(tokens[2]);
+  if (!vertices || !edges || *vertices < 0 || *edges < 0) {
+    SetError(error, "malformed header numbers");
+    return std::nullopt;
+  }
+  if (static_cast<int>(tokens.size()) != 3 + 2 * *edges) {
+    SetError(error, "edge list length does not match header");
+    return std::nullopt;
+  }
+  Graph g(*vertices);
+  for (int e = 0; e < *edges; ++e) {
+    const auto u = ParseInt(tokens[3 + 2 * e]);
+    const auto v = ParseInt(tokens[4 + 2 * e]);
+    if (!u || !v || *u < 0 || *u >= *vertices || *v < 0 || *v >= *vertices ||
+        *u == *v) {
+      SetError(error, "edge " + std::to_string(e) + " out of range");
+      return std::nullopt;
+    }
+    if (g.HasEdge(*u, *v)) {
+      SetError(error, "duplicate edge at position " + std::to_string(e));
+      return std::nullopt;
+    }
+    g.AddEdge(*u, *v);
+  }
+  return g;
+}
+
+std::optional<BipartiteGraph> ReadBipartiteGraphFile(const std::string& path,
+                                                     std::string* error) {
+  const std::optional<std::string> contents = ReadTextFile(path);
+  if (!contents.has_value()) {
+    SetError(error, "cannot read file: " + path);
+    return std::nullopt;
+  }
+  return ParseBipartiteGraph(*contents, error);
+}
+
+bool WriteTextFile(const std::string& path, const std::string& contents) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const size_t written =
+      std::fwrite(contents.data(), 1, contents.size(), file);
+  const bool ok = (written == contents.size()) && (std::fclose(file) == 0);
+  return ok;
+}
+
+std::optional<std::string> ReadTextFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) return std::nullopt;
+  std::string contents;
+  char buffer[4096];
+  size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    contents.append(buffer, got);
+  }
+  std::fclose(file);
+  return contents;
+}
+
+}  // namespace pebblejoin

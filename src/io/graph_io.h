@@ -1,0 +1,44 @@
+// Plain-text serialization for graphs and instances.
+//
+// A deliberately simple line-oriented format (DIMACS-flavored) so that
+// instances can be generated, stored, diffed, and fed to the CLI tool:
+//
+//   bipartite <left> <right> <edges>     graph <vertices> <edges>
+//   <l> <r>                              <u> <v>
+//   ...                                  ...
+//
+// Lines starting with '#' are comments; blank lines are ignored. Parsers
+// return std::nullopt on malformed input (no exceptions), with a
+// best-effort error description through the optional *error out-param.
+
+#ifndef PEBBLEJOIN_IO_GRAPH_IO_H_
+#define PEBBLEJOIN_IO_GRAPH_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "graph/bipartite_graph.h"
+#include "graph/graph.h"
+
+namespace pebblejoin {
+
+// Serializes to the text format above.
+std::string SerializeBipartiteGraph(const BipartiteGraph& g);
+std::string SerializeGraph(const Graph& g);
+
+// Parses the text format. On failure returns nullopt and, when `error` is
+// non-null, stores a one-line description.
+std::optional<BipartiteGraph> ParseBipartiteGraph(const std::string& text,
+                                                  std::string* error);
+std::optional<Graph> ParseGraph(const std::string& text, std::string* error);
+
+// File helpers. Reading returns nullopt on I/O or parse errors; writing
+// returns false on I/O errors.
+std::optional<BipartiteGraph> ReadBipartiteGraphFile(const std::string& path,
+                                                     std::string* error);
+bool WriteTextFile(const std::string& path, const std::string& contents);
+std::optional<std::string> ReadTextFile(const std::string& path);
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_IO_GRAPH_IO_H_

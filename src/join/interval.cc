@@ -1,0 +1,86 @@
+#include "join/interval.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace pebblejoin {
+
+std::string Interval::DebugString() const {
+  return "[" + std::to_string(lo) + "," + std::to_string(hi) + "]";
+}
+
+BipartiteGraph BuildIntervalOverlapJoinGraph(const IntervalRelation& left,
+                                             const IntervalRelation& right) {
+  BipartiteGraph graph(left.size(), right.size());
+
+  struct Event {
+    double x = 0;
+    bool is_start = false;
+    bool is_left_side = false;
+    int index = 0;
+    bool operator<(const Event& other) const {
+      if (x != other.x) return x < other.x;
+      return is_start > other.is_start;  // starts first: touching joins
+    }
+  };
+  std::vector<Event> events;
+  events.reserve(2 * (left.size() + right.size()));
+  for (int i = 0; i < left.size(); ++i) {
+    JP_CHECK(left.tuple(i).lo <= left.tuple(i).hi);
+    events.push_back({left.tuple(i).lo, true, true, i});
+    events.push_back({left.tuple(i).hi, false, true, i});
+  }
+  for (int j = 0; j < right.size(); ++j) {
+    JP_CHECK(right.tuple(j).lo <= right.tuple(j).hi);
+    events.push_back({right.tuple(j).lo, true, false, j});
+    events.push_back({right.tuple(j).hi, false, false, j});
+  }
+  std::sort(events.begin(), events.end());
+
+  std::vector<int> active_left;
+  std::vector<int> active_right;
+  for (const Event& event : events) {
+    std::vector<int>& own = event.is_left_side ? active_left : active_right;
+    if (!event.is_start) {
+      own.erase(std::find(own.begin(), own.end(), event.index));
+      continue;
+    }
+    const std::vector<int>& other =
+        event.is_left_side ? active_right : active_left;
+    for (int partner : other) {
+      if (event.is_left_side) {
+        graph.AddEdge(event.index, partner);
+      } else {
+        graph.AddEdge(partner, event.index);
+      }
+    }
+    own.push_back(event.index);
+  }
+  return graph;
+}
+
+IntervalRealization GenerateIntervalWorkload(
+    const IntervalWorkloadOptions& options) {
+  JP_CHECK(options.space > 0);
+  JP_CHECK(0 < options.min_length &&
+           options.min_length <= options.max_length);
+  Rng rng(options.seed);
+  auto random_interval = [&]() {
+    const double length =
+        options.min_length +
+        rng.UniformDouble() * (options.max_length - options.min_length);
+    const double lo = rng.UniformDouble() * (options.space - length);
+    return Interval{lo, lo + length};
+  };
+  IntervalRealization out{IntervalRelation("R"), IntervalRelation("S")};
+  for (int i = 0; i < options.num_left; ++i) out.left.Add(random_interval());
+  for (int j = 0; j < options.num_right; ++j) {
+    out.right.Add(random_interval());
+  }
+  return out;
+}
+
+}  // namespace pebblejoin

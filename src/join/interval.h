@@ -1,0 +1,71 @@
+// One-dimensional interval-overlap joins (band joins).
+//
+// A predicate class strictly between the paper's equijoin and its 2-D
+// spatial overlap: interval joins generalize equality (a point is a
+// zero-length interval) but cannot express the Figure-1 worst-case family.
+// Proof sketch, mechanized in interval_test.cc: in Gₙ the hub joins every
+// spoke and each private cell joins exactly its spoke; with intervals, any
+// private cell overlapping spoke i ⊆ hub would intersect the hub too
+// whenever the spoke lies inside the hub — and a hub overlapping all n
+// disjoint spokes must contain the interior of at least n − 2 of them.
+// Hence 1-D overlap join graphs exclude the family, and empirically they
+// pebble perfectly far more often than 2-D ones (bench_interval).
+
+#ifndef PEBBLEJOIN_JOIN_INTERVAL_H_
+#define PEBBLEJOIN_JOIN_INTERVAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/bipartite_graph.h"
+#include "join/relation.h"
+
+namespace pebblejoin {
+
+// A closed interval [lo, hi]; lo == hi is a point.
+struct Interval {
+  double lo = 0;
+  double hi = 0;
+
+  bool Overlaps(const Interval& other) const {
+    return lo <= other.hi && other.lo <= hi;
+  }
+
+  std::string DebugString() const;
+};
+
+struct IntervalOverlapPredicate {
+  bool operator()(const Interval& a, const Interval& b) const {
+    return a.Overlaps(b);
+  }
+};
+
+using IntervalRelation = Relation<Interval>;
+
+// Interval-overlap join graph via an endpoint sweep:
+// O((|R| + |S|) log + output). Matches the nested loop exactly (tested).
+BipartiteGraph BuildIntervalOverlapJoinGraph(const IntervalRelation& left,
+                                             const IntervalRelation& right);
+
+// Random interval workload in [0, space) with lengths uniform in
+// [min_length, max_length].
+struct IntervalWorkloadOptions {
+  int num_left = 50;
+  int num_right = 50;
+  double space = 100.0;
+  double min_length = 0.5;
+  double max_length = 5.0;
+  uint64_t seed = 1;
+};
+
+struct IntervalRealization {
+  IntervalRelation left;
+  IntervalRelation right;
+};
+
+IntervalRealization GenerateIntervalWorkload(
+    const IntervalWorkloadOptions& options);
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_JOIN_INTERVAL_H_

@@ -1,0 +1,121 @@
+#include "join/join_graph_builder.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.h"
+
+namespace pebblejoin {
+
+BipartiteGraph BuildEquiJoinGraph(const KeyRelation& left,
+                                  const KeyRelation& right) {
+  return BuildEquiJoinGraphOver(left, right);
+}
+
+BipartiteGraph BuildSetContainmentJoinGraph(const SetRelation& left,
+                                            const SetRelation& right) {
+  BipartiteGraph graph(left.size(), right.size());
+
+  // Posting lists: element -> right tuples containing it.
+  std::unordered_map<int, std::vector<int>> postings;
+  for (int j = 0; j < right.size(); ++j) {
+    for (int element : right.tuple(j).elements()) {
+      postings[element].push_back(j);
+    }
+  }
+  static const std::vector<int> kEmpty;
+  auto posting_of = [&](int element) -> const std::vector<int>& {
+    auto it = postings.find(element);
+    return (it == postings.end()) ? kEmpty : it->second;
+  };
+
+  for (int i = 0; i < left.size(); ++i) {
+    const IntSet& r = left.tuple(i);
+    if (r.empty()) {
+      // ∅ ⊆ everything.
+      for (int j = 0; j < right.size(); ++j) graph.AddEdge(i, j);
+      continue;
+    }
+    // Probe with the rarest element of r, then verify full containment.
+    int rarest = r.elements()[0];
+    for (int element : r.elements()) {
+      if (posting_of(element).size() < posting_of(rarest).size()) {
+        rarest = element;
+      }
+    }
+    for (int j : posting_of(rarest)) {
+      if (r.IsSubsetOf(right.tuple(j))) graph.AddEdge(i, j);
+    }
+  }
+  return graph;
+}
+
+namespace {
+
+// Sweep event: a rectangle's x-interval starts or ends.
+struct SweepEvent {
+  double x = 0;
+  bool is_start = false;
+  bool is_left_side = false;  // which relation the rect belongs to
+  int index = 0;              // tuple index within its relation
+
+  // End events before start events at equal x would *miss* touching
+  // rectangles (closed intervals), so starts sort first at ties.
+  bool operator<(const SweepEvent& other) const {
+    if (x != other.x) return x < other.x;
+    return is_start > other.is_start;
+  }
+};
+
+bool YOverlaps(const Rect& a, const Rect& b) {
+  return a.y_min <= b.y_max && b.y_min <= a.y_max;
+}
+
+}  // namespace
+
+BipartiteGraph BuildOverlapJoinGraph(const RectRelation& left,
+                                     const RectRelation& right) {
+  BipartiteGraph graph(left.size(), right.size());
+
+  std::vector<SweepEvent> events;
+  events.reserve(2 * (left.size() + right.size()));
+  for (int i = 0; i < left.size(); ++i) {
+    events.push_back({left.tuple(i).x_min, true, true, i});
+    events.push_back({left.tuple(i).x_max, false, true, i});
+  }
+  for (int j = 0; j < right.size(); ++j) {
+    events.push_back({right.tuple(j).x_min, true, false, j});
+    events.push_back({right.tuple(j).x_max, false, false, j});
+  }
+  std::sort(events.begin(), events.end());
+
+  // Active rectangles per side. Linear erase is fine: the active sets are
+  // small relative to the candidate pairs this algorithm already enumerates.
+  std::vector<int> active_left;
+  std::vector<int> active_right;
+  for (const SweepEvent& event : events) {
+    if (!event.is_start) {
+      std::vector<int>& active =
+          event.is_left_side ? active_left : active_right;
+      active.erase(std::find(active.begin(), active.end(), event.index));
+      continue;
+    }
+    if (event.is_left_side) {
+      const Rect& r = left.tuple(event.index);
+      for (int j : active_right) {
+        if (YOverlaps(r, right.tuple(j))) graph.AddEdge(event.index, j);
+      }
+      active_left.push_back(event.index);
+    } else {
+      const Rect& s = right.tuple(event.index);
+      for (int i : active_left) {
+        if (YOverlaps(left.tuple(i), s)) graph.AddEdge(i, event.index);
+      }
+      active_right.push_back(event.index);
+    }
+  }
+  return graph;
+}
+
+}  // namespace pebblejoin

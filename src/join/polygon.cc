@@ -1,0 +1,167 @@
+#include "join/polygon.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace pebblejoin {
+
+namespace {
+
+double Cross(const Point& o, const Point& a, const Point& b) {
+  return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
+}
+
+// Projects polygon vertices onto axis (ax, ay); returns [min, max].
+std::pair<double, double> Project(const std::vector<Point>& vertices,
+                                  double ax, double ay) {
+  double lo = vertices[0].x * ax + vertices[0].y * ay;
+  double hi = lo;
+  for (const Point& v : vertices) {
+    const double d = v.x * ax + v.y * ay;
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  return {lo, hi};
+}
+
+// Appends the edge normals of `vertices` (wrapping) to `axes`, skipping
+// zero-length edges.
+void CollectAxes(const std::vector<Point>& vertices,
+                 std::vector<Point>* axes) {
+  const size_t n = vertices.size();
+  if (n < 2) return;
+  for (size_t i = 0; i < n; ++i) {
+    const Point& a = vertices[i];
+    const Point& b = vertices[(i + 1) % n];
+    const double dx = b.x - a.x;
+    const double dy = b.y - a.y;
+    if (dx == 0 && dy == 0) continue;
+    axes->push_back(Point{-dy, dx});
+    // For degenerate (segment) shapes the direction axis is also needed to
+    // separate collinear-but-disjoint segments.
+    if (n == 2) axes->push_back(Point{dx, dy});
+  }
+}
+
+}  // namespace
+
+ConvexPolygon ConvexPolygon::Of(std::vector<Point> vertices) {
+  JP_CHECK_MSG(!vertices.empty(), "polygon needs at least one vertex");
+  // Convexity: all CCW turns (collinear tolerated).
+  const size_t n = vertices.size();
+  if (n >= 3) {
+    for (size_t i = 0; i < n; ++i) {
+      const double turn = Cross(vertices[i], vertices[(i + 1) % n],
+                                vertices[(i + 2) % n]);
+      JP_CHECK_MSG(turn >= -1e-9,
+                   "vertices are not in counter-clockwise convex position");
+    }
+  }
+  ConvexPolygon polygon;
+  polygon.vertices_ = std::move(vertices);
+  return polygon;
+}
+
+ConvexPolygon ConvexPolygon::FromRect(const Rect& rect) {
+  return Of({{rect.x_min, rect.y_min},
+             {rect.x_max, rect.y_min},
+             {rect.x_max, rect.y_max},
+             {rect.x_min, rect.y_max}});
+}
+
+ConvexPolygon ConvexPolygon::Regular(int k, double cx, double cy, double r,
+                                     double phase) {
+  JP_CHECK(k >= 3 && r > 0);
+  std::vector<Point> vertices;
+  vertices.reserve(k);
+  for (int i = 0; i < k; ++i) {
+    const double angle = phase + 2.0 * M_PI * i / k;
+    vertices.push_back(Point{cx + r * std::cos(angle),
+                             cy + r * std::sin(angle)});
+  }
+  return Of(std::move(vertices));
+}
+
+Rect ConvexPolygon::BoundingBox() const {
+  Rect box{vertices_[0].x, vertices_[0].x, vertices_[0].y, vertices_[0].y};
+  for (const Point& v : vertices_) {
+    box.x_min = std::min(box.x_min, v.x);
+    box.x_max = std::max(box.x_max, v.x);
+    box.y_min = std::min(box.y_min, v.y);
+    box.y_max = std::max(box.y_max, v.y);
+  }
+  return box;
+}
+
+bool ConvexPolygon::Overlaps(const ConvexPolygon& other) const {
+  std::vector<Point> axes;
+  CollectAxes(vertices_, &axes);
+  CollectAxes(other.vertices_, &axes);
+  if (axes.empty()) {
+    // Both are single points.
+    return vertices_[0].x == other.vertices_[0].x &&
+           vertices_[0].y == other.vertices_[0].y;
+  }
+  for (const Point& axis : axes) {
+    const auto [a_lo, a_hi] = Project(vertices_, axis.x, axis.y);
+    const auto [b_lo, b_hi] = Project(other.vertices_, axis.x, axis.y);
+    if (a_hi < b_lo || b_hi < a_lo) return false;  // separated (strictly)
+  }
+  return true;
+}
+
+std::string ConvexPolygon::DebugString() const {
+  std::string out = "Polygon[";
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    if (i > 0) out += " ";
+    out += "(" + std::to_string(vertices_[i].x) + "," +
+           std::to_string(vertices_[i].y) + ")";
+  }
+  out += "]";
+  return out;
+}
+
+BipartiteGraph BuildPolygonOverlapJoinGraph(const PolygonRelation& left,
+                                            const PolygonRelation& right) {
+  BipartiteGraph graph(left.size(), right.size());
+  std::vector<Rect> left_boxes;
+  std::vector<Rect> right_boxes;
+  left_boxes.reserve(left.size());
+  right_boxes.reserve(right.size());
+  for (const ConvexPolygon& p : left.tuples()) {
+    left_boxes.push_back(p.BoundingBox());
+  }
+  for (const ConvexPolygon& p : right.tuples()) {
+    right_boxes.push_back(p.BoundingBox());
+  }
+  for (int i = 0; i < left.size(); ++i) {
+    for (int j = 0; j < right.size(); ++j) {
+      if (!left_boxes[i].Overlaps(right_boxes[j])) continue;  // prefilter
+      if (left.tuple(i).Overlaps(right.tuple(j))) graph.AddEdge(i, j);
+    }
+  }
+  return graph;
+}
+
+PolygonRealization RealizeWorstCaseAsPolygons(int n) {
+  JP_CHECK(n >= 3);
+  PolygonRealization out{PolygonRelation("R"), PolygonRelation("S")};
+  // Hub: a long strip along the x axis.
+  out.left.Add(ConvexPolygon::FromRect(
+      Rect{0.0, static_cast<double>(n), 0.0, 1.0}));
+  for (int i = 0; i < n; ++i) {
+    // Private cell i: a hexagon floating above spike i's apex.
+    out.left.Add(ConvexPolygon::Regular(6, i + 0.5, 2.0, 0.45));
+  }
+  for (int i = 0; i < n; ++i) {
+    // Spike i: a triangle rising from inside the hub to its hexagon.
+    out.right.Add(ConvexPolygon::Of({{i + 0.2, 0.0},
+                                     {i + 0.8, 0.0},
+                                     {i + 0.5, 2.0}}));
+  }
+  return out;
+}
+
+}  // namespace pebblejoin

@@ -1,0 +1,84 @@
+// Convex polygons and polygon-overlap joins.
+//
+// The paper's spatial domain is "typically polygons over some coordinate
+// system" (Section 2); rectangles (relation.h) are the special case its
+// hardness citation [7] uses. This header supplies the general predicate:
+// convex polygons with an exact overlap test via the separating axis
+// theorem (two convex shapes are disjoint iff some edge normal of either
+// separates them). Degenerate polygons (points, segments) are allowed.
+
+#ifndef PEBBLEJOIN_JOIN_POLYGON_H_
+#define PEBBLEJOIN_JOIN_POLYGON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "join/relation.h"
+
+namespace pebblejoin {
+
+struct Point {
+  double x = 0;
+  double y = 0;
+};
+
+// A convex polygon given by its vertices in counter-clockwise order.
+class ConvexPolygon {
+ public:
+  ConvexPolygon() = default;
+  // Builds from vertices; aborts if fewer than 1 vertex or not convex
+  // (collinear edges are tolerated).
+  static ConvexPolygon Of(std::vector<Point> vertices);
+
+  // A rectangle as a polygon.
+  static ConvexPolygon FromRect(const Rect& rect);
+
+  // A regular k-gon centered at (cx, cy) with circumradius r, rotated by
+  // `phase` radians. Requires k >= 3, r > 0.
+  static ConvexPolygon Regular(int k, double cx, double cy, double r,
+                               double phase = 0.0);
+
+  const std::vector<Point>& vertices() const { return vertices_; }
+  int size() const { return static_cast<int>(vertices_.size()); }
+
+  // Axis-aligned bounding box (used as the join builder's prefilter).
+  Rect BoundingBox() const;
+
+  // Exact overlap test (separating axis theorem); touching counts.
+  bool Overlaps(const ConvexPolygon& other) const;
+
+  std::string DebugString() const;
+
+ private:
+  std::vector<Point> vertices_;
+};
+
+// The join predicate object, mirroring OverlapPredicate for rectangles.
+struct PolygonOverlapPredicate {
+  bool operator()(const ConvexPolygon& a, const ConvexPolygon& b) const {
+    return a.Overlaps(b);
+  }
+};
+
+using PolygonRelation = Relation<ConvexPolygon>;
+
+// Polygon-overlap join graph with a bounding-box prefilter in front of the
+// exact test. Produces the same edge set as the nested loop with
+// PolygonOverlapPredicate.
+BipartiteGraph BuildPolygonOverlapJoinGraph(const PolygonRelation& left,
+                                            const PolygonRelation& right);
+
+// Lemma 3.4 restated with genuine (non-rectangular) polygons: realizes
+// WorstCaseFamily(n) as a polygon-overlap join using hexagonal private
+// cells and triangular spokes. Requires n >= 3.
+struct PolygonRealization {
+  PolygonRelation left;
+  PolygonRelation right;
+};
+PolygonRealization RealizeWorstCaseAsPolygons(int n);
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_JOIN_POLYGON_H_

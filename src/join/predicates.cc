@@ -1,0 +1,19 @@
+#include "join/predicates.h"
+
+namespace pebblejoin {
+
+const char* PredicateClassName(PredicateClass predicate_class) {
+  switch (predicate_class) {
+    case PredicateClass::kEquality:
+      return "equijoin";
+    case PredicateClass::kSpatialOverlap:
+      return "spatial-overlap";
+    case PredicateClass::kSetContainment:
+      return "set-containment";
+    case PredicateClass::kGeneral:
+      return "general";
+  }
+  return "unknown";
+}
+
+}  // namespace pebblejoin

@@ -1,0 +1,46 @@
+// The three join predicates of the paper (Section 2), as function objects
+// usable with the generic nested-loop join-graph builder.
+
+#ifndef PEBBLEJOIN_JOIN_PREDICATES_H_
+#define PEBBLEJOIN_JOIN_PREDICATES_H_
+
+#include <cstdint>
+
+#include "join/relation.h"
+
+namespace pebblejoin {
+
+// Equijoin: r.A = s.B.
+struct EqualityPredicate {
+  bool operator()(int64_t r, int64_t s) const { return r == s; }
+};
+
+// Set-containment join: r.A ⊆ s.B.
+struct SubsetPredicate {
+  bool operator()(const IntSet& r, const IntSet& s) const {
+    return r.IsSubsetOf(s);
+  }
+};
+
+// Spatial-overlap join: the rectangles intersect (closed intervals).
+struct OverlapPredicate {
+  bool operator()(const Rect& r, const Rect& s) const {
+    return r.Overlaps(s);
+  }
+};
+
+// The predicate classes studied by the paper, ordered easy → hard by the
+// results of Sections 3 and 4.
+enum class PredicateClass {
+  kEquality,        // π = m always; optimal scheme in linear time
+  kSpatialOverlap,  // worst case π = 1.25m − 1; PEBBLE(D) NP-complete
+  kSetContainment,  // universal join graphs; PEBBLE MAX-SNP-complete
+  kGeneral,         // arbitrary bipartite join graph
+};
+
+// Short display name, e.g. "equijoin".
+const char* PredicateClassName(PredicateClass predicate_class);
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_JOIN_PREDICATES_H_

@@ -1,0 +1,50 @@
+// Realizers: constructions that produce relation instances whose join graph
+// is a prescribed bipartite graph.
+//
+//  * Lemma 3.3 — set-containment joins are universal: for ANY bipartite
+//    graph G there is a set-containment instance whose join graph is G.
+//  * Lemma 3.4 — the Figure-1 worst-case family is realizable as a
+//    spatial-overlap join.
+//  * (Converse of Theorem 3.2) — a graph whose components are complete
+//    bipartite is realizable as an equijoin.
+//
+// Together these let the benchmarks compare predicates on identical join
+// graphs: the same combinatorial object, dressed as different joins.
+
+#ifndef PEBBLEJOIN_JOIN_REALIZERS_H_
+#define PEBBLEJOIN_JOIN_REALIZERS_H_
+
+#include <optional>
+#include <utility>
+
+#include "graph/bipartite_graph.h"
+#include "join/relation.h"
+
+namespace pebblejoin {
+
+// A pair of relations realizing a target join graph.
+template <typename T>
+struct Realization {
+  Relation<T> left;
+  Relation<T> right;
+};
+
+// Lemma 3.3 verbatim: left tuple i is the singleton {i}; right tuple j is
+// {i : (i, j) ∈ E}. The subset join graph of the result equals `target`.
+Realization<IntSet> RealizeAsSetContainment(const BipartiteGraph& target);
+
+// Lemma 3.4: rectangles realizing WorstCaseFamily(n). Left tuple 0 is the
+// hub strip; left tuple 1+i is the i-th private strip; right tuple i is the
+// i-th vertical strip. Requires n >= 3.
+Realization<Rect> RealizeWorstCaseAsSpatial(int n);
+
+// Equijoin realization: vertices of each complete-bipartite component share
+// one key; isolated vertices get globally unique keys that match nothing on
+// the other side. Returns nullopt if some component is not complete
+// bipartite (such graphs are not equijoin join graphs).
+std::optional<Realization<int64_t>> RealizeAsEquiJoin(
+    const BipartiteGraph& target);
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_JOIN_REALIZERS_H_

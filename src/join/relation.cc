@@ -1,0 +1,45 @@
+#include "join/relation.h"
+
+#include <algorithm>
+
+namespace pebblejoin {
+
+IntSet IntSet::Of(std::vector<int> elements) {
+  std::sort(elements.begin(), elements.end());
+  elements.erase(std::unique(elements.begin(), elements.end()),
+                 elements.end());
+  IntSet set;
+  set.elements_ = std::move(elements);
+  return set;
+}
+
+bool IntSet::Contains(int value) const {
+  return std::binary_search(elements_.begin(), elements_.end(), value);
+}
+
+bool IntSet::IsSubsetOf(const IntSet& other) const {
+  return std::includes(other.elements_.begin(), other.elements_.end(),
+                       elements_.begin(), elements_.end());
+}
+
+std::string IntSet::DebugString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < elements_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(elements_[i]);
+  }
+  out += "}";
+  return out;
+}
+
+bool Rect::Overlaps(const Rect& other) const {
+  return x_min <= other.x_max && other.x_min <= x_max &&
+         y_min <= other.y_max && other.y_min <= y_max;
+}
+
+std::string Rect::DebugString() const {
+  return "[" + std::to_string(x_min) + "," + std::to_string(x_max) + "]x[" +
+         std::to_string(y_min) + "," + std::to_string(y_max) + "]";
+}
+
+}  // namespace pebblejoin

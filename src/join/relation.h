@@ -1,0 +1,85 @@
+// Single-column relations over the three attribute domains the paper
+// studies: scalar keys (equijoin), integer sets (set-containment join), and
+// axis-aligned rectangles (spatial-overlap join, the standard special case
+// of polygon overlap that [7] — and therefore Theorem 4.2 — relies on).
+// Relations are multisets: duplicate values are allowed and meaningful.
+
+#ifndef PEBBLEJOIN_JOIN_RELATION_H_
+#define PEBBLEJOIN_JOIN_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace pebblejoin {
+
+// A set of ints, stored sorted and deduplicated.
+class IntSet {
+ public:
+  IntSet() = default;
+  // Builds from arbitrary (unsorted, possibly duplicated) elements.
+  static IntSet Of(std::vector<int> elements);
+
+  const std::vector<int>& elements() const { return elements_; }
+  int size() const { return static_cast<int>(elements_.size()); }
+  bool empty() const { return elements_.empty(); }
+
+  bool Contains(int value) const;
+  // Subset test: every element of *this is in `other`. The empty set is a
+  // subset of everything.
+  bool IsSubsetOf(const IntSet& other) const;
+
+  bool operator==(const IntSet& other) const = default;
+
+  std::string DebugString() const;
+
+ private:
+  std::vector<int> elements_;  // sorted, unique
+};
+
+// A closed axis-aligned rectangle.
+struct Rect {
+  double x_min = 0;
+  double x_max = 0;
+  double y_min = 0;
+  double y_max = 0;
+
+  // Closed-interval overlap in both dimensions (touching counts).
+  bool Overlaps(const Rect& other) const;
+
+  std::string DebugString() const;
+};
+
+// A named single-column relation with tuples of type T.
+template <typename T>
+class Relation {
+ public:
+  explicit Relation(std::string name) : name_(std::move(name)) {}
+  Relation(std::string name, std::vector<T> tuples)
+      : name_(std::move(name)), tuples_(std::move(tuples)) {}
+
+  const std::string& name() const { return name_; }
+  int size() const { return static_cast<int>(tuples_.size()); }
+  const T& tuple(int i) const {
+    JP_CHECK(0 <= i && i < size());
+    return tuples_[i];
+  }
+  const std::vector<T>& tuples() const { return tuples_; }
+
+  void Add(T tuple) { tuples_.push_back(std::move(tuple)); }
+
+ private:
+  std::string name_;
+  std::vector<T> tuples_;
+};
+
+using KeyRelation = Relation<int64_t>;
+using StringRelation = Relation<std::string>;
+using SetRelation = Relation<IntSet>;
+using RectRelation = Relation<Rect>;
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_JOIN_RELATION_H_

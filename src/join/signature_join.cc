@@ -1,0 +1,52 @@
+#include "join/signature_join.h"
+
+#include <vector>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace pebblejoin {
+
+uint64_t SetSignature(const IntSet& set, int signature_bits) {
+  JP_CHECK(1 <= signature_bits && signature_bits <= 64);
+  uint64_t signature = 0;
+  for (int element : set.elements()) {
+    // Stateless SplitMix64 mix of the element as the hash.
+    uint64_t state = static_cast<uint64_t>(element) + 0x9e3779b97f4a7c15ULL;
+    const uint64_t hashed = SplitMix64(&state);
+    signature |= uint64_t{1} << (hashed % signature_bits);
+  }
+  return signature;
+}
+
+BipartiteGraph BuildSetContainmentJoinGraphSignature(
+    const SetRelation& left, const SetRelation& right, int signature_bits,
+    SignatureJoinStats* stats) {
+  BipartiteGraph graph(left.size(), right.size());
+
+  std::vector<uint64_t> left_signatures(left.size());
+  std::vector<uint64_t> right_signatures(right.size());
+  for (int i = 0; i < left.size(); ++i) {
+    left_signatures[i] = SetSignature(left.tuple(i), signature_bits);
+  }
+  for (int j = 0; j < right.size(); ++j) {
+    right_signatures[j] = SetSignature(right.tuple(j), signature_bits);
+  }
+
+  SignatureJoinStats local;
+  for (int i = 0; i < left.size(); ++i) {
+    for (int j = 0; j < right.size(); ++j) {
+      // Sound prefilter: r ⊆ s forces sig(r) ⊆ sig(s) bitwise.
+      if ((left_signatures[i] & ~right_signatures[j]) != 0) continue;
+      ++local.candidate_pairs;
+      if (left.tuple(i).IsSubsetOf(right.tuple(j))) {
+        ++local.result_pairs;
+        graph.AddEdge(i, j);
+      }
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return graph;
+}
+
+}  // namespace pebblejoin

@@ -1,0 +1,42 @@
+// Signature-based set-containment join (Helmer & Moerkotte, the paper's
+// reference [5]).
+//
+// Each set is summarized by a w-bit signature (a Bloom-style superimposed
+// code: every element hashes to one bit). Containment implies signature
+// containment — r ⊆ s ⟹ sig(r) AND NOT sig(s) == 0 — so the signature test
+// is a sound prefilter with one-sided error: candidates that pass are
+// verified exactly. This is one of the "main memory join algorithms for
+// joins with set comparison predicates" whose unsatisfying behavior
+// motivated the paper's complexity study; the micro-bench compares it with
+// the inverted-index builder.
+
+#ifndef PEBBLEJOIN_JOIN_SIGNATURE_JOIN_H_
+#define PEBBLEJOIN_JOIN_SIGNATURE_JOIN_H_
+
+#include <cstdint>
+
+#include "graph/bipartite_graph.h"
+#include "join/relation.h"
+
+namespace pebblejoin {
+
+// A w <= 64 bit superimposed-code signature.
+uint64_t SetSignature(const IntSet& set, int signature_bits);
+
+// Statistics from one signature join, for false-positive analysis.
+struct SignatureJoinStats {
+  int64_t candidate_pairs = 0;  // pairs passing the signature prefilter
+  int64_t result_pairs = 0;     // pairs passing exact verification
+  // candidate_pairs - result_pairs are the filter's false positives.
+};
+
+// Set-containment join (left ⊆ right) via signatures. `signature_bits`
+// must be in [1, 64]. Produces the same edge set as the nested loop
+// (tested); `stats`, when non-null, receives filter statistics.
+BipartiteGraph BuildSetContainmentJoinGraphSignature(
+    const SetRelation& left, const SetRelation& right, int signature_bits,
+    SignatureJoinStats* stats);
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_JOIN_SIGNATURE_JOIN_H_

@@ -1,0 +1,93 @@
+#include "join/workload.h"
+
+#include <vector>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace pebblejoin {
+
+Realization<int64_t> GenerateEquijoinWorkload(
+    const EquijoinWorkloadOptions& options) {
+  JP_CHECK(options.num_keys >= 1);
+  JP_CHECK(0 <= options.min_left_dup &&
+           options.min_left_dup <= options.max_left_dup);
+  JP_CHECK(0 <= options.min_right_dup &&
+           options.min_right_dup <= options.max_right_dup);
+  Rng rng(options.seed);
+
+  Realization<int64_t> out{KeyRelation("R"), KeyRelation("S")};
+  for (int key = 0; key < options.num_keys; ++key) {
+    const bool matched = rng.Bernoulli(options.key_match_rate);
+    const int left_copies = static_cast<int>(
+        rng.UniformInt(options.min_left_dup, options.max_left_dup));
+    for (int c = 0; c < left_copies; ++c) out.left.Add(key);
+    if (matched) {
+      const int right_copies = static_cast<int>(
+          rng.UniformInt(options.min_right_dup, options.max_right_dup));
+      for (int c = 0; c < right_copies; ++c) out.right.Add(key);
+    } else {
+      // Unmatched keys appear on the right under a disjoint id range so
+      // they produce isolated vertices, as in real mismatched data.
+      out.right.Add(static_cast<int64_t>(options.num_keys) + key);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+IntSet RandomSet(Rng* rng, int universe, int min_size, int max_size) {
+  const int size = static_cast<int>(rng->UniformInt(min_size, max_size));
+  std::vector<int> subset = rng->Subset(universe, size);
+  return IntSet::Of(std::move(subset));
+}
+
+}  // namespace
+
+Realization<IntSet> GenerateSetWorkload(const SetWorkloadOptions& options) {
+  JP_CHECK(options.universe >= 1);
+  JP_CHECK(0 <= options.min_left_size &&
+           options.min_left_size <= options.max_left_size &&
+           options.max_left_size <= options.universe);
+  JP_CHECK(0 <= options.min_right_size &&
+           options.min_right_size <= options.max_right_size &&
+           options.max_right_size <= options.universe);
+  Rng rng(options.seed);
+
+  Realization<IntSet> out{SetRelation("R"), SetRelation("S")};
+  for (int i = 0; i < options.num_left; ++i) {
+    out.left.Add(RandomSet(&rng, options.universe, options.min_left_size,
+                           options.max_left_size));
+  }
+  for (int j = 0; j < options.num_right; ++j) {
+    out.right.Add(RandomSet(&rng, options.universe, options.min_right_size,
+                            options.max_right_size));
+  }
+  return out;
+}
+
+Realization<Rect> GenerateRectWorkload(const RectWorkloadOptions& options) {
+  JP_CHECK(options.space > 0);
+  JP_CHECK(0 < options.min_extent && options.min_extent <= options.max_extent);
+  Rng rng(options.seed);
+
+  auto random_rect = [&]() {
+    const double w =
+        options.min_extent +
+        rng.UniformDouble() * (options.max_extent - options.min_extent);
+    const double h =
+        options.min_extent +
+        rng.UniformDouble() * (options.max_extent - options.min_extent);
+    const double x = rng.UniformDouble() * (options.space - w);
+    const double y = rng.UniformDouble() * (options.space - h);
+    return Rect{x, x + w, y, y + h};
+  };
+
+  Realization<Rect> out{RectRelation("R"), RectRelation("S")};
+  for (int i = 0; i < options.num_left; ++i) out.left.Add(random_rect());
+  for (int j = 0; j < options.num_right; ++j) out.right.Add(random_rect());
+  return out;
+}
+
+}  // namespace pebblejoin

@@ -1,0 +1,67 @@
+// Synthetic workload generators for the three predicate domains. These
+// stand in for the proprietary/production datasets the paper's motivating
+// systems work used (see DESIGN.md §2): each generator exercises the same
+// code paths — join-graph construction and pebbling — with controllable
+// output size and join-graph shape.
+
+#ifndef PEBBLEJOIN_JOIN_WORKLOAD_H_
+#define PEBBLEJOIN_JOIN_WORKLOAD_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "join/realizers.h"
+#include "join/relation.h"
+
+namespace pebblejoin {
+
+// --- Equijoin workloads ------------------------------------------------
+
+struct EquijoinWorkloadOptions {
+  int num_keys = 100;         // distinct join keys
+  int min_left_dup = 1;       // duplicates per key on the left, uniform in
+  int max_left_dup = 3;       //   [min_left_dup, max_left_dup]
+  int min_right_dup = 1;      // likewise on the right
+  int max_right_dup = 3;
+  double key_match_rate = 1;  // fraction of keys present on both sides
+  uint64_t seed = 1;
+};
+
+// Key relations whose join graph is a disjoint union of complete bipartite
+// blocks, one per matched key.
+Realization<int64_t> GenerateEquijoinWorkload(
+    const EquijoinWorkloadOptions& options);
+
+// --- Set-containment workloads ------------------------------------------
+
+struct SetWorkloadOptions {
+  int num_left = 50;        // number of (small) candidate-subset tuples
+  int num_right = 50;       // number of (larger) container tuples
+  int universe = 30;        // elements are drawn from [0, universe)
+  int min_left_size = 1;    // left set sizes, uniform in range
+  int max_left_size = 3;
+  int min_right_size = 5;   // right set sizes, uniform in range
+  int max_right_size = 12;
+  uint64_t seed = 1;
+};
+
+// Random set-valued relations for the containment join left ⊆ right.
+Realization<IntSet> GenerateSetWorkload(const SetWorkloadOptions& options);
+
+// --- Spatial workloads ---------------------------------------------------
+
+struct RectWorkloadOptions {
+  int num_left = 50;
+  int num_right = 50;
+  double space = 100.0;      // rectangles live in [0, space)²
+  double min_extent = 1.0;   // side lengths, uniform in range
+  double max_extent = 10.0;
+  uint64_t seed = 1;
+};
+
+// Random rectangle relations for the overlap join.
+Realization<Rect> GenerateRectWorkload(const RectWorkloadOptions& options);
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_JOIN_WORKLOAD_H_

@@ -1,0 +1,228 @@
+#include "kpebble/k_pebble_game.h"
+
+#include <algorithm>
+
+#include "graph/graph_properties.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace pebblejoin {
+
+const char* EvictionPolicyName(EvictionPolicy policy) {
+  switch (policy) {
+    case EvictionPolicy::kLru:
+      return "lru";
+    case EvictionPolicy::kRandom:
+      return "random";
+    case EvictionPolicy::kMinRemainingDegree:
+      return "min-degree";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Scheduler state: buffer contents, per-vertex bookkeeping, edge status.
+class Scheduler {
+ public:
+  Scheduler(const Graph& g, const KPebbleOptions& options)
+      : g_(g),
+        options_(options),
+        rng_(options.seed),
+        in_buffer_(g.num_vertices(), false),
+        last_use_(g.num_vertices(), 0),
+        remaining_degree_(g.num_vertices(), 0),
+        edge_deleted_(g.num_edges(), false) {
+    JP_CHECK_MSG(options.k >= 2, "the game needs at least two pebbles");
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      remaining_degree_[v] = g.Degree(v);
+    }
+  }
+
+  KPebbleSchedule Run() {
+    KPebbleSchedule schedule;
+    schedule.k = options_.k;
+    int64_t deleted = 0;
+
+    while (deleted < g_.num_edges()) {
+      // Pick the cheapest serviceable edge: fewest missing endpoints,
+      // ties by LOWER total remaining degree — "cleanup first": finishing
+      // nearly-done vertices before eviction pressure mounts is what lets
+      // a resident hub stay resident (see the Gₙ case in kpebble_test).
+      int best_edge = -1;
+      int best_missing = 3;
+      int64_t best_degree = 0;
+      for (int e = 0; e < g_.num_edges(); ++e) {
+        if (edge_deleted_[e]) continue;
+        const Graph::Edge& edge = g_.edge(e);
+        const int missing =
+            (in_buffer_[edge.u] ? 0 : 1) + (in_buffer_[edge.v] ? 0 : 1);
+        const int64_t degree =
+            remaining_degree_[edge.u] + remaining_degree_[edge.v];
+        if (missing < best_missing ||
+            (missing == best_missing && degree < best_degree)) {
+          best_edge = e;
+          best_missing = missing;
+          best_degree = degree;
+        }
+        if (best_missing == 0) break;
+      }
+      JP_CHECK(best_edge != -1);
+      const Graph::Edge& edge = g_.edge(best_edge);
+
+      for (int endpoint : {edge.u, edge.v}) {
+        if (!in_buffer_[endpoint]) {
+          Fetch(endpoint, edge, &schedule);
+        }
+      }
+      // Opportunistically delete every edge now inside the buffer (the
+      // fetches above may complete several at once).
+      deleted += DeleteCoveredEdges(edge.u);
+      deleted += DeleteCoveredEdges(edge.v);
+      // The chosen edge itself must now be gone.
+      JP_CHECK(edge_deleted_[best_edge]);
+    }
+    schedule.fetches = static_cast<int64_t>(schedule.steps.size());
+    return schedule;
+  }
+
+ private:
+  void Fetch(int vertex, const Graph::Edge& protect,
+             KPebbleSchedule* schedule) {
+    int evicted = -1;
+    if (static_cast<int>(buffer_.size()) >= options_.k) {
+      evicted = PickVictim(protect);
+      in_buffer_[evicted] = false;
+      buffer_.erase(std::find(buffer_.begin(), buffer_.end(), evicted));
+    }
+    buffer_.push_back(vertex);
+    in_buffer_[vertex] = true;
+    last_use_[vertex] = ++clock_;
+    schedule->steps.push_back(KPebbleStep{vertex, evicted});
+  }
+
+  // Chooses an eviction victim among buffered vertices, never evicting the
+  // endpoints of the edge currently being served.
+  int PickVictim(const Graph::Edge& protect) {
+    std::vector<int> candidates;
+    for (int v : buffer_) {
+      if (v != protect.u && v != protect.v) candidates.push_back(v);
+    }
+    JP_CHECK_MSG(!candidates.empty(), "k >= 2 guarantees a victim exists");
+    switch (options_.policy) {
+      case EvictionPolicy::kLru: {
+        int victim = candidates[0];
+        for (int v : candidates) {
+          if (last_use_[v] < last_use_[victim]) victim = v;
+        }
+        return victim;
+      }
+      case EvictionPolicy::kRandom:
+        return candidates[rng_.UniformInt(
+            static_cast<int64_t>(candidates.size()))];
+      case EvictionPolicy::kMinRemainingDegree: {
+        int victim = candidates[0];
+        for (int v : candidates) {
+          if (remaining_degree_[v] < remaining_degree_[victim]) victim = v;
+        }
+        return victim;
+      }
+    }
+    return candidates[0];
+  }
+
+  // Deletes all undeleted edges from `vertex` to buffered neighbors;
+  // returns how many were deleted.
+  int64_t DeleteCoveredEdges(int vertex) {
+    if (!in_buffer_[vertex]) return 0;
+    int64_t deleted = 0;
+    for (int e : g_.IncidentEdges(vertex)) {
+      if (edge_deleted_[e]) continue;
+      const int other = g_.edge(e).Other(vertex);
+      if (!in_buffer_[other]) continue;
+      edge_deleted_[e] = true;
+      --remaining_degree_[vertex];
+      --remaining_degree_[other];
+      last_use_[vertex] = ++clock_;
+      last_use_[other] = clock_;
+      ++deleted;
+    }
+    return deleted;
+  }
+
+  const Graph& g_;
+  const KPebbleOptions options_;
+  Rng rng_;
+  std::vector<int> buffer_;
+  std::vector<bool> in_buffer_;
+  std::vector<int64_t> last_use_;
+  std::vector<int> remaining_degree_;
+  std::vector<bool> edge_deleted_;
+  int64_t clock_ = 0;
+};
+
+}  // namespace
+
+KPebbleSchedule ScheduleKPebbles(const Graph& g,
+                                 const KPebbleOptions& options) {
+  KPebbleSchedule schedule = Scheduler(g, options).Run();
+  std::string error;
+  JP_CHECK_MSG(VerifyKPebbleSchedule(g, schedule, &error),
+               "scheduler produced an invalid k-pebble schedule");
+  return schedule;
+}
+
+bool VerifyKPebbleSchedule(const Graph& g, const KPebbleSchedule& schedule,
+                           std::string* error) {
+  auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  if (schedule.k < 2) return fail("k < 2");
+  if (schedule.fetches != static_cast<int64_t>(schedule.steps.size())) {
+    return fail("fetch count does not match step count");
+  }
+
+  std::vector<bool> in_buffer(g.num_vertices(), false);
+  std::vector<bool> edge_deleted(g.num_edges(), false);
+  int buffered = 0;
+  int64_t deleted = 0;
+
+  for (const KPebbleStep& step : schedule.steps) {
+    if (step.vertex < 0 || step.vertex >= g.num_vertices()) {
+      return fail("fetch of unknown vertex");
+    }
+    if (in_buffer[step.vertex]) return fail("fetch of buffered vertex");
+    if (step.evicted != -1) {
+      if (step.evicted < 0 || step.evicted >= g.num_vertices() ||
+          !in_buffer[step.evicted]) {
+        return fail("eviction of non-buffered vertex");
+      }
+      in_buffer[step.evicted] = false;
+      --buffered;
+    }
+    in_buffer[step.vertex] = true;
+    ++buffered;
+    if (buffered > schedule.k) return fail("buffer over capacity");
+    // Edges covered by the new resident.
+    for (int e : g.IncidentEdges(step.vertex)) {
+      if (edge_deleted[e]) continue;
+      if (in_buffer[g.edge(e).Other(step.vertex)]) {
+        edge_deleted[e] = true;
+        ++deleted;
+      }
+    }
+  }
+  if (deleted != g.num_edges()) {
+    return fail("schedule leaves " +
+                std::to_string(g.num_edges() - deleted) +
+                " edge(s) undeleted");
+  }
+  return true;
+}
+
+int64_t KPebbleFetchLowerBound(const Graph& g) {
+  return NumNonIsolatedVertices(g);
+}
+
+}  // namespace pebblejoin

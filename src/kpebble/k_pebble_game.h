@@ -1,0 +1,76 @@
+// The k-pebble generalization of the join game: buffer pools.
+//
+// The paper's two pebbles are two memory buffers (its model descends from
+// the page-fetch scheduling work of [6]). Real engines have k buffer slots,
+// so the natural generalization keeps the rules — an edge is deleted the
+// moment both endpoints are simultaneously pebbled, a move fetches one
+// vertex into a slot (evicting another when full) — and asks for the
+// minimum number of fetches π̂_k(G). k = 2 recovers the paper's cost
+// exactly; larger k models how extra memory buys back the jumps that make
+// spatial/set-containment joins expensive.
+//
+// This module provides a policy-driven scheduler (the executable analogue
+// of a buffer manager): edges are served greedily — fully-buffered edges
+// are free, one-missing-endpoint edges cost one fetch — and the eviction
+// victim is chosen by a pluggable replacement policy. A verifier re-
+// simulates the fetch/evict log independently.
+
+#ifndef PEBBLEJOIN_KPEBBLE_K_PEBBLE_GAME_H_
+#define PEBBLEJOIN_KPEBBLE_K_PEBBLE_GAME_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace pebblejoin {
+
+// Buffer replacement policies.
+enum class EvictionPolicy {
+  kLru,                 // least recently used (fetch or edge deletion)
+  kRandom,              // uniform random victim
+  kMinRemainingDegree,  // victim with fewest undeleted incident edges
+};
+
+const char* EvictionPolicyName(EvictionPolicy policy);
+
+struct KPebbleOptions {
+  int k = 2;  // buffer slots; must be >= 2
+  EvictionPolicy policy = EvictionPolicy::kMinRemainingDegree;
+  uint64_t seed = 1;  // used by kRandom (and tie-breaks)
+};
+
+// One step of the schedule: fetch `vertex`, evicting `evicted` (-1 when a
+// free slot was used).
+struct KPebbleStep {
+  int vertex = 0;
+  int evicted = -1;
+};
+
+// A complete k-pebble schedule.
+struct KPebbleSchedule {
+  std::vector<KPebbleStep> steps;
+  int64_t fetches = 0;  // == steps.size()
+  int k = 2;
+};
+
+// Runs the greedy scheduler. Aborts (JP_CHECK) only on programming errors;
+// any graph is schedulable. Isolated vertices are never fetched.
+KPebbleSchedule ScheduleKPebbles(const Graph& g,
+                                 const KPebbleOptions& options);
+
+// Independently re-simulates `schedule` on `g`: checks slot discipline
+// (never more than k pebbles, evictions name buffered vertices) and that
+// every edge of g is covered at some point. Returns false with a
+// diagnostic otherwise.
+bool VerifyKPebbleSchedule(const Graph& g, const KPebbleSchedule& schedule,
+                           std::string* error);
+
+// Trivial lower bound on fetches for any k: every non-isolated vertex must
+// be fetched at least once.
+int64_t KPebbleFetchLowerBound(const Graph& g);
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_KPEBBLE_K_PEBBLE_GAME_H_

@@ -1,0 +1,50 @@
+#include "paging/page_layout.h"
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace pebblejoin {
+
+std::vector<int> PageLayout::TuplesOnPage(int page) const {
+  std::vector<int> tuples;
+  for (int t = 0; t < static_cast<int>(page_of.size()); ++t) {
+    if (page_of[t] == page) tuples.push_back(t);
+  }
+  return tuples;
+}
+
+PageLayout SequentialLayout(int num_tuples, int page_capacity) {
+  JP_CHECK(num_tuples >= 0 && page_capacity >= 1);
+  PageLayout layout;
+  layout.page_capacity = page_capacity;
+  layout.page_of.resize(num_tuples);
+  for (int t = 0; t < num_tuples; ++t) layout.page_of[t] = t / page_capacity;
+  layout.num_pages = (num_tuples + page_capacity - 1) / page_capacity;
+  return layout;
+}
+
+PageLayout RandomLayout(int num_tuples, int page_capacity, uint64_t seed) {
+  JP_CHECK(num_tuples >= 0 && page_capacity >= 1);
+  Rng rng(seed);
+  const std::vector<int> order = rng.Permutation(num_tuples);
+  PageLayout layout;
+  layout.page_capacity = page_capacity;
+  layout.page_of.resize(num_tuples);
+  for (int slot = 0; slot < num_tuples; ++slot) {
+    layout.page_of[order[slot]] = slot / page_capacity;
+  }
+  layout.num_pages = (num_tuples + page_capacity - 1) / page_capacity;
+  return layout;
+}
+
+bool IsValidLayout(const PageLayout& layout, int num_tuples) {
+  if (static_cast<int>(layout.page_of.size()) != num_tuples) return false;
+  std::vector<int> load(layout.num_pages, 0);
+  for (int page : layout.page_of) {
+    if (page < 0 || page >= layout.num_pages) return false;
+    if (++load[page] > layout.page_capacity) return false;
+  }
+  return true;
+}
+
+}  // namespace pebblejoin

@@ -1,0 +1,43 @@
+// Page layouts: assigning tuples to fixed-capacity disk pages.
+//
+// The pebble game originated as a page-fetch scheduling model (Merrett,
+// Kambayashi & Yasuura [6], and Neyer & Widmayer [7] for spatial joins —
+// the sources of Theorem 4.2): the graph nodes are *pages*, the two pebbles
+// are two memory buffers, and a pebble placement is a page fetch. This
+// module recreates that substrate so the library's solvers double as
+// page-fetch schedulers: lay tuples out on pages, project the tuple-level
+// join graph to a page-level join graph, and pebble it.
+
+#ifndef PEBBLEJOIN_PAGING_PAGE_LAYOUT_H_
+#define PEBBLEJOIN_PAGING_PAGE_LAYOUT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace pebblejoin {
+
+// An assignment of tuple indices 0..num_tuples-1 to pages 0..num_pages-1.
+struct PageLayout {
+  std::vector<int> page_of;  // tuple -> page
+  int num_pages = 0;
+  int page_capacity = 0;
+
+  // Tuples stored on `page`, in increasing tuple order.
+  std::vector<int> TuplesOnPage(int page) const;
+};
+
+// Sequential layout: tuple i goes to page i / capacity. This is the
+// "clustered" layout a sorted relation would have on disk.
+PageLayout SequentialLayout(int num_tuples, int page_capacity);
+
+// Random layout: a seeded random permutation chopped into pages — the
+// unclustered worst case.
+PageLayout RandomLayout(int num_tuples, int page_capacity, uint64_t seed);
+
+// True if the layout is well-formed: every tuple mapped to a page in
+// range, no page over capacity.
+bool IsValidLayout(const PageLayout& layout, int num_tuples);
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_PAGING_PAGE_LAYOUT_H_

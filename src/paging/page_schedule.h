@@ -1,0 +1,46 @@
+// Page-level join graphs and page-fetch schedules (the [6]/[7] model).
+//
+// Given a tuple-level join graph and page layouts for both relations, the
+// page join graph has one left vertex per R-page and one right vertex per
+// S-page, with an edge whenever some tuple pair across the two pages joins.
+// Running the pebble game on this graph with two buffers *is* page-fetch
+// scheduling: π̂ equals the total number of page reads, and finding the
+// optimal schedule is NP-complete ([6]; [7] for rectangle pages — the two
+// halves of Theorem 4.2).
+
+#ifndef PEBBLEJOIN_PAGING_PAGE_SCHEDULE_H_
+#define PEBBLEJOIN_PAGING_PAGE_SCHEDULE_H_
+
+#include <cstdint>
+
+#include "graph/bipartite_graph.h"
+#include "paging/page_layout.h"
+#include "solver/component_pebbler.h"
+
+namespace pebblejoin {
+
+// Projects a tuple-level join graph to the page level. Parallel page pairs
+// collapse to one edge.
+BipartiteGraph BuildPageJoinGraph(const BipartiteGraph& tuple_join_graph,
+                                  const PageLayout& left_layout,
+                                  const PageLayout& right_layout);
+
+// A complete page-fetch schedule for one join.
+struct PageSchedule {
+  BipartiteGraph page_graph;   // the page-level join graph
+  PebbleSolution solution;     // verified pebbling of it
+  int64_t page_fetches = 0;    // π̂: total page reads with two buffers
+  int64_t lower_bound = 0;     // m + β₀ + 1-ish: π̂ >= m_pages + β₀ (Lemma 2.1
+                               // per component), in fetch units
+};
+
+// Schedules the page fetches for a join using `pebbler` on the page graph
+// (falls back internally to the greedy walk).
+PageSchedule SchedulePageFetches(const BipartiteGraph& tuple_join_graph,
+                                 const PageLayout& left_layout,
+                                 const PageLayout& right_layout,
+                                 const Pebbler& pebbler);
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_PAGING_PAGE_SCHEDULE_H_

@@ -1,0 +1,121 @@
+#include "partition/containment_partition.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace pebblejoin {
+
+namespace {
+
+// Stateless hash of an element to a fragment.
+int FragmentOf(int element, int fragments) {
+  uint64_t state = static_cast<uint64_t>(element) + 0x9e3779b97f4a7c15ULL;
+  return static_cast<int>(SplitMix64(&state) %
+                          static_cast<uint64_t>(fragments));
+}
+
+std::vector<int> AllFragments(int fragments) {
+  std::vector<int> all(fragments);
+  for (int f = 0; f < fragments; ++f) all[f] = f;
+  return all;
+}
+
+}  // namespace
+
+int64_t ContainmentPartitionPlan::LeftCopies() const {
+  int64_t copies = 0;
+  for (const auto& destinations : left_fragments) {
+    copies += static_cast<int64_t>(destinations.size());
+  }
+  return copies;
+}
+
+int64_t ContainmentPartitionPlan::RightCopies() const {
+  int64_t copies = 0;
+  for (const auto& destinations : right_fragments) {
+    copies += static_cast<int64_t>(destinations.size());
+  }
+  return copies;
+}
+
+int64_t ContainmentPartitionPlan::ReplicationOverhead() const {
+  return LeftCopies() + RightCopies() -
+         static_cast<int64_t>(left_fragments.size()) -
+         static_cast<int64_t>(right_fragments.size());
+}
+
+ContainmentPartitionPlan ReplicateLeftPlan(const SetRelation& left,
+                                           const SetRelation& right,
+                                           int fragments) {
+  JP_CHECK(fragments >= 1);
+  ContainmentPartitionPlan plan;
+  plan.fragments = fragments;
+  plan.left_fragments.assign(left.size(), AllFragments(fragments));
+  plan.right_fragments.resize(right.size());
+  for (int j = 0; j < right.size(); ++j) {
+    plan.right_fragments[j] = {j % fragments};
+  }
+  return plan;
+}
+
+ContainmentPartitionPlan ElementRoutingPlan(const SetRelation& left,
+                                            const SetRelation& right,
+                                            int fragments) {
+  JP_CHECK(fragments >= 1);
+  ContainmentPartitionPlan plan;
+  plan.fragments = fragments;
+  plan.left_fragments.resize(left.size());
+  plan.right_fragments.resize(right.size());
+
+  for (int i = 0; i < left.size(); ++i) {
+    const IntSet& r = left.tuple(i);
+    if (r.empty()) {
+      // ∅ joins every container: must visit every fragment.
+      plan.left_fragments[i] = AllFragments(fragments);
+    } else {
+      plan.left_fragments[i] = {
+          FragmentOf(r.elements().front(), fragments)};
+    }
+  }
+  for (int j = 0; j < right.size(); ++j) {
+    // A container must be present wherever a subset could be routed: the
+    // fragment of each of its elements (subsets route by their *minimum*
+    // element, which is some element of s whenever r ⊆ s).
+    std::vector<int> destinations;
+    for (int element : right.tuple(j).elements()) {
+      destinations.push_back(FragmentOf(element, fragments));
+    }
+    std::sort(destinations.begin(), destinations.end());
+    destinations.erase(
+        std::unique(destinations.begin(), destinations.end()),
+        destinations.end());
+    if (destinations.empty()) destinations.push_back(0);  // empty container
+    plan.right_fragments[j] = std::move(destinations);
+  }
+  return plan;
+}
+
+bool PlanIsComplete(const SetRelation& left, const SetRelation& right,
+                    const ContainmentPartitionPlan& plan) {
+  JP_CHECK(static_cast<int>(plan.left_fragments.size()) == left.size());
+  JP_CHECK(static_cast<int>(plan.right_fragments.size()) == right.size());
+  for (int i = 0; i < left.size(); ++i) {
+    for (int j = 0; j < right.size(); ++j) {
+      if (!left.tuple(i).IsSubsetOf(right.tuple(j))) continue;
+      bool meet = false;
+      for (int f : plan.left_fragments[i]) {
+        const auto& rf = plan.right_fragments[j];
+        if (std::find(rf.begin(), rf.end(), f) != rf.end()) {
+          meet = true;
+          break;
+        }
+      }
+      if (!meet) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace pebblejoin

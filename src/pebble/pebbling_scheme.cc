@@ -1,0 +1,53 @@
+#include "pebble/pebbling_scheme.h"
+
+#include "util/check.h"
+
+namespace pebblejoin {
+
+int PebbleConfig::MovesTo(const PebbleConfig& next) const {
+  // The pebbles are interchangeable; count the minimal number of moves to
+  // turn {a, b} into {next.a, next.b}. Configurations are vertex pairs with
+  // a != b (enforced by the verifier), so set reasoning suffices.
+  const bool a_stays = (a == next.a) || (a == next.b);
+  const bool b_stays = (b == next.a) || (b == next.b);
+  if (a_stays && b_stays) return 0;
+  if (a_stays || b_stays) return 1;
+  return 2;
+}
+
+bool PebbleConfig::Covers(int u, int v) const {
+  return (a == u && b == v) || (a == v && b == u);
+}
+
+std::string PebblingScheme::DebugString() const {
+  std::string out = "Scheme:";
+  for (const PebbleConfig& c : configs) {
+    out += " (" + std::to_string(c.a) + "," + std::to_string(c.b) + ")";
+  }
+  return out;
+}
+
+PebblingScheme SchemeFromEdgeOrder(const Graph& g,
+                                   const std::vector<int>& edge_order) {
+  PebblingScheme scheme;
+  scheme.configs.reserve(edge_order.size());
+  for (int e : edge_order) {
+    const Graph::Edge& edge = g.edge(e);
+    scheme.configs.push_back(PebbleConfig{edge.u, edge.v});
+  }
+  return scheme;
+}
+
+PebblingScheme ConcatSchemes(const std::vector<PebblingScheme>& parts) {
+  PebblingScheme out;
+  size_t total = 0;
+  for (const PebblingScheme& part : parts) total += part.configs.size();
+  out.configs.reserve(total);
+  for (const PebblingScheme& part : parts) {
+    out.configs.insert(out.configs.end(), part.configs.begin(),
+                       part.configs.end());
+  }
+  return out;
+}
+
+}  // namespace pebblejoin

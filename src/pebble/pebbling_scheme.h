@@ -1,0 +1,62 @@
+// Pebbling schemes (Section 2 of the paper).
+//
+// A pebbling scheme is a sequence of configurations p₁, …, p_k, each a pair
+// of vertices holding the two pebbles. When the two pebbles sit on the
+// endpoints of a not-yet-deleted edge, that edge is deleted. The scheme is
+// valid for G when every edge of G is deleted.
+//
+// Costs (Definitions 2.1 and 2.2):
+//   π̂(P) = total pebble moves, counting the initial placement of both
+//          pebbles (2 moves) and, between consecutive configurations, the
+//          number of pebbles that moved (1 if they share a vertex, 2 if
+//          disjoint). For a scheme whose consecutive configurations always
+//          share a vertex this equals k + 1, matching the paper.
+//   π(P)  = π̂(P) − β₀(G), the effective cost.
+//
+// Most solvers produce an *edge order* — a permutation of G's edge ids —
+// which canonically induces a scheme whose i-th configuration is the i-th
+// edge's endpoint pair. SchemeFromEdgeOrder performs that conversion.
+
+#ifndef PEBBLEJOIN_PEBBLE_PEBBLING_SCHEME_H_
+#define PEBBLEJOIN_PEBBLE_PEBBLING_SCHEME_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace pebblejoin {
+
+// One placement of the two (unordered) pebbles.
+struct PebbleConfig {
+  int a = 0;
+  int b = 0;
+
+  // Number of pebbles that must move to reach `next` from this
+  // configuration: 0, 1, or 2.
+  int MovesTo(const PebbleConfig& next) const;
+
+  // True if {a, b} equals {u, v} as an unordered pair.
+  bool Covers(int u, int v) const;
+};
+
+// A pebbling scheme: the configuration sequence.
+struct PebblingScheme {
+  std::vector<PebbleConfig> configs;
+
+  std::string DebugString() const;
+};
+
+// Converts an edge order (a permutation of 0..num_edges-1, or any subset of
+// edge ids for partial schemes) into the induced scheme.
+PebblingScheme SchemeFromEdgeOrder(const Graph& g,
+                                   const std::vector<int>& edge_order);
+
+// Concatenates schemes (used by the component driver, per the additivity
+// lemma 2.2: pebble one component fully, then jump to the next).
+PebblingScheme ConcatSchemes(const std::vector<PebblingScheme>& parts);
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_PEBBLE_PEBBLING_SCHEME_H_

@@ -1,0 +1,76 @@
+#include "pebble/scheme_verifier.h"
+
+#include <vector>
+
+#include "graph/components.h"
+#include "pebble/cost_model.h"
+
+namespace pebblejoin {
+
+VerificationResult VerifyScheme(const Graph& g, const PebblingScheme& scheme) {
+  VerificationResult result;
+
+  if (g.num_edges() == 0) {
+    result.valid = scheme.configs.empty();
+    if (!result.valid) result.error = "non-empty scheme for an empty graph";
+    return result;
+  }
+  if (scheme.configs.empty()) {
+    result.error = "empty scheme for a graph with edges";
+    return result;
+  }
+
+  std::vector<bool> deleted(g.num_edges(), false);
+  for (const PebbleConfig& c : scheme.configs) {
+    if (c.a < 0 || c.a >= g.num_vertices() || c.b < 0 ||
+        c.b >= g.num_vertices()) {
+      result.error = "configuration references a vertex outside the graph";
+      return result;
+    }
+    if (c.a == c.b) {
+      result.error = "both pebbles on the same vertex";
+      return result;
+    }
+    const int e = g.FindEdge(c.a, c.b);
+    if (e != -1 && !deleted[e]) {
+      deleted[e] = true;
+      ++result.edges_deleted;
+    }
+  }
+
+  if (result.edges_deleted != g.num_edges()) {
+    result.error = "scheme leaves " +
+                   std::to_string(g.num_edges() - result.edges_deleted) +
+                   " edge(s) undeleted";
+    return result;
+  }
+
+  result.valid = true;
+  result.hat_cost = HatCost(scheme);
+  result.effective_cost = result.hat_cost - BettiZero(g);
+  return result;
+}
+
+VerificationResult VerifyEdgeOrder(const Graph& g,
+                                   const std::vector<int>& edge_order) {
+  VerificationResult result;
+  if (static_cast<int>(edge_order.size()) != g.num_edges()) {
+    result.error = "edge order has wrong length";
+    return result;
+  }
+  std::vector<bool> seen(g.num_edges(), false);
+  for (int e : edge_order) {
+    if (e < 0 || e >= g.num_edges()) {
+      result.error = "edge order references an unknown edge id";
+      return result;
+    }
+    if (seen[e]) {
+      result.error = "edge order repeats an edge id";
+      return result;
+    }
+    seen[e] = true;
+  }
+  return VerifyScheme(g, SchemeFromEdgeOrder(g, edge_order));
+}
+
+}  // namespace pebblejoin

@@ -1,0 +1,39 @@
+// Independent verifier for pebbling schemes.
+//
+// Every solver's output is checked by simulating the game: configurations
+// must be legal (two distinct vertices of G), and after processing the whole
+// sequence, every edge of G must have been deleted (covered by some
+// configuration). The verifier never trusts a solver's own cost claim; it
+// recomputes π̂ and π from the configuration sequence.
+
+#ifndef PEBBLEJOIN_PEBBLE_SCHEME_VERIFIER_H_
+#define PEBBLEJOIN_PEBBLE_SCHEME_VERIFIER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+#include "pebble/pebbling_scheme.h"
+
+namespace pebblejoin {
+
+// Result of verifying a scheme against a graph.
+struct VerificationResult {
+  bool valid = false;
+  int64_t hat_cost = 0;        // π̂(P); meaningful only if valid
+  int64_t effective_cost = 0;  // π(P) = π̂(P) − β₀(G); only if valid
+  int64_t edges_deleted = 0;   // distinct edges covered by the scheme
+  std::string error;           // empty when valid
+};
+
+// Simulates `scheme` on `g` and reports validity and cost.
+VerificationResult VerifyScheme(const Graph& g, const PebblingScheme& scheme);
+
+// Convenience: verifies the scheme induced by an edge order. Additionally
+// requires the order to be a permutation of g's edge ids.
+VerificationResult VerifyEdgeOrder(const Graph& g,
+                                   const std::vector<int>& edge_order);
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_PEBBLE_SCHEME_VERIFIER_H_

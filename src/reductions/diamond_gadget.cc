@@ -1,0 +1,48 @@
+#include "reductions/diamond_gadget.h"
+
+#include "graph/hamiltonian.h"
+#include "util/check.h"
+
+namespace pebblejoin {
+
+const DiamondGadget& DiamondGadget::Instance() {
+  // Function-local static reference: constructed on first use, never
+  // destroyed (no static-destruction-order hazards).
+  static const DiamondGadget& gadget = *new DiamondGadget();
+  return gadget;
+}
+
+DiamondGadget::DiamondGadget() : graph_(kNumNodes) {
+  graph_.AddEdge(0, 8);
+  graph_.AddEdge(0, 4);
+  graph_.AddEdge(1, 4);
+  graph_.AddEdge(1, 7);
+  graph_.AddEdge(2, 6);
+  graph_.AddEdge(2, 4);
+  graph_.AddEdge(3, 8);
+  graph_.AddEdge(3, 7);
+  graph_.AddEdge(7, 5);
+  graph_.AddEdge(8, 5);
+  graph_.AddEdge(5, 6);
+
+  // Precompute one Hamiltonian path per ordered corner pair. Existence is a
+  // gadget invariant (property (b)); the exhaustive re-verification lives in
+  // the test suite.
+  for (int from = 0; from < kNumCorners; ++from) {
+    for (int to = 0; to < kNumCorners; ++to) {
+      if (from == to) continue;
+      std::optional<std::vector<int>> path =
+          FindHamiltonianPathBetween(graph_, from, to);
+      JP_CHECK_MSG(path.has_value(),
+                   "diamond gadget lost a corner-to-corner Hamiltonian path");
+      paths_[from][to] = *std::move(path);
+    }
+  }
+}
+
+const std::vector<int>& DiamondGadget::CornerPath(int from, int to) const {
+  JP_CHECK(IsCorner(from) && IsCorner(to) && from != to);
+  return paths_[from][to];
+}
+
+}  // namespace pebblejoin

@@ -1,0 +1,44 @@
+#include "reductions/l_reduction.h"
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace pebblejoin {
+
+bool SatisfiesProperty1(const LReductionSample& sample, double alpha) {
+  return static_cast<double>(sample.opt_fx) <=
+         alpha * static_cast<double>(sample.opt_x);
+}
+
+bool SatisfiesProperty2(const LReductionSample& sample, double beta) {
+  const int64_t g_slack = sample.cost_gs - sample.opt_x;
+  const int64_t s_slack = sample.cost_s - sample.opt_fx;
+  JP_CHECK_MSG(g_slack >= 0 && s_slack >= 0,
+               "costs below the claimed optima: OPT oracles inconsistent");
+  return static_cast<double>(g_slack) <=
+         beta * static_cast<double>(s_slack);
+}
+
+double ObservedAlpha(const LReductionSample& sample) {
+  JP_CHECK(sample.opt_x > 0);
+  return static_cast<double>(sample.opt_fx) /
+         static_cast<double>(sample.opt_x);
+}
+
+double ObservedBeta(const LReductionSample& sample) {
+  const int64_t g_slack = sample.cost_gs - sample.opt_x;
+  const int64_t s_slack = sample.cost_s - sample.opt_fx;
+  if (g_slack <= 0) return 0.0;
+  if (s_slack <= 0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(g_slack) / static_cast<double>(s_slack);
+}
+
+std::string DebugString(const LReductionSample& sample) {
+  return "opt_x=" + std::to_string(sample.opt_x) +
+         " opt_fx=" + std::to_string(sample.opt_fx) +
+         " cost_s=" + std::to_string(sample.cost_s) +
+         " cost_gs=" + std::to_string(sample.cost_gs);
+}
+
+}  // namespace pebblejoin

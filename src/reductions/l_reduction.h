@@ -1,0 +1,50 @@
+// Machine-checkable form of Definition 4.2 (L-reductions).
+//
+// For minimization problems A (instance x) and B (instance f(x)), an
+// L-reduction with constants α, β requires
+//   (1) OPT(f(x)) <= α · OPT(x), and
+//   (2) for every feasible solution s of f(x),
+//       OPT(x) − cost(g(s))  satisfies  |OPT(x) − cost(g(s))|
+//                                        <= β · |OPT(f(x)) − cost(s)|.
+// For minimization, cost(g(s)) >= OPT(x) and cost(s) >= OPT(f(x)), so (2)
+// is cost(g(s)) − OPT(x) <= β · (cost(s) − OPT(f(x))).
+//
+// The reductions of Theorems 4.3 and 4.4 are validated against these
+// inequalities over exhaustively enumerated and randomized instances; this
+// header holds the shared bookkeeping.
+
+#ifndef PEBBLEJOIN_REDUCTIONS_L_REDUCTION_H_
+#define PEBBLEJOIN_REDUCTIONS_L_REDUCTION_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pebblejoin {
+
+// One observation of an L-reduction on a concrete (x, s) pair.
+struct LReductionSample {
+  int64_t opt_x = 0;     // OPT(x)
+  int64_t opt_fx = 0;    // OPT(f(x))
+  int64_t cost_s = 0;    // cost of the feasible solution s of f(x)
+  int64_t cost_gs = 0;   // cost of g(s) in x
+};
+
+// Property (1): OPT(f(x)) <= alpha · OPT(x).
+bool SatisfiesProperty1(const LReductionSample& sample, double alpha);
+
+// Property (2): cost(g(s)) − OPT(x) <= beta · (cost(s) − OPT(f(x))).
+bool SatisfiesProperty2(const LReductionSample& sample, double beta);
+
+// Smallest α consistent with this sample: OPT(f(x)) / OPT(x).
+double ObservedAlpha(const LReductionSample& sample);
+
+// Smallest β consistent with this sample; 0 when both slacks are 0 and
+// +infinity when g(s) has slack but s does not.
+double ObservedBeta(const LReductionSample& sample);
+
+// Debug rendering of the sample.
+std::string DebugString(const LReductionSample& sample);
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_REDUCTIONS_L_REDUCTION_H_

@@ -1,0 +1,69 @@
+// The L-reduction f, g from TSP-3(1,2) to PEBBLE (Theorem 4.4).
+//
+// f maps a TSP-3(1,2) instance G = (V, E) to the PEBBLE instance on its
+// incidence bipartite graph B = (X = V, Y = E). The line graph L(B) is G
+// with every degree-i vertex blown up into a clique K_i (each of the i
+// incidences of v becomes a clique node wired to its edge's partner
+// incidence), so tours of G and pebblings of B translate back and forth:
+//
+//  * forward (property 1): a tour of G of cost c lifts to a pebbling of B
+//    of effective cost <= 3c + O(1) — each G-node contributes its <= 3
+//    incidences (clique steps are good), and each good tour step crosses
+//    via the shared-edge pairing; this gives α = 3.
+//  * back (property 2, β = 1): a pebbling of B is a tour of L(B)
+//    (Proposition 2.2); normalize it so each vertex-clique is visited
+//    consecutively (same surgery idea as Theorem 4.3, cliques are
+//    Hamiltonian-connected so the splice always exists), then read the
+//    clique order as a tour of G.
+
+#ifndef PEBBLEJOIN_REDUCTIONS_TSP3_TO_PEBBLE_H_
+#define PEBBLEJOIN_REDUCTIONS_TSP3_TO_PEBBLE_H_
+
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "graph/graph.h"
+#include "tsp/tour.h"
+#include "tsp/tsp12.h"
+
+namespace pebblejoin {
+
+class Tsp3ToPebbleReduction {
+ public:
+  // Builds B = f(G). Works for any max-good-degree (the theorem needs 3;
+  // nothing here breaks beyond that). Requires every node of `g` to have
+  // good-degree >= 1 (isolated nodes have no incidences; the paper's model
+  // removes isolated vertices a priori).
+  explicit Tsp3ToPebbleReduction(const Tsp12Instance& g);
+
+  const Tsp12Instance& g() const { return g_; }
+  // The PEBBLE instance: B flattened to a plain graph. Its edge e carries
+  // incidence semantics: edge 2i / 2i+1 of B are the (u, e_i) and (v, e_i)
+  // incidences of G's good edge e_i = {u, v}.
+  const BipartiteGraph& b() const { return b_; }
+  const Graph& pebble_graph() const { return flat_; }
+
+  // The G-vertex an incidence (= B-edge id) belongs to.
+  int IncidenceVertex(int b_edge) const;
+  // The G-good-edge an incidence belongs to.
+  int IncidenceEdge(int b_edge) const { return b_edge / 2; }
+
+  // Lifts a tour of G to an edge order of B (a pebbling). For each tour
+  // vertex, its unvisited incidences are emitted with the incidence shared
+  // with the next tour step last, so good tour steps stay jump-free.
+  std::vector<int> LiftTourToEdgeOrder(const Tour& g_tour) const;
+
+  // g: maps an edge order of B (pebbling scheme) back to a tour of G by
+  // first-occurrence of each vertex's incidences after clique
+  // normalization.
+  Tour MapEdgeOrderBack(const std::vector<int>& edge_order) const;
+
+ private:
+  Tsp12Instance g_;
+  BipartiteGraph b_;
+  Graph flat_;
+};
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_REDUCTIONS_TSP3_TO_PEBBLE_H_

@@ -1,0 +1,53 @@
+#include "solver/component_pebbler.h"
+
+#include <utility>
+
+#include "graph/components.h"
+#include "pebble/cost_model.h"
+#include "pebble/scheme_verifier.h"
+#include "util/check.h"
+
+namespace pebblejoin {
+
+ComponentPebbler::ComponentPebbler(const Pebbler* primary,
+                                   const Pebbler* fallback)
+    : primary_(primary), fallback_(fallback) {
+  JP_CHECK(primary_ != nullptr);
+}
+
+PebbleSolution ComponentPebbler::Solve(const Graph& g) const {
+  PebbleSolution solution;
+  const ComponentDecomposition decomp = FindComponents(g);
+  solution.num_components = decomp.num_components;
+
+  for (int c = 0; c < decomp.num_components; ++c) {
+    std::vector<int> edge_map;
+    const Graph sub =
+        ExtractComponent(g, decomp, c, /*vertex_map=*/nullptr, &edge_map);
+
+    std::optional<std::vector<int>> order = primary_->PebbleConnected(sub);
+    std::string used = primary_->name();
+    if (!order.has_value()) {
+      JP_CHECK_MSG(fallback_ != nullptr,
+                   "primary pebbler refused and no fallback configured");
+      order = fallback_->PebbleConnected(sub);
+      used = fallback_->name();
+    }
+    JP_CHECK_MSG(order.has_value(), "fallback pebbler refused a component");
+    JP_CHECK(static_cast<int>(order->size()) == sub.num_edges());
+    solution.solver_used.push_back(std::move(used));
+    for (int local_edge : *order) {
+      solution.edge_order.push_back(edge_map[local_edge]);
+    }
+  }
+
+  solution.scheme = SchemeFromEdgeOrder(g, solution.edge_order);
+  const VerificationResult verdict = VerifyScheme(g, solution.scheme);
+  JP_CHECK_MSG(verdict.valid, "solver produced an invalid pebbling scheme");
+  solution.hat_cost = verdict.hat_cost;
+  solution.effective_cost = verdict.effective_cost;
+  solution.jumps = solution.effective_cost - g.num_edges();
+  return solution;
+}
+
+}  // namespace pebblejoin

@@ -1,0 +1,50 @@
+// Driver that pebbles arbitrary graphs by solving each connected component
+// independently and concatenating the per-component schemes — optimal
+// composition by the additivity lemma (Lemma 2.2).
+
+#ifndef PEBBLEJOIN_SOLVER_COMPONENT_PEBBLER_H_
+#define PEBBLEJOIN_SOLVER_COMPONENT_PEBBLER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "pebble/pebbling_scheme.h"
+#include "solver/pebbler.h"
+
+namespace pebblejoin {
+
+// Outcome of pebbling a whole graph.
+struct PebbleSolution {
+  std::vector<int> edge_order;  // permutation of the graph's edge ids
+  PebblingScheme scheme;        // induced scheme
+  int64_t hat_cost = 0;         // π̂, verified
+  int64_t effective_cost = 0;   // π = π̂ − β₀, verified
+  int64_t jumps = 0;            // effective_cost − m
+  int num_components = 0;       // β₀(G)
+  // Per component: which solver produced its order ("<primary>" or the
+  // fallback's name when the primary returned nullopt).
+  std::vector<std::string> solver_used;
+};
+
+// Wraps a primary Pebbler with a fallback (defaulting to the greedy walk,
+// which never refuses). The solution is verified before being returned; an
+// invalid order from any solver aborts (it would be a library bug).
+class ComponentPebbler {
+ public:
+  // Neither pointer is owned; both must outlive this object. `fallback` may
+  // be null, in which case the primary must handle every component.
+  ComponentPebbler(const Pebbler* primary, const Pebbler* fallback);
+
+  // Pebbles `g` (which may be disconnected and contain isolated vertices).
+  PebbleSolution Solve(const Graph& g) const;
+
+ private:
+  const Pebbler* primary_;
+  const Pebbler* fallback_;
+};
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_SOLVER_COMPONENT_PEBBLER_H_

@@ -1,0 +1,41 @@
+#include "solver/exact_pebbler.h"
+
+#include <utility>
+
+#include "graph/line_graph.h"
+#include "pebble/cost_model.h"
+#include "tsp/held_karp.h"
+#include "util/check.h"
+
+namespace pebblejoin {
+
+std::optional<std::vector<int>> ExactPebbler::PebbleConnected(
+    const Graph& g) const {
+  JP_CHECK(g.num_edges() >= 1);
+  if (g.num_edges() > options_.max_edges) return std::nullopt;
+
+  Graph line = BuildLineGraph(g);
+  const Tsp12Instance instance(std::move(line));
+
+  if (instance.num_nodes() <= kMaxHeldKarpNodes) {
+    std::optional<TspPathResult> result = HeldKarpSolve(instance);
+    JP_CHECK(result.has_value());
+    return result->tour;
+  }
+
+  BranchAndBoundOptions bnb;
+  bnb.node_budget = options_.bnb_node_budget;
+  BranchAndBoundResult result = BranchAndBoundSolve(instance, bnb);
+  if (!result.proven_optimal) return std::nullopt;
+  return result.best.tour;
+}
+
+std::optional<int64_t> ExactPebbler::OptimalEffectiveCost(
+    const Graph& g) const {
+  std::optional<std::vector<int>> order = PebbleConnected(g);
+  if (!order.has_value()) return std::nullopt;
+  // Effective cost of a connected graph's edge order: m + jumps.
+  return static_cast<int64_t>(order->size()) + JumpsOfEdgeOrder(g, *order);
+}
+
+}  // namespace pebblejoin

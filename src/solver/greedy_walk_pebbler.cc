@@ -1,0 +1,69 @@
+#include "solver/greedy_walk_pebbler.h"
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace pebblejoin {
+
+std::optional<std::vector<int>> GreedyWalkPebbler::PebbleConnected(
+    const Graph& g) const {
+  JP_CHECK(g.num_edges() >= 1);
+  const int m = g.num_edges();
+
+  std::vector<bool> deleted(m, false);
+  // undeleted_degree[v]: undeleted edges incident to v.
+  std::vector<int> undeleted_degree(g.num_vertices());
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    undeleted_degree[v] = g.Degree(v);
+  }
+  // cursor[v]: scan position into v's incidence list, so that repeated
+  // adjacent-edge searches over the run stay O(total degree) amortized...
+  // except that an edge skipped now (deleted) stays skipped, so a plain
+  // monotone cursor is sound.
+  std::vector<size_t> cursor(g.num_vertices(), 0);
+
+  std::vector<int> order;
+  order.reserve(m);
+
+  auto delete_edge = [&](int e) {
+    deleted[e] = true;
+    order.push_back(e);
+    --undeleted_degree[g.edge(e).u];
+    --undeleted_degree[g.edge(e).v];
+  };
+
+  int scan_edge = 0;  // cursor for jumps
+  delete_edge(0);
+
+  while (static_cast<int>(order.size()) < m) {
+    const Graph::Edge& last = g.edge(order.back());
+    // Candidate adjacent edges from both endpoints; prefer the one whose
+    // *far* endpoint has the lowest undeleted degree (finish constrained
+    // corners of the graph before they require a dedicated jump).
+    int best = -1;
+    int best_score = 0;
+    for (int endpoint : {last.u, last.v}) {
+      while (cursor[endpoint] < g.IncidentEdges(endpoint).size() &&
+             deleted[g.IncidentEdges(endpoint)[cursor[endpoint]]]) {
+        ++cursor[endpoint];
+      }
+      if (cursor[endpoint] >= g.IncidentEdges(endpoint).size()) continue;
+      const int e = g.IncidentEdges(endpoint)[cursor[endpoint]];
+      const int far = g.edge(e).Other(endpoint);
+      const int score = undeleted_degree[far];
+      if (best == -1 || score < best_score) {
+        best = e;
+        best_score = score;
+      }
+    }
+    if (best == -1) {
+      while (deleted[scan_edge]) ++scan_edge;
+      best = scan_edge;
+    }
+    delete_edge(best);
+  }
+  return order;
+}
+
+}  // namespace pebblejoin

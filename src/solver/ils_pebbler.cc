@@ -1,0 +1,73 @@
+#include "solver/ils_pebbler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "graph/line_graph.h"
+#include "pebble/cost_model.h"
+#include "solver/local_search_pebbler.h"
+#include "tsp/tour.h"
+#include "tsp/tsp12.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace pebblejoin {
+
+namespace {
+
+// Double bridge: cut the tour into four segments A|B|C|D and reassemble as
+// A|C|B|D. The canonical ILS kick for path/tour problems.
+Tour DoubleBridge(const Tour& tour, Rng* rng) {
+  const int n = static_cast<int>(tour.size());
+  if (n < 8) return tour;
+  // Three distinct interior cut points, sorted.
+  int cuts[3];
+  cuts[0] = 1 + static_cast<int>(rng->UniformInt(n - 3));
+  cuts[1] = 1 + static_cast<int>(rng->UniformInt(n - 3));
+  cuts[2] = 1 + static_cast<int>(rng->UniformInt(n - 3));
+  std::sort(cuts, cuts + 3);
+  if (cuts[0] == cuts[1] || cuts[1] == cuts[2]) return tour;
+
+  Tour out;
+  out.reserve(n);
+  out.insert(out.end(), tour.begin(), tour.begin() + cuts[0]);
+  out.insert(out.end(), tour.begin() + cuts[1], tour.begin() + cuts[2]);
+  out.insert(out.end(), tour.begin() + cuts[0], tour.begin() + cuts[1]);
+  out.insert(out.end(), tour.begin() + cuts[2], tour.end());
+  return out;
+}
+
+}  // namespace
+
+std::optional<std::vector<int>> IlsPebbler::PebbleConnected(
+    const Graph& g) const {
+  JP_CHECK(g.num_edges() >= 1);
+
+  // Baseline: the full local-search pipeline.
+  const LocalSearchPebbler local(options_.descent,
+                                 options_.max_line_graph_edges);
+  std::optional<std::vector<int>> best = local.PebbleConnected(g);
+  JP_CHECK(best.has_value());
+  int64_t best_jumps = JumpsOfEdgeOrder(g, *best);
+  if (best_jumps == 0) return best;  // already perfect
+
+  std::optional<Graph> line =
+      BuildLineGraphWithBudget(g, options_.max_line_graph_edges);
+  if (!line.has_value()) return best;  // too big to improve further
+  const Tsp12Instance instance(*std::move(line));
+
+  Rng rng(options_.seed);
+  for (int round = 0; round < options_.iterations && best_jumps > 0;
+       ++round) {
+    Tour candidate = DoubleBridge(*best, &rng);
+    LocalSearchImprove(instance, &candidate, options_.descent);
+    const int64_t jumps = TourJumps(instance, candidate);
+    if (jumps < best_jumps) {
+      best_jumps = jumps;
+      *best = std::move(candidate);
+    }
+  }
+  return best;
+}
+
+}  // namespace pebblejoin

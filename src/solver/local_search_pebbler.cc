@@ -1,0 +1,41 @@
+#include "solver/local_search_pebbler.h"
+
+#include <utility>
+
+#include "graph/line_graph.h"
+#include "pebble/cost_model.h"
+#include "solver/dfs_tree_pebbler.h"
+#include "solver/greedy_walk_pebbler.h"
+#include "tsp/tour.h"
+#include "tsp/tsp12.h"
+#include "util/check.h"
+
+namespace pebblejoin {
+
+std::optional<std::vector<int>> LocalSearchPebbler::PebbleConnected(
+    const Graph& g) const {
+  JP_CHECK(g.num_edges() >= 1);
+
+  // Seed tours.
+  const GreedyWalkPebbler greedy;
+  std::optional<std::vector<int>> seed = greedy.PebbleConnected(g);
+  JP_CHECK(seed.has_value());
+
+  const DfsTreePebbler dfs(max_line_graph_edges_);
+  std::optional<std::vector<int>> dfs_order = dfs.PebbleConnected(g);
+  if (dfs_order.has_value() &&
+      JumpsOfEdgeOrder(g, *dfs_order) < JumpsOfEdgeOrder(g, *seed)) {
+    seed = std::move(dfs_order);
+  }
+
+  // Improve over the line graph if it fits the budget; otherwise return the
+  // seed unimproved.
+  std::optional<Graph> line = BuildLineGraphWithBudget(g, max_line_graph_edges_);
+  if (!line.has_value()) return seed;
+  const Tsp12Instance instance(*std::move(line));
+  Tour tour = *std::move(seed);
+  LocalSearchImprove(instance, &tour, options_);
+  return tour;
+}
+
+}  // namespace pebblejoin

@@ -1,0 +1,35 @@
+// Local-search pebbler: seeds with the better of greedy-walk and DFS-tree
+// orders, then improves the edge order with 2-opt/Or-opt over the completed
+// line graph (Proposition 2.2 makes edge orders and L(G) tours the same
+// object). This is the strongest polynomial-time solver in the library and
+// plays the role of the constant-factor approximations the paper cites
+// (the 7/6 algorithm of Papadimitriou–Yannakakis [12]).
+
+#ifndef PEBBLEJOIN_SOLVER_LOCAL_SEARCH_PEBBLER_H_
+#define PEBBLEJOIN_SOLVER_LOCAL_SEARCH_PEBBLER_H_
+
+#include <cstdint>
+
+#include "solver/pebbler.h"
+#include "tsp/local_search.h"
+
+namespace pebblejoin {
+
+class LocalSearchPebbler : public Pebbler {
+ public:
+  explicit LocalSearchPebbler(LocalSearchOptions options = {},
+                              int64_t max_line_graph_edges = 20'000'000)
+      : options_(options), max_line_graph_edges_(max_line_graph_edges) {}
+
+  std::string name() const override { return "local-search"; }
+  std::optional<std::vector<int>> PebbleConnected(
+      const Graph& g) const override;
+
+ private:
+  LocalSearchOptions options_;
+  int64_t max_line_graph_edges_;
+};
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_SOLVER_LOCAL_SEARCH_PEBBLER_H_

@@ -1,0 +1,7 @@
+#include "solver/pebbler.h"
+
+namespace pebblejoin {
+
+// Pebbler is header-only; this file anchors the vtable.
+
+}  // namespace pebblejoin

@@ -1,0 +1,39 @@
+// Solver interface for the PEBBLE problem (Definition 4.1).
+//
+// A Pebbler consumes a *connected* graph and produces an edge order — a
+// permutation of the graph's edge ids — whose induced scheme (see
+// pebble/pebbling_scheme.h) pebbles the graph. Effective cost of the order
+// is m + jumps. The ComponentPebbler wraps any Pebbler to handle arbitrary
+// (disconnected) graphs, which by the additivity lemma 2.2 loses nothing.
+
+#ifndef PEBBLEJOIN_SOLVER_PEBBLER_H_
+#define PEBBLEJOIN_SOLVER_PEBBLER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace pebblejoin {
+
+// Abstract base for connected-graph pebblers.
+class Pebbler {
+ public:
+  virtual ~Pebbler() = default;
+
+  // Short stable identifier, e.g. "dfs-tree".
+  virtual std::string name() const = 0;
+
+  // Produces an edge order for connected `g` (every vertex non-isolated,
+  // one component, at least one edge). Returns nullopt when the solver
+  // cannot handle the instance (e.g. SortMergePebbler on a non-complete-
+  // bipartite graph, ExactPebbler beyond its size limits).
+  virtual std::optional<std::vector<int>> PebbleConnected(
+      const Graph& g) const = 0;
+};
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_SOLVER_PEBBLER_H_

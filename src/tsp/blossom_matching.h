@@ -1,0 +1,39 @@
+// Maximum matching in general graphs (Edmonds' blossom algorithm).
+//
+// Why this lives in a join-complexity library: the approximation algorithms
+// the paper cites for TSP-(1,2) — Papadimitriou–Yannakakis [12] and its
+// relatives — are built on matchings: a maximum matching of the good graph
+// lower-bounds how much of a tour can possibly be jump-free, and seeding a
+// path cover with a maximum matching yields a provable 3/2-approximation
+// for the tour cost (see matching_path_cover.h). Line graphs are general
+// (non-bipartite) graphs, so the bipartite shortcut is not enough; this is
+// the full O(V³) blossom implementation.
+
+#ifndef PEBBLEJOIN_TSP_BLOSSOM_MATCHING_H_
+#define PEBBLEJOIN_TSP_BLOSSOM_MATCHING_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace pebblejoin {
+
+// A matching: match[v] is v's partner or -1. Invariants: match[v] != v;
+// match[match[v]] == v; every matched pair is an edge of the input graph.
+struct Matching {
+  std::vector<int> match;
+  int size = 0;  // number of matched edges
+
+  bool IsMatched(int v) const { return match[v] != -1; }
+};
+
+// Computes a maximum-cardinality matching of `g`.
+Matching MaximumMatching(const Graph& g);
+
+// Verifies the Matching invariants against `g` (used by tests and the
+// solvers that consume matchings).
+bool IsValidMatching(const Graph& g, const Matching& matching);
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_TSP_BLOSSOM_MATCHING_H_

@@ -1,0 +1,37 @@
+// Exact TSP-(1,2) path solver via Held–Karp subset dynamic programming.
+//
+// Minimizes jumps over all Hamiltonian paths; O(2^n · n²) time and
+// O(2^n · n) bytes of memory, so it is limited to small n. This is the
+// ground-truth oracle behind the exact pebbler (via Proposition 2.2) and the
+// L-reduction experiments.
+
+#ifndef PEBBLEJOIN_TSP_HELD_KARP_H_
+#define PEBBLEJOIN_TSP_HELD_KARP_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "tsp/tour.h"
+#include "tsp/tsp12.h"
+
+namespace pebblejoin {
+
+// Result of an exact solve.
+struct TspPathResult {
+  int64_t jumps = 0;  // minimal number of jumps
+  int64_t cost = 0;   // (n − 1) + jumps
+  Tour tour;          // one optimal tour
+};
+
+// Largest instance HeldKarpSolve accepts (2^n · n table bytes: ~21 MB at
+// n = 20; n = 24 would need ~400 MB, so larger instances go to the
+// branch-and-bound solver instead).
+inline constexpr int kMaxHeldKarpNodes = 20;
+
+// Solves the instance exactly. Returns nullopt if n exceeds
+// kMaxHeldKarpNodes. For n == 0 returns an empty zero-cost tour.
+std::optional<TspPathResult> HeldKarpSolve(const Tsp12Instance& instance);
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_TSP_HELD_KARP_H_

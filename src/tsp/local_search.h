@@ -1,0 +1,43 @@
+// Local search (2-opt and Or-opt) for TSP-(1,2) paths.
+//
+// With (1,2) weights, tour cost is (n − 1) + jumps, so local search only
+// needs to track jump deltas. 2-opt reverses a segment; Or-opt relocates a
+// short segment. Together they close most of the gap between the greedy
+// constructions and the optimum on this problem class, mirroring the role of
+// the constant-factor approximations the paper cites.
+
+#ifndef PEBBLEJOIN_TSP_LOCAL_SEARCH_H_
+#define PEBBLEJOIN_TSP_LOCAL_SEARCH_H_
+
+#include <cstdint>
+
+#include "tsp/tour.h"
+#include "tsp/tsp12.h"
+
+namespace pebblejoin {
+
+// Options controlling the search effort.
+struct LocalSearchOptions {
+  // Maximum number of full improvement passes (each pass scans all moves).
+  int max_passes = 50;
+  // Maximum relocated segment length for Or-opt moves.
+  int max_segment_length = 3;
+};
+
+// Improves `tour` in place with first-improvement 2-opt until no 2-opt move
+// helps or the pass budget is exhausted. Returns the number of jumps removed.
+int64_t TwoOptImprove(const Tsp12Instance& instance, Tour* tour,
+                      const LocalSearchOptions& options);
+
+// Improves `tour` in place with Or-opt segment relocation. Returns the
+// number of jumps removed.
+int64_t OrOptImprove(const Tsp12Instance& instance, Tour* tour,
+                     const LocalSearchOptions& options);
+
+// Alternates 2-opt and Or-opt until neither helps. Returns jumps removed.
+int64_t LocalSearchImprove(const Tsp12Instance& instance, Tour* tour,
+                           const LocalSearchOptions& options);
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_TSP_LOCAL_SEARCH_H_

@@ -1,0 +1,84 @@
+#include "tsp/matching_path_cover.h"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace pebblejoin {
+
+Tour MatchingPathCoverTour(const Tsp12Instance& instance, uint64_t seed) {
+  const int n = instance.num_nodes();
+  const Graph& good = instance.good();
+  const Matching matching = MaximumMatching(good);
+
+  // Partial path cover seeded with the matching: path_degree counts edges
+  // chosen at each node, chosen[] stores up to two neighbors.
+  std::vector<int> path_degree(n, 0);
+  std::vector<std::array<int, 2>> chosen(n, {-1, -1});
+  // Union-find over nodes to reject cycle-closing links.
+  std::vector<int> uf(n);
+  std::iota(uf.begin(), uf.end(), 0);
+  auto find = [&](int x) {
+    while (uf[x] != x) {
+      uf[x] = uf[uf[x]];
+      x = uf[x];
+    }
+    return x;
+  };
+  auto add_edge = [&](int u, int v) {
+    chosen[u][path_degree[u]++] = v;
+    chosen[v][path_degree[v]++] = u;
+    uf[find(u)] = find(v);
+  };
+
+  for (int v = 0; v < n; ++v) {
+    if (matching.match[v] != -1 && v < matching.match[v]) {
+      add_edge(v, matching.match[v]);
+    }
+  }
+
+  // Greedy linking: any good edge joining two path endpoints of different
+  // paths extends the cover. Scan order randomized by `seed`.
+  Rng rng(seed);
+  std::vector<int> edge_order = rng.Permutation(good.num_edges());
+  for (int e : edge_order) {
+    const Graph::Edge& edge = good.edge(e);
+    if (path_degree[edge.u] >= 2 || path_degree[edge.v] >= 2) continue;
+    if (find(edge.u) == find(edge.v)) continue;
+    add_edge(edge.u, edge.v);
+  }
+
+  // Emit paths; isolated nodes are singleton paths.
+  Tour tour;
+  tour.reserve(n);
+  std::vector<bool> emitted(n, false);
+  for (int start = 0; start < n; ++start) {
+    if (emitted[start] || path_degree[start] == 2) continue;
+    int prev = -1;
+    int cur = start;
+    while (cur != -1) {
+      emitted[cur] = true;
+      tour.push_back(cur);
+      int next = -1;
+      for (int cand : chosen[cur]) {
+        if (cand != -1 && cand != prev) next = cand;
+      }
+      prev = cur;
+      cur = (next != -1 && !emitted[next]) ? next : -1;
+    }
+  }
+  JP_CHECK(static_cast<int>(tour.size()) == n);
+  return tour;
+}
+
+int64_t MatchingJumpLowerBound(const Tsp12Instance& instance,
+                               const Matching& matching) {
+  const int64_t n = instance.num_nodes();
+  if (n == 0) return 0;
+  return std::max<int64_t>(0, n - 1 - 2 * matching.size);
+}
+
+}  // namespace pebblejoin

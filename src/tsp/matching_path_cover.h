@@ -1,0 +1,39 @@
+// Matching-seeded path cover for TSP-(1,2): the 3/2-approximation.
+//
+// A tour with J jumps uses n − 1 − J good edges forming disjoint paths; any
+// disjoint union of paths with k edges contains a matching of size ⌈k/2⌉,
+// so a maximum matching M* of the good graph bounds the optimum:
+//     J_opt >= n − 1 − 2·|M*|.
+// Conversely, starting from M* (each matched edge a 2-node path) and
+// greedily linking path endpoints with good edges never strands a matched
+// edge, so the construction uses at least |M*| good edges:
+//     J_ours <= n − 1 − |M*|.
+// Combining, tour cost (n − 1 + J) is within a factor 3/2 of optimal —
+// the matching-based bound behind the constant-factor algorithms the paper
+// cites ([12] refines the same idea to 7/6). Local search then closes most
+// of the remaining gap (see bench_tsp_bridge).
+
+#ifndef PEBBLEJOIN_TSP_MATCHING_PATH_COVER_H_
+#define PEBBLEJOIN_TSP_MATCHING_PATH_COVER_H_
+
+#include <cstdint>
+
+#include "tsp/blossom_matching.h"
+#include "tsp/tour.h"
+#include "tsp/tsp12.h"
+
+namespace pebblejoin {
+
+// Builds a tour from a maximum matching of the good graph plus greedy
+// linking. Deterministic for a fixed seed (the seed shuffles the link scan
+// order only; the matching part is deterministic).
+Tour MatchingPathCoverTour(const Tsp12Instance& instance, uint64_t seed);
+
+// The matching-based lower bound on jumps: max(0, n − 1 − 2·|M*|).
+// `matching` must be a maximum matching of instance.good().
+int64_t MatchingJumpLowerBound(const Tsp12Instance& instance,
+                               const Matching& matching);
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_TSP_MATCHING_PATH_COVER_H_

@@ -1,0 +1,68 @@
+#include "tsp/nearest_neighbor.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace pebblejoin {
+
+Tour NearestNeighborTour(const Tsp12Instance& instance, int start) {
+  const int n = instance.num_nodes();
+  JP_CHECK(0 <= start && start < n);
+  const Graph& good = instance.good();
+
+  std::vector<bool> visited(n, false);
+  // remaining_degree[v]: number of unvisited good neighbors of v.
+  std::vector<int> remaining_degree(n);
+  for (int v = 0; v < n; ++v) remaining_degree[v] = good.Degree(v);
+
+  Tour tour;
+  tour.reserve(n);
+  auto visit = [&](int v) {
+    visited[v] = true;
+    tour.push_back(v);
+    for (int w : good.Neighbors(v)) --remaining_degree[w];
+  };
+  visit(start);
+
+  int scan_from = 0;  // cursor for finding an arbitrary unvisited node
+  while (static_cast<int>(tour.size()) < n) {
+    const int cur = tour.back();
+    int best = -1;
+    for (int w : good.Neighbors(cur)) {
+      if (visited[w]) continue;
+      if (best == -1 || remaining_degree[w] < remaining_degree[best]) {
+        best = w;
+      }
+    }
+    if (best == -1) {
+      while (visited[scan_from]) ++scan_from;
+      best = scan_from;
+    }
+    visit(best);
+  }
+  return tour;
+}
+
+Tour BestNearestNeighborTour(const Tsp12Instance& instance, int restarts,
+                             uint64_t seed) {
+  const int n = instance.num_nodes();
+  JP_CHECK(restarts >= 1);
+  if (n == 0) return Tour{};
+  Rng rng(seed);
+  Tour best = NearestNeighborTour(instance, 0);
+  int64_t best_cost = TourCost(instance, best);
+  for (int i = 1; i < restarts && i < n; ++i) {
+    const int start = static_cast<int>(rng.UniformInt(n));
+    Tour candidate = NearestNeighborTour(instance, start);
+    const int64_t cost = TourCost(instance, candidate);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = std::move(candidate);
+    }
+  }
+  return best;
+}
+
+}  // namespace pebblejoin

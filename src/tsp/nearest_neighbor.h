@@ -1,0 +1,26 @@
+// Nearest-neighbor construction for TSP-(1,2) paths.
+
+#ifndef PEBBLEJOIN_TSP_NEAREST_NEIGHBOR_H_
+#define PEBBLEJOIN_TSP_NEAREST_NEIGHBOR_H_
+
+#include <cstdint>
+
+#include "tsp/tour.h"
+#include "tsp/tsp12.h"
+
+namespace pebblejoin {
+
+// Builds a tour starting at `start`, repeatedly following a good edge to an
+// unvisited node when one exists (preferring the neighbor with the fewest
+// remaining good options, a cheap "save the constrained nodes first" rule)
+// and jumping to an arbitrary unvisited node otherwise.
+Tour NearestNeighborTour(const Tsp12Instance& instance, int start);
+
+// Runs NearestNeighborTour from `restarts` seeded random start nodes (always
+// including node 0) and keeps the cheapest result.
+Tour BestNearestNeighborTour(const Tsp12Instance& instance, int restarts,
+                             uint64_t seed);
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_TSP_NEAREST_NEIGHBOR_H_

@@ -1,0 +1,106 @@
+#include "tsp/path_cover.h"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace pebblejoin {
+
+namespace {
+
+// Union-find over nodes, used to reject edges that would close a cycle.
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  // Returns false if x and y were already joined.
+  bool Union(int x, int y) {
+    const int rx = Find(x);
+    const int ry = Find(y);
+    if (rx == ry) return false;
+    parent_[rx] = ry;
+    return true;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+Tour GreedyPathCoverTour(const Tsp12Instance& instance, uint64_t seed) {
+  const int n = instance.num_nodes();
+  const Graph& good = instance.good();
+  Rng rng(seed);
+
+  std::vector<int> edge_order = rng.Permutation(good.num_edges());
+
+  // Partial path cover: path_degree[v] in {0,1,2}; next_[v][0..1] neighbors
+  // chosen so far.
+  std::vector<int> path_degree(n, 0);
+  std::vector<std::array<int, 2>> chosen(n, {-1, -1});
+  UnionFind uf(n);
+
+  for (int e : edge_order) {
+    const Graph::Edge& edge = good.edge(e);
+    if (path_degree[edge.u] >= 2 || path_degree[edge.v] >= 2) continue;
+    if (!uf.Union(edge.u, edge.v)) continue;  // would close a cycle
+    chosen[edge.u][path_degree[edge.u]++] = edge.v;
+    chosen[edge.v][path_degree[edge.v]++] = edge.u;
+  }
+
+  // Walk each path from one endpoint; isolated nodes are length-0 paths.
+  Tour tour;
+  tour.reserve(n);
+  std::vector<bool> emitted(n, false);
+  for (int start = 0; start < n; ++start) {
+    if (emitted[start] || path_degree[start] == 2) continue;
+    int prev = -1;
+    int cur = start;
+    while (cur != -1) {
+      emitted[cur] = true;
+      tour.push_back(cur);
+      int next = -1;
+      for (int cand : chosen[cur]) {
+        if (cand != -1 && cand != prev) next = cand;
+      }
+      prev = cur;
+      cur = (next != -1 && !emitted[next]) ? next : -1;
+    }
+  }
+  JP_CHECK(static_cast<int>(tour.size()) == n);
+  return tour;
+}
+
+Tour BestGreedyPathCoverTour(const Tsp12Instance& instance, int restarts,
+                             uint64_t seed) {
+  JP_CHECK(restarts >= 1);
+  if (instance.num_nodes() == 0) return Tour{};
+  Rng rng(seed);
+  Tour best;
+  int64_t best_cost = -1;
+  for (int i = 0; i < restarts; ++i) {
+    Tour candidate = GreedyPathCoverTour(instance, rng.Next());
+    const int64_t cost = TourCost(instance, candidate);
+    if (best_cost < 0 || cost < best_cost) {
+      best_cost = cost;
+      best = std::move(candidate);
+    }
+  }
+  return best;
+}
+
+}  // namespace pebblejoin

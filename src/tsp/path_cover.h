@@ -1,0 +1,32 @@
+// Greedy path-cover construction for TSP-(1,2).
+//
+// A tour with J jumps is exactly a partition of the nodes into J + 1
+// vertex-disjoint paths of the good graph, so minimizing jumps is the
+// minimum path-cover problem. This greedy builder — add good edges one at a
+// time as long as they keep the partial solution a union of disjoint paths —
+// is the matching-flavored strategy behind the Papadimitriou–Yannakakis
+// style approximations the paper cites ([12]); it is a strong constructive
+// baseline that local search then improves.
+
+#ifndef PEBBLEJOIN_TSP_PATH_COVER_H_
+#define PEBBLEJOIN_TSP_PATH_COVER_H_
+
+#include <cstdint>
+
+#include "tsp/tour.h"
+#include "tsp/tsp12.h"
+
+namespace pebblejoin {
+
+// Builds a tour by greedy path cover. `seed` randomizes the edge scan order
+// (useful for restarts); with equal seeds the result is deterministic.
+Tour GreedyPathCoverTour(const Tsp12Instance& instance, uint64_t seed);
+
+// Runs GreedyPathCoverTour with `restarts` different scan orders and keeps
+// the cheapest tour. Requires restarts >= 1.
+Tour BestGreedyPathCoverTour(const Tsp12Instance& instance, int restarts,
+                             uint64_t seed);
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_TSP_PATH_COVER_H_

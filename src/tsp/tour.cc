@@ -1,0 +1,44 @@
+#include "tsp/tour.h"
+
+#include "util/check.h"
+
+namespace pebblejoin {
+
+bool IsValidTour(const Tsp12Instance& instance, const Tour& tour) {
+  if (static_cast<int>(tour.size()) != instance.num_nodes()) return false;
+  std::vector<bool> seen(instance.num_nodes(), false);
+  for (int v : tour) {
+    if (v < 0 || v >= instance.num_nodes() || seen[v]) return false;
+    seen[v] = true;
+  }
+  return true;
+}
+
+int64_t TourJumps(const Tsp12Instance& instance, const Tour& tour) {
+  JP_CHECK(IsValidTour(instance, tour));
+  int64_t jumps = 0;
+  for (size_t i = 1; i < tour.size(); ++i) {
+    if (!instance.IsGood(tour[i - 1], tour[i])) ++jumps;
+  }
+  return jumps;
+}
+
+int64_t TourCost(const Tsp12Instance& instance, const Tour& tour) {
+  if (tour.empty()) return 0;
+  return static_cast<int64_t>(tour.size()) - 1 + TourJumps(instance, tour);
+}
+
+std::vector<std::vector<int>> TourRuns(const Tsp12Instance& instance,
+                                       const Tour& tour) {
+  JP_CHECK(IsValidTour(instance, tour));
+  std::vector<std::vector<int>> runs;
+  for (size_t i = 0; i < tour.size(); ++i) {
+    if (i == 0 || !instance.IsGood(tour[i - 1], tour[i])) {
+      runs.emplace_back();
+    }
+    runs.back().push_back(tour[i]);
+  }
+  return runs;
+}
+
+}  // namespace pebblejoin

@@ -1,0 +1,32 @@
+// Tours (Hamiltonian paths) over TSP-(1,2) instances and their costs.
+
+#ifndef PEBBLEJOIN_TSP_TOUR_H_
+#define PEBBLEJOIN_TSP_TOUR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tsp/tsp12.h"
+
+namespace pebblejoin {
+
+// A tour is a permutation of the instance's node ids, visited in order.
+using Tour = std::vector<int>;
+
+// True if `tour` is a permutation of 0..num_nodes-1.
+bool IsValidTour(const Tsp12Instance& instance, const Tour& tour);
+
+// Number of jumps: consecutive pairs not joined by a good edge.
+int64_t TourJumps(const Tsp12Instance& instance, const Tour& tour);
+
+// Tour cost: (n − 1) + jumps. Zero for empty and single-node instances.
+int64_t TourCost(const Tsp12Instance& instance, const Tour& tour);
+
+// Splits the tour into its maximal jump-free runs (each a path in the good
+// graph). The number of runs is jumps + 1 for a non-empty tour.
+std::vector<std::vector<int>> TourRuns(const Tsp12Instance& instance,
+                                       const Tour& tour);
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_TSP_TOUR_H_

@@ -1,0 +1,13 @@
+#include "tsp/tsp12.h"
+
+#include <utility>
+
+#include "graph/graph_properties.h"
+
+namespace pebblejoin {
+
+Tsp12Instance::Tsp12Instance(Graph good) : good_(std::move(good)) {}
+
+int Tsp12Instance::MaxGoodDegree() const { return MaxDegree(good_); }
+
+}  // namespace pebblejoin

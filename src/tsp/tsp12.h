@@ -1,0 +1,43 @@
+// TSP with distances one and two (Section 2.2 and Section 4).
+//
+// An instance is a complete graph whose edges weigh 1 ("good") or 2 ("bad");
+// the good edges are given as a Graph. Following the paper, a "tour" is a
+// Hamiltonian *path* — a sequence visiting every node exactly once — and its
+// cost is (n − 1) + J where J is the number of jumps, i.e. consecutive pairs
+// joined by a bad edge. TSP-k(1,2) restricts instances to good graphs of
+// maximum degree k (Theorem 4.3 concerns k = 4 and k = 3).
+//
+// Proposition 2.2 connects this to pebbling: the optimal tour of the
+// completed line graph L(G) costs exactly π(G) − 1.
+
+#ifndef PEBBLEJOIN_TSP_TSP12_H_
+#define PEBBLEJOIN_TSP_TSP12_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace pebblejoin {
+
+// A TSP-(1,2) instance. Immutable after construction.
+class Tsp12Instance {
+ public:
+  // `good` defines the weight-1 edges; all other pairs weigh 2.
+  explicit Tsp12Instance(Graph good);
+
+  int num_nodes() const { return good_.num_vertices(); }
+  const Graph& good() const { return good_; }
+
+  // True if {u, v} is a weight-1 edge.
+  bool IsGood(int u, int v) const { return good_.HasEdge(u, v); }
+
+  // Maximum good-degree; the instance belongs to TSP-k(1,2) for any k >= this.
+  int MaxGoodDegree() const;
+
+ private:
+  Graph good_;
+};
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_TSP_TSP12_H_

@@ -1,0 +1,48 @@
+// Invariant-checking macros.
+//
+// The project builds without exceptions (Google style); internal invariant
+// violations are programming errors and abort the process with a diagnostic.
+// Operations that can legitimately fail on valid input return
+// std::optional/bool instead of using these macros.
+
+#ifndef PEBBLEJOIN_UTIL_CHECK_H_
+#define PEBBLEJOIN_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pebblejoin {
+namespace internal_check {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "JP_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               (msg[0] != '\0') ? " — " : "", msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal_check
+}  // namespace pebblejoin
+
+// Aborts if `expr` is false. Always enabled (including release builds):
+// the cost is negligible next to the combinatorial search this library does,
+// and silent invariant corruption would invalidate experimental results.
+#define JP_CHECK(expr)                                                     \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::pebblejoin::internal_check::CheckFailed(__FILE__, __LINE__, #expr, \
+                                                "");                       \
+    }                                                                      \
+  } while (false)
+
+// Like JP_CHECK but with a short explanatory message (a C string literal).
+#define JP_CHECK_MSG(expr, msg)                                            \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::pebblejoin::internal_check::CheckFailed(__FILE__, __LINE__, #expr, \
+                                                (msg));                    \
+    }                                                                      \
+  } while (false)
+
+#endif  // PEBBLEJOIN_UTIL_CHECK_H_

@@ -1,0 +1,89 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace pebblejoin {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (uint64_t& word : s_) word = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+int64_t Rng::UniformInt(int64_t bound) {
+  JP_CHECK(bound > 0);
+  const uint64_t ubound = static_cast<uint64_t>(bound);
+  // Rejection sampling for exact uniformity.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % ubound;
+  uint64_t r = Next();
+  while (r >= limit) r = Next();
+  return static_cast<int64_t>(r % ubound);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  JP_CHECK(lo <= hi);
+  return lo + UniformInt(hi - lo + 1);
+}
+
+double Rng::UniformDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+std::vector<int> Rng::Permutation(int n) {
+  JP_CHECK(n >= 0);
+  std::vector<int> perm(n);
+  for (int i = 0; i < n; ++i) perm[i] = i;
+  Shuffle(&perm);
+  return perm;
+}
+
+std::vector<int> Rng::Subset(int n, int k) {
+  JP_CHECK(0 <= k && k <= n);
+  // Floyd's algorithm would avoid the O(n) allocation, but n is small in all
+  // call sites and a partial shuffle keeps the result exactly uniform.
+  std::vector<int> pool(n);
+  for (int i = 0; i < n; ++i) pool[i] = i;
+  for (int i = 0; i < k; ++i) {
+    int64_t j = i + UniformInt(n - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  std::sort(pool.begin(), pool.end());
+  return pool;
+}
+
+}  // namespace pebblejoin

@@ -1,0 +1,64 @@
+// Deterministic pseudo-random number generation.
+//
+// Every randomized component in the library takes an explicit 64-bit seed so
+// that workloads, tests, and benchmark tables are exactly reproducible. The
+// generator is xoshiro256**, seeded through SplitMix64 (the standard
+// recommendation of the xoshiro authors), implemented here so that results do
+// not depend on the standard library's unspecified distributions.
+
+#ifndef PEBBLEJOIN_UTIL_RANDOM_H_
+#define PEBBLEJOIN_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace pebblejoin {
+
+// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+uint64_t SplitMix64(uint64_t* state);
+
+// A small, fast, deterministic PRNG (xoshiro256**).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Next raw 64 random bits.
+  uint64_t Next();
+
+  // Uniform integer in [0, bound). `bound` must be positive. Uses rejection
+  // sampling, so the result is exactly uniform.
+  int64_t UniformInt(int64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double UniformDouble();
+
+  // Returns true with probability `p` (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  // Fisher-Yates shuffle of `values`.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    for (int64_t i = static_cast<int64_t>(values->size()) - 1; i > 0; --i) {
+      int64_t j = UniformInt(i + 1);
+      using std::swap;
+      swap((*values)[i], (*values)[j]);
+    }
+  }
+
+  // A uniformly random permutation of {0, ..., n-1}.
+  std::vector<int> Permutation(int n);
+
+  // A uniformly random size-k subset of {0, ..., n-1}, in increasing order.
+  // Requires 0 <= k <= n.
+  std::vector<int> Subset(int n, int k);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_UTIL_RANDOM_H_

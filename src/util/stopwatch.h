@@ -1,0 +1,32 @@
+// A minimal wall-clock stopwatch for benchmark tables.
+
+#ifndef PEBBLEJOIN_UTIL_STOPWATCH_H_
+#define PEBBLEJOIN_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace pebblejoin {
+
+// Measures elapsed wall time from construction (or the last Restart()).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Elapsed time in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  // Elapsed time in microseconds.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_UTIL_STOPWATCH_H_

@@ -1,0 +1,42 @@
+// ASCII table writer used by the benchmark harness to print the rows/series
+// the paper's claims imply, in a uniform, diff-friendly format.
+
+#ifndef PEBBLEJOIN_UTIL_TABLE_H_
+#define PEBBLEJOIN_UTIL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pebblejoin {
+
+// Accumulates rows of string cells and renders them with aligned columns.
+//
+// Example:
+//   TablePrinter t({"n", "m", "pi(G)", "ratio"});
+//   t.AddRow({"3", "6", "7", "1.1667"});
+//   std::puts(t.Render().c_str());
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Appends one row; must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders the table, including a header rule, as a multi-line string.
+  std::string Render() const;
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formatting helpers for table cells.
+std::string FormatInt(int64_t value);
+std::string FormatDouble(double value, int decimals);
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_UTIL_TABLE_H_

@@ -1,0 +1,101 @@
+#include "solver/component_pebbler.h"
+
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "pebble/scheme_verifier.h"
+#include "solver/exact_pebbler.h"
+#include "solver/greedy_walk_pebbler.h"
+#include "solver/local_search_pebbler.h"
+#include "solver/sort_merge_pebbler.h"
+
+namespace pebblejoin {
+namespace {
+
+TEST(ComponentPebblerTest, SolvesDisconnectedGraphs) {
+  const GreedyWalkPebbler greedy;
+  const ComponentPebbler driver(&greedy, nullptr);
+  const BipartiteGraph u =
+      DisjointUnion(CompleteBipartite(2, 3), PathGraph(4));
+  const Graph g = u.ToGraph();
+  const PebbleSolution solution = driver.Solve(g);
+  EXPECT_EQ(solution.num_components, 2);
+  EXPECT_TRUE(VerifyScheme(g, solution.scheme).valid);
+  EXPECT_EQ(solution.effective_cost, solution.hat_cost - 2);
+}
+
+TEST(ComponentPebblerTest, FallbackKicksInPerComponent) {
+  const SortMergePebbler sort_merge;
+  const GreedyWalkPebbler greedy;
+  const ComponentPebbler driver(&sort_merge, &greedy);
+  // One complete-bipartite component, one path (sort-merge refuses it).
+  const BipartiteGraph u =
+      DisjointUnion(CompleteBipartite(2, 2), PathGraph(3));
+  const PebbleSolution solution = driver.Solve(u.ToGraph());
+  ASSERT_EQ(solution.solver_used.size(), 2u);
+  EXPECT_EQ(solution.solver_used[0], "sort-merge");
+  EXPECT_EQ(solution.solver_used[1], "greedy-walk");
+}
+
+TEST(ComponentPebblerDeathTest, NoFallbackAborts) {
+  const SortMergePebbler sort_merge;
+  const ComponentPebbler driver(&sort_merge, nullptr);
+  EXPECT_DEATH(driver.Solve(PathGraph(3).ToGraph()), "no fallback");
+}
+
+TEST(ComponentPebblerTest, EmptyGraph) {
+  const GreedyWalkPebbler greedy;
+  const ComponentPebbler driver(&greedy, nullptr);
+  const PebbleSolution solution = driver.Solve(Graph(5));
+  EXPECT_EQ(solution.num_components, 0);
+  EXPECT_TRUE(solution.edge_order.empty());
+  EXPECT_EQ(solution.hat_cost, 0);
+}
+
+TEST(ComponentPebblerTest, AdditivityWithExactSolver) {
+  // Lemma 2.2: π(G ⊎ H) = π(G) + π(H). Verified with the exact solver on
+  // random unions.
+  const ExactPebbler exact;
+  const GreedyWalkPebbler greedy;
+  const ComponentPebbler driver(&exact, &greedy);
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const BipartiteGraph a = RandomConnectedBipartite(3, 3, 6, seed);
+    const BipartiteGraph b = RandomConnectedBipartite(3, 4, 8, seed + 100);
+    const auto pa = exact.OptimalEffectiveCost(a.ToGraph());
+    const auto pb = exact.OptimalEffectiveCost(b.ToGraph());
+    ASSERT_TRUE(pa.has_value() && pb.has_value());
+    const PebbleSolution joint = driver.Solve(DisjointUnion(a, b).ToGraph());
+    EXPECT_EQ(joint.effective_cost, *pa + *pb) << seed;
+  }
+}
+
+TEST(ComponentPebblerTest, MatchingCosts) {
+  // Lemma 2.4: a matching with m edges has π̂ = 2m and π = m.
+  const GreedyWalkPebbler greedy;
+  const ComponentPebbler driver(&greedy, nullptr);
+  for (int m = 1; m <= 6; ++m) {
+    const PebbleSolution s = driver.Solve(MatchingGraph(m).ToGraph());
+    EXPECT_EQ(s.hat_cost, 2 * m);
+    EXPECT_EQ(s.effective_cost, m);
+  }
+}
+
+TEST(ComponentPebblerTest, EdgeOrderCoversOriginalIds) {
+  const LocalSearchPebbler local;
+  const GreedyWalkPebbler greedy;
+  const ComponentPebbler driver(&local, &greedy);
+  const BipartiteGraph u = DisjointUnion(
+      DisjointUnion(PathGraph(3), StarGraph(4)), CompleteBipartite(2, 2));
+  const Graph g = u.ToGraph();
+  const PebbleSolution solution = driver.Solve(g);
+  std::vector<bool> seen(g.num_edges(), false);
+  for (int e : solution.edge_order) {
+    ASSERT_GE(e, 0);
+    ASSERT_LT(e, g.num_edges());
+    EXPECT_FALSE(seen[e]);
+    seen[e] = true;
+  }
+  EXPECT_EQ(static_cast<int>(solution.edge_order.size()), g.num_edges());
+}
+
+}  // namespace
+}  // namespace pebblejoin

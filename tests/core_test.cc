@@ -1,0 +1,138 @@
+#include "core/analyzer.h"
+
+#include "core/classifier.h"
+#include "core/report.h"
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "join/realizers.h"
+#include "join/workload.h"
+#include "pebble/scheme_verifier.h"
+
+namespace pebblejoin {
+namespace {
+
+TEST(ClassifierTest, EquijoinShapeDetected) {
+  const JoinGraphClassification c =
+      ClassifyJoinGraph(CompleteBipartite(3, 3).ToGraph());
+  EXPECT_TRUE(c.equijoin_shape);
+  EXPECT_EQ(c.realizable_as, PredicateClass::kEquality);
+  EXPECT_EQ(c.bounds.lower, 9);
+}
+
+TEST(ClassifierTest, GeneralShapeFallsToSetContainment) {
+  const JoinGraphClassification c =
+      ClassifyJoinGraph(WorstCaseFamily(4).ToGraph());
+  EXPECT_FALSE(c.equijoin_shape);
+  EXPECT_EQ(c.realizable_as, PredicateClass::kSetContainment);
+}
+
+TEST(AnalyzerTest, EquijoinIsPerfect) {
+  const JoinAnalyzer analyzer;
+  KeyRelation r("R", {1, 1, 2, 3});
+  KeyRelation s("S", {1, 2, 2, 4});
+  const JoinAnalysis a = analyzer.AnalyzeEquiJoin(r, s);
+  EXPECT_EQ(a.predicate, PredicateClass::kEquality);
+  EXPECT_EQ(a.output_size, 4);  // 2·1 + 1·2 + 0 + 0
+  EXPECT_TRUE(a.perfect);
+  EXPECT_DOUBLE_EQ(a.cost_ratio, 1.0);
+  EXPECT_TRUE(a.classification.equijoin_shape);
+}
+
+TEST(AnalyzerTest, EquijoinWorkloadAlwaysPerfect) {
+  const JoinAnalyzer analyzer;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    EquijoinWorkloadOptions options;
+    options.num_keys = 25;
+    options.seed = seed;
+    const Realization<int64_t> w = GenerateEquijoinWorkload(options);
+    const JoinAnalysis a = analyzer.AnalyzeEquiJoin(w.left, w.right);
+    EXPECT_TRUE(a.perfect) << seed;
+    EXPECT_EQ(a.solution.effective_cost, a.output_size);
+  }
+}
+
+TEST(AnalyzerTest, SetContainmentAnalysis) {
+  const JoinAnalyzer analyzer;
+  SetWorkloadOptions options;
+  options.num_left = 20;
+  options.num_right = 20;
+  options.universe = 10;
+  options.min_right_size = 4;
+  options.max_right_size = 8;
+  const Realization<IntSet> w = GenerateSetWorkload(options);
+  const JoinAnalysis a = analyzer.AnalyzeSetContainment(w.left, w.right);
+  EXPECT_EQ(a.predicate, PredicateClass::kSetContainment);
+  EXPECT_GE(a.cost_ratio, 1.0);
+  EXPECT_LE(a.solution.effective_cost,
+            a.classification.bounds.upper_general);
+}
+
+TEST(AnalyzerTest, SpatialWorstCaseInstanceNotPerfect) {
+  const JoinAnalyzer analyzer;
+  const Realization<Rect> inst = RealizeWorstCaseAsSpatial(6);
+  const JoinAnalysis a = analyzer.AnalyzeSpatialOverlap(inst.left, inst.right);
+  EXPECT_EQ(a.predicate, PredicateClass::kSpatialOverlap);
+  EXPECT_EQ(a.output_size, 12);
+  EXPECT_FALSE(a.perfect);  // Theorem 3.3: π > m for this family
+  EXPECT_FALSE(a.classification.equijoin_shape);
+}
+
+TEST(AnalyzerTest, SolverChoiceExactMatchesClosedForm) {
+  AnalyzerOptions options;
+  options.solver = SolverChoice::kExact;
+  const JoinAnalyzer analyzer(options);
+  const JoinAnalysis a = analyzer.AnalyzeJoinGraph(
+      WorstCaseFamily(5), PredicateClass::kSetContainment);
+  EXPECT_EQ(a.solution.effective_cost, WorstCaseFamilyOptimalCost(5));
+}
+
+TEST(AnalyzerTest, AllSolverChoicesProduceValidSchemes) {
+  const BipartiteGraph g = RandomConnectedBipartite(5, 5, 13, 3);
+  for (SolverChoice choice :
+       {SolverChoice::kAuto, SolverChoice::kSortMerge,
+        SolverChoice::kGreedyWalk, SolverChoice::kDfsTree,
+        SolverChoice::kLocalSearch, SolverChoice::kIls,
+        SolverChoice::kExact}) {
+    AnalyzerOptions options;
+    options.solver = choice;
+    const JoinAnalyzer analyzer(options);
+    const JoinAnalysis a =
+        analyzer.AnalyzeJoinGraph(g, PredicateClass::kGeneral);
+    EXPECT_TRUE(VerifyScheme(g.ToGraph(), a.solution.scheme).valid);
+    EXPECT_GE(a.solution.effective_cost, a.output_size);
+  }
+}
+
+TEST(AnalyzerTest, EmptyJoin) {
+  const JoinAnalyzer analyzer;
+  KeyRelation r("R", {1});
+  KeyRelation s("S", {2});
+  const JoinAnalysis a = analyzer.AnalyzeEquiJoin(r, s);
+  EXPECT_EQ(a.output_size, 0);
+  EXPECT_TRUE(a.perfect);  // vacuously: cost 0 == m 0
+  EXPECT_DOUBLE_EQ(a.cost_ratio, 1.0);
+}
+
+TEST(ReportTest, ContainsKeyFields) {
+  const JoinAnalyzer analyzer;
+  KeyRelation r("R", {1, 2});
+  KeyRelation s("S", {1, 2});
+  const std::string report = FormatAnalysis(analyzer.AnalyzeEquiJoin(r, s));
+  EXPECT_NE(report.find("equijoin"), std::string::npos);
+  EXPECT_NE(report.find("perfect"), std::string::npos);
+  EXPECT_NE(report.find("pi(G) bounds"), std::string::npos);
+  EXPECT_NE(report.find("2 x 2"), std::string::npos);
+}
+
+TEST(ReportTest, NonPerfectHasNoPerfectTag) {
+  AnalyzerOptions options;
+  options.solver = SolverChoice::kExact;
+  const JoinAnalyzer analyzer(options);
+  const std::string report = FormatAnalysis(analyzer.AnalyzeJoinGraph(
+      WorstCaseFamily(4), PredicateClass::kSpatialOverlap));
+  EXPECT_EQ(report.find("(perfect)"), std::string::npos);
+  EXPECT_NE(report.find("spatial-overlap"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pebblejoin

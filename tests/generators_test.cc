@@ -1,0 +1,155 @@
+#include "graph/generators.h"
+
+#include "graph/components.h"
+#include "graph/graph_properties.h"
+#include "gtest/gtest.h"
+
+namespace pebblejoin {
+namespace {
+
+TEST(CompleteBipartiteTest, SizesAndCompleteness) {
+  const BipartiteGraph g = CompleteBipartite(3, 4);
+  EXPECT_EQ(g.num_edges(), 12);
+  for (int l = 0; l < 3; ++l) {
+    for (int r = 0; r < 4; ++r) EXPECT_TRUE(g.HasEdge(l, r));
+  }
+}
+
+TEST(MatchingTest, Shape) {
+  const Graph g = MatchingGraph(6).ToGraph();
+  EXPECT_EQ(g.num_edges(), 6);
+  EXPECT_EQ(MaxDegree(g), 1);
+  EXPECT_EQ(BettiZero(g), 6);
+}
+
+TEST(PathTest, ShapeForEvenAndOdd) {
+  for (int m = 1; m <= 8; ++m) {
+    const Graph g = PathGraph(m).ToGraph();
+    EXPECT_EQ(g.num_edges(), m);
+    EXPECT_EQ(BettiZero(g), 1);
+    EXPECT_LE(MaxDegree(g), 2);
+    const std::vector<int> hist = DegreeHistogram(g);
+    EXPECT_EQ(hist[1], 2);  // exactly two endpoints
+  }
+}
+
+TEST(EvenCycleTest, Shape) {
+  for (int k = 2; k <= 6; ++k) {
+    const Graph g = EvenCycle(k).ToGraph();
+    EXPECT_EQ(g.num_edges(), 2 * k);
+    EXPECT_EQ(BettiZero(g), 1);
+    EXPECT_EQ(MaxDegree(g), 2);
+    EXPECT_EQ(DegreeHistogram(g)[2], 2 * k);  // every vertex degree 2
+  }
+}
+
+TEST(StarTest, Shape) {
+  const Graph g = StarGraph(5).ToGraph();
+  EXPECT_EQ(g.num_edges(), 5);
+  EXPECT_EQ(g.Degree(0), 5);
+}
+
+TEST(WorstCaseFamilyTest, Shape) {
+  for (int n = 3; n <= 8; ++n) {
+    const BipartiteGraph g = WorstCaseFamily(n);
+    EXPECT_EQ(g.left_size(), n + 1);
+    EXPECT_EQ(g.right_size(), n);
+    EXPECT_EQ(g.num_edges(), 2 * n);
+    // Hub degree n; every private left vertex degree 1; right degree 2.
+    EXPECT_EQ(g.LeftDegree(0), n);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(g.LeftDegree(1 + i), 1);
+      EXPECT_EQ(g.RightDegree(i), 2);
+    }
+    EXPECT_EQ(BettiZero(g.ToGraph()), 1);
+    // Edge id convention used elsewhere: 2i = spoke, 2i+1 = pendant.
+    EXPECT_EQ(g.edge(2 * (n - 1)).left, 0);
+    EXPECT_EQ(g.edge(2 * (n - 1) + 1).left, n);
+  }
+}
+
+TEST(RandomBipartiteTest, ProbabilityExtremes) {
+  EXPECT_EQ(RandomBipartite(5, 5, 0.0, 1).num_edges(), 0);
+  EXPECT_EQ(RandomBipartite(5, 5, 1.0, 1).num_edges(), 25);
+}
+
+TEST(RandomBipartiteTest, Deterministic) {
+  const BipartiteGraph a = RandomBipartite(10, 10, 0.3, 77);
+  const BipartiteGraph b = RandomBipartite(10, 10, 0.3, 77);
+  EXPECT_TRUE(a.SameEdgeSet(b));
+}
+
+TEST(RandomBipartiteWithEdgesTest, ExactCount) {
+  for (int m : {0, 1, 10, 40, 100}) {
+    const BipartiteGraph g = RandomBipartiteWithEdges(10, 10, m, 5);
+    EXPECT_EQ(g.num_edges(), m);
+  }
+}
+
+TEST(RandomBipartiteWithEdgesTest, DenseSamplingPath) {
+  // m close to full forces the subset-sampling branch.
+  const BipartiteGraph g = RandomBipartiteWithEdges(6, 6, 34, 9);
+  EXPECT_EQ(g.num_edges(), 34);
+}
+
+TEST(RandomConnectedBipartiteTest, ConnectedWithExactEdges) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const BipartiteGraph g = RandomConnectedBipartite(6, 8, 20, seed);
+    EXPECT_EQ(g.num_edges(), 20);
+    const Graph flat = g.ToGraph();
+    EXPECT_EQ(BettiZero(flat), 1);
+    EXPECT_EQ(NumNonIsolatedVertices(flat), 14);  // spanning
+  }
+}
+
+TEST(RandomConnectedBipartiteTest, TreeCase) {
+  const BipartiteGraph g = RandomConnectedBipartite(4, 5, 8, 3);
+  EXPECT_EQ(g.num_edges(), 8);  // exactly a spanning tree
+  EXPECT_EQ(BettiZero(g.ToGraph()), 1);
+}
+
+TEST(DisjointUnionTest, ShiftsIdsCorrectly) {
+  const BipartiteGraph u =
+      DisjointUnion(CompleteBipartite(1, 2), MatchingGraph(2));
+  EXPECT_EQ(u.left_size(), 3);
+  EXPECT_EQ(u.right_size(), 4);
+  EXPECT_EQ(u.num_edges(), 4);
+  EXPECT_TRUE(u.HasEdge(0, 0));
+  EXPECT_TRUE(u.HasEdge(0, 1));
+  EXPECT_TRUE(u.HasEdge(1, 2));
+  EXPECT_TRUE(u.HasEdge(2, 3));
+  EXPECT_EQ(BettiZero(u.ToGraph()), 3);
+}
+
+TEST(RandomGraphTest, ExtremesAndDeterminism) {
+  EXPECT_EQ(RandomGraph(6, 0.0, 1).num_edges(), 0);
+  EXPECT_EQ(RandomGraph(6, 1.0, 1).num_edges(), 15);
+  EXPECT_EQ(RandomGraph(12, 0.4, 9).num_edges(),
+            RandomGraph(12, 0.4, 9).num_edges());
+}
+
+TEST(RandomConnectedBoundedDegreeTest, RespectsBoundAndConnectivity) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    const Graph g = RandomConnectedBoundedDegree(15, 4, 10, seed);
+    EXPECT_LE(MaxDegree(g), 4);
+    EXPECT_EQ(BettiZero(g), 1);
+    EXPECT_GE(g.num_edges(), 14);  // at least the spanning tree
+  }
+}
+
+TEST(RandomConnectedBoundedDegreeTest, DegreeThreeWorks) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const Graph g = RandomConnectedBoundedDegree(12, 3, 6, seed);
+    EXPECT_LE(MaxDegree(g), 3);
+    EXPECT_EQ(BettiZero(g), 1);
+  }
+}
+
+TEST(CompleteAndCycleGraphTest, Shapes) {
+  EXPECT_EQ(CompleteGraph(5).num_edges(), 10);
+  EXPECT_EQ(CycleGraph(5).num_edges(), 5);
+  EXPECT_EQ(MaxDegree(CycleGraph(5)), 2);
+}
+
+}  // namespace
+}  // namespace pebblejoin

@@ -1,0 +1,91 @@
+#include "solver/ils_pebbler.h"
+
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "pebble/bounds.h"
+#include "pebble/cost_model.h"
+#include "pebble/scheme_verifier.h"
+#include "solver/exact_pebbler.h"
+#include "solver/local_search_pebbler.h"
+
+namespace pebblejoin {
+namespace {
+
+int64_t ConnectedEffectiveCost(const Graph& g, const std::vector<int>& order) {
+  return static_cast<int64_t>(order.size()) + JumpsOfEdgeOrder(g, order);
+}
+
+TEST(IlsPebblerTest, ValidOnRandomSparseGraphs) {
+  const IlsPebbler ils;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    const Graph g =
+        RandomConnectedBipartite(6, 6, 12 + seed % 6, seed).ToGraph();
+    const auto order = ils.PebbleConnected(g);
+    ASSERT_TRUE(order.has_value());
+    EXPECT_TRUE(VerifyEdgeOrder(g, *order).valid) << seed;
+  }
+}
+
+TEST(IlsPebblerTest, NeverWorseThanLocalSearch) {
+  const IlsPebbler ils;
+  const LocalSearchPebbler local;
+  for (uint64_t seed = 1; seed <= 15; ++seed) {
+    const Graph g = RandomConnectedBipartite(7, 7, 15, seed).ToGraph();
+    const auto a = ils.PebbleConnected(g);
+    const auto b = local.PebbleConnected(g);
+    ASSERT_TRUE(a.has_value() && b.has_value());
+    EXPECT_LE(ConnectedEffectiveCost(g, *a), ConnectedEffectiveCost(g, *b))
+        << seed;
+  }
+}
+
+TEST(IlsPebblerTest, InheritsTheoremBound) {
+  const IlsPebbler ils;
+  for (uint64_t seed = 1; seed <= 15; ++seed) {
+    const Graph g = RandomConnectedBipartite(6, 6, 13, seed).ToGraph();
+    const auto order = ils.PebbleConnected(g);
+    ASSERT_TRUE(order.has_value());
+    EXPECT_LE(ConnectedEffectiveCost(g, *order),
+              DfsUpperBoundForConnected(g.num_edges()));
+  }
+}
+
+TEST(IlsPebblerTest, OptimalOnSmallHardInstances) {
+  // With its default budget, ILS matches the exact solver on instances
+  // where plain local search occasionally does not.
+  const IlsPebbler ils;
+  const ExactPebbler exact;
+  int matched = 0;
+  int solved = 0;
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    const Graph g = RandomConnectedBipartite(7, 6, 14, seed).ToGraph();
+    const auto optimum = exact.OptimalEffectiveCost(g);
+    if (!optimum.has_value()) continue;
+    ++solved;
+    const auto order = ils.PebbleConnected(g);
+    ASSERT_TRUE(order.has_value());
+    if (ConnectedEffectiveCost(g, *order) == *optimum) ++matched;
+  }
+  EXPECT_GT(solved, 8);
+  EXPECT_GE(matched * 10, solved * 9);  // >= 90% optimal
+}
+
+TEST(IlsPebblerTest, PerfectInstancesShortCircuit) {
+  const IlsPebbler ils;
+  const Graph g = CompleteBipartite(5, 5).ToGraph();
+  const auto order = ils.PebbleConnected(g);
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(JumpsOfEdgeOrder(g, *order), 0);
+}
+
+TEST(IlsPebblerTest, DeterministicForFixedSeed) {
+  IlsPebbler::Options options;
+  options.seed = 99;
+  const IlsPebbler a(options);
+  const IlsPebbler b(options);
+  const Graph g = RandomConnectedBipartite(6, 6, 13, 4).ToGraph();
+  EXPECT_EQ(*a.PebbleConnected(g), *b.PebbleConnected(g));
+}
+
+}  // namespace
+}  // namespace pebblejoin

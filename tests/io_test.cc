@@ -1,0 +1,136 @@
+#include "io/graph_io.h"
+
+#include "io/dot_export.h"
+
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+
+namespace pebblejoin {
+namespace {
+
+TEST(BipartiteIoTest, RoundTripsRandomGraphs) {
+  for (uint64_t seed = 1; seed <= 15; ++seed) {
+    const BipartiteGraph g = RandomBipartite(7, 9, 0.3, seed);
+    std::string error;
+    const auto parsed = ParseBipartiteGraph(SerializeBipartiteGraph(g),
+                                            &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_TRUE(parsed->SameEdgeSet(g));
+    EXPECT_EQ(parsed->left_size(), g.left_size());
+    EXPECT_EQ(parsed->right_size(), g.right_size());
+  }
+}
+
+TEST(BipartiteIoTest, RoundTripsEmptyGraph) {
+  const BipartiteGraph g(3, 0);
+  std::string error;
+  const auto parsed = ParseBipartiteGraph(SerializeBipartiteGraph(g),
+                                          &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->left_size(), 3);
+  EXPECT_EQ(parsed->num_edges(), 0);
+}
+
+TEST(BipartiteIoTest, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# a comment\n"
+      "bipartite 2 2 1  # trailing comment\n"
+      "\n"
+      "0 1\n";
+  std::string error;
+  const auto parsed = ParseBipartiteGraph(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_TRUE(parsed->HasEdge(0, 1));
+}
+
+TEST(BipartiteIoTest, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(ParseBipartiteGraph("", &error).has_value());
+  EXPECT_FALSE(ParseBipartiteGraph("graph 2 1\n0 1\n", &error).has_value());
+  EXPECT_FALSE(
+      ParseBipartiteGraph("bipartite 2 2 2\n0 1\n", &error).has_value());
+  EXPECT_NE(error.find("length"), std::string::npos);
+  EXPECT_FALSE(
+      ParseBipartiteGraph("bipartite 2 2 1\n0 5\n", &error).has_value());
+  EXPECT_FALSE(
+      ParseBipartiteGraph("bipartite 2 2 1\n0 x\n", &error).has_value());
+  EXPECT_FALSE(ParseBipartiteGraph("bipartite 2 2 2\n0 1\n0 1\n", &error)
+                   .has_value());
+  EXPECT_NE(error.find("duplicate"), std::string::npos);
+  EXPECT_FALSE(
+      ParseBipartiteGraph("bipartite -1 2 0\n", &error).has_value());
+}
+
+TEST(GraphIoTest, RoundTripsRandomGraphs) {
+  for (uint64_t seed = 1; seed <= 15; ++seed) {
+    const Graph g = RandomGraph(10, 0.3, seed);
+    std::string error;
+    const auto parsed = ParseGraph(SerializeGraph(g), &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    ASSERT_EQ(parsed->num_edges(), g.num_edges());
+    for (int e = 0; e < g.num_edges(); ++e) {
+      EXPECT_EQ(parsed->edge(e).u, g.edge(e).u);
+      EXPECT_EQ(parsed->edge(e).v, g.edge(e).v);
+    }
+  }
+}
+
+TEST(GraphIoTest, RejectsSelfLoopsAndRange) {
+  std::string error;
+  EXPECT_FALSE(ParseGraph("graph 3 1\n1 1\n", &error).has_value());
+  EXPECT_FALSE(ParseGraph("graph 3 1\n0 3\n", &error).has_value());
+}
+
+TEST(FileIoTest, WriteThenRead) {
+  const std::string path = testing::TempDir() + "/pebblejoin_io_test.txt";
+  const BipartiteGraph g = WorstCaseFamily(4);
+  ASSERT_TRUE(WriteTextFile(path, SerializeBipartiteGraph(g)));
+  std::string error;
+  const auto parsed = ReadBipartiteGraphFile(path, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_TRUE(parsed->SameEdgeSet(g));
+}
+
+TEST(FileIoTest, MissingFileFails) {
+  std::string error;
+  EXPECT_FALSE(
+      ReadBipartiteGraphFile("/nonexistent/nope.txt", &error).has_value());
+  EXPECT_FALSE(ReadTextFile("/nonexistent/nope.txt").has_value());
+}
+
+TEST(DotExportTest, ContainsAllVerticesAndEdges) {
+  const BipartiteGraph g = WorstCaseFamily(3);
+  const std::string dot = ExportDot(g);
+  EXPECT_NE(dot.find("graph join_graph {"), std::string::npos);
+  for (int l = 0; l < g.left_size(); ++l) {
+    EXPECT_NE(dot.find("L" + std::to_string(l) + " [shape=box]"),
+              std::string::npos);
+  }
+  for (const BipartiteGraph::Edge& e : g.edges()) {
+    EXPECT_NE(dot.find("L" + std::to_string(e.left) + " -- R" +
+                       std::to_string(e.right)),
+              std::string::npos);
+  }
+}
+
+TEST(DotExportTest, OrderAnnotationsAndJumps) {
+  const BipartiteGraph g = MatchingGraph(2);  // any order has one jump
+  DotOptions options;
+  options.edge_order = std::vector<int>{1, 0};
+  const std::string dot = ExportDot(g, options);
+  EXPECT_NE(dot.find("label=\"1\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"2\""), std::string::npos);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+}
+
+TEST(DotExportDeathTest, RejectsBadOrders) {
+  const BipartiteGraph g = MatchingGraph(2);
+  DotOptions options;
+  options.edge_order = std::vector<int>{0};
+  EXPECT_DEATH(ExportDot(g, options), "mismatch");
+  options.edge_order = std::vector<int>{0, 0};
+  EXPECT_DEATH(ExportDot(g, options), "repeats");
+}
+
+}  // namespace
+}  // namespace pebblejoin

@@ -1,0 +1,137 @@
+#include "kpebble/k_pebble_game.h"
+
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "pebble/bounds.h"
+#include "solver/exact_pebbler.h"
+
+namespace pebblejoin {
+namespace {
+
+KPebbleOptions Options(int k, EvictionPolicy policy =
+                                  EvictionPolicy::kMinRemainingDegree) {
+  KPebbleOptions options;
+  options.k = k;
+  options.policy = policy;
+  options.seed = 7;
+  return options;
+}
+
+TEST(KPebbleTest, SchedulesAreVerifiedValid) {
+  for (uint64_t seed = 1; seed <= 15; ++seed) {
+    const Graph g = RandomConnectedBipartite(5, 5, 12, seed).ToGraph();
+    for (int k : {2, 3, 4, 8}) {
+      for (EvictionPolicy policy :
+           {EvictionPolicy::kLru, EvictionPolicy::kRandom,
+            EvictionPolicy::kMinRemainingDegree}) {
+        const KPebbleSchedule schedule =
+            ScheduleKPebbles(g, Options(k, policy));
+        std::string error;
+        EXPECT_TRUE(VerifyKPebbleSchedule(g, schedule, &error))
+            << error << " k=" << k << " seed=" << seed;
+        EXPECT_GE(schedule.fetches, KPebbleFetchLowerBound(g));
+      }
+    }
+  }
+}
+
+TEST(KPebbleTest, TwoPebblesMatchesGameBounds) {
+  // With k = 2, fetches is a π̂ of the original game: it must be within
+  // [m + β₀, 2m] (Lemma 2.1) and can never beat the optimal π̂.
+  const ExactPebbler exact;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const Graph g = RandomConnectedBipartite(4, 4, 9, seed).ToGraph();
+    const KPebbleSchedule schedule = ScheduleKPebbles(g, Options(2));
+    EXPECT_GE(schedule.fetches, g.num_edges() + 1);
+    EXPECT_LE(schedule.fetches, 2 * g.num_edges());
+    const auto pi = exact.OptimalEffectiveCost(g);
+    ASSERT_TRUE(pi.has_value());
+    EXPECT_GE(schedule.fetches, *pi + 1) << seed;  // π̂* = π + β₀
+  }
+}
+
+TEST(KPebbleTest, EnoughBuffersMeansEachVertexOnce) {
+  // k >= |V|: every vertex fetched exactly once; fetches == lower bound.
+  const Graph g = WorstCaseFamily(5).ToGraph();
+  const KPebbleSchedule schedule = ScheduleKPebbles(g, Options(64));
+  EXPECT_EQ(schedule.fetches, KPebbleFetchLowerBound(g));
+  for (const KPebbleStep& step : schedule.steps) {
+    EXPECT_EQ(step.evicted, -1);
+  }
+}
+
+TEST(KPebbleTest, MoreBuffersNeverHurtMuch) {
+  // Monotone trend: doubling k should not increase fetches for the greedy
+  // scheduler on these instances (policy is deterministic).
+  const Graph g = RandomConnectedBipartite(6, 6, 20, 3).ToGraph();
+  int64_t previous = ScheduleKPebbles(g, Options(2)).fetches;
+  for (int k : {4, 8, 12}) {
+    const int64_t fetches = ScheduleKPebbles(g, Options(k)).fetches;
+    EXPECT_LE(fetches, previous) << k;
+    previous = fetches;
+  }
+}
+
+TEST(KPebbleTest, WorstCaseFamilyRecoversWithBuffers) {
+  // The Gₙ jumps are buffer-thrashing: with k = 3 the hub can stay
+  // resident, collapsing fetches to the lower bound + small change.
+  const int n = 10;
+  const Graph g = WorstCaseFamily(n).ToGraph();
+  const int64_t k2 = ScheduleKPebbles(g, Options(2)).fetches;
+  const int64_t k3 = ScheduleKPebbles(g, Options(3)).fetches;
+  EXPECT_GT(k2, k3);
+  EXPECT_LE(k3, KPebbleFetchLowerBound(g) + 1);
+}
+
+TEST(KPebbleTest, IsolatedVerticesNeverFetched) {
+  Graph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  const KPebbleSchedule schedule = ScheduleKPebbles(g, Options(2));
+  for (const KPebbleStep& step : schedule.steps) {
+    EXPECT_LE(step.vertex, 2);
+  }
+}
+
+TEST(KPebbleVerifierTest, RejectsBadSchedules) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  std::string error;
+
+  KPebbleSchedule incomplete;
+  incomplete.k = 2;
+  incomplete.steps = {{0, -1}, {1, -1}};
+  incomplete.fetches = 2;
+  EXPECT_FALSE(VerifyKPebbleSchedule(g, incomplete, &error));
+  EXPECT_NE(error.find("undeleted"), std::string::npos);
+
+  KPebbleSchedule overfull;
+  overfull.k = 2;
+  overfull.steps = {{0, -1}, {1, -1}, {2, -1}};
+  overfull.fetches = 3;
+  EXPECT_FALSE(VerifyKPebbleSchedule(g, overfull, &error));
+  EXPECT_NE(error.find("capacity"), std::string::npos);
+
+  KPebbleSchedule bad_evict;
+  bad_evict.k = 2;
+  bad_evict.steps = {{0, -1}, {1, 2}};
+  bad_evict.fetches = 2;
+  EXPECT_FALSE(VerifyKPebbleSchedule(g, bad_evict, &error));
+
+  KPebbleSchedule good;
+  good.k = 2;
+  good.steps = {{0, -1}, {1, -1}, {2, 0}};
+  good.fetches = 3;
+  EXPECT_TRUE(VerifyKPebbleSchedule(g, good, &error)) << error;
+}
+
+TEST(KPebblePolicyTest, NamesAreStable) {
+  EXPECT_STREQ(EvictionPolicyName(EvictionPolicy::kLru), "lru");
+  EXPECT_STREQ(EvictionPolicyName(EvictionPolicy::kRandom), "random");
+  EXPECT_STREQ(EvictionPolicyName(EvictionPolicy::kMinRemainingDegree),
+               "min-degree");
+}
+
+}  // namespace
+}  // namespace pebblejoin

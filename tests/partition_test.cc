@@ -1,0 +1,133 @@
+#include "partition/partitioner.h"
+
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "join/join_graph_builder.h"
+#include "join/workload.h"
+
+namespace pebblejoin {
+namespace {
+
+TEST(CountTouchedPairsTest, CountsDistinctFragmentPairs) {
+  const BipartiteGraph g = MatchingGraph(4);
+  JoinPartition partition;
+  partition.p = 2;
+  partition.q = 2;
+  partition.left_fragment = {0, 0, 1, 1};
+  partition.right_fragment = {0, 0, 1, 1};
+  EXPECT_EQ(CountTouchedPairs(g, partition), 2);  // (0,0) and (1,1)
+  partition.right_fragment = {1, 1, 0, 0};
+  EXPECT_EQ(CountTouchedPairs(g, partition), 2);  // (0,1) and (1,0)
+  partition.right_fragment = {0, 1, 0, 1};
+  EXPECT_EQ(CountTouchedPairs(g, partition), 4);  // all pairs
+}
+
+TEST(TouchedPairsLowerBoundTest, VolumeAndDegreeArguments) {
+  // K_{4,4}, p=q=2 (caps 2x2 = 4 edges per pair): >= 16/4 = 4.
+  EXPECT_EQ(TouchedPairsLowerBound(CompleteBipartite(4, 4), 2, 2), 4);
+  // A star K_{1,8} with q=4: the center's 8 neighbors spread over >= 4
+  // right fragments.
+  EXPECT_GE(TouchedPairsLowerBound(StarGraph(8), 2, 4), 4);
+  // Empty graph: zero.
+  EXPECT_EQ(TouchedPairsLowerBound(BipartiteGraph(3, 3), 2, 2), 0);
+}
+
+TEST(IsBalancedTest, CapacityChecks) {
+  const BipartiteGraph g = MatchingGraph(4);
+  JoinPartition partition;
+  partition.p = partition.q = 2;
+  partition.left_fragment = {0, 0, 1, 1};
+  partition.right_fragment = {0, 1, 0, 1};
+  EXPECT_TRUE(IsBalanced(g, partition));
+  partition.left_fragment = {0, 0, 0, 1};  // fragment 0 over capacity 2
+  EXPECT_FALSE(IsBalanced(g, partition));
+}
+
+TEST(RoundRobinTest, BalancedByConstruction) {
+  const BipartiteGraph g = RandomBipartite(11, 13, 0.3, 3);
+  const JoinPartition partition = RoundRobinPartition(g, 3, 4);
+  EXPECT_TRUE(IsBalanced(g, partition));
+}
+
+TEST(GreedyComponentTest, EquijoinCoPartitioningIsOptimal) {
+  // On an equijoin graph with blocks that fit, each component lands in one
+  // fragment pair: touched pairs == number of fragments holding blocks,
+  // which meets the per-component minimum (each component needs >= 1 pair;
+  // components sharing a fragment pair share its count).
+  EquijoinWorkloadOptions options;
+  options.num_keys = 12;
+  options.min_left_dup = options.max_left_dup = 2;
+  options.min_right_dup = options.max_right_dup = 2;
+  options.seed = 3;
+  const Realization<int64_t> w = GenerateEquijoinWorkload(options);
+  const BipartiteGraph g = BuildEquiJoinGraph(w.left, w.right);
+  const int fragments = 4;
+  const JoinPartition partition = GreedyComponentPartition(g, fragments);
+  EXPECT_TRUE(IsBalanced(g, partition));
+  // Every component whole => touched pairs <= fragments (only diagonal-ish
+  // pairs used, one per fragment that holds components).
+  EXPECT_LE(CountTouchedPairs(g, partition), fragments);
+  // Round-robin is strictly worse on this workload.
+  EXPECT_LT(CountTouchedPairs(g, partition),
+            CountTouchedPairs(g, RoundRobinPartition(g, fragments,
+                                                     fragments)));
+}
+
+TEST(GreedyComponentTest, HandlesOversizedComponents) {
+  // One giant component larger than any fragment must be split but stay
+  // balanced.
+  const BipartiteGraph g = CompleteBipartite(8, 8);
+  const JoinPartition partition = GreedyComponentPartition(g, 4);
+  EXPECT_TRUE(IsBalanced(g, partition));
+  EXPECT_GE(CountTouchedPairs(g, partition),
+            TouchedPairsLowerBound(g, 4, 4));
+}
+
+TEST(GreedyComponentTest, IsolatedVerticesPlaced) {
+  BipartiteGraph g(5, 5);
+  g.AddEdge(0, 0);
+  const JoinPartition partition = GreedyComponentPartition(g, 2);
+  EXPECT_TRUE(IsBalanced(g, partition));
+  for (int f : partition.left_fragment) EXPECT_NE(f, -1);
+  for (int f : partition.right_fragment) EXPECT_NE(f, -1);
+}
+
+TEST(ExhaustiveTest, MatchesManualOptimumOnTinyInstances) {
+  // Two disjoint edges, p=q=2: optimum is 2 touched pairs.
+  const BipartiteGraph g = MatchingGraph(2);
+  const auto best = ExhaustiveOptimalPartition(g, 2, 2);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(CountTouchedPairs(g, *best), 2);
+  EXPECT_TRUE(IsBalanced(g, *best));
+}
+
+TEST(ExhaustiveTest, RefusesHugeSearchSpaces) {
+  const BipartiteGraph g = RandomBipartite(20, 20, 0.2, 1);
+  EXPECT_FALSE(ExhaustiveOptimalPartition(g, 3, 3, 1000).has_value());
+}
+
+TEST(ExhaustiveTest, GreedyNeverBeatsExhaustive) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const BipartiteGraph g = RandomBipartite(5, 5, 0.35, seed);
+    const auto best = ExhaustiveOptimalPartition(g, 2, 2);
+    ASSERT_TRUE(best.has_value());
+    const JoinPartition greedy = GreedyComponentPartition(g, 2);
+    EXPECT_LE(CountTouchedPairs(g, *best), CountTouchedPairs(g, greedy))
+        << seed;
+    EXPECT_GE(CountTouchedPairs(g, *best),
+              TouchedPairsLowerBound(g, 2, 2))
+        << seed;
+  }
+}
+
+TEST(ExhaustiveTest, HardGraphNeedsManyPairs) {
+  // The worst-case family's hub is adjacent to everything: its fragment
+  // touches every right fragment that holds a spoke.
+  const BipartiteGraph g = WorstCaseFamily(4);
+  const auto best = ExhaustiveOptimalPartition(g, 2, 2);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_GE(CountTouchedPairs(g, *best), 2);
+}
+
+}  // namespace
+}  // namespace pebblejoin

@@ -1,0 +1,164 @@
+#include "pebble/pebbling_scheme.h"
+
+#include "graph/generators.h"
+#include "pebble/cost_model.h"
+#include "pebble/scheme_verifier.h"
+#include "gtest/gtest.h"
+
+namespace pebblejoin {
+namespace {
+
+TEST(PebbleConfigTest, MovesToCountsPebbleMoves) {
+  const PebbleConfig a{1, 2};
+  EXPECT_EQ(a.MovesTo(PebbleConfig{1, 2}), 0);
+  EXPECT_EQ(a.MovesTo(PebbleConfig{2, 1}), 0);  // unordered
+  EXPECT_EQ(a.MovesTo(PebbleConfig{1, 3}), 1);
+  EXPECT_EQ(a.MovesTo(PebbleConfig{3, 2}), 1);
+  EXPECT_EQ(a.MovesTo(PebbleConfig{3, 4}), 2);
+}
+
+TEST(PebbleConfigTest, Covers) {
+  const PebbleConfig c{3, 5};
+  EXPECT_TRUE(c.Covers(3, 5));
+  EXPECT_TRUE(c.Covers(5, 3));
+  EXPECT_FALSE(c.Covers(3, 4));
+}
+
+TEST(HatCostTest, EmptySchemeCostsNothing) {
+  EXPECT_EQ(HatCost(PebblingScheme{}), 0);
+}
+
+TEST(HatCostTest, SingleConfigCostsTwo) {
+  PebblingScheme s;
+  s.configs = {{0, 1}};
+  EXPECT_EQ(HatCost(s), 2);
+}
+
+TEST(HatCostTest, AdjacentStepsCostOne) {
+  // (0,1) -> (1,2) -> (2,3): 2 (placement) + 1 + 1.
+  PebblingScheme s;
+  s.configs = {{0, 1}, {1, 2}, {2, 3}};
+  EXPECT_EQ(HatCost(s), 4);
+}
+
+TEST(HatCostTest, JumpCostsTwo) {
+  PebblingScheme s;
+  s.configs = {{0, 1}, {2, 3}};
+  EXPECT_EQ(HatCost(s), 4);
+}
+
+TEST(SchemeFromEdgeOrderTest, ConfigsAreEdgeEndpoints) {
+  const Graph g = PathGraph(3).ToGraph();
+  const PebblingScheme s = SchemeFromEdgeOrder(g, {2, 0, 1});
+  ASSERT_EQ(s.configs.size(), 3u);
+  EXPECT_TRUE(s.configs[0].Covers(g.edge(2).u, g.edge(2).v));
+  EXPECT_TRUE(s.configs[1].Covers(g.edge(0).u, g.edge(0).v));
+}
+
+TEST(EdgeOrderCostTest, MatchesSchemeCost) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    const Graph g = RandomConnectedBipartite(5, 5, 14, seed).ToGraph();
+    std::vector<int> order(g.num_edges());
+    for (int i = 0; i < g.num_edges(); ++i) order[i] = i;
+    EXPECT_EQ(HatCostOfEdgeOrder(g, order),
+              HatCost(SchemeFromEdgeOrder(g, order)));
+  }
+}
+
+TEST(EdgeOrderCostTest, JumpCounting) {
+  const Graph g = MatchingGraph(3).ToGraph();
+  const std::vector<int> order{0, 1, 2};
+  EXPECT_EQ(JumpsOfEdgeOrder(g, order), 2);
+  EXPECT_EQ(HatCostOfEdgeOrder(g, order), 3 + 1 + 2);
+}
+
+TEST(ConcatSchemesTest, Concatenates) {
+  PebblingScheme a;
+  a.configs = {{0, 1}};
+  PebblingScheme b;
+  b.configs = {{2, 3}, {3, 4}};
+  const PebblingScheme c = ConcatSchemes({a, b});
+  ASSERT_EQ(c.configs.size(), 3u);
+  EXPECT_TRUE(c.configs[2].Covers(3, 4));
+}
+
+// --- Verifier ------------------------------------------------------------
+
+TEST(VerifierTest, AcceptsValidScheme) {
+  const Graph g = PathGraph(3).ToGraph();
+  const VerificationResult r = VerifyEdgeOrder(g, {0, 1, 2});
+  EXPECT_TRUE(r.valid);
+  EXPECT_EQ(r.hat_cost, 4);       // perfect: m + 1
+  EXPECT_EQ(r.effective_cost, 3); // = m
+  EXPECT_EQ(r.edges_deleted, 3);
+}
+
+TEST(VerifierTest, EffectiveCostSubtractsComponents) {
+  const Graph g = MatchingGraph(4).ToGraph();
+  const VerificationResult r = VerifyEdgeOrder(g, {0, 1, 2, 3});
+  EXPECT_TRUE(r.valid);
+  EXPECT_EQ(r.hat_cost, 8);        // Lemma 2.4: π̂ = 2m
+  EXPECT_EQ(r.effective_cost, 4);  // π = m
+}
+
+TEST(VerifierTest, RejectsMissingEdges) {
+  const Graph g = PathGraph(3).ToGraph();
+  PebblingScheme s;
+  s.configs = {{g.edge(0).u, g.edge(0).v}};
+  const VerificationResult r = VerifyScheme(g, s);
+  EXPECT_FALSE(r.valid);
+  EXPECT_NE(r.error.find("undeleted"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsPebblesOnSameVertex) {
+  const Graph g = PathGraph(2).ToGraph();
+  PebblingScheme s;
+  s.configs = {{0, 0}, {0, 1}, {1, 2}};
+  EXPECT_FALSE(VerifyScheme(g, s).valid);
+}
+
+TEST(VerifierTest, RejectsOutOfRangeVertex) {
+  const Graph g = PathGraph(2).ToGraph();
+  PebblingScheme s;
+  s.configs = {{0, 99}};
+  EXPECT_FALSE(VerifyScheme(g, s).valid);
+}
+
+TEST(VerifierTest, EmptyGraphNeedsEmptyScheme) {
+  Graph g(3);
+  EXPECT_TRUE(VerifyScheme(g, PebblingScheme{}).valid);
+  PebblingScheme s;
+  s.configs = {{0, 1}};
+  EXPECT_FALSE(VerifyScheme(g, s).valid);
+}
+
+TEST(VerifierTest, NonEdgeConfigsAllowedButCostMoves) {
+  // Passing through a non-edge configuration is legal; it just costs moves.
+  const Graph g = MatchingGraph(2).ToGraph();  // edges (0,2),(1,3) flattened
+  PebblingScheme s;
+  s.configs = {{g.edge(0).u, g.edge(0).v},
+               {g.edge(0).u, g.edge(1).u},  // non-edge stopover
+               {g.edge(1).u, g.edge(1).v}};
+  const VerificationResult r = VerifyScheme(g, s);
+  EXPECT_TRUE(r.valid);
+  EXPECT_EQ(r.hat_cost, 4);  // 2 + 1 + 1: same as jumping directly
+}
+
+TEST(VerifierTest, EdgeOrderMustBePermutation) {
+  const Graph g = PathGraph(3).ToGraph();
+  EXPECT_FALSE(VerifyEdgeOrder(g, {0, 1}).valid);
+  EXPECT_FALSE(VerifyEdgeOrder(g, {0, 1, 1}).valid);
+  EXPECT_FALSE(VerifyEdgeOrder(g, {0, 1, 9}).valid);
+}
+
+TEST(VerifierTest, RepeatedConfigDeletesOnlyOnce) {
+  const Graph g = PathGraph(2).ToGraph();
+  PebblingScheme s;
+  s.configs = {{g.edge(0).u, g.edge(0).v}, {g.edge(0).u, g.edge(0).v}};
+  const VerificationResult r = VerifyScheme(g, s);
+  EXPECT_FALSE(r.valid);
+  EXPECT_EQ(r.edges_deleted, 1);
+}
+
+}  // namespace
+}  // namespace pebblejoin

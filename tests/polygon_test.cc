@@ -1,0 +1,118 @@
+#include "join/polygon.h"
+
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "join/join_graph_builder.h"
+
+namespace pebblejoin {
+namespace {
+
+TEST(ConvexPolygonTest, FromRectRoundTrip) {
+  const Rect r{1, 3, 2, 5};
+  const ConvexPolygon p = ConvexPolygon::FromRect(r);
+  EXPECT_EQ(p.size(), 4);
+  const Rect box = p.BoundingBox();
+  EXPECT_EQ(box.x_min, 1);
+  EXPECT_EQ(box.x_max, 3);
+  EXPECT_EQ(box.y_min, 2);
+  EXPECT_EQ(box.y_max, 5);
+}
+
+TEST(ConvexPolygonTest, RegularPolygonShape) {
+  const ConvexPolygon hex = ConvexPolygon::Regular(6, 0, 0, 1);
+  EXPECT_EQ(hex.size(), 6);
+  const Rect box = hex.BoundingBox();
+  EXPECT_NEAR(box.x_max, 1.0, 1e-9);
+  EXPECT_NEAR(box.x_min, -1.0, 1e-9);
+}
+
+TEST(ConvexPolygonDeathTest, RejectsNonConvexOrder) {
+  // A "bowtie" (self-intersecting) vertex order is rejected.
+  EXPECT_DEATH(ConvexPolygon::Of({{0, 0}, {1, 1}, {1, 0}, {0, 1}}),
+               "convex");
+}
+
+TEST(ConvexPolygonOverlapTest, BasicCases) {
+  const ConvexPolygon a = ConvexPolygon::FromRect({0, 2, 0, 2});
+  const ConvexPolygon b = ConvexPolygon::FromRect({1, 3, 1, 3});
+  const ConvexPolygon c = ConvexPolygon::FromRect({5, 6, 5, 6});
+  EXPECT_TRUE(a.Overlaps(b));
+  EXPECT_TRUE(b.Overlaps(a));
+  EXPECT_FALSE(a.Overlaps(c));
+}
+
+TEST(ConvexPolygonOverlapTest, TouchingCounts) {
+  const ConvexPolygon a = ConvexPolygon::FromRect({0, 1, 0, 1});
+  const ConvexPolygon b = ConvexPolygon::FromRect({1, 2, 0, 1});
+  EXPECT_TRUE(a.Overlaps(b));
+}
+
+TEST(ConvexPolygonOverlapTest, RotatedSeparation) {
+  // Two unit diamonds: axis-aligned bounding boxes overlap, the diamonds
+  // do not — the case that defeats a bbox-only test.
+  const ConvexPolygon a =
+      ConvexPolygon::Of({{1, 0}, {2, 1}, {1, 2}, {0, 1}});
+  const ConvexPolygon b =
+      ConvexPolygon::Of({{2.9, 1.9}, {3.9, 2.9}, {2.9, 3.9}, {1.9, 2.9}});
+  EXPECT_TRUE(a.BoundingBox().Overlaps(b.BoundingBox()));
+  EXPECT_FALSE(a.Overlaps(b));
+}
+
+TEST(ConvexPolygonOverlapTest, ContainmentIsOverlap) {
+  const ConvexPolygon outer = ConvexPolygon::FromRect({0, 10, 0, 10});
+  const ConvexPolygon inner = ConvexPolygon::Regular(5, 5, 5, 1);
+  EXPECT_TRUE(outer.Overlaps(inner));
+  EXPECT_TRUE(inner.Overlaps(outer));
+}
+
+TEST(ConvexPolygonOverlapTest, DegeneratePointAndSegment) {
+  const ConvexPolygon point = ConvexPolygon::Of({{1, 1}});
+  const ConvexPolygon same_point = ConvexPolygon::Of({{1, 1}});
+  const ConvexPolygon other_point = ConvexPolygon::Of({{2, 2}});
+  EXPECT_TRUE(point.Overlaps(same_point));
+  EXPECT_FALSE(point.Overlaps(other_point));
+
+  const ConvexPolygon segment = ConvexPolygon::Of({{0, 0}, {2, 2}});
+  EXPECT_TRUE(segment.Overlaps(point));
+  const ConvexPolygon rect = ConvexPolygon::FromRect({0, 3, 0, 3});
+  EXPECT_TRUE(segment.Overlaps(rect));
+  // Collinear but disjoint segments.
+  const ConvexPolygon far_segment = ConvexPolygon::Of({{3, 3}, {4, 4}});
+  EXPECT_FALSE(segment.Overlaps(far_segment));
+}
+
+TEST(PolygonJoinBuilderTest, MatchesNestedLoop) {
+  // Random triangles and hexagons across a small space.
+  PolygonRelation left("R");
+  PolygonRelation right("S");
+  for (int i = 0; i < 15; ++i) {
+    left.Add(ConvexPolygon::Regular(3, (i * 7) % 20, (i * 3) % 15,
+                                    1.0 + i % 3, 0.3 * i));
+    right.Add(ConvexPolygon::Regular(6, (i * 5) % 18, (i * 11) % 13,
+                                     0.8 + i % 2, 0.1 * i));
+  }
+  const BipartiteGraph fast = BuildPolygonOverlapJoinGraph(left, right);
+  const BipartiteGraph slow =
+      BuildJoinGraphNestedLoop(left, right, PolygonOverlapPredicate());
+  EXPECT_TRUE(fast.SameEdgeSet(slow));
+  EXPECT_GT(fast.num_edges(), 0);
+}
+
+TEST(PolygonRealizerTest, ReproducesWorstCaseFamily) {
+  // Lemma 3.4 with genuinely non-rectangular polygons.
+  for (int n = 3; n <= 10; ++n) {
+    const PolygonRealization inst = RealizeWorstCaseAsPolygons(n);
+    const BipartiteGraph rebuilt =
+        BuildPolygonOverlapJoinGraph(inst.left, inst.right);
+    EXPECT_TRUE(rebuilt.SameEdgeSet(WorstCaseFamily(n))) << n;
+  }
+}
+
+TEST(PolygonRealizerTest, UsesNonRectangularShapes) {
+  const PolygonRealization inst = RealizeWorstCaseAsPolygons(3);
+  EXPECT_EQ(inst.left.tuple(1).size(), 6);   // hexagon
+  EXPECT_EQ(inst.right.tuple(0).size(), 3);  // triangle
+}
+
+}  // namespace
+}  // namespace pebblejoin

@@ -1,0 +1,158 @@
+#include "join/signature_join.h"
+
+#include "gtest/gtest.h"
+#include "join/join_graph_builder.h"
+#include "join/predicates.h"
+#include "join/workload.h"
+#include "partition/containment_partition.h"
+
+namespace pebblejoin {
+namespace {
+
+TEST(SetSignatureTest, SubsetImpliesSignatureContainment) {
+  // The soundness property the prefilter relies on.
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    SetWorkloadOptions options;
+    options.num_left = 20;
+    options.num_right = 20;
+    options.universe = 30;
+    options.seed = seed;
+    const Realization<IntSet> w = GenerateSetWorkload(options);
+    for (int bits : {8, 16, 32, 64}) {
+      for (const IntSet& r : w.left.tuples()) {
+        for (const IntSet& s : w.right.tuples()) {
+          if (r.IsSubsetOf(s)) {
+            EXPECT_EQ(SetSignature(r, bits) & ~SetSignature(s, bits), 0u);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SetSignatureTest, EmptySetHasEmptySignature) {
+  EXPECT_EQ(SetSignature(IntSet(), 32), 0u);
+}
+
+TEST(SetSignatureTest, DeterministicAcrossCalls) {
+  const IntSet s = IntSet::Of({3, 17, 255});
+  EXPECT_EQ(SetSignature(s, 24), SetSignature(s, 24));
+  // Different widths generally give different signatures.
+  EXPECT_NE(SetSignature(s, 7) | SetSignature(s, 64), 0u);
+}
+
+TEST(SignatureJoinTest, MatchesInvertedIndexBuilder) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    SetWorkloadOptions options;
+    options.num_left = 30;
+    options.num_right = 30;
+    options.universe = 20;
+    options.seed = seed;
+    const Realization<IntSet> w = GenerateSetWorkload(options);
+    for (int bits : {4, 16, 64}) {
+      SignatureJoinStats stats;
+      const BipartiteGraph sig = BuildSetContainmentJoinGraphSignature(
+          w.left, w.right, bits, &stats);
+      const BipartiteGraph reference =
+          BuildSetContainmentJoinGraph(w.left, w.right);
+      EXPECT_TRUE(sig.SameEdgeSet(reference)) << seed << " bits=" << bits;
+      EXPECT_EQ(stats.result_pairs, reference.num_edges());
+      EXPECT_GE(stats.candidate_pairs, stats.result_pairs);
+    }
+  }
+}
+
+TEST(SignatureJoinTest, WiderSignaturesFilterBetter) {
+  SetWorkloadOptions options;
+  options.num_left = 60;
+  options.num_right = 60;
+  options.universe = 40;
+  options.max_left_size = 4;
+  options.seed = 9;
+  const Realization<IntSet> w = GenerateSetWorkload(options);
+  SignatureJoinStats narrow;
+  SignatureJoinStats wide;
+  BuildSetContainmentJoinGraphSignature(w.left, w.right, 8, &narrow);
+  BuildSetContainmentJoinGraphSignature(w.left, w.right, 64, &wide);
+  EXPECT_EQ(narrow.result_pairs, wide.result_pairs);
+  EXPECT_LE(wide.candidate_pairs, narrow.candidate_pairs);
+}
+
+// --- Partitioned containment joins ----------------------------------------
+
+TEST(ContainmentPartitionTest, BothPlansComplete) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    SetWorkloadOptions options;
+    options.num_left = 25;
+    options.num_right = 25;
+    options.universe = 15;
+    options.seed = seed;
+    const Realization<IntSet> w = GenerateSetWorkload(options);
+    for (int fragments : {1, 2, 4, 7}) {
+      EXPECT_TRUE(PlanIsComplete(
+          w.left, w.right, ReplicateLeftPlan(w.left, w.right, fragments)))
+          << seed;
+      EXPECT_TRUE(PlanIsComplete(
+          w.left, w.right, ElementRoutingPlan(w.left, w.right, fragments)))
+          << seed;
+    }
+  }
+}
+
+TEST(ContainmentPartitionTest, ReplicateLeftOverheadIsExact) {
+  SetRelation left("R");
+  SetRelation right("S");
+  for (int i = 0; i < 10; ++i) left.Add(IntSet::Of({i}));
+  for (int j = 0; j < 6; ++j) right.Add(IntSet::Of({j, j + 1}));
+  const ContainmentPartitionPlan plan = ReplicateLeftPlan(left, right, 4);
+  EXPECT_EQ(plan.LeftCopies(), 40);   // every subset to all 4 fragments
+  EXPECT_EQ(plan.RightCopies(), 6);   // containers partitioned once
+  EXPECT_EQ(plan.ReplicationOverhead(), 30);
+}
+
+TEST(ContainmentPartitionTest, ElementRoutingReplicatesContainers) {
+  SetRelation left("R");
+  left.Add(IntSet::Of({1}));
+  left.Add(IntSet::Of({2}));
+  SetRelation right("S");
+  right.Add(IntSet::Of({1, 2, 3, 4, 5, 6, 7, 8}));  // big container
+  const ContainmentPartitionPlan plan = ElementRoutingPlan(left, right, 4);
+  // The big container spans several element fragments.
+  EXPECT_GT(static_cast<int>(plan.right_fragments[0].size()), 1);
+  // Non-empty subsets go to exactly one fragment.
+  EXPECT_EQ(plan.left_fragments[0].size(), 1u);
+  EXPECT_TRUE(PlanIsComplete(left, right, plan));
+}
+
+TEST(ContainmentPartitionTest, EmptySubsetGoesEverywhere) {
+  SetRelation left("R");
+  left.Add(IntSet());
+  SetRelation right("S");
+  right.Add(IntSet::Of({5}));
+  const ContainmentPartitionPlan plan = ElementRoutingPlan(left, right, 3);
+  EXPECT_EQ(plan.left_fragments[0].size(), 3u);
+  EXPECT_TRUE(PlanIsComplete(left, right, plan));
+}
+
+TEST(ContainmentPartitionTest, IncompletePlanDetected) {
+  SetRelation left("R");
+  left.Add(IntSet::Of({1}));
+  SetRelation right("S");
+  right.Add(IntSet::Of({1, 2}));
+  ContainmentPartitionPlan bad;
+  bad.fragments = 2;
+  bad.left_fragments = {{0}};
+  bad.right_fragments = {{1}};  // the joining pair never meets
+  EXPECT_FALSE(PlanIsComplete(left, right, bad));
+}
+
+TEST(ContainmentPartitionTest, OneFragmentIsFree) {
+  SetWorkloadOptions options;
+  options.seed = 2;
+  const Realization<IntSet> w = GenerateSetWorkload(options);
+  EXPECT_EQ(ReplicateLeftPlan(w.left, w.right, 1).ReplicationOverhead(), 0);
+  EXPECT_EQ(ElementRoutingPlan(w.left, w.right, 1).ReplicationOverhead(), 0);
+}
+
+}  // namespace
+}  // namespace pebblejoin

@@ -1,0 +1,215 @@
+#include <algorithm>
+
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "tsp/branch_and_bound.h"
+#include "tsp/held_karp.h"
+#include "tsp/local_search.h"
+#include "tsp/nearest_neighbor.h"
+#include "tsp/path_cover.h"
+#include "tsp/tour.h"
+#include "tsp/tsp12.h"
+
+namespace pebblejoin {
+namespace {
+
+// Minimal jumps by brute force over all tours.
+int64_t BruteForceJumps(const Tsp12Instance& instance) {
+  const int n = instance.num_nodes();
+  std::vector<int> perm(n);
+  for (int i = 0; i < n; ++i) perm[i] = i;
+  int64_t best = n;  // upper bound: every step a jump
+  do {
+    best = std::min(best, TourJumps(instance, perm));
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+TEST(Tsp12InstanceTest, GoodEdgesAndDegree) {
+  const Tsp12Instance inst(PathGraph(3).ToGraph());
+  EXPECT_EQ(inst.num_nodes(), 4);
+  EXPECT_TRUE(inst.IsGood(inst.good().edge(0).u, inst.good().edge(0).v));
+  EXPECT_EQ(inst.MaxGoodDegree(), 2);
+}
+
+TEST(TourTest, ValidityChecks) {
+  const Tsp12Instance inst(CompleteGraph(3));
+  EXPECT_TRUE(IsValidTour(inst, {0, 1, 2}));
+  EXPECT_FALSE(IsValidTour(inst, {0, 1}));
+  EXPECT_FALSE(IsValidTour(inst, {0, 1, 1}));
+  EXPECT_FALSE(IsValidTour(inst, {0, 1, 3}));
+}
+
+TEST(TourTest, CostAndJumps) {
+  // Path 0-1-2-3 as good graph; tour 0,1,2,3 has no jumps.
+  Graph good(4);
+  good.AddEdge(0, 1);
+  good.AddEdge(1, 2);
+  good.AddEdge(2, 3);
+  const Tsp12Instance inst(good);
+  EXPECT_EQ(TourJumps(inst, {0, 1, 2, 3}), 0);
+  EXPECT_EQ(TourCost(inst, {0, 1, 2, 3}), 3);
+  // 1-0 good, 0-2 bad, 2-3 good: one jump.
+  EXPECT_EQ(TourJumps(inst, {1, 0, 2, 3}), 1);
+  EXPECT_EQ(TourCost(inst, {1, 0, 2, 3}), 4);
+  EXPECT_EQ(TourJumps(inst, {2, 0, 3, 1}), 3);
+}
+
+TEST(TourTest, EmptyAndSingleton) {
+  const Tsp12Instance empty{Graph(0)};
+  EXPECT_EQ(TourCost(empty, {}), 0);
+  const Tsp12Instance one{Graph(1)};
+  EXPECT_EQ(TourCost(one, {0}), 0);
+}
+
+TEST(TourTest, RunsSplitAtJumps) {
+  Graph good(4);
+  good.AddEdge(0, 1);
+  good.AddEdge(2, 3);
+  const Tsp12Instance inst(good);
+  const auto runs = TourRuns(inst, {0, 1, 2, 3});
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0], (std::vector<int>{0, 1}));
+  EXPECT_EQ(runs[1], (std::vector<int>{2, 3}));
+}
+
+TEST(NearestNeighborTest, ProducesValidTours) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const Tsp12Instance inst(RandomGraph(12, 0.3, seed));
+    const Tour tour = NearestNeighborTour(inst, 0);
+    EXPECT_TRUE(IsValidTour(inst, tour));
+  }
+}
+
+TEST(NearestNeighborTest, ZeroJumpsOnAPath) {
+  Graph good(5);
+  for (int i = 0; i + 1 < 5; ++i) good.AddEdge(i, i + 1);
+  const Tsp12Instance inst(good);
+  EXPECT_EQ(TourJumps(inst, NearestNeighborTour(inst, 0)), 0);
+}
+
+TEST(NearestNeighborTest, RestartsNeverWorse) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const Tsp12Instance inst(RandomGraph(14, 0.25, seed));
+    const Tour single = NearestNeighborTour(inst, 0);
+    const Tour multi = BestNearestNeighborTour(inst, 5, seed);
+    EXPECT_LE(TourCost(inst, multi), TourCost(inst, single));
+  }
+}
+
+TEST(PathCoverTest, ProducesValidTours) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const Tsp12Instance inst(RandomGraph(15, 0.2, seed));
+    const Tour tour = GreedyPathCoverTour(inst, seed);
+    EXPECT_TRUE(IsValidTour(inst, tour));
+  }
+}
+
+TEST(PathCoverTest, PerfectOnHamiltonianPathGraph) {
+  Graph good(6);
+  for (int i = 0; i + 1 < 6; ++i) good.AddEdge(i, i + 1);
+  const Tsp12Instance inst(good);
+  EXPECT_EQ(TourJumps(inst, GreedyPathCoverTour(inst, 3)), 0);
+}
+
+TEST(PathCoverTest, IsolatedNodesBecomeJumps) {
+  const Tsp12Instance inst(Graph(4));  // no good edges at all
+  const Tour tour = GreedyPathCoverTour(inst, 1);
+  EXPECT_TRUE(IsValidTour(inst, tour));
+  EXPECT_EQ(TourJumps(inst, tour), 3);
+}
+
+TEST(LocalSearchTest, NeverInvalidatesAndNeverWorsens) {
+  for (uint64_t seed = 1; seed <= 15; ++seed) {
+    const Tsp12Instance inst(RandomGraph(14, 0.25, seed));
+    Tour tour = NearestNeighborTour(inst, 0);
+    const int64_t before = TourCost(inst, tour);
+    const LocalSearchOptions options;
+    TwoOptImprove(inst, &tour, options);
+    EXPECT_TRUE(IsValidTour(inst, tour));
+    OrOptImprove(inst, &tour, options);
+    EXPECT_TRUE(IsValidTour(inst, tour));
+    EXPECT_LE(TourCost(inst, tour), before);
+  }
+}
+
+TEST(LocalSearchTest, ImprovementCountMatchesCostDelta) {
+  for (uint64_t seed = 20; seed <= 30; ++seed) {
+    const Tsp12Instance inst(RandomGraph(12, 0.3, seed));
+    Tour tour = GreedyPathCoverTour(inst, seed);
+    const int64_t before = TourCost(inst, tour);
+    const LocalSearchOptions options;
+    const int64_t removed = LocalSearchImprove(inst, &tour, options);
+    EXPECT_EQ(before - TourCost(inst, tour), removed);
+  }
+}
+
+TEST(LocalSearchTest, FixesAnObviousTwoOptMove) {
+  // Good path 0-1-2-3-4-5 with tour 0,1,3,2,4,5: reversing [2..3] fixes it.
+  Graph good(6);
+  for (int i = 0; i + 1 < 6; ++i) good.AddEdge(i, i + 1);
+  const Tsp12Instance inst(good);
+  Tour tour{0, 1, 3, 2, 4, 5};
+  const LocalSearchOptions options;
+  TwoOptImprove(inst, &tour, options);
+  EXPECT_EQ(TourJumps(inst, tour), 0);
+}
+
+TEST(HeldKarpTest, MatchesBruteForceOnSmallInstances) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    const Tsp12Instance inst(RandomGraph(7, 0.3, seed));
+    const auto result = HeldKarpSolve(inst);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_TRUE(IsValidTour(inst, result->tour));
+    EXPECT_EQ(TourJumps(inst, result->tour), result->jumps);
+    EXPECT_EQ(result->jumps, BruteForceJumps(inst)) << seed;
+  }
+}
+
+TEST(HeldKarpTest, KnownOptima) {
+  // Complete good graph: zero jumps.
+  EXPECT_EQ(HeldKarpSolve(Tsp12Instance(CompleteGraph(8)))->jumps, 0);
+  // Empty good graph on n nodes: n−1 jumps.
+  EXPECT_EQ(HeldKarpSolve(Tsp12Instance(Graph(6)))->jumps, 5);
+  // Cycle: zero jumps.
+  EXPECT_EQ(HeldKarpSolve(Tsp12Instance(CycleGraph(9)))->jumps, 0);
+}
+
+TEST(HeldKarpTest, RefusesOversizedInstances) {
+  EXPECT_FALSE(
+      HeldKarpSolve(Tsp12Instance(Graph(kMaxHeldKarpNodes + 1))).has_value());
+}
+
+TEST(HeldKarpTest, TrivialSizes) {
+  EXPECT_EQ(HeldKarpSolve(Tsp12Instance(Graph(0)))->cost, 0);
+  EXPECT_EQ(HeldKarpSolve(Tsp12Instance(Graph(1)))->cost, 0);
+}
+
+TEST(BranchAndBoundTest, MatchesHeldKarp) {
+  for (uint64_t seed = 1; seed <= 15; ++seed) {
+    const Tsp12Instance inst(RandomGraph(11, 0.25, seed));
+    const auto hk = HeldKarpSolve(inst);
+    const BranchAndBoundResult bnb =
+        BranchAndBoundSolve(inst, BranchAndBoundOptions{});
+    ASSERT_TRUE(hk.has_value());
+    EXPECT_TRUE(bnb.proven_optimal);
+    EXPECT_TRUE(IsValidTour(inst, bnb.best.tour));
+    EXPECT_EQ(bnb.best.jumps, hk->jumps) << seed;
+  }
+}
+
+TEST(BranchAndBoundTest, SolvesBeyondHeldKarpLimit) {
+  // A structured 26-node instance: two disjoint 13-cycles need one jump.
+  Graph good(26);
+  for (int i = 0; i < 13; ++i) good.AddEdge(i, (i + 1) % 13);
+  for (int i = 0; i < 13; ++i) good.AddEdge(13 + i, 13 + (i + 1) % 13);
+  const Tsp12Instance inst(good);
+  const BranchAndBoundResult r =
+      BranchAndBoundSolve(inst, BranchAndBoundOptions{});
+  EXPECT_TRUE(r.proven_optimal);
+  EXPECT_TRUE(IsValidTour(inst, r.best.tour));
+  EXPECT_EQ(r.best.jumps, 1);
+}
+
+}  // namespace
+}  // namespace pebblejoin

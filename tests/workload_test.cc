@@ -1,0 +1,110 @@
+#include "join/workload.h"
+
+#include "gtest/gtest.h"
+#include "join/join_graph_builder.h"
+
+namespace pebblejoin {
+namespace {
+
+TEST(EquijoinWorkloadTest, Deterministic) {
+  EquijoinWorkloadOptions options;
+  options.seed = 42;
+  const Realization<int64_t> a = GenerateEquijoinWorkload(options);
+  const Realization<int64_t> b = GenerateEquijoinWorkload(options);
+  EXPECT_EQ(a.left.tuples(), b.left.tuples());
+  EXPECT_EQ(a.right.tuples(), b.right.tuples());
+}
+
+TEST(EquijoinWorkloadTest, DuplicateBoundsRespected) {
+  EquijoinWorkloadOptions options;
+  options.num_keys = 50;
+  options.min_left_dup = 2;
+  options.max_left_dup = 3;
+  options.min_right_dup = 1;
+  options.max_right_dup = 1;
+  options.key_match_rate = 1.0;
+  const Realization<int64_t> w = GenerateEquijoinWorkload(options);
+  EXPECT_GE(w.left.size(), 100);
+  EXPECT_LE(w.left.size(), 150);
+  EXPECT_EQ(w.right.size(), 50);
+  // With full matching and right dup 1, output size == |left|.
+  EXPECT_EQ(BuildEquiJoinGraph(w.left, w.right).num_edges(), w.left.size());
+}
+
+TEST(EquijoinWorkloadTest, UnmatchedKeysProduceNoEdges) {
+  EquijoinWorkloadOptions options;
+  options.num_keys = 30;
+  options.key_match_rate = 0.0;
+  const Realization<int64_t> w = GenerateEquijoinWorkload(options);
+  EXPECT_EQ(BuildEquiJoinGraph(w.left, w.right).num_edges(), 0);
+}
+
+TEST(SetWorkloadTest, SizesAndRanges) {
+  SetWorkloadOptions options;
+  options.num_left = 12;
+  options.num_right = 7;
+  options.universe = 10;
+  options.min_left_size = 1;
+  options.max_left_size = 2;
+  options.min_right_size = 4;
+  options.max_right_size = 6;
+  const Realization<IntSet> w = GenerateSetWorkload(options);
+  EXPECT_EQ(w.left.size(), 12);
+  EXPECT_EQ(w.right.size(), 7);
+  for (const IntSet& s : w.left.tuples()) {
+    EXPECT_GE(s.size(), 1);
+    EXPECT_LE(s.size(), 2);
+    for (int e : s.elements()) {
+      EXPECT_GE(e, 0);
+      EXPECT_LT(e, 10);
+    }
+  }
+  for (const IntSet& s : w.right.tuples()) {
+    EXPECT_GE(s.size(), 4);
+    EXPECT_LE(s.size(), 6);
+  }
+}
+
+TEST(SetWorkloadTest, Deterministic) {
+  SetWorkloadOptions options;
+  options.seed = 7;
+  const Realization<IntSet> a = GenerateSetWorkload(options);
+  const Realization<IntSet> b = GenerateSetWorkload(options);
+  for (int i = 0; i < a.left.size(); ++i) {
+    EXPECT_EQ(a.left.tuple(i), b.left.tuple(i));
+  }
+}
+
+TEST(RectWorkloadTest, RectsInsideSpaceWithExtents) {
+  RectWorkloadOptions options;
+  options.num_left = 20;
+  options.num_right = 20;
+  options.space = 50;
+  options.min_extent = 2;
+  options.max_extent = 5;
+  const Realization<Rect> w = GenerateRectWorkload(options);
+  auto check = [&](const Rect& r) {
+    EXPECT_GE(r.x_min, 0);
+    EXPECT_LE(r.x_max, 50);
+    EXPECT_GE(r.y_min, 0);
+    EXPECT_LE(r.y_max, 50);
+    EXPECT_GE(r.x_max - r.x_min, 2.0);
+    EXPECT_LE(r.x_max - r.x_min, 5.0);
+    EXPECT_GE(r.y_max - r.y_min, 2.0);
+    EXPECT_LE(r.y_max - r.y_min, 5.0);
+  };
+  for (const Rect& r : w.left.tuples()) check(r);
+  for (const Rect& r : w.right.tuples()) check(r);
+}
+
+TEST(RectWorkloadTest, Deterministic) {
+  RectWorkloadOptions options;
+  options.seed = 5;
+  const Realization<Rect> a = GenerateRectWorkload(options);
+  const Realization<Rect> b = GenerateRectWorkload(options);
+  EXPECT_EQ(a.left.tuple(0).x_min, b.left.tuple(0).x_min);
+  EXPECT_EQ(a.right.tuple(3).y_max, b.right.tuple(3).y_max);
+}
+
+}  // namespace
+}  // namespace pebblejoin

@@ -1,0 +1,344 @@
+// pebblejoin — command-line front end.
+//
+// Usage:
+//   pebblejoin gen worstcase <n>                 > g.txt
+//   pebblejoin gen complete <k> <l>              > g.txt
+//   pebblejoin gen random <left> <right> <m> <seed> [--connected] > g.txt
+//   pebblejoin analyze [--solver NAME] [--predicate NAME] < g.txt
+//   pebblejoin solve   [--solver NAME] [--explain] < g.txt
+//   pebblejoin realize sets < g.txt              # Lemma 3.3 instance
+//   pebblejoin bounds  < g.txt                   # Lemma 2.3 / Thm 3.1
+//   pebblejoin schedule [--k N] < g.txt          # k-buffer fetch schedule
+//   pebblejoin partition [--fragments N] < g.txt # Section-5 partitioning
+//   pebblejoin dot [--solve] < g.txt             # Graphviz rendering
+//
+// Graphs use the text format of io/graph_io.h. Solvers: auto, sort-merge,
+// greedy, dfs-tree, local-search, exact. Predicates: equijoin, spatial,
+// sets, general (affects reporting only).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "core/report.h"
+#include "graph/generators.h"
+#include "io/dot_export.h"
+#include "io/graph_io.h"
+#include "join/realizers.h"
+#include "kpebble/k_pebble_game.h"
+#include "partition/partitioner.h"
+#include "pebble/cost_model.h"
+#include "util/check.h"
+
+namespace pebblejoin {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  pebblejoin gen worstcase <n>\n"
+      "  pebblejoin gen complete <k> <l>\n"
+      "  pebblejoin gen random <left> <right> <m> <seed> [--connected]\n"
+      "  pebblejoin analyze [--solver NAME] [--predicate NAME] < graph\n"
+      "  pebblejoin solve [--solver NAME] [--explain] < graph\n"
+      "  pebblejoin realize sets < graph\n"
+      "  pebblejoin bounds < graph\n"
+      "  pebblejoin schedule [--k N] < graph\n"
+      "  pebblejoin partition [--fragments N] < graph\n"
+      "  pebblejoin dot [--solve] < graph\n"
+      "solvers: auto sort-merge greedy dfs-tree local-search ils exact\n"
+      "predicates: equijoin spatial sets general\n");
+  return 2;
+}
+
+std::string ReadStdin() {
+  std::string contents;
+  char buffer[4096];
+  size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), stdin)) > 0) {
+    contents.append(buffer, got);
+  }
+  return contents;
+}
+
+bool ParseSolver(const std::string& name, SolverChoice* choice) {
+  if (name == "auto") *choice = SolverChoice::kAuto;
+  else if (name == "sort-merge") *choice = SolverChoice::kSortMerge;
+  else if (name == "greedy") *choice = SolverChoice::kGreedyWalk;
+  else if (name == "dfs-tree") *choice = SolverChoice::kDfsTree;
+  else if (name == "local-search") *choice = SolverChoice::kLocalSearch;
+  else if (name == "ils") *choice = SolverChoice::kIls;
+  else if (name == "exact") *choice = SolverChoice::kExact;
+  else return false;
+  return true;
+}
+
+bool ParsePredicate(const std::string& name, PredicateClass* predicate) {
+  if (name == "equijoin") *predicate = PredicateClass::kEquality;
+  else if (name == "spatial") *predicate = PredicateClass::kSpatialOverlap;
+  else if (name == "sets") *predicate = PredicateClass::kSetContainment;
+  else if (name == "general") *predicate = PredicateClass::kGeneral;
+  else return false;
+  return true;
+}
+
+// Parses --solver/--predicate flags from argv[start..).
+bool ParseFlags(int argc, char** argv, int start, SolverChoice* solver,
+                PredicateClass* predicate) {
+  for (int i = start; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--solver" && i + 1 < argc) {
+      if (!ParseSolver(argv[++i], solver)) return false;
+    } else if (flag == "--predicate" && i + 1 < argc) {
+      if (!ParsePredicate(argv[++i], predicate)) return false;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<BipartiteGraph> GraphFromStdin() {
+  std::string error;
+  std::optional<BipartiteGraph> g = ParseBipartiteGraph(ReadStdin(), &error);
+  if (!g.has_value()) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+  }
+  return g;
+}
+
+int CmdGen(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string family = argv[2];
+  if (family == "worstcase" && argc == 4) {
+    const int n = std::atoi(argv[3]);
+    if (n < 3) return Usage();
+    std::fputs(SerializeBipartiteGraph(WorstCaseFamily(n)).c_str(), stdout);
+    return 0;
+  }
+  if (family == "complete" && argc == 5) {
+    const int k = std::atoi(argv[3]);
+    const int l = std::atoi(argv[4]);
+    if (k < 1 || l < 1) return Usage();
+    std::fputs(SerializeBipartiteGraph(CompleteBipartite(k, l)).c_str(),
+               stdout);
+    return 0;
+  }
+  if (family == "random" && (argc == 7 || argc == 8)) {
+    const int left = std::atoi(argv[3]);
+    const int right = std::atoi(argv[4]);
+    const int m = std::atoi(argv[5]);
+    const uint64_t seed = std::strtoull(argv[6], nullptr, 10);
+    const bool connected =
+        (argc == 8) && std::strcmp(argv[7], "--connected") == 0;
+    if (left < 1 || right < 1 || m < 0) return Usage();
+    const BipartiteGraph g =
+        connected ? RandomConnectedBipartite(left, right, m, seed)
+                  : RandomBipartiteWithEdges(left, right, m, seed);
+    std::fputs(SerializeBipartiteGraph(g).c_str(), stdout);
+    return 0;
+  }
+  return Usage();
+}
+
+int CmdAnalyze(int argc, char** argv) {
+  SolverChoice solver = SolverChoice::kAuto;
+  PredicateClass predicate = PredicateClass::kGeneral;
+  if (!ParseFlags(argc, argv, 2, &solver, &predicate)) return Usage();
+  const std::optional<BipartiteGraph> g = GraphFromStdin();
+  if (!g.has_value()) return 1;
+  AnalyzerOptions options;
+  options.solver = solver;
+  const JoinAnalyzer analyzer(options);
+  std::fputs(FormatAnalysis(analyzer.AnalyzeJoinGraph(*g, predicate)).c_str(),
+             stdout);
+  return 0;
+}
+
+int CmdSolve(int argc, char** argv) {
+  SolverChoice solver = SolverChoice::kLocalSearch;
+  PredicateClass predicate = PredicateClass::kGeneral;
+  bool explain = false;
+  // Strip --explain before the shared flag parser sees the rest.
+  std::vector<char*> args(argv, argv + argc);
+  for (auto it = args.begin(); it != args.end();) {
+    if (std::string(*it) == "--explain") {
+      explain = true;
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (!ParseFlags(static_cast<int>(args.size()), args.data(), 2, &solver,
+                  &predicate)) {
+    return Usage();
+  }
+  const std::optional<BipartiteGraph> g = GraphFromStdin();
+  if (!g.has_value()) return 1;
+  AnalyzerOptions options;
+  options.solver = solver;
+  const JoinAnalyzer analyzer(options);
+  const JoinAnalysis analysis = analyzer.AnalyzeJoinGraph(*g, predicate);
+  std::printf("# pi_hat=%lld pi=%lld jumps=%lld\n",
+              static_cast<long long>(analysis.solution.hat_cost),
+              static_cast<long long>(analysis.solution.effective_cost),
+              static_cast<long long>(analysis.solution.jumps));
+  if (!explain) {
+    for (int e : analysis.solution.edge_order) std::printf("%d\n", e);
+    return 0;
+  }
+  // Narrated schedule: one line per deletion, flagging jumps.
+  const Graph flat = g->ToGraph();
+  const std::vector<int>& order = analysis.solution.edge_order;
+  for (size_t i = 0; i < order.size(); ++i) {
+    const BipartiteGraph::Edge& e = g->edge(order[i]);
+    const bool jump =
+        i > 0 && !flat.edge(order[i]).Touches(flat.edge(order[i - 1]));
+    std::printf("step %3zu: delete edge %d (L%d, R%d)%s\n", i + 1,
+                order[i], e.left, e.right,
+                jump ? "  <- jump (both pebbles moved)" : "");
+  }
+  return 0;
+}
+
+int CmdSchedule(int argc, char** argv) {
+  int k = 4;
+  for (int i = 2; i < argc; ++i) {
+    if (std::string(argv[i]) == "--k" && i + 1 < argc) {
+      k = std::atoi(argv[++i]);
+    } else {
+      return Usage();
+    }
+  }
+  if (k < 2) return Usage();
+  const std::optional<BipartiteGraph> g = GraphFromStdin();
+  if (!g.has_value()) return 1;
+  const Graph flat = g->ToGraph();
+  KPebbleOptions options;
+  options.k = k;
+  const KPebbleSchedule schedule = ScheduleKPebbles(flat, options);
+  std::printf("# k=%d fetches=%lld lower_bound=%lld\n", k,
+              static_cast<long long>(schedule.fetches),
+              static_cast<long long>(KPebbleFetchLowerBound(flat)));
+  for (const KPebbleStep& step : schedule.steps) {
+    if (step.evicted == -1) {
+      std::printf("fetch %d\n", step.vertex);
+    } else {
+      std::printf("fetch %d evict %d\n", step.vertex, step.evicted);
+    }
+  }
+  return 0;
+}
+
+int CmdPartition(int argc, char** argv) {
+  int fragments = 4;
+  for (int i = 2; i < argc; ++i) {
+    if (std::string(argv[i]) == "--fragments" && i + 1 < argc) {
+      fragments = std::atoi(argv[++i]);
+    } else {
+      return Usage();
+    }
+  }
+  if (fragments < 1) return Usage();
+  const std::optional<BipartiteGraph> g = GraphFromStdin();
+  if (!g.has_value()) return 1;
+  const JoinPartition greedy = GreedyComponentPartition(*g, fragments);
+  const JoinPartition round_robin =
+      RoundRobinPartition(*g, fragments, fragments);
+  std::printf(
+      "fragments=%d\n"
+      "touched sub-joins: greedy=%lld round_robin=%lld lower_bound=%lld\n",
+      fragments,
+      static_cast<long long>(CountTouchedPairs(*g, greedy)),
+      static_cast<long long>(CountTouchedPairs(*g, round_robin)),
+      static_cast<long long>(
+          TouchedPairsLowerBound(*g, fragments, fragments)));
+  std::printf("left :");
+  for (int f : greedy.left_fragment) std::printf(" %d", f);
+  std::printf("\nright:");
+  for (int f : greedy.right_fragment) std::printf(" %d", f);
+  std::printf("\n");
+  return 0;
+}
+
+int CmdRealize(int argc, char** argv) {
+  if (argc != 3 || std::string(argv[2]) != "sets") return Usage();
+  const std::optional<BipartiteGraph> g = GraphFromStdin();
+  if (!g.has_value()) return 1;
+  const Realization<IntSet> realization = RealizeAsSetContainment(*g);
+  std::printf("# Lemma 3.3 set-containment realization (r subset-of s)\n");
+  std::printf("R:");
+  for (const IntSet& s : realization.left.tuples()) {
+    std::printf(" %s", s.DebugString().c_str());
+  }
+  std::printf("\nS:");
+  for (const IntSet& s : realization.right.tuples()) {
+    std::printf(" %s", s.DebugString().c_str());
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int CmdBounds(int argc, char** /*argv*/) {
+  if (argc != 2) return Usage();
+  const std::optional<BipartiteGraph> g = GraphFromStdin();
+  if (!g.has_value()) return 1;
+  const JoinGraphClassification c = ClassifyJoinGraph(g->ToGraph());
+  std::printf(
+      "m=%lld components=%lld\n"
+      "lower (Lemma 2.3)        : %lld\n"
+      "upper general (Cor 2.1)  : %lld\n"
+      "upper Thm 3.1            : %lld\n"
+      "equijoin shape           : %s\n",
+      static_cast<long long>(c.bounds.num_edges),
+      static_cast<long long>(c.bounds.betti_zero),
+      static_cast<long long>(c.bounds.lower),
+      static_cast<long long>(c.bounds.upper_general),
+      static_cast<long long>(c.bounds.upper_dfs_bound),
+      c.equijoin_shape ? "yes (pi = m, Thm 3.2)" : "no");
+  return 0;
+}
+
+int CmdDot(int argc, char** argv) {
+  bool solve = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::string(argv[i]) == "--solve") {
+      solve = true;
+    } else {
+      return Usage();
+    }
+  }
+  const std::optional<BipartiteGraph> g = GraphFromStdin();
+  if (!g.has_value()) return 1;
+  DotOptions options;
+  if (solve) {
+    const JoinAnalyzer analyzer;
+    options.edge_order =
+        analyzer.AnalyzeJoinGraph(*g, PredicateClass::kGeneral)
+            .solution.edge_order;
+  }
+  std::fputs(ExportDot(*g, options).c_str(), stdout);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  if (command == "gen") return CmdGen(argc, argv);
+  if (command == "analyze") return CmdAnalyze(argc, argv);
+  if (command == "solve") return CmdSolve(argc, argv);
+  if (command == "realize") return CmdRealize(argc, argv);
+  if (command == "bounds") return CmdBounds(argc, nullptr);
+  if (command == "schedule") return CmdSchedule(argc, argv);
+  if (command == "partition") return CmdPartition(argc, argv);
+  if (command == "dot") return CmdDot(argc, argv);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace pebblejoin
+
+int main(int argc, char** argv) { return pebblejoin::Main(argc, argv); }

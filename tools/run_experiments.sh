@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Runs the full experiment suite and archives the outputs.
+# Usage: tools/run_experiments.sh [build-dir] [output-file]
+set -u
+BUILD_DIR="${1:-build}"
+OUT="${2:-bench_output.txt}"
+
+{
+  for b in "$BUILD_DIR"/bench/bench_*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    echo "===== $(basename "$b")"
+    "$b"
+    echo
+  done
+} | tee "$OUT"
