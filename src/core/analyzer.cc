@@ -4,8 +4,20 @@
 
 namespace pebblejoin {
 
+namespace {
+
+FallbackPebbler::Options LadderOptions(const AnalyzerOptions& options) {
+  FallbackPebbler::Options ladder;
+  ladder.exact = options.exact;
+  return ladder;
+}
+
+}  // namespace
+
 JoinAnalyzer::JoinAnalyzer(AnalyzerOptions options)
-    : options_(options), exact_(options.exact) {}
+    : options_(options),
+      exact_(options.exact),
+      fallback_(LadderOptions(options)) {}
 
 const Pebbler& JoinAnalyzer::PrimaryFor(
     const JoinGraphClassification& c) const {
@@ -25,6 +37,8 @@ const Pebbler& JoinAnalyzer::PrimaryFor(
       return ils_;
     case SolverChoice::kExact:
       return exact_;
+    case SolverChoice::kFallback:
+      return fallback_;
   }
   return greedy_;
 }
@@ -42,7 +56,8 @@ JoinAnalysis JoinAnalyzer::AnalyzeJoinGraph(const BipartiteGraph& join_graph,
 
   const ComponentPebbler driver(&PrimaryFor(analysis.classification),
                                 &greedy_);
-  analysis.solution = driver.Solve(flat);
+  BudgetContext budget(options_.budget);
+  analysis.solution = driver.Solve(flat, &budget);
   analysis.perfect =
       analysis.solution.effective_cost == analysis.output_size;
   analysis.cost_ratio =

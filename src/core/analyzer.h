@@ -23,10 +23,12 @@
 #include "solver/component_pebbler.h"
 #include "solver/dfs_tree_pebbler.h"
 #include "solver/exact_pebbler.h"
+#include "solver/fallback_pebbler.h"
 #include "solver/greedy_walk_pebbler.h"
 #include "solver/ils_pebbler.h"
 #include "solver/local_search_pebbler.h"
 #include "solver/sort_merge_pebbler.h"
+#include "util/budget.h"
 
 namespace pebblejoin {
 
@@ -40,11 +42,16 @@ enum class SolverChoice {
   kLocalSearch,   // strong polynomial solver
   kIls,           // local search + double-bridge restarts (strongest poly)
   kExact,         // optimal; small components only (greedy fallback beyond)
+  kFallback,      // degradation ladder exact→ils→local-search→dfs-tree→greedy
 };
 
 struct AnalyzerOptions {
   SolverChoice solver = SolverChoice::kAuto;
   ExactPebbler::Options exact;
+  // Request-wide ceilings (deadline, node budget, memory). Defaults to
+  // unlimited; the per-component fallback always runs unbudgeted, so a
+  // stopped request still yields a verified scheme.
+  SolveBudget budget;
 };
 
 // Everything the analyzer learned about one join.
@@ -87,6 +94,7 @@ class JoinAnalyzer {
   LocalSearchPebbler local_search_;
   IlsPebbler ils_;
   ExactPebbler exact_;
+  FallbackPebbler fallback_;
 };
 
 }  // namespace pebblejoin

@@ -40,6 +40,14 @@ std::string FormatAnalysis(const JoinAnalysis& analysis) {
                 analysis.cost_ratio,
                 analysis.perfect ? "  (perfect)" : "");
   out += line;
+  // Per-component solve provenance: which ladder rungs ran and why each
+  // stopped. One line per component, matching solver_used's order.
+  for (size_t c = 0; c < analysis.solution.outcomes.size(); ++c) {
+    std::snprintf(line, sizeof(line), "component %zu    : ", c);
+    out += line;
+    out += analysis.solution.outcomes[c].Summary();
+    out += '\n';
+  }
   return out;
 }
 

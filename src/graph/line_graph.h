@@ -28,6 +28,16 @@ Graph BuildLineGraph(const Graph& g);
 std::optional<Graph> BuildLineGraphWithBudget(const Graph& g,
                                               int64_t max_edges);
 
+// Approximate bytes per materialized line-graph edge: the Edge record plus
+// the two incidence-list entries it adds.
+inline constexpr int64_t kLineGraphBytesPerEdge = 16;
+
+// Edge budget implied by a memory ceiling — solvers with a SolveBudget
+// memory limit clamp their configured line-graph budget to this.
+constexpr int64_t MaxLineGraphEdgesForMemory(int64_t memory_limit_bytes) {
+  return memory_limit_bytes / kLineGraphBytesPerEdge;
+}
+
 }  // namespace pebblejoin
 
 #endif  // PEBBLEJOIN_GRAPH_LINE_GRAPH_H_

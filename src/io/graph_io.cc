@@ -15,26 +15,39 @@ void SetError(std::string* error, const std::string& message) {
   if (error != nullptr) *error = message;
 }
 
+// A token together with the 1-based input line it came from, so parse
+// errors can point at the offending line.
+struct Token {
+  std::string text;
+  int line = 0;
+};
+
 // Splits `text` into whitespace-separated tokens, dropping '#' comments.
-std::vector<std::string> Tokenize(const std::string& text) {
-  std::vector<std::string> tokens;
+std::vector<Token> Tokenize(const std::string& text) {
+  std::vector<Token> tokens;
   std::istringstream lines(text);
   std::string line;
+  int line_number = 0;
   while (std::getline(lines, line)) {
+    ++line_number;
     const size_t hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
     std::istringstream words(line);
     std::string word;
-    while (words >> word) tokens.push_back(word);
+    while (words >> word) tokens.push_back({word, line_number});
   }
   return tokens;
+}
+
+std::string AtLine(const Token& token) {
+  return "line " + std::to_string(token.line) + ": ";
 }
 
 std::optional<int> ParseInt(const std::string& token) {
   if (token.empty()) return std::nullopt;
   errno = 0;
   char* end = nullptr;
-  const long value = std::strtol(token.c_str(), &end, 10);
+  const long long value = std::strtoll(token.c_str(), &end, 10);
   if (errno != 0 || end != token.c_str() + token.size()) return std::nullopt;
   if (value < std::numeric_limits<int>::min() ||
       value > std::numeric_limits<int>::max()) {
@@ -42,6 +55,11 @@ std::optional<int> ParseInt(const std::string& token) {
   }
   return static_cast<int>(value);
 }
+
+// Largest vertex-set size the parsers will materialize. Headers are
+// untrusted input: "bipartite 2000000000 2000000000 0" is well-formed yet
+// would allocate gigabytes before the first edge is read.
+constexpr int64_t kMaxParsedVertices = int64_t{1} << 27;
 
 }  // namespace
 
@@ -67,32 +85,45 @@ std::string SerializeGraph(const Graph& g) {
 
 std::optional<BipartiteGraph> ParseBipartiteGraph(const std::string& text,
                                                   std::string* error) {
-  const std::vector<std::string> tokens = Tokenize(text);
-  if (tokens.size() < 4 || tokens[0] != "bipartite") {
+  const std::vector<Token> tokens = Tokenize(text);
+  if (tokens.size() < 4 || tokens[0].text != "bipartite") {
     SetError(error, "expected header: bipartite <left> <right> <edges>");
     return std::nullopt;
   }
-  const auto left = ParseInt(tokens[1]);
-  const auto right = ParseInt(tokens[2]);
-  const auto edges = ParseInt(tokens[3]);
+  const auto left = ParseInt(tokens[1].text);
+  const auto right = ParseInt(tokens[2].text);
+  const auto edges = ParseInt(tokens[3].text);
   if (!left || !right || !edges || *left < 0 || *right < 0 || *edges < 0) {
-    SetError(error, "malformed header numbers");
+    SetError(error, AtLine(tokens[0]) + "malformed header numbers");
     return std::nullopt;
   }
-  if (static_cast<int>(tokens.size()) != 4 + 2 * *edges) {
-    SetError(error, "edge list length does not match header");
+  if (static_cast<int64_t>(*left) + *right > kMaxParsedVertices) {
+    SetError(error, AtLine(tokens[0]) + "header vertex counts too large");
+    return std::nullopt;
+  }
+  // int64 arithmetic: with edges near INT_MAX the expected token count
+  // overflows 32 bits, and a wrapped comparison would accept a short file.
+  if (static_cast<int64_t>(tokens.size()) != 4 + 2 * static_cast<int64_t>(*edges)) {
+    SetError(error, "edge list length does not match header (" +
+                        std::to_string((tokens.size() - 4) / 2) +
+                        " edge tokens for " + std::to_string(*edges) +
+                        " declared edges)");
     return std::nullopt;
   }
   BipartiteGraph g(*left, *right);
   for (int e = 0; e < *edges; ++e) {
-    const auto l = ParseInt(tokens[4 + 2 * e]);
-    const auto r = ParseInt(tokens[5 + 2 * e]);
+    const Token& lt = tokens[4 + 2 * static_cast<size_t>(e)];
+    const Token& rt = tokens[5 + 2 * static_cast<size_t>(e)];
+    const auto l = ParseInt(lt.text);
+    const auto r = ParseInt(rt.text);
     if (!l || !r || *l < 0 || *l >= *left || *r < 0 || *r >= *right) {
-      SetError(error, "edge " + std::to_string(e) + " out of range");
+      SetError(error,
+               AtLine(lt) + "edge " + std::to_string(e) + " out of range");
       return std::nullopt;
     }
     if (g.HasEdge(*l, *r)) {
-      SetError(error, "duplicate edge at position " + std::to_string(e));
+      SetError(error, AtLine(lt) + "duplicate edge at position " +
+                          std::to_string(e));
       return std::nullopt;
     }
     g.AddEdge(*l, *r);
@@ -102,32 +133,43 @@ std::optional<BipartiteGraph> ParseBipartiteGraph(const std::string& text,
 
 std::optional<Graph> ParseGraph(const std::string& text,
                                 std::string* error) {
-  const std::vector<std::string> tokens = Tokenize(text);
-  if (tokens.size() < 3 || tokens[0] != "graph") {
+  const std::vector<Token> tokens = Tokenize(text);
+  if (tokens.size() < 3 || tokens[0].text != "graph") {
     SetError(error, "expected header: graph <vertices> <edges>");
     return std::nullopt;
   }
-  const auto vertices = ParseInt(tokens[1]);
-  const auto edges = ParseInt(tokens[2]);
+  const auto vertices = ParseInt(tokens[1].text);
+  const auto edges = ParseInt(tokens[2].text);
   if (!vertices || !edges || *vertices < 0 || *edges < 0) {
-    SetError(error, "malformed header numbers");
+    SetError(error, AtLine(tokens[0]) + "malformed header numbers");
     return std::nullopt;
   }
-  if (static_cast<int>(tokens.size()) != 3 + 2 * *edges) {
-    SetError(error, "edge list length does not match header");
+  if (*vertices > kMaxParsedVertices) {
+    SetError(error, AtLine(tokens[0]) + "header vertex count too large");
+    return std::nullopt;
+  }
+  if (static_cast<int64_t>(tokens.size()) != 3 + 2 * static_cast<int64_t>(*edges)) {
+    SetError(error, "edge list length does not match header (" +
+                        std::to_string((tokens.size() - 3) / 2) +
+                        " edge tokens for " + std::to_string(*edges) +
+                        " declared edges)");
     return std::nullopt;
   }
   Graph g(*vertices);
   for (int e = 0; e < *edges; ++e) {
-    const auto u = ParseInt(tokens[3 + 2 * e]);
-    const auto v = ParseInt(tokens[4 + 2 * e]);
+    const Token& ut = tokens[3 + 2 * static_cast<size_t>(e)];
+    const Token& vt = tokens[4 + 2 * static_cast<size_t>(e)];
+    const auto u = ParseInt(ut.text);
+    const auto v = ParseInt(vt.text);
     if (!u || !v || *u < 0 || *u >= *vertices || *v < 0 || *v >= *vertices ||
         *u == *v) {
-      SetError(error, "edge " + std::to_string(e) + " out of range");
+      SetError(error,
+               AtLine(ut) + "edge " + std::to_string(e) + " out of range");
       return std::nullopt;
     }
     if (g.HasEdge(*u, *v)) {
-      SetError(error, "duplicate edge at position " + std::to_string(e));
+      SetError(error, AtLine(ut) + "duplicate edge at position " +
+                          std::to_string(e));
       return std::nullopt;
     }
     g.AddEdge(*u, *v);

@@ -15,7 +15,8 @@ ComponentPebbler::ComponentPebbler(const Pebbler* primary,
   JP_CHECK(primary_ != nullptr);
 }
 
-PebbleSolution ComponentPebbler::Solve(const Graph& g) const {
+PebbleSolution ComponentPebbler::Solve(const Graph& g,
+                                       BudgetContext* budget) const {
   PebbleSolution solution;
   const ComponentDecomposition decomp = FindComponents(g);
   solution.num_components = decomp.num_components;
@@ -25,17 +26,25 @@ PebbleSolution ComponentPebbler::Solve(const Graph& g) const {
     const Graph sub =
         ExtractComponent(g, decomp, c, /*vertex_map=*/nullptr, &edge_map);
 
-    std::optional<std::vector<int>> order = primary_->PebbleConnected(sub);
+    SolveOutcome outcome;
+    std::optional<std::vector<int>> order =
+        primary_->PebbleWithOutcome(sub, budget, &outcome);
     std::string used = primary_->name();
     if (!order.has_value()) {
       JP_CHECK_MSG(fallback_ != nullptr,
                    "primary pebbler refused and no fallback configured");
-      order = fallback_->PebbleConnected(sub);
+      // The fallback is the termination guarantee, so it runs unbudgeted: a
+      // request whose deadline already expired still gets a valid scheme.
+      order = fallback_->PebbleWithOutcome(sub, nullptr, &outcome);
       used = fallback_->name();
     }
     JP_CHECK_MSG(order.has_value(), "fallback pebbler refused a component");
     JP_CHECK(static_cast<int>(order->size()) == sub.num_edges());
+    if (!outcome.winner.empty()) {
+      used = outcome.winner;  // a ladder primary reports its winning rung
+    }
     solution.solver_used.push_back(std::move(used));
+    solution.outcomes.push_back(std::move(outcome));
     for (int local_edge : *order) {
       solution.edge_order.push_back(edge_map[local_edge]);
     }

@@ -26,6 +26,9 @@ struct PebbleSolution {
   // Per component: which solver produced its order ("<primary>" or the
   // fallback's name when the primary returned nullopt).
   std::vector<std::string> solver_used;
+  // Per component: full provenance — rungs attempted, why each stopped, the
+  // achieved cost vs. the Lemma 2.3 lower bound m.
+  std::vector<SolveOutcome> outcomes;
 };
 
 // Wraps a primary Pebbler with a fallback (defaulting to the greedy walk,
@@ -38,7 +41,12 @@ class ComponentPebbler {
   ComponentPebbler(const Pebbler* primary, const Pebbler* fallback);
 
   // Pebbles `g` (which may be disconnected and contain isolated vertices).
-  PebbleSolution Solve(const Graph& g) const;
+  // The primary runs under `budget` (null = unlimited); when it refuses or
+  // is cut short, the fallback runs *unbudgeted* so the drive always
+  // terminates with a verified scheme — the budget shapes quality, never
+  // success.
+  PebbleSolution Solve(const Graph& g, BudgetContext* budget) const;
+  PebbleSolution Solve(const Graph& g) const { return Solve(g, nullptr); }
 
  private:
   const Pebbler* primary_;

@@ -41,13 +41,17 @@ namespace pebblejoin {
 
 class DfsTreePebbler : public Pebbler {
  public:
-  // `max_line_graph_edges` bounds the materialized L(G).
+  using Pebbler::PebbleConnected;
+
+  // `max_line_graph_edges` bounds the materialized L(G); a BudgetContext
+  // with an explicit memory ceiling tightens it further (see
+  // MaxLineGraphEdgesForMemory in line_graph.h).
   explicit DfsTreePebbler(int64_t max_line_graph_edges = 50'000'000)
       : max_line_graph_edges_(max_line_graph_edges) {}
 
   std::string name() const override { return "dfs-tree"; }
   std::optional<std::vector<int>> PebbleConnected(
-      const Graph& g) const override;
+      const Graph& g, BudgetContext* budget) const override;
 
  private:
   int64_t max_line_graph_edges_;

@@ -1,5 +1,6 @@
 #include "solver/exact_pebbler.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "graph/line_graph.h"
@@ -10,23 +11,46 @@
 namespace pebblejoin {
 
 std::optional<std::vector<int>> ExactPebbler::PebbleConnected(
-    const Graph& g) const {
+    const Graph& g, BudgetContext* budget) const {
   JP_CHECK(g.num_edges() >= 1);
-  if (g.num_edges() > options_.max_edges) return std::nullopt;
+  // Soft time cap, clamped to the structural branch-and-bound ceiling so an
+  // oversized user option can never trip the solver's internal JP_CHECK.
+  const int max_edges =
+      std::min(options_.max_edges, kBranchAndBoundMaxNodes);
+  if (g.num_edges() > max_edges) return std::nullopt;
+  if (budget != nullptr && budget->Expired()) return std::nullopt;
 
   Graph line = BuildLineGraph(g);
   const Tsp12Instance instance(std::move(line));
 
-  if (instance.num_nodes() <= kMaxHeldKarpNodes) {
-    std::optional<TspPathResult> result = HeldKarpSolve(instance);
-    JP_CHECK(result.has_value());
+  // Dispatch: Held–Karp while its 2^n · n table fits the memory ceiling
+  // (the budget's, or the default); branch and bound beyond. One derived
+  // threshold, not two constants.
+  const int64_t table_ceiling =
+      budget != nullptr ? budget->MemoryLimitOr(kDefaultHeldKarpTableBytes)
+                        : kDefaultHeldKarpTableBytes;
+  if (instance.num_nodes() <= MaxHeldKarpNodesForMemory(table_ceiling)) {
+    std::optional<TspPathResult> result = HeldKarpSolve(instance, budget);
+    // With no budget the pre-flight check above makes refusal impossible;
+    // with one, a deadline expiry mid-DP legitimately yields nothing.
+    JP_CHECK(budget != nullptr || result.has_value());
+    if (!result.has_value()) return std::nullopt;
     return result->tour;
   }
 
   BranchAndBoundOptions bnb;
   bnb.node_budget = options_.bnb_node_budget;
-  BranchAndBoundResult result = BranchAndBoundSolve(instance, bnb);
-  if (!result.proven_optimal) return std::nullopt;
+  BranchAndBoundResult result = BranchAndBoundSolve(instance, bnb, budget);
+  if (!result.proven_optimal) {
+    // Exactness is the contract, so an unproven incumbent is discarded.
+    // Distinguish "our own node budget ran dry" (a recoverable decline —
+    // ladder rungs below still apply) from a shared-budget stop, which the
+    // caller reads off the context itself.
+    if (budget != nullptr && !budget->stopped() && result.budget_exhausted) {
+      budget->NoteDecline(SolveDecline::kLocalBudgetExhausted);
+    }
+    return std::nullopt;
+  }
   return result.best.tour;
 }
 

@@ -1,0 +1,89 @@
+#include "solver/fallback_pebbler.h"
+
+#include <utility>
+
+#include "solver/dfs_tree_pebbler.h"
+#include "solver/greedy_walk_pebbler.h"
+#include "solver/local_search_pebbler.h"
+#include "util/check.h"
+
+namespace pebblejoin {
+
+namespace {
+
+// The degradation reasons worth surfacing: a rung cut short by a ceiling.
+// kUnsupported declines (instance simply outside a solver's shape/size) are
+// the normal operating mode on large inputs, not degradation.
+bool IsBudgetCut(RungStatus status) {
+  return status == RungStatus::kDeadlineExpired ||
+         status == RungStatus::kBudgetExhausted ||
+         status == RungStatus::kMemoryCapped;
+}
+
+}  // namespace
+
+std::optional<std::vector<int>> FallbackPebbler::PebbleConnected(
+    const Graph& g, BudgetContext* budget) const {
+  SolveOutcome outcome;
+  return PebbleWithOutcome(g, budget, &outcome);
+}
+
+std::optional<std::vector<int>> FallbackPebbler::PebbleWithOutcome(
+    const Graph& g, BudgetContext* budget, SolveOutcome* outcome) const {
+  JP_CHECK(outcome != nullptr);
+  JP_CHECK(g.num_edges() >= 1);
+
+  // Rung classification reads decline notes off a context, so give the
+  // unbudgeted case a local unlimited one.
+  BudgetContext local_ctx{SolveBudget{}};
+  BudgetContext* ctx = budget != nullptr ? budget : &local_ctx;
+
+  const ExactPebbler exact(options_.exact);
+  const IlsPebbler ils(options_.ils);
+  const LocalSearchPebbler local_search(options_.local_search,
+                                        options_.max_line_graph_edges);
+  const Pebbler* budgeted_rungs[] = {&exact, &ils, &local_search};
+
+  std::optional<std::vector<int>> order;
+  for (const Pebbler* rung : budgeted_rungs) {
+    order = rung->PebbleWithOutcome(g, ctx, outcome);
+    if (order.has_value()) break;
+  }
+
+  if (!order.has_value()) {
+    // Guaranteed terminator: Theorem 3.1 is polynomial, so it gets the
+    // memory ceiling but never the deadline — a stopped request still ends
+    // with a valid scheme.
+    SolveBudget memory_only;
+    memory_only.memory_limit_bytes = ctx->budget().memory_limit_bytes;
+    BudgetContext dfs_ctx(memory_only);
+    const DfsTreePebbler dfs(options_.max_line_graph_edges);
+    order = dfs.PebbleWithOutcome(g, &dfs_ctx, outcome);
+  }
+
+  if (!order.has_value()) {
+    // Safety net when even L(G) misses the memory ceiling: the greedy walk
+    // needs no auxiliary structures and cannot decline a connected graph.
+    const GreedyWalkPebbler greedy;
+    order = greedy.PebbleWithOutcome(g, nullptr, outcome);
+    JP_CHECK_MSG(order.has_value(),
+                 "greedy-walk safety net refused a connected graph");
+  }
+
+  // The per-rung calls each overwrote `degradation` with their own status;
+  // ladder-wide, it is the *first* budget-induced cut on the way down to the
+  // winner (or kCompleted when the winner was reached without one).
+  outcome->degradation = RungStatus::kCompleted;
+  for (const RungAttempt& attempt : outcome->attempts) {
+    // A winner can itself carry a cut status (an anytime rung returning its
+    // deadline-cut incumbent) — that is degradation too.
+    if (IsBudgetCut(attempt.status)) {
+      outcome->degradation = attempt.status;
+      break;
+    }
+    if (RungProducedOrder(attempt.status)) break;
+  }
+  return order;
+}
+
+}  // namespace pebblejoin

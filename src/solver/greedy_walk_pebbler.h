@@ -16,9 +16,11 @@ namespace pebblejoin {
 
 class GreedyWalkPebbler : public Pebbler {
  public:
+  using Pebbler::PebbleConnected;
+
   std::string name() const override { return "greedy-walk"; }
   std::optional<std::vector<int>> PebbleConnected(
-      const Graph& g) const override;
+      const Graph& g, BudgetContext* budget) const override;
 };
 
 }  // namespace pebblejoin

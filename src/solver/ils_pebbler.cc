@@ -40,27 +40,37 @@ Tour DoubleBridge(const Tour& tour, Rng* rng) {
 }  // namespace
 
 std::optional<std::vector<int>> IlsPebbler::PebbleConnected(
-    const Graph& g) const {
+    const Graph& g, BudgetContext* budget) const {
   JP_CHECK(g.num_edges() >= 1);
 
-  // Baseline: the full local-search pipeline.
+  // Baseline: the full local-search pipeline. It is itself budget-aware and
+  // only declines when no seed could be built before the deadline.
   const LocalSearchPebbler local(options_.descent,
                                  options_.max_line_graph_edges);
-  std::optional<std::vector<int>> best = local.PebbleConnected(g);
-  JP_CHECK(best.has_value());
+  std::optional<std::vector<int>> best = local.PebbleConnected(g, budget);
+  JP_CHECK(budget != nullptr || best.has_value());
+  if (!best.has_value()) return std::nullopt;
   int64_t best_jumps = JumpsOfEdgeOrder(g, *best);
   if (best_jumps == 0) return best;  // already perfect
 
-  std::optional<Graph> line =
-      BuildLineGraphWithBudget(g, options_.max_line_graph_edges);
+  int64_t max_line_edges = options_.max_line_graph_edges;
+  if (budget != nullptr && budget->budget().has_memory_limit()) {
+    max_line_edges = std::min(
+        max_line_edges,
+        MaxLineGraphEdgesForMemory(budget->budget().memory_limit_bytes));
+  }
+  std::optional<Graph> line = BuildLineGraphWithBudget(g, max_line_edges);
   if (!line.has_value()) return best;  // too big to improve further
   const Tsp12Instance instance(*std::move(line));
 
   Rng rng(options_.seed);
   for (int round = 0; round < options_.iterations && best_jumps > 0;
        ++round) {
+    // Deadline-aware rounds: stopping here returns the incumbent `best`,
+    // which is always a complete, valid order.
+    if (budget != nullptr && budget->Expired()) break;
     Tour candidate = DoubleBridge(*best, &rng);
-    LocalSearchImprove(instance, &candidate, options_.descent);
+    LocalSearchImprove(instance, &candidate, options_.descent, budget);
     const int64_t jumps = TourJumps(instance, candidate);
     if (jumps < best_jumps) {
       best_jumps = jumps;

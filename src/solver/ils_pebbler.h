@@ -27,12 +27,16 @@ class IlsPebbler : public Pebbler {
     int64_t max_line_graph_edges = 20'000'000;
   };
 
+  using Pebbler::PebbleConnected;
+
   IlsPebbler() : options_(Options()) {}
   explicit IlsPebbler(Options options) : options_(options) {}
 
   std::string name() const override { return "ils"; }
+  // Deadline-aware iteration loop: under a budget each perturb+descend round
+  // polls the deadline and the best incumbent found so far is returned.
   std::optional<std::vector<int>> PebbleConnected(
-      const Graph& g) const override;
+      const Graph& g, BudgetContext* budget) const override;
 
  private:
   Options options_;

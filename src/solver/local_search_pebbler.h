@@ -17,13 +17,18 @@ namespace pebblejoin {
 
 class LocalSearchPebbler : public Pebbler {
  public:
+  using Pebbler::PebbleConnected;
+
   explicit LocalSearchPebbler(LocalSearchOptions options = {},
                               int64_t max_line_graph_edges = 20'000'000)
       : options_(options), max_line_graph_edges_(max_line_graph_edges) {}
 
   std::string name() const override { return "local-search"; }
+  // Deadline-aware and anytime: under a budget it returns its best incumbent
+  // (seed or partially improved order) rather than failing, as long as a
+  // seed was constructed before the deadline hit.
   std::optional<std::vector<int>> PebbleConnected(
-      const Graph& g) const override;
+      const Graph& g, BudgetContext* budget) const override;
 
  private:
   LocalSearchOptions options_;

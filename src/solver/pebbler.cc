@@ -1,7 +1,56 @@
 #include "solver/pebbler.h"
 
+#include <utility>
+
+#include "pebble/cost_model.h"
+#include "util/check.h"
+
 namespace pebblejoin {
 
-// Pebbler is header-only; this file anchors the vtable.
+std::optional<std::vector<int>> Pebbler::PebbleWithOutcome(
+    const Graph& g, BudgetContext* budget, SolveOutcome* outcome) const {
+  JP_CHECK(outcome != nullptr);
+  outcome->lower_bound = g.num_edges();
+
+  std::optional<std::vector<int>> order = PebbleConnected(g, budget);
+
+  RungAttempt attempt;
+  attempt.solver = name();
+  if (order.has_value()) {
+    attempt.cost =
+        static_cast<int64_t>(order->size()) + JumpsOfEdgeOrder(g, *order);
+    const bool stopped = budget != nullptr && budget->stopped();
+    // A solver stopped mid-search can still return its best incumbent; the
+    // stop reason is the honest status for that (degraded) order.
+    attempt.status = stopped ? RungStatusFromStop(budget->stop_reason())
+                             : (is_exact() ? RungStatus::kOptimal
+                                           : RungStatus::kCompleted);
+    outcome->winner = attempt.solver;
+    outcome->optimal = attempt.status == RungStatus::kOptimal;
+    outcome->effective_cost = attempt.cost;
+  } else if (budget != nullptr && budget->stopped()) {
+    attempt.status = RungStatusFromStop(budget->stop_reason());
+  } else {
+    const SolveDecline decline =
+        budget != nullptr ? budget->TakeDecline() : SolveDecline::kNone;
+    switch (decline) {
+      case SolveDecline::kMemoryCapped:
+        attempt.status = RungStatus::kMemoryCapped;
+        break;
+      case SolveDecline::kLocalBudgetExhausted:
+        attempt.status = RungStatus::kBudgetExhausted;
+        break;
+      case SolveDecline::kNone:
+        attempt.status = RungStatus::kUnsupported;
+        break;
+    }
+  }
+  outcome->status = attempt.status;
+  outcome->degradation = RungProducedOrder(attempt.status)
+                             ? RungStatus::kCompleted
+                             : attempt.status;
+  outcome->attempts.push_back(std::move(attempt));
+  return order;
+}
 
 }  // namespace pebblejoin

@@ -5,6 +5,13 @@
 // pebble/pebbling_scheme.h) pebbles the graph. Effective cost of the order
 // is m + jumps. The ComponentPebbler wraps any Pebbler to handle arbitrary
 // (disconnected) graphs, which by the additivity lemma 2.2 loses nothing.
+//
+// Every solve is budget-aware: the optional BudgetContext (util/budget.h)
+// carries the request's wall-clock deadline, node budget, and memory
+// ceiling. Cancellation is cooperative — a solver polls the context in its
+// hot loop and returns either its best valid incumbent or std::nullopt,
+// never a partial order. Passing nullptr means "unlimited" and preserves
+// each solver's historical size limits.
 
 #ifndef PEBBLEJOIN_SOLVER_PEBBLER_H_
 #define PEBBLEJOIN_SOLVER_PEBBLER_H_
@@ -15,6 +22,8 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "solver/solve_outcome.h"
+#include "util/budget.h"
 
 namespace pebblejoin {
 
@@ -26,12 +35,30 @@ class Pebbler {
   // Short stable identifier, e.g. "dfs-tree".
   virtual std::string name() const = 0;
 
+  // Unbudgeted convenience overload.
+  std::optional<std::vector<int>> PebbleConnected(const Graph& g) const {
+    return PebbleConnected(g, nullptr);
+  }
+
   // Produces an edge order for connected `g` (every vertex non-isolated,
   // one component, at least one edge). Returns nullopt when the solver
   // cannot handle the instance (e.g. SortMergePebbler on a non-complete-
-  // bipartite graph, ExactPebbler beyond its size limits).
+  // bipartite graph, ExactPebbler beyond its size limits) or when `budget`
+  // (may be null) stops the solve before any incumbent exists.
   virtual std::optional<std::vector<int>> PebbleConnected(
-      const Graph& g) const = 0;
+      const Graph& g, BudgetContext* budget) const = 0;
+
+  // Like PebbleConnected but also reports provenance. The default wraps the
+  // solve in a single-rung SolveOutcome, classifying a refusal via the
+  // budget's stop reason / memory-decline note; FallbackPebbler overrides it
+  // with the full degradation ladder. `outcome` must be non-null; `budget`
+  // may be null.
+  virtual std::optional<std::vector<int>> PebbleWithOutcome(
+      const Graph& g, BudgetContext* budget, SolveOutcome* outcome) const;
+
+  // Whether a successful unstopped solve is proven optimal (sets the rung
+  // status to kOptimal rather than kCompleted).
+  virtual bool is_exact() const { return false; }
 };
 
 }  // namespace pebblejoin

@@ -1,0 +1,76 @@
+// Structured provenance for budgeted solves.
+//
+// A SolveOutcome records which solvers (ladder rungs) were attempted on a
+// connected instance, why each one stopped, and how the achieved cost
+// compares to the Lemma 2.3 lower bound m. Produced by
+// Pebbler::PebbleWithOutcome (single-rung default) and by the
+// FallbackPebbler degradation ladder; aggregated per component by
+// ComponentPebbler and surfaced through core/report and the CLI.
+
+#ifndef PEBBLEJOIN_SOLVER_SOLVE_OUTCOME_H_
+#define PEBBLEJOIN_SOLVER_SOLVE_OUTCOME_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/budget.h"
+
+namespace pebblejoin {
+
+// Why one rung of a solve stopped.
+enum class RungStatus {
+  kOptimal,          // finished with a proven-optimal order
+  kCompleted,        // produced an order, no optimality claim
+  kDeadlineExpired,  // wall-clock deadline hit (an incumbent may remain)
+  kBudgetExhausted,  // shared or solver-local node budget hit
+  kMemoryCapped,     // declined: dominant allocation over the ceiling
+  kUnsupported,      // declined: instance shape/size outside the solver
+};
+
+// Printable name, e.g. "deadline-expired".
+const char* RungStatusName(RungStatus status);
+
+// True when the status means an edge order was produced.
+inline bool RungProducedOrder(RungStatus status) {
+  return status == RungStatus::kOptimal || status == RungStatus::kCompleted;
+}
+
+// Maps a budget stop reason onto the rung vocabulary.
+RungStatus RungStatusFromStop(BudgetStop stop);
+
+// One solver attempt within a solve.
+struct RungAttempt {
+  std::string solver;  // Pebbler::name() of the rung
+  RungStatus status = RungStatus::kUnsupported;
+  // Effective cost m + jumps of the order this rung produced, or -1 when it
+  // produced none. A rung cut short by the deadline can still report a cost:
+  // its best incumbent so far.
+  int64_t cost = -1;
+};
+
+// Everything learned while solving one connected instance.
+struct SolveOutcome {
+  std::vector<RungAttempt> attempts;  // in the order they ran
+  std::string winner;                 // rung that produced the final order
+  // Status of the winning rung; when no order was produced this is the last
+  // failure status instead.
+  RungStatus status = RungStatus::kUnsupported;
+  bool optimal = false;          // winner proved optimality
+  int64_t effective_cost = -1;   // m + jumps of the final order, -1 if none
+  int64_t lower_bound = 0;       // m (Lemma 2.3)
+  // Set when a stronger rung was cut short and a weaker one answered — the
+  // reason the result is degraded (kDeadlineExpired, kBudgetExhausted or
+  // kMemoryCapped); kOptimal/kCompleted when nothing was cut short.
+  RungStatus degradation = RungStatus::kCompleted;
+
+  bool degraded() const { return !RungProducedOrder(degradation); }
+
+  // One-line rendering: "exact:deadline-expired -> ils:completed
+  // (winner ils, cost 12, lb 10)".
+  std::string Summary() const;
+};
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_SOLVER_SOLVE_OUTCOME_H_

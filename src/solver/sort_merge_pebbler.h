@@ -17,9 +17,11 @@ namespace pebblejoin {
 // the input component is not complete bipartite.
 class SortMergePebbler : public Pebbler {
  public:
+  using Pebbler::PebbleConnected;
+
   std::string name() const override { return "sort-merge"; }
   std::optional<std::vector<int>> PebbleConnected(
-      const Graph& g) const override;
+      const Graph& g, BudgetContext* budget) const override;
 };
 
 }  // namespace pebblejoin

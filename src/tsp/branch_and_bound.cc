@@ -11,8 +11,6 @@ namespace pebblejoin {
 
 namespace {
 
-constexpr int kMaxNodes = 64;
-
 // Search state shared across the recursion.
 struct SearchContext {
   const Tsp12Instance* instance = nullptr;
@@ -25,7 +23,9 @@ struct SearchContext {
 
   int64_t nodes_expanded = 0;
   int64_t node_budget = 0;
+  BudgetContext* budget = nullptr;  // shared deadline/node budget; may be null
   bool budget_exhausted = false;
+  bool deadline_expired = false;
   bool use_component_bound = true;
   bool use_deficiency_bound = true;
 
@@ -96,10 +96,23 @@ int64_t LowerBound(const SearchContext& ctx, uint64_t unvisited, int end) {
 }
 
 void Search(SearchContext* ctx, uint64_t unvisited, int end, int64_t jumps) {
-  if (ctx->budget_exhausted) return;
+  if (ctx->budget_exhausted || ctx->deadline_expired) return;
   if (++ctx->nodes_expanded > ctx->node_budget) {
     ctx->budget_exhausted = true;
     return;
+  }
+  if (ctx->budget != nullptr) {
+    // Cooperative cancellation: the amortized deadline poll plus a charge
+    // against the request-wide node budget. The incumbent survives either
+    // way — the search just unwinds.
+    if (ctx->budget->Expired()) {
+      ctx->deadline_expired = true;
+      return;
+    }
+    if (!ctx->budget->ChargeNodes(1)) {
+      ctx->budget_exhausted = true;
+      return;
+    }
   }
   if (unvisited == 0) {
     if (jumps < ctx->best_jumps) {
@@ -148,10 +161,11 @@ void Search(SearchContext* ctx, uint64_t unvisited, int end, int64_t jumps) {
 
 }  // namespace
 
-BranchAndBoundResult BranchAndBoundSolve(
-    const Tsp12Instance& instance, const BranchAndBoundOptions& options) {
+BranchAndBoundResult BranchAndBoundSolve(const Tsp12Instance& instance,
+                                         const BranchAndBoundOptions& options,
+                                         BudgetContext* budget) {
   const int n = instance.num_nodes();
-  JP_CHECK(1 <= n && n <= kMaxNodes);
+  JP_CHECK(1 <= n && n <= kBranchAndBoundMaxNodes);
 
   SearchContext ctx;
   ctx.instance = &instance;
@@ -163,17 +177,21 @@ BranchAndBoundResult BranchAndBoundSolve(
     ctx.adj[edge.v] |= uint64_t{1} << edge.u;
   }
   ctx.node_budget = options.node_budget;
+  ctx.budget = budget;
   ctx.use_component_bound = options.use_component_bound;
   ctx.use_deficiency_bound = options.use_deficiency_bound;
 
-  // Prime the incumbent with a strong heuristic tour so pruning bites early.
+  // Prime the incumbent with a strong heuristic tour so pruning bites early —
+  // and so a budget cut at any point still leaves a valid tour to return.
   Tour incumbent = BestGreedyPathCoverTour(instance, 4, /*seed=*/1);
   LocalSearchOptions ls;
-  LocalSearchImprove(instance, &incumbent, ls);
+  LocalSearchImprove(instance, &incumbent, ls, budget);
   ctx.best_tour = incumbent;
   ctx.best_jumps = TourJumps(instance, incumbent);
 
-  if (ctx.best_jumps > 0) {
+  if (budget != nullptr && budget->Expired()) {
+    ctx.deadline_expired = true;
+  } else if (ctx.best_jumps > 0) {
     ctx.current.reserve(n);
     Search(&ctx, ctx.FullMask(), /*end=*/-1, /*jumps=*/0);
   }
@@ -182,7 +200,9 @@ BranchAndBoundResult BranchAndBoundSolve(
   result.best.tour = ctx.best_tour;
   result.best.jumps = TourJumps(instance, ctx.best_tour);
   result.best.cost = TourCost(instance, ctx.best_tour);
-  result.proven_optimal = !ctx.budget_exhausted;
+  result.proven_optimal = !ctx.budget_exhausted && !ctx.deadline_expired;
+  result.deadline_expired = ctx.deadline_expired;
+  result.budget_exhausted = ctx.budget_exhausted;
   result.nodes_expanded = ctx.nodes_expanded;
   return result;
 }

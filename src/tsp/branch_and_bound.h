@@ -21,8 +21,14 @@
 #include "tsp/held_karp.h"
 #include "tsp/tour.h"
 #include "tsp/tsp12.h"
+#include "util/budget.h"
 
 namespace pebblejoin {
+
+// Structural instance ceiling (adjacency bitmasks are uint64). Instances
+// beyond this are rejected up front by callers, never JP_CHECK-aborted on
+// user input.
+inline constexpr int kBranchAndBoundMaxNodes = 64;
 
 // Options controlling search effort.
 struct BranchAndBoundOptions {
@@ -40,13 +46,20 @@ struct BranchAndBoundOptions {
 struct BranchAndBoundResult {
   TspPathResult best;        // best tour found (always a valid tour)
   bool proven_optimal = false;
+  bool deadline_expired = false;  // stopped by the budget's wall clock
+  bool budget_exhausted = false;  // stopped by a node budget (local or shared)
   int64_t nodes_expanded = 0;
 };
 
-// Solves (or approximates, if the budget runs out) the instance.
-// Requires num_nodes >= 1.
+// Solves (or approximates, if a budget runs out) the instance. Requires
+// 1 <= num_nodes <= kBranchAndBoundMaxNodes. `budget` (may be null) adds a
+// wall-clock deadline and a shared cross-solver node budget on top of
+// options.node_budget; whenever the search is cut short, the best incumbent
+// found so far is still returned (it is always a valid tour — the heuristic
+// primer runs before the search starts).
 BranchAndBoundResult BranchAndBoundSolve(const Tsp12Instance& instance,
-                                         const BranchAndBoundOptions& options);
+                                         const BranchAndBoundOptions& options,
+                                         BudgetContext* budget = nullptr);
 
 }  // namespace pebblejoin
 

@@ -7,9 +7,19 @@
 
 namespace pebblejoin {
 
-std::optional<TspPathResult> HeldKarpSolve(const Tsp12Instance& instance) {
+std::optional<TspPathResult> HeldKarpSolve(const Tsp12Instance& instance,
+                                           BudgetContext* budget) {
   const int n = instance.num_nodes();
-  if (n > kMaxHeldKarpNodes) return std::nullopt;
+  // Pre-flight: the 2^n · n-byte table must fit the memory ceiling. With no
+  // budget this reproduces the historical n <= 20 limit.
+  const int64_t table_ceiling =
+      budget != nullptr ? budget->MemoryLimitOr(kDefaultHeldKarpTableBytes)
+                        : kDefaultHeldKarpTableBytes;
+  if (n > MaxHeldKarpNodesForMemory(table_ceiling)) {
+    if (budget != nullptr) budget->NoteMemoryDecline();
+    return std::nullopt;
+  }
+  if (budget != nullptr && budget->Expired()) return std::nullopt;
 
   TspPathResult result;
   if (n == 0) return result;
@@ -34,6 +44,10 @@ std::optional<TspPathResult> HeldKarpSolve(const Tsp12Instance& instance) {
   for (int v = 0; v < n; ++v) dp[(size_t{1} << v) * n + v] = 0;
 
   for (uint32_t mask = 1; mask < num_masks; ++mask) {
+    // Periodic deadline poll; a timed-out DP leaves no usable incumbent.
+    if ((mask & 0xFFF) == 0 && budget != nullptr && budget->Expired()) {
+      return std::nullopt;
+    }
     for (int v = 0; v < n; ++v) {
       const uint8_t cur = dp[size_t{mask} * n + v];
       if (cur == kInf) continue;

@@ -4,6 +4,14 @@
 // O(2^n · n) bytes of memory, so it is limited to small n. This is the
 // ground-truth oracle behind the exact pebbler (via Proposition 2.2) and the
 // L-reduction experiments.
+//
+// The instance-size ceiling is derived from a memory budget in exactly one
+// place (MaxHeldKarpNodesForMemory): the dominant allocation is the
+// 2^n · n-byte DP table, so "largest solvable n" and "table fits the memory
+// ceiling" are the same question. kMaxHeldKarpNodes is the value at the
+// default ceiling; a SolveBudget with an explicit memory limit moves the
+// threshold (and the Held–Karp/branch-and-bound dispatch in ExactPebbler)
+// up or down with it.
 
 #ifndef PEBBLEJOIN_TSP_HELD_KARP_H_
 #define PEBBLEJOIN_TSP_HELD_KARP_H_
@@ -13,6 +21,7 @@
 
 #include "tsp/tour.h"
 #include "tsp/tsp12.h"
+#include "util/budget.h"
 
 namespace pebblejoin {
 
@@ -23,14 +32,47 @@ struct TspPathResult {
   Tour tour;          // one optimal tour
 };
 
-// Largest instance HeldKarpSolve accepts (2^n · n table bytes: ~21 MB at
-// n = 20; n = 24 would need ~400 MB, so larger instances go to the
-// branch-and-bound solver instead).
-inline constexpr int kMaxHeldKarpNodes = 20;
+// Bytes of the Held–Karp DP table for an n-node instance (2^n · n).
+constexpr int64_t HeldKarpTableBytes(int n) {
+  return (int64_t{1} << n) * n;
+}
 
-// Solves the instance exactly. Returns nullopt if n exceeds
-// kMaxHeldKarpNodes. For n == 0 returns an empty zero-cost tour.
-std::optional<TspPathResult> HeldKarpSolve(const Tsp12Instance& instance);
+// Structural ceiling of this implementation: masks are uint32 and jump
+// counts fit uint8 far beyond this, but 2^n · n bytes at n = 26 is already
+// ~1.7 GB — beyond that branch and bound is always the right tool.
+inline constexpr int kHeldKarpStructuralMaxNodes = 26;
+
+// Default memory ceiling for the DP table when the caller provides no
+// SolveBudget (24 MB: fits n = 20 at ~21 MB; n = 21 would need ~44 MB).
+inline constexpr int64_t kDefaultHeldKarpTableBytes = int64_t{24} << 20;
+
+// Largest n whose DP table fits within `memory_limit_bytes`, capped at the
+// structural maximum. This is the single source of the Held–Karp/B&B
+// dispatch threshold.
+constexpr int MaxHeldKarpNodesForMemory(int64_t memory_limit_bytes) {
+  int n = 0;
+  while (n < kHeldKarpStructuralMaxNodes &&
+         HeldKarpTableBytes(n + 1) <= memory_limit_bytes) {
+    ++n;
+  }
+  return n;
+}
+
+// Largest instance HeldKarpSolve accepts without an explicit budget —
+// derived from the default table ceiling, not an independent constant.
+inline constexpr int kMaxHeldKarpNodes =
+    MaxHeldKarpNodesForMemory(kDefaultHeldKarpTableBytes);
+static_assert(kMaxHeldKarpNodes == 20,
+              "default Held-Karp ceiling drifted; update callers' comments");
+
+// Solves the instance exactly. Returns nullopt if the DP table exceeds the
+// memory ceiling (the budget's, or the default above when `budget` is null;
+// the decline is noted via BudgetContext::NoteMemoryDecline) or if the
+// budget's deadline expires mid-DP — Held–Karp holds no valid incumbent
+// before the table is complete, so a timed-out solve yields nothing.
+// For n == 0 returns an empty zero-cost tour.
+std::optional<TspPathResult> HeldKarpSolve(const Tsp12Instance& instance,
+                                           BudgetContext* budget = nullptr);
 
 }  // namespace pebblejoin
 

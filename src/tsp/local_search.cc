@@ -18,7 +18,8 @@ inline int JumpAt(const Tsp12Instance& instance, const Tour& tour, int i) {
 }  // namespace
 
 int64_t TwoOptImprove(const Tsp12Instance& instance, Tour* tour,
-                      const LocalSearchOptions& options) {
+                      const LocalSearchOptions& options,
+                      BudgetContext* budget) {
   JP_CHECK(tour != nullptr);
   const int n = static_cast<int>(tour->size());
   if (n < 3) return 0;
@@ -30,6 +31,7 @@ int64_t TwoOptImprove(const Tsp12Instance& instance, Tour* tour,
     // (i-1, j) and (i, j+1); pairs inside the segment reverse but keep their
     // jump status (weights are symmetric).
     for (int i = 0; i < n - 1; ++i) {
+      if (budget != nullptr && budget->Expired()) return removed;
       for (int j = i + 1; j < n; ++j) {
         if (i == 0 && j == n - 1) continue;  // whole-tour reversal: no-op
         const int before = JumpAt(instance, *tour, i - 1) +
@@ -54,7 +56,8 @@ int64_t TwoOptImprove(const Tsp12Instance& instance, Tour* tour,
 }
 
 int64_t OrOptImprove(const Tsp12Instance& instance, Tour* tour,
-                     const LocalSearchOptions& options) {
+                     const LocalSearchOptions& options,
+                     BudgetContext* budget) {
   JP_CHECK(tour != nullptr);
   const int n = static_cast<int>(tour->size());
   if (n < 3) return 0;
@@ -64,6 +67,7 @@ int64_t OrOptImprove(const Tsp12Instance& instance, Tour* tour,
     bool improved = false;
     for (int len = 1; len <= options.max_segment_length; ++len) {
       for (int i = 0; i + len <= n; ++i) {
+        if (budget != nullptr && budget->Expired()) return removed;
         // Segment s = (*tour)[i .. i+len-1]. Removing it merges (i-1) with
         // (i+len); inserting it after position k (k outside the segment)
         // splits the pair (k, k+1).
@@ -124,12 +128,14 @@ int64_t OrOptImprove(const Tsp12Instance& instance, Tour* tour,
 }
 
 int64_t LocalSearchImprove(const Tsp12Instance& instance, Tour* tour,
-                           const LocalSearchOptions& options) {
+                           const LocalSearchOptions& options,
+                           BudgetContext* budget) {
   int64_t removed = 0;
   for (int round = 0; round < options.max_passes; ++round) {
+    if (budget != nullptr && budget->Expired()) break;
     const int64_t before = removed;
-    removed += TwoOptImprove(instance, tour, options);
-    removed += OrOptImprove(instance, tour, options);
+    removed += TwoOptImprove(instance, tour, options, budget);
+    removed += OrOptImprove(instance, tour, options, budget);
     if (removed == before) break;
   }
   return removed;

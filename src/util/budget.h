@@ -1,0 +1,223 @@
+// Unified solve budgets and cooperative cancellation.
+//
+// The exact solvers are the executable face of Theorem 4.2's NP-completeness:
+// Held–Karp is O(2^n · n²) time and O(2^n · n) bytes, and branch and bound
+// can blow past any node budget. A production request must never hang, OOM,
+// or abort, so every solver hot loop polls one shared BudgetContext that
+// enforces three independent ceilings:
+//
+//   - a wall-clock deadline, checked with a cheap amortized poll
+//     (one real clock read every kPollStride calls to Expired());
+//   - a node budget shared across all search trees of one request;
+//   - a memory ceiling that solvers consult *before* their dominant
+//     allocation (the Held–Karp table, the materialized line graph).
+//
+// Cancellation is cooperative: solvers poll, notice, and return either a
+// valid incumbent or std::nullopt — they are never interrupted mid-update,
+// so incumbents are always verifier-valid. For deterministic fault-injection
+// tests the context accepts a fake clock (see FakeClock) and a forced-expiry
+// point (ForceExpireAfterPolls).
+
+#ifndef PEBBLEJOIN_UTIL_BUDGET_H_
+#define PEBBLEJOIN_UTIL_BUDGET_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+
+namespace pebblejoin {
+
+// Why a budgeted solve was stopped early. kNone means "still running" (or
+// finished within every ceiling).
+enum class BudgetStop {
+  kNone,
+  kDeadlineExpired,
+  kNodeBudgetExhausted,
+};
+
+// Why a solver *declined* an instance without stopping the whole request:
+// its dominant allocation missed the memory ceiling, or a solver-local
+// budget (e.g. ExactPebbler's own branch-and-bound node budget) ran dry.
+// Distinct from BudgetStop — declining is per-solver and recoverable by a
+// weaker rung of the fallback ladder.
+enum class SolveDecline {
+  kNone,
+  kMemoryCapped,
+  kLocalBudgetExhausted,
+};
+
+// Printable name, e.g. "deadline-expired".
+inline const char* BudgetStopName(BudgetStop stop) {
+  switch (stop) {
+    case BudgetStop::kNone:
+      return "none";
+    case BudgetStop::kDeadlineExpired:
+      return "deadline-expired";
+    case BudgetStop::kNodeBudgetExhausted:
+      return "node-budget-exhausted";
+  }
+  return "unknown";
+}
+
+// Declarative limits for one solve request. Negative means unlimited.
+struct SolveBudget {
+  static constexpr int64_t kUnlimited = -1;
+
+  int64_t deadline_ms = kUnlimited;      // wall clock for the whole request
+  int64_t node_budget = kUnlimited;      // search-tree nodes across solvers
+  int64_t memory_limit_bytes = kUnlimited;  // per-allocation ceiling
+
+  bool has_deadline() const { return deadline_ms >= 0; }
+  bool has_node_budget() const { return node_budget >= 0; }
+  bool has_memory_limit() const { return memory_limit_bytes >= 0; }
+};
+
+// A deterministic fake clock for fault-injection tests. Time only moves when
+// the test calls AdvanceMs.
+class FakeClock {
+ public:
+  int64_t NowMs() const { return now_ms_; }
+  void AdvanceMs(int64_t ms) { now_ms_ += ms; }
+
+  // A callable suitable for BudgetContext's clock parameter. The returned
+  // function references this object, which must outlive the context.
+  std::function<int64_t()> AsFunction() {
+    return [this]() { return now_ms_; };
+  }
+
+ private:
+  int64_t now_ms_ = 0;
+};
+
+// Mutable per-request state threaded through every solver's hot loop. Not
+// thread-safe: one context per request thread.
+class BudgetContext {
+ public:
+  // Deadline polls between real clock reads. The contract tests rely on
+  // the first poll always reading the clock, so an already-expired deadline
+  // is noticed on the very first Expired() call.
+  static constexpr int64_t kPollStride = 256;
+
+  explicit BudgetContext(const SolveBudget& budget)
+      : BudgetContext(budget, nullptr) {}
+
+  // `clock` returns milliseconds on an arbitrary but monotone scale; pass
+  // FakeClock::AsFunction() in tests. nullptr uses the real steady clock.
+  BudgetContext(const SolveBudget& budget, std::function<int64_t()> clock)
+      : budget_(budget),
+        clock_(std::move(clock)),
+        start_ms_(NowMs()) {}
+
+  const SolveBudget& budget() const { return budget_; }
+
+  // --- Deadline -----------------------------------------------------------
+
+  // Amortized deadline poll: reads the clock on the first call and then once
+  // every kPollStride calls. Sticky: once expired, stays expired.
+  bool Expired() {
+    if (stop_ != BudgetStop::kNone) return true;
+    ++polls_;
+    if (forced_expire_at_poll_ >= 0 && polls_ >= forced_expire_at_poll_) {
+      stop_ = BudgetStop::kDeadlineExpired;
+      return true;
+    }
+    if (!budget_.has_deadline()) return false;
+    if (--polls_until_check_ > 0) return false;
+    polls_until_check_ = kPollStride;
+    return ExpiredNow();
+  }
+
+  // Unamortized deadline check (always reads the clock).
+  bool ExpiredNow() {
+    if (stop_ != BudgetStop::kNone) return true;
+    if (!budget_.has_deadline()) return false;
+    if (NowMs() - start_ms_ >= budget_.deadline_ms) {
+      stop_ = BudgetStop::kDeadlineExpired;
+      return true;
+    }
+    return false;
+  }
+
+  // --- Node budget --------------------------------------------------------
+
+  // Charges `n` search-tree nodes against the shared budget. Returns false
+  // (and latches the stop reason) once the budget is exhausted.
+  bool ChargeNodes(int64_t n) {
+    nodes_charged_ += n;
+    if (stop_ != BudgetStop::kNone) return false;
+    if (budget_.has_node_budget() && nodes_charged_ > budget_.node_budget) {
+      stop_ = BudgetStop::kNodeBudgetExhausted;
+      return false;
+    }
+    return true;
+  }
+
+  int64_t nodes_charged() const { return nodes_charged_; }
+
+  // --- Memory ceiling -----------------------------------------------------
+
+  // Whether a single allocation of `bytes` fits under the ceiling. Purely
+  // advisory — nothing is reserved; solvers call this immediately before
+  // their dominant allocation.
+  bool FitsMemory(int64_t bytes) const {
+    return !budget_.has_memory_limit() || bytes <= budget_.memory_limit_bytes;
+  }
+
+  // Memory ceiling in bytes, or `fallback` when unlimited.
+  int64_t MemoryLimitOr(int64_t fallback) const {
+    return budget_.has_memory_limit() ? budget_.memory_limit_bytes : fallback;
+  }
+
+  // A solver that *declines* an instance — memory ceiling missed, or a
+  // solver-local budget exhausted — records why here so the caller can tell
+  // those apart from "unsupported shape". Not sticky across solvers:
+  // TakeDecline reads and clears.
+  void NoteDecline(SolveDecline reason) { decline_ = reason; }
+  void NoteMemoryDecline() { decline_ = SolveDecline::kMemoryCapped; }
+  SolveDecline TakeDecline() {
+    const SolveDecline noted = decline_;
+    decline_ = SolveDecline::kNone;
+    return noted;
+  }
+
+  // --- Stop state ---------------------------------------------------------
+
+  bool stopped() const { return stop_ != BudgetStop::kNone; }
+  BudgetStop stop_reason() const { return stop_; }
+
+  // Elapsed wall-clock milliseconds since construction.
+  int64_t ElapsedMs() { return NowMs() - start_ms_; }
+
+  // --- Fault injection ----------------------------------------------------
+
+  // Deterministically forces Expired() to report a deadline expiry on its
+  // `n`-th call from now (n >= 1), regardless of the clock. Test-only hook
+  // for proving that every hot loop both polls and unwinds cleanly.
+  void ForceExpireAfterPolls(int64_t n) {
+    forced_expire_at_poll_ = polls_ + n;
+  }
+
+ private:
+  int64_t NowMs() const {
+    if (clock_) return clock_();
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  SolveBudget budget_;
+  std::function<int64_t()> clock_;
+  int64_t start_ms_ = 0;
+  int64_t polls_ = 0;
+  int64_t polls_until_check_ = 1;  // first poll always reads the clock
+  int64_t nodes_charged_ = 0;
+  int64_t forced_expire_at_poll_ = -1;
+  SolveDecline decline_ = SolveDecline::kNone;
+  BudgetStop stop_ = BudgetStop::kNone;
+};
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_UTIL_BUDGET_H_

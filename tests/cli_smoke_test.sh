@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# Exit-code and budget-degradation contract of the pebblejoin CLI.
+#
+# Two invariants:
+#   1. Every bad input exits nonzero with a one-line stderr diagnostic —
+#      never an abort (exit >= 128 means a signal, i.e. a JP_CHECK crash).
+#   2. A zero deadline on a 60-edge worst-case instance still exits 0 and
+#      reports the degraded-but-valid scheme's provenance.
+set -u
+
+BIN="${PEBBLEJOIN_BIN:?PEBBLEJOIN_BIN must point at the pebblejoin binary}"
+FAILURES=0
+
+note_failure() {
+  echo "FAIL: $1" >&2
+  FAILURES=$((FAILURES + 1))
+}
+
+# expect_fail <description> -- <args...> [<<< stdin]
+expect_fail() {
+  local desc="$1"; shift; shift  # drop '--'
+  local stdin_data="${CLI_STDIN:-}"
+  local stderr_file
+  stderr_file=$(mktemp)
+  printf '%s' "$stdin_data" | "$BIN" "$@" >/dev/null 2>"$stderr_file"
+  local status=$?
+  if [ "$status" -eq 0 ]; then
+    note_failure "$desc: expected nonzero exit, got 0"
+  elif [ "$status" -ge 128 ]; then
+    note_failure "$desc: crashed with signal (exit $status)"
+  elif [ ! -s "$stderr_file" ]; then
+    note_failure "$desc: no stderr diagnostic"
+  fi
+  rm -f "$stderr_file"
+}
+
+# --- Bad-input paths: nonzero exit, stderr message, no crash --------------
+expect_fail "no command" --
+expect_fail "unknown command" -- frobnicate
+expect_fail "gen missing family" -- gen
+expect_fail "gen unknown family" -- gen hypercube 3
+expect_fail "gen worstcase non-numeric" -- gen worstcase xyz
+expect_fail "gen worstcase too small" -- gen worstcase 2
+expect_fail "gen worstcase trailing junk" -- gen worstcase 3x
+expect_fail "gen complete missing arg" -- gen complete 3
+expect_fail "gen random m too large" -- gen random 2 2 5 1
+expect_fail "gen random disconnected m" -- gen random 3 3 2 1 --connected
+expect_fail "solve unknown flag" -- solve --frobnicate
+expect_fail "solve unknown solver" -- solve --solver quantum
+expect_fail "solve bad deadline" -- solve --deadline-ms -5
+expect_fail "solve non-numeric deadline" -- solve --deadline-ms soon
+expect_fail "analyze bad predicate" -- analyze --predicate vibes
+expect_fail "schedule bad k" -- schedule --k 1
+expect_fail "partition bad count" -- partition --fragments 0
+expect_fail "realize unknown kind" -- realize polygons
+expect_fail "bounds stray flag" -- bounds --verbose
+
+CLI_STDIN="this is not a graph" expect_fail "solve garbage stdin" -- solve
+CLI_STDIN="bipartite 2 2 9
+0 0
+" expect_fail "solve truncated edge list" -- solve
+CLI_STDIN="bipartite 2 2 2
+0 0
+0 0
+" expect_fail "solve duplicate edges" -- solve
+
+# --- Good paths round-trip ------------------------------------------------
+GRAPH=$("$BIN" gen worstcase 30)
+if [ $? -ne 0 ] || [ -z "$GRAPH" ]; then
+  note_failure "gen worstcase 30 should succeed"
+fi
+
+if ! printf '%s' "$GRAPH" | "$BIN" solve >/dev/null; then
+  note_failure "plain solve should exit 0"
+fi
+
+if ! printf '%s' "$GRAPH" | "$BIN" bounds >/dev/null; then
+  note_failure "bounds should exit 0"
+fi
+
+# --- Acceptance: zero deadline on a 60-edge worst case --------------------
+OUT=$(printf '%s' "$GRAPH" | "$BIN" solve --deadline-ms 0)
+if [ $? -ne 0 ]; then
+  note_failure "solve --deadline-ms 0 must still exit 0"
+fi
+case "$OUT" in
+  *deadline-expired*) : ;;
+  *) note_failure "degraded solve must report deadline-expired provenance" ;;
+esac
+# The emitted order must still cover all 60 edges (one id per line after
+# the '#' headers).
+EDGE_LINES=$(printf '%s\n' "$OUT" | grep -cv '^#')
+if [ "$EDGE_LINES" -ne 60 ]; then
+  note_failure "degraded solve emitted $EDGE_LINES of 60 edges"
+fi
+
+# Budget flags without --solver select the fallback ladder on analyze too.
+if ! printf '%s' "$GRAPH" | "$BIN" analyze --deadline-ms 0 >/dev/null; then
+  note_failure "analyze --deadline-ms 0 must exit 0"
+fi
+
+# Memory-capped solve still succeeds with a valid scheme.
+if ! printf '%s' "$GRAPH" | "$BIN" solve --memory-mb 1 >/dev/null; then
+  note_failure "solve --memory-mb 1 must exit 0"
+fi
+
+if [ "$FAILURES" -ne 0 ]; then
+  echo "$FAILURES smoke check(s) failed" >&2
+  exit 1
+fi
+echo "cli smoke checks passed"

@@ -4,9 +4,11 @@
 #include "gtest/gtest.h"
 #include "pebble/scheme_verifier.h"
 #include "solver/exact_pebbler.h"
+#include "solver/fallback_pebbler.h"
 #include "solver/greedy_walk_pebbler.h"
 #include "solver/local_search_pebbler.h"
 #include "solver/sort_merge_pebbler.h"
+#include "util/budget.h"
 
 namespace pebblejoin {
 namespace {
@@ -76,6 +78,73 @@ TEST(ComponentPebblerTest, MatchingCosts) {
     const PebbleSolution s = driver.Solve(MatchingGraph(m).ToGraph());
     EXPECT_EQ(s.hat_cost, 2 * m);
     EXPECT_EQ(s.effective_cost, m);
+  }
+}
+
+TEST(ComponentPebblerTest, MixedSuccessRecordsPerComponentOutcomes) {
+  const SortMergePebbler sort_merge;
+  const GreedyWalkPebbler greedy;
+  const ComponentPebbler driver(&sort_merge, &greedy);
+  // sort-merge handles the complete-bipartite component, refuses the path
+  // and the star-with-pendant; provenance must tell the components apart.
+  const BipartiteGraph u = DisjointUnion(
+      DisjointUnion(CompleteBipartite(2, 2), PathGraph(3)), WorstCaseFamily(3));
+  const Graph g = u.ToGraph();
+  const PebbleSolution solution = driver.Solve(g);
+  EXPECT_TRUE(VerifyScheme(g, solution.scheme).valid);
+  ASSERT_EQ(solution.outcomes.size(), 3u);
+  EXPECT_EQ(solution.outcomes[0].winner, "sort-merge");
+  EXPECT_EQ(solution.outcomes[0].status, RungStatus::kCompleted);
+  ASSERT_EQ(solution.outcomes[0].attempts.size(), 1u);
+  // The refused components carry both attempts: the typed refusal and the
+  // fallback's success.
+  for (int c : {1, 2}) {
+    EXPECT_EQ(solution.outcomes[c].winner, "greedy-walk") << c;
+    ASSERT_EQ(solution.outcomes[c].attempts.size(), 2u) << c;
+    EXPECT_EQ(solution.outcomes[c].attempts[0].solver, "sort-merge");
+    EXPECT_EQ(solution.outcomes[c].attempts[0].status,
+              RungStatus::kUnsupported);
+    EXPECT_EQ(solution.outcomes[c].attempts[1].solver, "greedy-walk");
+    EXPECT_EQ(solution.solver_used[c], "greedy-walk");
+  }
+}
+
+TEST(ComponentPebblerTest, ExpiredDeadlineStillSolvesEveryComponent) {
+  const LocalSearchPebbler local;
+  const GreedyWalkPebbler greedy;
+  const ComponentPebbler driver(&local, &greedy);
+  const BipartiteGraph u =
+      DisjointUnion(WorstCaseFamily(4), CompleteBipartite(3, 3));
+  const Graph g = u.ToGraph();
+  FakeClock clock;
+  SolveBudget budget;
+  budget.deadline_ms = 0;
+  BudgetContext ctx(budget, clock.AsFunction());
+  // The fallback runs unbudgeted, so the whole request still terminates
+  // with a verified scheme.
+  const PebbleSolution solution = driver.Solve(g, &ctx);
+  EXPECT_TRUE(VerifyScheme(g, solution.scheme).valid);
+  ASSERT_EQ(solution.outcomes.size(), 2u);
+  for (const SolveOutcome& outcome : solution.outcomes) {
+    EXPECT_EQ(outcome.winner, "greedy-walk");
+    EXPECT_EQ(outcome.attempts.front().status, RungStatus::kDeadlineExpired);
+  }
+}
+
+TEST(ComponentPebblerTest, FallbackLadderAsPrimaryReportsWinningRung) {
+  const FallbackPebbler ladder;
+  const GreedyWalkPebbler greedy;
+  const ComponentPebbler driver(&ladder, &greedy);
+  const BipartiteGraph u =
+      DisjointUnion(CompleteBipartite(2, 2), PathGraph(3));
+  const PebbleSolution solution = driver.Solve(u.ToGraph());
+  ASSERT_EQ(solution.solver_used.size(), 2u);
+  // Both components are tiny, so the exact rung wins and solver_used names
+  // the rung, not the ladder wrapper.
+  EXPECT_EQ(solution.solver_used[0], "exact");
+  EXPECT_EQ(solution.solver_used[1], "exact");
+  for (const SolveOutcome& outcome : solution.outcomes) {
+    EXPECT_TRUE(outcome.optimal);
   }
 }
 

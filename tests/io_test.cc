@@ -61,6 +61,77 @@ TEST(BipartiteIoTest, RejectsMalformedInput) {
       ParseBipartiteGraph("bipartite -1 2 0\n", &error).has_value());
 }
 
+TEST(BipartiteIoTest, MalformedInputCorpus) {
+  // Every entry must be rejected with a non-empty diagnostic, never an
+  // abort: this input arrives from untrusted files and stdin.
+  const char* corpus[] = {
+      "",                                     // empty
+      "bipartite",                            // header cut off
+      "bipartite 2 2",                        // missing edge count
+      "bipartite 2 2 x",                      // non-numeric count
+      "bipartite 2 2 1\n0\n",                 // dangling edge token
+      "bipartite 2 2 1\n0 1 7\n",             // trailing junk token
+      "bipartite 2 2 99999999999999\n0 1\n",  // count overflows int
+      "bipartite 2 2 2147483647\n0 1\n",      // token math would wrap int32
+      "bipartite 2000000000 2000000000 0\n",  // absurd allocation request
+      "bipartite 2 2 1\n-1 0\n",              // negative endpoint
+      "bipartite 2 2 1\n1e1 0\n",             // float-ish token
+      "bipartite 2 2 1\n0x1 0\n",             // hex not accepted
+      "bipartite 2 2 2\n0 0\n0 0\n",          // duplicate edge
+      "graph 2 1\n0 1\n",                     // wrong header keyword
+  };
+  for (const char* text : corpus) {
+    std::string error;
+    EXPECT_FALSE(ParseBipartiteGraph(text, &error).has_value()) << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
+TEST(BipartiteIoTest, ErrorsNameTheOffendingLine) {
+  std::string error;
+  EXPECT_FALSE(ParseBipartiteGraph("bipartite 2 2 2\n0 0\n# comment\n0 0\n",
+                                   &error)
+                   .has_value());
+  // The duplicate is on input line 4 (header, edge, comment, edge).
+  EXPECT_NE(error.find("line 4"), std::string::npos) << error;
+  EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+
+  EXPECT_FALSE(
+      ParseBipartiteGraph("bipartite 2 2 1\n\n\n0 9\n", &error).has_value());
+  EXPECT_NE(error.find("line 4"), std::string::npos) << error;
+  EXPECT_NE(error.find("out of range"), std::string::npos) << error;
+}
+
+TEST(BipartiteIoTest, LengthMismatchReportsBothCounts) {
+  std::string error;
+  EXPECT_FALSE(
+      ParseBipartiteGraph("bipartite 3 3 4\n0 1\n1 2\n", &error).has_value());
+  EXPECT_NE(error.find("length"), std::string::npos) << error;
+  EXPECT_NE(error.find("2 edge tokens"), std::string::npos) << error;
+  EXPECT_NE(error.find("4 declared"), std::string::npos) << error;
+}
+
+TEST(GraphIoTest, MalformedInputCorpus) {
+  const char* corpus[] = {
+      "",
+      "graph",
+      "graph 3",
+      "graph 3 zzz",
+      "graph 3 1\n0\n",
+      "graph 3 1\n0 1 2\n",
+      "graph 3 2147483647\n0 1\n",
+      "graph 2000000000 0\n",
+      "graph 3 1\n0 0\n",   // self loop
+      "graph 3 2\n0 1\n0 1\n",  // duplicate
+      "bipartite 2 2 0\n",  // wrong header keyword
+  };
+  for (const char* text : corpus) {
+    std::string error;
+    EXPECT_FALSE(ParseGraph(text, &error).has_value()) << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
 TEST(GraphIoTest, RoundTripsRandomGraphs) {
   for (uint64_t seed = 1; seed <= 15; ++seed) {
     const Graph g = RandomGraph(10, 0.3, seed);

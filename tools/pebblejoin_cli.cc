@@ -4,19 +4,30 @@
 //   pebblejoin gen worstcase <n>                 > g.txt
 //   pebblejoin gen complete <k> <l>              > g.txt
 //   pebblejoin gen random <left> <right> <m> <seed> [--connected] > g.txt
-//   pebblejoin analyze [--solver NAME] [--predicate NAME] < g.txt
-//   pebblejoin solve   [--solver NAME] [--explain] < g.txt
+//   pebblejoin analyze [--solver NAME] [--predicate NAME] [budget] < g.txt
+//   pebblejoin solve   [--solver NAME] [--explain] [budget] < g.txt
 //   pebblejoin realize sets < g.txt              # Lemma 3.3 instance
 //   pebblejoin bounds  < g.txt                   # Lemma 2.3 / Thm 3.1
 //   pebblejoin schedule [--k N] < g.txt          # k-buffer fetch schedule
 //   pebblejoin partition [--fragments N] < g.txt # Section-5 partitioning
 //   pebblejoin dot [--solve] < g.txt             # Graphviz rendering
 //
+// Budget flags (analyze/solve): --deadline-ms N, --memory-mb N,
+// --node-budget N. Giving any of them without an explicit --solver selects
+// the fallback ladder, which degrades gracefully instead of refusing.
+//
 // Graphs use the text format of io/graph_io.h. Solvers: auto, sort-merge,
-// greedy, dfs-tree, local-search, exact. Predicates: equijoin, spatial,
-// sets, general (affects reporting only).
+// greedy, dfs-tree, local-search, ils, exact, fallback. Predicates:
+// equijoin, spatial, sets, general (affects reporting only).
+//
+// Error discipline: every bad input — unknown flag, malformed number,
+// out-of-range parameter, unparsable graph — prints a one-line error to
+// stderr and exits nonzero. JP_CHECK aborts are reserved for library bugs.
 
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -42,16 +53,47 @@ int Usage() {
       "  pebblejoin gen worstcase <n>\n"
       "  pebblejoin gen complete <k> <l>\n"
       "  pebblejoin gen random <left> <right> <m> <seed> [--connected]\n"
-      "  pebblejoin analyze [--solver NAME] [--predicate NAME] < graph\n"
-      "  pebblejoin solve [--solver NAME] [--explain] < graph\n"
+      "  pebblejoin analyze [--solver NAME] [--predicate NAME] "
+      "[budget flags] < graph\n"
+      "  pebblejoin solve [--solver NAME] [--explain] "
+      "[budget flags] < graph\n"
       "  pebblejoin realize sets < graph\n"
       "  pebblejoin bounds < graph\n"
       "  pebblejoin schedule [--k N] < graph\n"
       "  pebblejoin partition [--fragments N] < graph\n"
       "  pebblejoin dot [--solve] < graph\n"
-      "solvers: auto sort-merge greedy dfs-tree local-search ils exact\n"
+      "budget flags: --deadline-ms N  --memory-mb N  --node-budget N\n"
+      "solvers: auto sort-merge greedy dfs-tree local-search ils exact "
+      "fallback\n"
       "predicates: equijoin spatial sets general\n");
   return 2;
+}
+
+// One-line bad-input report. Always nonzero.
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 2;
+}
+
+// Strict integer parsing: the whole token must be a base-10 integer in
+// range. atoi's silent zero on garbage is exactly the failure mode the
+// malformed-input audit exists to remove.
+bool ParseInt64(const char* token, int64_t* out) {
+  if (token == nullptr || *token == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(token, &end, 10);
+  if (errno == ERANGE || end == token || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+bool ParseInt32(const char* token, int* out) {
+  int64_t wide = 0;
+  if (!ParseInt64(token, &wide)) return false;
+  if (wide < INT32_MIN || wide > INT32_MAX) return false;
+  *out = static_cast<int>(wide);
+  return true;
 }
 
 std::string ReadStdin() {
@@ -72,6 +114,7 @@ bool ParseSolver(const std::string& name, SolverChoice* choice) {
   else if (name == "local-search") *choice = SolverChoice::kLocalSearch;
   else if (name == "ils") *choice = SolverChoice::kIls;
   else if (name == "exact") *choice = SolverChoice::kExact;
+  else if (name == "fallback") *choice = SolverChoice::kFallback;
   else return false;
   return true;
 }
@@ -85,18 +128,76 @@ bool ParsePredicate(const std::string& name, PredicateClass* predicate) {
   return true;
 }
 
-// Parses --solver/--predicate flags from argv[start..).
-bool ParseFlags(int argc, char** argv, int start, SolverChoice* solver,
-                PredicateClass* predicate) {
+// Shared flags of the analyze/solve commands.
+struct SolveFlags {
+  SolverChoice solver = SolverChoice::kAuto;
+  bool solver_set = false;
+  PredicateClass predicate = PredicateClass::kGeneral;
+  SolveBudget budget;
+  bool budget_set = false;
+  bool explain = false;
+};
+
+// Parses argv[start..). On failure prints a one-line error and returns
+// false. `allow_explain` admits solve's --explain.
+bool ParseSolveFlags(int argc, char** argv, int start, bool allow_explain,
+                     SolveFlags* flags) {
   for (int i = start; i < argc; ++i) {
     const std::string flag = argv[i];
-    if (flag == "--solver" && i + 1 < argc) {
-      if (!ParseSolver(argv[++i], solver)) return false;
-    } else if (flag == "--predicate" && i + 1 < argc) {
-      if (!ParsePredicate(argv[++i], predicate)) return false;
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (flag == "--explain" && allow_explain) {
+      flags->explain = true;
+    } else if (flag == "--solver") {
+      if (value == nullptr || !ParseSolver(value, &flags->solver)) {
+        Fail("--solver needs one of: auto sort-merge greedy dfs-tree "
+             "local-search ils exact fallback");
+        return false;
+      }
+      flags->solver_set = true;
+      ++i;
+    } else if (flag == "--predicate") {
+      if (value == nullptr || !ParsePredicate(value, &flags->predicate)) {
+        Fail("--predicate needs one of: equijoin spatial sets general");
+        return false;
+      }
+      ++i;
+    } else if (flag == "--deadline-ms") {
+      int64_t ms = 0;
+      if (value == nullptr || !ParseInt64(value, &ms) || ms < 0) {
+        Fail("--deadline-ms needs a non-negative integer");
+        return false;
+      }
+      flags->budget.deadline_ms = ms;
+      flags->budget_set = true;
+      ++i;
+    } else if (flag == "--memory-mb") {
+      int64_t mb = 0;
+      if (value == nullptr || !ParseInt64(value, &mb) || mb < 0 ||
+          mb > (int64_t{1} << 40)) {
+        Fail("--memory-mb needs a non-negative integer");
+        return false;
+      }
+      flags->budget.memory_limit_bytes = mb << 20;
+      flags->budget_set = true;
+      ++i;
+    } else if (flag == "--node-budget") {
+      int64_t nodes = 0;
+      if (value == nullptr || !ParseInt64(value, &nodes) || nodes < 0) {
+        Fail("--node-budget needs a non-negative integer");
+        return false;
+      }
+      flags->budget.node_budget = nodes;
+      flags->budget_set = true;
+      ++i;
     } else {
+      Fail("unknown flag '" + flag + "'");
       return false;
     }
+  }
+  // A budget without an explicit solver means "give me the best scheme you
+  // can inside these limits": the ladder, which never refuses.
+  if (flags->budget_set && !flags->solver_set) {
+    flags->solver = SolverChoice::kFallback;
   }
   return true;
 }
@@ -111,82 +212,104 @@ std::optional<BipartiteGraph> GraphFromStdin() {
 }
 
 int CmdGen(int argc, char** argv) {
-  if (argc < 3) return Usage();
+  if (argc < 3) return Fail("gen needs a family: worstcase, complete, random");
   const std::string family = argv[2];
-  if (family == "worstcase" && argc == 4) {
-    const int n = std::atoi(argv[3]);
-    if (n < 3) return Usage();
+  if (family == "worstcase") {
+    int n = 0;
+    if (argc != 4 || !ParseInt32(argv[3], &n)) {
+      return Fail("gen worstcase needs one integer argument <n>");
+    }
+    if (n < 3) return Fail("gen worstcase needs n >= 3");
     std::fputs(SerializeBipartiteGraph(WorstCaseFamily(n)).c_str(), stdout);
     return 0;
   }
-  if (family == "complete" && argc == 5) {
-    const int k = std::atoi(argv[3]);
-    const int l = std::atoi(argv[4]);
-    if (k < 1 || l < 1) return Usage();
+  if (family == "complete") {
+    int k = 0, l = 0;
+    if (argc != 5 || !ParseInt32(argv[3], &k) || !ParseInt32(argv[4], &l)) {
+      return Fail("gen complete needs two integer arguments <k> <l>");
+    }
+    if (k < 1 || l < 1) return Fail("gen complete needs k >= 1 and l >= 1");
     std::fputs(SerializeBipartiteGraph(CompleteBipartite(k, l)).c_str(),
                stdout);
     return 0;
   }
-  if (family == "random" && (argc == 7 || argc == 8)) {
-    const int left = std::atoi(argv[3]);
-    const int right = std::atoi(argv[4]);
-    const int m = std::atoi(argv[5]);
-    const uint64_t seed = std::strtoull(argv[6], nullptr, 10);
-    const bool connected =
-        (argc == 8) && std::strcmp(argv[7], "--connected") == 0;
-    if (left < 1 || right < 1 || m < 0) return Usage();
+  if (family == "random") {
+    int left = 0, right = 0, m = 0;
+    int64_t seed = 0;
+    if ((argc != 7 && argc != 8) || !ParseInt32(argv[3], &left) ||
+        !ParseInt32(argv[4], &right) || !ParseInt32(argv[5], &m) ||
+        !ParseInt64(argv[6], &seed)) {
+      return Fail("gen random needs <left> <right> <m> <seed> integers");
+    }
+    bool connected = false;
+    if (argc == 8) {
+      if (std::strcmp(argv[7], "--connected") != 0) {
+        return Fail(std::string("unknown flag '") + argv[7] + "'");
+      }
+      connected = true;
+    }
+    if (left < 1 || right < 1) {
+      return Fail("gen random needs left >= 1 and right >= 1");
+    }
+    const int64_t max_edges = int64_t{left} * right;
+    if (m < 0 || m > max_edges) {
+      return Fail("gen random needs 0 <= m <= left*right");
+    }
+    if (connected && m < left + right - 1) {
+      return Fail("gen random --connected needs m >= left + right - 1");
+    }
     const BipartiteGraph g =
-        connected ? RandomConnectedBipartite(left, right, m, seed)
-                  : RandomBipartiteWithEdges(left, right, m, seed);
+        connected
+            ? RandomConnectedBipartite(left, right, m,
+                                       static_cast<uint64_t>(seed))
+            : RandomBipartiteWithEdges(left, right, m,
+                                       static_cast<uint64_t>(seed));
     std::fputs(SerializeBipartiteGraph(g).c_str(), stdout);
     return 0;
   }
-  return Usage();
+  return Fail("unknown gen family '" + family + "'");
 }
 
 int CmdAnalyze(int argc, char** argv) {
-  SolverChoice solver = SolverChoice::kAuto;
-  PredicateClass predicate = PredicateClass::kGeneral;
-  if (!ParseFlags(argc, argv, 2, &solver, &predicate)) return Usage();
+  SolveFlags flags;
+  if (!ParseSolveFlags(argc, argv, 2, /*allow_explain=*/false, &flags)) {
+    return 2;
+  }
   const std::optional<BipartiteGraph> g = GraphFromStdin();
   if (!g.has_value()) return 1;
   AnalyzerOptions options;
-  options.solver = solver;
+  options.solver = flags.solver;
+  options.budget = flags.budget;
   const JoinAnalyzer analyzer(options);
-  std::fputs(FormatAnalysis(analyzer.AnalyzeJoinGraph(*g, predicate)).c_str(),
-             stdout);
+  std::fputs(
+      FormatAnalysis(analyzer.AnalyzeJoinGraph(*g, flags.predicate)).c_str(),
+      stdout);
   return 0;
 }
 
 int CmdSolve(int argc, char** argv) {
-  SolverChoice solver = SolverChoice::kLocalSearch;
-  PredicateClass predicate = PredicateClass::kGeneral;
-  bool explain = false;
-  // Strip --explain before the shared flag parser sees the rest.
-  std::vector<char*> args(argv, argv + argc);
-  for (auto it = args.begin(); it != args.end();) {
-    if (std::string(*it) == "--explain") {
-      explain = true;
-      it = args.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  if (!ParseFlags(static_cast<int>(args.size()), args.data(), 2, &solver,
-                  &predicate)) {
-    return Usage();
+  SolveFlags flags;
+  flags.solver = SolverChoice::kLocalSearch;
+  if (!ParseSolveFlags(argc, argv, 2, /*allow_explain=*/true, &flags)) {
+    return 2;
   }
   const std::optional<BipartiteGraph> g = GraphFromStdin();
   if (!g.has_value()) return 1;
   AnalyzerOptions options;
-  options.solver = solver;
+  options.solver = flags.solver;
+  options.budget = flags.budget;
   const JoinAnalyzer analyzer(options);
-  const JoinAnalysis analysis = analyzer.AnalyzeJoinGraph(*g, predicate);
+  const JoinAnalysis analysis = analyzer.AnalyzeJoinGraph(*g, flags.predicate);
   std::printf("# pi_hat=%lld pi=%lld jumps=%lld\n",
               static_cast<long long>(analysis.solution.hat_cost),
               static_cast<long long>(analysis.solution.effective_cost),
               static_cast<long long>(analysis.solution.jumps));
-  if (!explain) {
+  // Solve provenance: which rungs ran per component and why each stopped.
+  for (size_t c = 0; c < analysis.solution.outcomes.size(); ++c) {
+    std::printf("# component %zu: %s\n", c,
+                analysis.solution.outcomes[c].Summary().c_str());
+  }
+  if (!flags.explain) {
     for (int e : analysis.solution.edge_order) std::printf("%d\n", e);
     return 0;
   }
@@ -208,12 +331,14 @@ int CmdSchedule(int argc, char** argv) {
   int k = 4;
   for (int i = 2; i < argc; ++i) {
     if (std::string(argv[i]) == "--k" && i + 1 < argc) {
-      k = std::atoi(argv[++i]);
+      if (!ParseInt32(argv[++i], &k)) {
+        return Fail("--k needs an integer");
+      }
     } else {
-      return Usage();
+      return Fail(std::string("unknown flag '") + argv[i] + "'");
     }
   }
-  if (k < 2) return Usage();
+  if (k < 2) return Fail("--k needs k >= 2");
   const std::optional<BipartiteGraph> g = GraphFromStdin();
   if (!g.has_value()) return 1;
   const Graph flat = g->ToGraph();
@@ -237,12 +362,14 @@ int CmdPartition(int argc, char** argv) {
   int fragments = 4;
   for (int i = 2; i < argc; ++i) {
     if (std::string(argv[i]) == "--fragments" && i + 1 < argc) {
-      fragments = std::atoi(argv[++i]);
+      if (!ParseInt32(argv[++i], &fragments)) {
+        return Fail("--fragments needs an integer");
+      }
     } else {
-      return Usage();
+      return Fail(std::string("unknown flag '") + argv[i] + "'");
     }
   }
-  if (fragments < 1) return Usage();
+  if (fragments < 1) return Fail("--fragments needs fragments >= 1");
   const std::optional<BipartiteGraph> g = GraphFromStdin();
   if (!g.has_value()) return 1;
   const JoinPartition greedy = GreedyComponentPartition(*g, fragments);
@@ -265,7 +392,9 @@ int CmdPartition(int argc, char** argv) {
 }
 
 int CmdRealize(int argc, char** argv) {
-  if (argc != 3 || std::string(argv[2]) != "sets") return Usage();
+  if (argc != 3 || std::string(argv[2]) != "sets") {
+    return Fail("realize needs the realization kind 'sets'");
+  }
   const std::optional<BipartiteGraph> g = GraphFromStdin();
   if (!g.has_value()) return 1;
   const Realization<IntSet> realization = RealizeAsSetContainment(*g);
@@ -282,8 +411,10 @@ int CmdRealize(int argc, char** argv) {
   return 0;
 }
 
-int CmdBounds(int argc, char** /*argv*/) {
-  if (argc != 2) return Usage();
+int CmdBounds(int argc, char** argv) {
+  if (argc != 2) {
+    return Fail(std::string("unknown flag '") + argv[2] + "'");
+  }
   const std::optional<BipartiteGraph> g = GraphFromStdin();
   if (!g.has_value()) return 1;
   const JoinGraphClassification c = ClassifyJoinGraph(g->ToGraph());
@@ -308,7 +439,7 @@ int CmdDot(int argc, char** argv) {
     if (std::string(argv[i]) == "--solve") {
       solve = true;
     } else {
-      return Usage();
+      return Fail(std::string("unknown flag '") + argv[i] + "'");
     }
   }
   const std::optional<BipartiteGraph> g = GraphFromStdin();
@@ -331,7 +462,7 @@ int Main(int argc, char** argv) {
   if (command == "analyze") return CmdAnalyze(argc, argv);
   if (command == "solve") return CmdSolve(argc, argv);
   if (command == "realize") return CmdRealize(argc, argv);
-  if (command == "bounds") return CmdBounds(argc, nullptr);
+  if (command == "bounds") return CmdBounds(argc, argv);
   if (command == "schedule") return CmdSchedule(argc, argv);
   if (command == "partition") return CmdPartition(argc, argv);
   if (command == "dot") return CmdDot(argc, argv);
