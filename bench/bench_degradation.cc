@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "graph/generators.h"
+#include "obs/bench_report.h"
 #include "pebble/cost_model.h"
 #include "pebble/pebbling_scheme.h"
 #include "pebble/scheme_verifier.h"
@@ -27,7 +28,7 @@
 namespace pebblejoin {
 namespace {
 
-void RunDeadlineSweep() {
+void RunDeadlineSweep(BenchReport* report) {
   std::printf(
       "E17: degradation ladder — quality vs. deadline on the worst-case\n"
       "family (Theorem 3.3: optimal pi = 1.25m - 1)\n\n");
@@ -66,6 +67,7 @@ void RunDeadlineSweep() {
     }
   }
   std::fputs(table.Render().c_str(), stdout);
+  report->AddTable("deadline_sweep", table);
   std::printf(
       "\nExpected shape: valid = yes on every row (the ladder never fails);\n"
       "deadline 0 answers from the dfs-tree terminator at ratio <= 1.25;\n"
@@ -73,7 +75,7 @@ void RunDeadlineSweep() {
       "opt_ratio = 1 via the exact rung once the deadline admits it.\n");
 }
 
-void RunMemorySweep() {
+void RunMemorySweep(BenchReport* report) {
   std::printf(
       "\nE17b: memory-ceiling sweep under an expired deadline — which rung\n"
       "terminates when the budgeted rungs are already cut\n\n");
@@ -104,6 +106,7 @@ void RunMemorySweep() {
          valid ? "yes" : "NO"});
   }
   std::fputs(table.Render().c_str(), stdout);
+  report->AddTable("memory_sweep", table);
   std::printf(
       "\nExpected shape: tiny ceilings answer from the greedy walk\n"
       "(<= 2m, no line graph); once L(G) = K_64 fits (~32 KB) the dfs-tree\n"
@@ -113,8 +116,9 @@ void RunMemorySweep() {
 }  // namespace
 }  // namespace pebblejoin
 
-int main() {
-  pebblejoin::RunDeadlineSweep();
-  pebblejoin::RunMemorySweep();
-  return 0;
+int main(int argc, char** argv) {
+  pebblejoin::BenchReport report("degradation", argc, argv);
+  pebblejoin::RunDeadlineSweep(&report);
+  pebblejoin::RunMemorySweep(&report);
+  return report.Finish() ? 0 : 1;
 }

@@ -9,13 +9,14 @@
 
 #include "core/analyzer.h"
 #include "join/workload.h"
+#include "obs/bench_report.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
 
 namespace pebblejoin {
 namespace {
 
-void RunSweep() {
+void RunSweep(BenchReport* report) {
   std::printf(
       "E1: equijoin pebbling (Theorem 3.2: pi = m; Theorem 4.1: linear "
       "time)\n\n");
@@ -48,12 +49,13 @@ void RunSweep() {
                                4)});
   }
   std::fputs(table.Render().c_str(), stdout);
+  report->AddTable("scaling_sweep", table);
   std::printf(
       "\nExpected shape: pi/m = 1.0000 on every row (equijoins pebble\n"
       "perfectly); us_per_edge roughly constant (linear-time solver).\n");
 }
 
-void RunSkewSweep() {
+void RunSkewSweep(BenchReport* report) {
   std::printf(
       "\nE1b: skew — one heavy key (K_{d,d} block) among light keys\n\n");
   TablePrinter table({"heavy_dup", "m", "pi", "pi/m", "perfect"});
@@ -77,6 +79,7 @@ void RunSkewSweep() {
                   a.perfect ? "yes" : "NO"});
   }
   std::fputs(table.Render().c_str(), stdout);
+  report->AddTable("skew_sweep", table);
   std::printf(
       "\nSkew does not change the verdict: complete-bipartite blocks of any\n"
       "shape are pebbled perfectly (Lemma 3.2).\n");
@@ -85,8 +88,9 @@ void RunSkewSweep() {
 }  // namespace
 }  // namespace pebblejoin
 
-int main() {
-  pebblejoin::RunSweep();
-  pebblejoin::RunSkewSweep();
-  return 0;
+int main(int argc, char** argv) {
+  pebblejoin::BenchReport report("equijoin", argc, argv);
+  pebblejoin::RunSweep(&report);
+  pebblejoin::RunSkewSweep(&report);
+  return report.Finish() ? 0 : 1;
 }

@@ -15,6 +15,7 @@
 #include "graph/generators.h"
 #include "graph/hamiltonian.h"
 #include "graph/line_graph.h"
+#include "obs/bench_report.h"
 #include "solver/exact_pebbler.h"
 #include "tsp/held_karp.h"
 #include "tsp/local_search.h"
@@ -25,7 +26,7 @@
 namespace pebblejoin {
 namespace {
 
-void RunBridge() {
+void RunBridge(BenchReport* report) {
   std::printf(
       "E9a: Propositions 2.1 / 2.2 over random small connected graphs\n\n");
   TablePrinter table({"m", "trials", "prop2.1_holds", "prop2.2_holds",
@@ -54,11 +55,12 @@ void RunBridge() {
                   FormatInt(perfect)});
   }
   std::fputs(table.Render().c_str(), stdout);
+  report->AddTable("bridge", table);
   std::printf(
       "\nExpected shape: both proposition columns at trials/trials.\n");
 }
 
-void RunLadder() {
+void RunLadder(BenchReport* report) {
   std::printf(
       "\nE9b: TSP-(1,2) heuristic ladder on random line graphs "
       "(mean jumps; lower is better)\n\n");
@@ -89,6 +91,7 @@ void RunLadder() {
                   FormatDouble(best / kTrials, 3)});
   }
   std::fputs(table.Render().c_str(), stdout);
+  report->AddTable("heuristic_ladder", table);
   std::printf(
       "\nExpected shape: restarts improve NN, 2-opt/Or-opt improves the\n"
       "path cover, and plus_2opt lands close to exact.\n");
@@ -97,8 +100,9 @@ void RunLadder() {
 }  // namespace
 }  // namespace pebblejoin
 
-int main() {
-  pebblejoin::RunBridge();
-  pebblejoin::RunLadder();
-  return 0;
+int main(int argc, char** argv) {
+  pebblejoin::BenchReport report("tsp_bridge", argc, argv);
+  pebblejoin::RunBridge(&report);
+  pebblejoin::RunLadder(&report);
+  return report.Finish() ? 0 : 1;
 }

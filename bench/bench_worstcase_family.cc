@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "graph/generators.h"
+#include "obs/bench_report.h"
 #include "pebble/bounds.h"
 #include "pebble/cost_model.h"
 #include "solver/dfs_tree_pebbler.h"
@@ -23,7 +24,7 @@ int64_t EffectiveCost(const Graph& g, const std::vector<int>& order) {
   return static_cast<int64_t>(order.size()) + JumpsOfEdgeOrder(g, order);
 }
 
-void RunExactRange() {
+void RunExactRange(BenchReport* report) {
   std::printf(
       "E2: worst-case family G_n (Theorem 3.3): pi(G_n) = m + ceil(m/4) - "
       "1\n\n");
@@ -53,9 +54,10 @@ void RunExactRange() {
                   FormatDouble(1.25 * static_cast<double>(m) - 1.0, 2)});
   }
   std::fputs(table.Render().c_str(), stdout);
+  report->AddTable("exact_range", table);
 }
 
-void RunAsymptotics() {
+void RunAsymptotics(BenchReport* report) {
   std::printf(
       "\nE2b: ratio pi/m -> 1.25 as n grows (heuristics at scale)\n\n");
   TablePrinter table(
@@ -75,6 +77,7 @@ void RunAsymptotics() {
                       5)});
   }
   std::fputs(table.Render().c_str(), stdout);
+  report->AddTable("asymptotics", table);
   std::printf(
       "\nExpected shape: both ratios increase toward 1.25; no solver can\n"
       "do better than closed_form on this family (Theorem 3.3), and\n"
@@ -84,8 +87,9 @@ void RunAsymptotics() {
 }  // namespace
 }  // namespace pebblejoin
 
-int main() {
-  pebblejoin::RunExactRange();
-  pebblejoin::RunAsymptotics();
-  return 0;
+int main(int argc, char** argv) {
+  pebblejoin::BenchReport report("worstcase_family", argc, argv);
+  pebblejoin::RunExactRange(&report);
+  pebblejoin::RunAsymptotics(&report);
+  return report.Finish() ? 0 : 1;
 }

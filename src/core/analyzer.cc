@@ -1,6 +1,8 @@
 #include "core/analyzer.h"
 
 #include "join/join_graph_builder.h"
+#include "obs/metrics.h"
+#include "util/stopwatch.h"
 
 namespace pebblejoin {
 
@@ -57,7 +59,16 @@ JoinAnalysis JoinAnalyzer::AnalyzeJoinGraph(const BipartiteGraph& join_graph,
   const ComponentPebbler driver(&PrimaryFor(analysis.classification),
                                 &greedy_);
   BudgetContext budget(options_.budget);
+  budget.set_stats(&analysis.stats);
+  budget.set_trace(options_.trace);
+  Stopwatch solve_clock;
   analysis.solution = driver.Solve(flat, &budget);
+  analysis.stats.solve_wall_us = solve_clock.ElapsedMicros();
+  analysis.stats.budget_polls = budget.polls();
+  analysis.stats.budget_time_to_stop_ms = budget.stopped_elapsed_ms();
+  // Fold the per-request counters into the process-wide registry; a no-op
+  // unless some surface (CLI --json/--stats, a server) enabled it.
+  analysis.stats.PublishTo(MetricsRegistry::Default());
   analysis.perfect =
       analysis.solution.effective_cost == analysis.output_size;
   analysis.cost_ratio =

@@ -20,6 +20,7 @@
 #include "graph/bipartite_graph.h"
 #include "join/predicates.h"
 #include "join/relation.h"
+#include "obs/solve_stats.h"
 #include "solver/component_pebbler.h"
 #include "solver/dfs_tree_pebbler.h"
 #include "solver/exact_pebbler.h"
@@ -52,6 +53,10 @@ struct AnalyzerOptions {
   // unlimited; the per-component fallback always runs unbudgeted, so a
   // stopped request still yields a verified scheme.
   SolveBudget budget;
+  // Optional trace sink: when set, the solve emits spans/instants into it
+  // (ladder rungs, components, exact dispatch). Not owned; must outlive the
+  // Analyze* call.
+  TraceSession* trace = nullptr;
 };
 
 // Everything the analyzer learned about one join.
@@ -64,6 +69,10 @@ struct JoinAnalysis {
   PebbleSolution solution;
   bool perfect = false;  // solution.effective_cost == m
   double cost_ratio = 1.0;  // effective_cost / m (1.0 when m == 0)
+  // Per-request solver telemetry: counters the hot paths flushed into the
+  // request's BudgetContext, plus the budget/wall-clock fields the analyzer
+  // fills in after the solve.
+  SolveStats stats;
 };
 
 class JoinAnalyzer {

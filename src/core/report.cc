@@ -2,9 +2,15 @@
 
 #include <cstdio>
 
+#include "obs/json.h"
+
 namespace pebblejoin {
 
 std::string FormatAnalysis(const JoinAnalysis& analysis) {
+  return FormatAnalysis(analysis, /*with_stats=*/false);
+}
+
+std::string FormatAnalysis(const JoinAnalysis& analysis, bool with_stats) {
   char line[256];
   std::string out;
 
@@ -41,14 +47,106 @@ std::string FormatAnalysis(const JoinAnalysis& analysis) {
                 analysis.perfect ? "  (perfect)" : "");
   out += line;
   // Per-component solve provenance: which ladder rungs ran and why each
-  // stopped. One line per component, matching solver_used's order.
+  // stopped. One line per component, matching solver_used's order; with
+  // stats on, each rung also carries its wall clock.
   for (size_t c = 0; c < analysis.solution.outcomes.size(); ++c) {
     std::snprintf(line, sizeof(line), "component %zu    : ", c);
     out += line;
-    out += analysis.solution.outcomes[c].Summary();
+    out += analysis.solution.outcomes[c].Summary(with_stats);
     out += '\n';
   }
+  if (with_stats) {
+    out += "solver stats   :\n";
+    out += analysis.stats.FormatHuman("  ");
+  }
   return out;
+}
+
+namespace {
+
+void WriteOutcomeJson(const SolveOutcome& outcome, JsonWriter* json) {
+  json->BeginObject();
+  json->Key("attempts");
+  json->BeginArray();
+  for (const RungAttempt& attempt : outcome.attempts) {
+    json->BeginObject();
+    json->Field("solver", attempt.solver);
+    json->Field("status", RungStatusName(attempt.status));
+    json->Field("cost", attempt.cost);
+    json->Field("elapsed_us", attempt.elapsed_us);
+    json->EndObject();
+  }
+  json->EndArray();
+  json->Field("winner", outcome.winner);
+  json->Field("status", RungStatusName(outcome.status));
+  json->Field("optimal", outcome.optimal);
+  json->Field("effective_cost", outcome.effective_cost);
+  json->Field("lower_bound", outcome.lower_bound);
+  json->Field("degradation", RungStatusName(outcome.degradation));
+  json->Field("degraded", outcome.degraded());
+  json->EndObject();
+}
+
+}  // namespace
+
+void WriteAnalysisJson(const JoinAnalysis& analysis, JsonWriter* json) {
+  const PebblingBounds& bounds = analysis.classification.bounds;
+  json->BeginObject();
+  json->Field("predicate", PredicateClassName(analysis.predicate));
+  json->Field("left_size", analysis.left_size);
+  json->Field("right_size", analysis.right_size);
+  json->Field("output_size", analysis.output_size);
+
+  json->Key("classification");
+  json->BeginObject();
+  json->Field("equijoin_shape", analysis.classification.equijoin_shape);
+  json->Field("realizable_as",
+              PredicateClassName(analysis.classification.realizable_as));
+  json->Key("bounds");
+  json->BeginObject();
+  json->Field("num_edges", bounds.num_edges);
+  json->Field("betti_zero", bounds.betti_zero);
+  json->Field("lower", bounds.lower);
+  json->Field("upper_general", bounds.upper_general);
+  json->Field("upper_dfs_bound", bounds.upper_dfs_bound);
+  json->EndObject();
+  json->EndObject();
+
+  json->Key("solution");
+  json->BeginObject();
+  json->Field("hat_cost", analysis.solution.hat_cost);
+  json->Field("effective_cost", analysis.solution.effective_cost);
+  json->Field("jumps", analysis.solution.jumps);
+  json->Field("num_components", analysis.solution.num_components);
+  json->Key("solver_used");
+  json->BeginArray();
+  for (const std::string& name : analysis.solution.solver_used) {
+    json->String(name);
+  }
+  json->EndArray();
+  json->Key("outcomes");
+  json->BeginArray();
+  for (const SolveOutcome& outcome : analysis.solution.outcomes) {
+    WriteOutcomeJson(outcome, json);
+  }
+  json->EndArray();
+  json->Key("edge_order");
+  json->BeginArray();
+  for (int e : analysis.solution.edge_order) json->Int(e);
+  json->EndArray();
+  json->EndObject();
+
+  json->Field("perfect", analysis.perfect);
+  json->Field("cost_ratio", analysis.cost_ratio);
+  json->Key("stats");
+  analysis.stats.WriteJson(json);
+  json->EndObject();
+}
+
+std::string AnalysisJson(const JoinAnalysis& analysis) {
+  JsonWriter json;
+  WriteAnalysisJson(analysis, &json);
+  return json.TakeString();
 }
 
 }  // namespace pebblejoin

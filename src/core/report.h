@@ -1,4 +1,4 @@
-// Human-readable rendering of a JoinAnalysis.
+// Human-readable and machine-readable renderings of a JoinAnalysis.
 
 #ifndef PEBBLEJOIN_CORE_REPORT_H_
 #define PEBBLEJOIN_CORE_REPORT_H_
@@ -9,8 +9,21 @@
 
 namespace pebblejoin {
 
-// Multi-line summary: predicate, sizes, bounds, achieved cost, verdict.
+class JsonWriter;
+
+// Multi-line summary: predicate, sizes, bounds, achieved cost, verdict,
+// plus one solve-provenance line per component. With `with_stats`, the
+// component lines carry per-rung wall clocks and a solver-stats block
+// (SolveStats::FormatHuman) follows — the `--stats` rendering.
 std::string FormatAnalysis(const JoinAnalysis& analysis);
+std::string FormatAnalysis(const JoinAnalysis& analysis, bool with_stats);
+
+// Writes the whole analysis as one JSON object: predicate, sizes,
+// classification and bounds, achieved costs, per-component outcomes with
+// per-rung status/cost/timing, and the solver stats. Key names are stable —
+// see docs/observability.md.
+void WriteAnalysisJson(const JoinAnalysis& analysis, JsonWriter* json);
+std::string AnalysisJson(const JoinAnalysis& analysis);
 
 }  // namespace pebblejoin
 

@@ -1,0 +1,81 @@
+#include "obs/bench_report.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "obs/json.h"
+
+namespace pebblejoin {
+
+BenchReport::BenchReport(const std::string& name, int argc, char** argv)
+    : name_(name), path_("BENCH_" + name + ".json") {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_enabled_ = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_enabled_ = true;
+      path_ = argv[i] + 7;
+    }
+  }
+}
+
+void BenchReport::AddTable(const std::string& id, const TablePrinter& table) {
+  if (!json_enabled_) return;
+  TableSnapshot snapshot;
+  snapshot.id = id;
+  snapshot.headers = table.headers();
+  snapshot.rows = table.rows();
+  tables_.push_back(std::move(snapshot));
+}
+
+bool BenchReport::Finish() {
+  if (finished_ || !json_enabled_) {
+    finished_ = true;
+    return true;
+  }
+  finished_ = true;
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("bench", name_);
+  json.Key("tables");
+  json.BeginArray();
+  for (const TableSnapshot& table : tables_) {
+    json.BeginObject();
+    json.Field("id", table.id);
+    json.Key("headers");
+    json.BeginArray();
+    for (const std::string& h : table.headers) json.String(h);
+    json.EndArray();
+    json.Key("rows");
+    json.BeginArray();
+    for (const auto& row : table.rows) {
+      json.BeginArray();
+      for (const std::string& cell : row) json.String(cell);
+      json.EndArray();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write bench JSON to '%s'\n",
+                 path_.c_str());
+    return false;
+  }
+  const std::string& out = json.str();
+  const size_t written = std::fwrite(out.data(), 1, out.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != out.size() || !close_ok) {
+    std::fprintf(stderr, "error: short write to '%s'\n", path_.c_str());
+    return false;
+  }
+  return true;
+}
+
+BenchReport::~BenchReport() { Finish(); }
+
+}  // namespace pebblejoin

@@ -1,0 +1,65 @@
+// Shared machine-readable emitter for the bench harness.
+//
+// Every `bench_*` binary prints human tables; with `--json` (or
+// `--json=FILE`) it additionally writes the same rows as
+// `BENCH_<name>.json` in the working directory, which is what finally
+// populates the BENCH_* trajectory and lets run_experiments.sh summarize a
+// whole sweep. Usage:
+//
+//   int main(int argc, char** argv) {
+//     BenchReport report("degradation", argc, argv);
+//     ...
+//     report.AddTable("deadline_sweep", table);  // the TablePrinter
+//     return report.Finish() ? 0 : 1;
+//   }
+//
+// The JSON schema is deliberately dumb — the printed table, structured:
+// {"bench":NAME,"tables":[{"id":ID,"headers":[...],"rows":[[...],...]}]}.
+// Cells stay strings; consumers parse the few numeric columns they need.
+
+#ifndef PEBBLEJOIN_OBS_BENCH_REPORT_H_
+#define PEBBLEJOIN_OBS_BENCH_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "util/table.h"
+
+namespace pebblejoin {
+
+class BenchReport {
+ public:
+  // Scans argv for `--json` / `--json=FILE`; other arguments are left for
+  // the bench to interpret. Default FILE is BENCH_<name>.json.
+  BenchReport(const std::string& name, int argc, char** argv);
+
+  bool json_enabled() const { return json_enabled_; }
+
+  // Records a printed table under a stable id (snapshot of headers + rows).
+  void AddTable(const std::string& id, const TablePrinter& table);
+
+  // Writes the JSON file if --json was given. Returns false (after a
+  // one-line stderr diagnostic) on I/O failure; true otherwise, including
+  // when JSON is disabled. Idempotent; the destructor calls it as a
+  // backstop.
+  bool Finish();
+
+  ~BenchReport();
+
+ private:
+  struct TableSnapshot {
+    std::string id;
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+  };
+
+  std::string name_;
+  std::string path_;
+  bool json_enabled_ = false;
+  bool finished_ = false;
+  std::vector<TableSnapshot> tables_;
+};
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_OBS_BENCH_REPORT_H_

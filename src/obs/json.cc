@@ -1,0 +1,153 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+namespace pebblejoin {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!has_member_.empty()) {
+    if (has_member_.back()) out_ += ',';
+    has_member_.back() = true;
+  }
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  has_member_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  has_member_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  has_member_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  has_member_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::Key(const std::string& name) {
+  BeforeValue();
+  out_ += '"';
+  out_ += JsonEscape(name);
+  out_ += "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::String(const std::string& value) {
+  BeforeValue();
+  out_ += '"';
+  out_ += JsonEscape(value);
+  out_ += '"';
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_ += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  out_ += buf;
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+}
+
+void JsonWriter::Field(const std::string& name, const std::string& value) {
+  Key(name);
+  String(value);
+}
+
+void JsonWriter::Field(const std::string& name, const char* value) {
+  Key(name);
+  String(value);
+}
+
+void JsonWriter::Field(const std::string& name, int64_t value) {
+  Key(name);
+  Int(value);
+}
+
+void JsonWriter::Field(const std::string& name, double value) {
+  Key(name);
+  Double(value);
+}
+
+void JsonWriter::Field(const std::string& name, bool value) {
+  Key(name);
+  Bool(value);
+}
+
+std::string JsonWriter::TakeString() {
+  has_member_.clear();
+  pending_key_ = false;
+  return std::move(out_);
+}
+
+}  // namespace pebblejoin

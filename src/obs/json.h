@@ -1,0 +1,69 @@
+// Minimal JSON emitter shared by every machine-readable surface: metric
+// snapshots, Chrome trace export, `analyze --json`, and the bench harness's
+// BENCH_*.json files.
+//
+// A JsonWriter is a streaming builder: Begin/End object and array calls,
+// Key() between them, and scalar emitters. Comma placement is tracked
+// internally, so call sites read like the document they produce. The writer
+// does not validate nesting beyond what correct comma placement needs — it
+// is an emitter for code that knows its schema, not a general serializer.
+
+#ifndef PEBBLEJOIN_OBS_JSON_H_
+#define PEBBLEJOIN_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pebblejoin {
+
+// Escapes `s` for inclusion inside a JSON string literal (quotes, control
+// characters, backslashes). Does not add the surrounding quotes.
+std::string JsonEscape(const std::string& s);
+
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  // Emits `"name":` — must be followed by a value or container.
+  void Key(const std::string& name);
+
+  void String(const std::string& value);
+  void Int(int64_t value);
+  // Non-finite doubles are emitted as null (JSON has no NaN/Infinity).
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  // Convenience: Key + scalar in one call.
+  void Field(const std::string& name, const std::string& value);
+  void Field(const std::string& name, const char* value);
+  void Field(const std::string& name, int64_t value);
+  // Plain ints appear all over the analysis structs; without this delegate
+  // the int64/double/bool overloads are ambiguous for them.
+  void Field(const std::string& name, int value) {
+    Field(name, static_cast<int64_t>(value));
+  }
+  void Field(const std::string& name, double value);
+  void Field(const std::string& name, bool value);
+
+  // The document built so far. TakeString moves it out and resets.
+  const std::string& str() const { return out_; }
+  std::string TakeString();
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  // One entry per open container: true once the container has a member (so
+  // the next member needs a leading comma).
+  std::vector<bool> has_member_;
+  bool pending_key_ = false;
+};
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_OBS_JSON_H_

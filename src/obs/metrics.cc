@@ -1,0 +1,133 @@
+#include "obs/metrics.h"
+
+#include "obs/json.h"
+
+namespace pebblejoin {
+
+namespace obs_internal {
+
+namespace {
+
+// Bucket index for a sample: 0 for values <= 0, else 1 + floor(log2(v)),
+// clamped to the last bucket. Bucket i > 0 therefore covers
+// [2^(i-1), 2^i).
+int BucketIndex(int64_t value) {
+  if (value <= 0) return 0;
+  const int index = 64 - __builtin_clzll(static_cast<uint64_t>(value));
+  return index < HistogramCell::kNumBuckets
+             ? index
+             : HistogramCell::kNumBuckets - 1;
+}
+
+// Relaxed compare-exchange min/max update.
+void AtomicMin(std::atomic<int64_t>* target, int64_t value) {
+  int64_t cur = target->load(std::memory_order_relaxed);
+  while (value < cur && !target->compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<int64_t>* target, int64_t value) {
+  int64_t cur = target->load(std::memory_order_relaxed);
+  while (value > cur && !target->compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void HistogramCell::Record(int64_t value) {
+  buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count.fetch_add(1, std::memory_order_relaxed);
+  sum.fetch_add(value, std::memory_order_relaxed);
+  AtomicMin(&min, value);
+  AtomicMax(&max, value);
+}
+
+}  // namespace obs_internal
+
+MetricsRegistry* MetricsRegistry::Default() {
+  static MetricsRegistry* instance = new MetricsRegistry(/*enabled=*/false);
+  return instance;
+}
+
+Counter MetricsRegistry::FindOrCreateCounter(const std::string& name) {
+  if (!enabled()) return Counter();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& cell = counters_[name];
+  if (cell == nullptr) cell = std::make_unique<obs_internal::CounterCell>();
+  return Counter(cell.get());
+}
+
+Gauge MetricsRegistry::FindOrCreateGauge(const std::string& name) {
+  if (!enabled()) return Gauge();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& cell = gauges_[name];
+  if (cell == nullptr) cell = std::make_unique<obs_internal::GaugeCell>();
+  return Gauge(cell.get());
+}
+
+Histogram MetricsRegistry::FindOrCreateHistogram(const std::string& name) {
+  if (!enabled()) return Histogram();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& cell = histograms_[name];
+  if (cell == nullptr) cell = std::make_unique<obs_internal::HistogramCell>();
+  return Histogram(cell.get());
+}
+
+void MetricsRegistry::WriteSnapshotJson(JsonWriter* json) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  json->BeginObject();
+
+  json->Key("counters");
+  json->BeginObject();
+  for (const auto& [name, cell] : counters_) {
+    json->Field(name, cell->value.load(std::memory_order_relaxed));
+  }
+  json->EndObject();
+
+  json->Key("gauges");
+  json->BeginObject();
+  for (const auto& [name, cell] : gauges_) {
+    json->Field(name, cell->value.load(std::memory_order_relaxed));
+  }
+  json->EndObject();
+
+  json->Key("histograms");
+  json->BeginObject();
+  for (const auto& [name, cell] : histograms_) {
+    const int64_t count = cell->count.load(std::memory_order_relaxed);
+    json->Key(name);
+    json->BeginObject();
+    json->Field("count", count);
+    json->Field("sum", cell->sum.load(std::memory_order_relaxed));
+    if (count > 0) {
+      json->Field("min", cell->min.load(std::memory_order_relaxed));
+      json->Field("max", cell->max.load(std::memory_order_relaxed));
+    }
+    json->Key("buckets");
+    json->BeginObject();
+    for (int i = 0; i < obs_internal::HistogramCell::kNumBuckets; ++i) {
+      const int64_t n = cell->buckets[i].load(std::memory_order_relaxed);
+      if (n == 0) continue;
+      // Key = exclusive upper bound of the bucket ("1" holds zeros; the
+      // last bucket is open-ended and keyed INT64_MAX).
+      const int64_t upper =
+          i == 0 ? 1 : (i >= 63 ? INT64_MAX : int64_t{1} << i);
+      json->Field(std::to_string(upper), n);
+    }
+    json->EndObject();
+    json->EndObject();
+  }
+  json->EndObject();
+
+  json->EndObject();
+}
+
+std::string MetricsRegistry::SnapshotJson() const {
+  JsonWriter json;
+  WriteSnapshotJson(&json);
+  return json.TakeString();
+}
+
+}  // namespace pebblejoin

@@ -1,0 +1,171 @@
+// Process-wide metrics: named monotonic counters, gauges, and histogram
+// timers, with near-zero cost when disabled.
+//
+// Two-layer design: SolveStats (obs/solve_stats.h) is the lock-free
+// per-request sink the solver hot paths write; MetricsRegistry is the
+// process-wide aggregation those sinks fold into (JoinAnalyzer does the
+// fold after every solve). Long-running servers read the registry; a single
+// CLI run reads the per-request stats.
+//
+// Cost model:
+//   - updates through a handle are one relaxed atomic RMW — safe under
+//     concurrent increments from any number of threads;
+//   - a handle minted from a *disabled* registry carries a null cell, so
+//     updates are a single well-predicted branch and no metric is created —
+//     this is the "near-zero when disabled" mode, verified by bench_micro;
+//   - FindOrCreate* takes a mutex (registration is the cold path). Handles
+//     are cheap value types; mint them once and reuse.
+//
+// Enablement is sampled when the handle is minted: enable the registry
+// before creating the objects that cache handles. The default registry
+// starts disabled, so library users who never opt in pay only null checks.
+
+#ifndef PEBBLEJOIN_OBS_METRICS_H_
+#define PEBBLEJOIN_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace pebblejoin {
+
+class JsonWriter;
+
+namespace obs_internal {
+
+struct CounterCell {
+  std::atomic<int64_t> value{0};
+};
+
+struct GaugeCell {
+  std::atomic<int64_t> value{0};
+};
+
+// Exponential-bucket histogram of non-negative int64 samples (bucket i
+// holds values in [2^(i-1), 2^i), bucket 0 holds zero); tracks count, sum,
+// min and max. Designed for microsecond timings.
+struct HistogramCell {
+  static constexpr int kNumBuckets = 64;
+  std::atomic<int64_t> buckets[kNumBuckets] = {};
+  std::atomic<int64_t> count{0};
+  std::atomic<int64_t> sum{0};
+  std::atomic<int64_t> min{INT64_MAX};
+  std::atomic<int64_t> max{INT64_MIN};
+
+  void Record(int64_t value);
+};
+
+}  // namespace obs_internal
+
+// Handle to a named monotonic counter. Null handles (from a disabled
+// registry, or default-constructed) ignore updates.
+class Counter {
+ public:
+  Counter() = default;
+  void Increment() { Add(1); }
+  void Add(int64_t n) {
+    if (cell_ != nullptr) {
+      cell_->value.fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+  int64_t Get() const {
+    return cell_ != nullptr ? cell_->value.load(std::memory_order_relaxed)
+                            : 0;
+  }
+  bool is_noop() const { return cell_ == nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(obs_internal::CounterCell* cell) : cell_(cell) {}
+  obs_internal::CounterCell* cell_ = nullptr;
+};
+
+// Handle to a named last-value gauge.
+class Gauge {
+ public:
+  Gauge() = default;
+  void Set(int64_t v) {
+    if (cell_ != nullptr) {
+      cell_->value.store(v, std::memory_order_relaxed);
+    }
+  }
+  int64_t Get() const {
+    return cell_ != nullptr ? cell_->value.load(std::memory_order_relaxed)
+                            : 0;
+  }
+  bool is_noop() const { return cell_ == nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(obs_internal::GaugeCell* cell) : cell_(cell) {}
+  obs_internal::GaugeCell* cell_ = nullptr;
+};
+
+// Handle to a named histogram. RecordMicros is the method name ScopedTimer
+// (util/stopwatch.h) expects of its sink.
+class Histogram {
+ public:
+  Histogram() = default;
+  void Record(int64_t value) {
+    if (cell_ != nullptr) cell_->Record(value);
+  }
+  void RecordMicros(int64_t micros) { Record(micros); }
+  int64_t Count() const {
+    return cell_ != nullptr ? cell_->count.load(std::memory_order_relaxed)
+                            : 0;
+  }
+  int64_t Sum() const {
+    return cell_ != nullptr ? cell_->sum.load(std::memory_order_relaxed) : 0;
+  }
+  bool is_noop() const { return cell_ == nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(obs_internal::HistogramCell* cell) : cell_(cell) {}
+  obs_internal::HistogramCell* cell_ = nullptr;
+};
+
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(bool enabled) : enabled_(enabled) {}
+
+  // The process-wide registry. Starts disabled; surfaces that want process
+  // metrics (the CLI under --json/--stats, a server) enable it at startup.
+  static MetricsRegistry* Default();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  // Returns the metric registered under `name`, creating it on first use.
+  // When the registry is disabled, returns a null (no-op) handle and
+  // registers nothing. Mixing one name across metric kinds is a caller bug;
+  // the registry keeps separate namespaces, so it is merely confusing.
+  Counter FindOrCreateCounter(const std::string& name);
+  Gauge FindOrCreateGauge(const std::string& name);
+  Histogram FindOrCreateHistogram(const std::string& name);
+
+  // Snapshot of every registered metric as one JSON object:
+  // {"counters":{...},"gauges":{...},"histograms":{"name":{"count":..,
+  // "sum":..,"min":..,"max":..,"buckets":{"<upper>":n,...}},...}}.
+  // Values are read relaxed; under concurrent writers the snapshot is a
+  // consistent-enough monotone view, not a linearizable cut.
+  void WriteSnapshotJson(JsonWriter* json) const;
+  std::string SnapshotJson() const;
+
+ private:
+  std::atomic<bool> enabled_;
+  mutable std::mutex mutex_;  // guards the maps, not the cells
+  std::map<std::string, std::unique_ptr<obs_internal::CounterCell>> counters_;
+  std::map<std::string, std::unique_ptr<obs_internal::GaugeCell>> gauges_;
+  std::map<std::string, std::unique_ptr<obs_internal::HistogramCell>>
+      histograms_;
+};
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_OBS_METRICS_H_

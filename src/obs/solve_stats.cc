@@ -1,0 +1,76 @@
+#include "obs/solve_stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace pebblejoin {
+
+namespace {
+
+// Single source of the field list so Add, WriteJson and FormatHuman cannot
+// drift apart. `F(name)` expands once per plain monotonic counter.
+#define PEBBLEJOIN_SOLVE_STATS_COUNTERS(F) \
+  F(bnb_nodes_expanded)                    \
+  F(bnb_prunes_component)                  \
+  F(bnb_prunes_deficiency)                 \
+  F(bnb_incumbent_updates)                 \
+  F(hk_solves)                             \
+  F(hk_subsets_materialized)               \
+  F(hk_table_bytes)                        \
+  F(ls_passes)                             \
+  F(ls_moves_accepted)                     \
+  F(ils_iterations)                        \
+  F(ils_kicks_accepted)                    \
+  F(rungs_attempted)                       \
+  F(rungs_declined)                        \
+  F(budget_polls)                          \
+  F(solve_wall_us)
+
+}  // namespace
+
+void SolveStats::Add(const SolveStats& other) {
+#define PEBBLEJOIN_ADD_FIELD(name) name += other.name;
+  PEBBLEJOIN_SOLVE_STATS_COUNTERS(PEBBLEJOIN_ADD_FIELD)
+#undef PEBBLEJOIN_ADD_FIELD
+  budget_time_to_stop_ms =
+      std::max(budget_time_to_stop_ms, other.budget_time_to_stop_ms);
+}
+
+void SolveStats::WriteJson(JsonWriter* json) const {
+  json->BeginObject();
+#define PEBBLEJOIN_JSON_FIELD(name) json->Field(#name, name);
+  PEBBLEJOIN_SOLVE_STATS_COUNTERS(PEBBLEJOIN_JSON_FIELD)
+#undef PEBBLEJOIN_JSON_FIELD
+  json->Field("budget_time_to_stop_ms", budget_time_to_stop_ms);
+  json->EndObject();
+}
+
+std::string SolveStats::FormatHuman(const std::string& indent) const {
+  std::string out;
+  char line[128];
+#define PEBBLEJOIN_HUMAN_FIELD(name)                                \
+  std::snprintf(line, sizeof(line), "%s%-24s: %lld\n",              \
+                indent.c_str(), #name, static_cast<long long>(name)); \
+  out += line;
+  PEBBLEJOIN_SOLVE_STATS_COUNTERS(PEBBLEJOIN_HUMAN_FIELD)
+#undef PEBBLEJOIN_HUMAN_FIELD
+  std::snprintf(line, sizeof(line), "%s%-24s: %lld\n", indent.c_str(),
+                "budget_time_to_stop_ms",
+                static_cast<long long>(budget_time_to_stop_ms));
+  out += line;
+  return out;
+}
+
+void SolveStats::PublishTo(MetricsRegistry* registry) const {
+  if (registry == nullptr || !registry->enabled()) return;
+#define PEBBLEJOIN_PUBLISH_FIELD(name) \
+  registry->FindOrCreateCounter("solve." #name).Add(name);
+  PEBBLEJOIN_SOLVE_STATS_COUNTERS(PEBBLEJOIN_PUBLISH_FIELD)
+#undef PEBBLEJOIN_PUBLISH_FIELD
+  registry->FindOrCreateHistogram("solve.wall_us").RecordMicros(solve_wall_us);
+}
+
+}  // namespace pebblejoin

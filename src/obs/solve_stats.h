@@ -1,0 +1,79 @@
+// SolveStats: the per-request telemetry sink threaded through every solver
+// hot path.
+//
+// A plain struct of monotonic counters — no locks, no strings, no
+// allocation — so incrementing it costs one add and a (usually
+// well-predicted) null check on the BudgetContext that carries it. Solvers
+// accumulate into local variables inside their hot loops and flush once per
+// call, so the loop bodies stay untouched when telemetry is off. These are
+// the per-operator numbers that worst-case-optimal join work relies on
+// (nodes expanded, prunes by bound, intermediate sizes) to validate cost
+// claims: with them, "FallbackPebbler landed on rung 3" becomes an
+// explainable event instead of a mystery.
+//
+// The analyzer owns one SolveStats per JoinAnalysis, attaches it to the
+// request's BudgetContext, and flushes the budget-level fields (poll count,
+// time-to-stop) itself after the solve. MetricsRegistry (obs/metrics.h) is
+// the process-wide aggregation layer these per-request sinks fold into.
+
+#ifndef PEBBLEJOIN_OBS_SOLVE_STATS_H_
+#define PEBBLEJOIN_OBS_SOLVE_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pebblejoin {
+
+class JsonWriter;
+class MetricsRegistry;
+
+struct SolveStats {
+  // Branch and bound (tsp/branch_and_bound.cc).
+  int64_t bnb_nodes_expanded = 0;
+  int64_t bnb_prunes_component = 0;   // component bound won the prune
+  int64_t bnb_prunes_deficiency = 0;  // deficiency bound won the prune
+  int64_t bnb_incumbent_updates = 0;
+
+  // Held–Karp (tsp/held_karp.cc).
+  int64_t hk_solves = 0;
+  int64_t hk_subsets_materialized = 0;  // DP subsets = 2^n per solve
+  int64_t hk_table_bytes = 0;           // dominant allocation, summed
+
+  // Local search and ILS (tsp/local_search.cc, solver/ils_pebbler.cc).
+  int64_t ls_passes = 0;
+  int64_t ls_moves_accepted = 0;  // 2-opt reversals + Or-opt relocations
+  int64_t ils_iterations = 0;
+  int64_t ils_kicks_accepted = 0;
+
+  // Ladder provenance (solver/pebbler.cc).
+  int64_t rungs_attempted = 0;
+  int64_t rungs_declined = 0;  // attempts that produced no order
+
+  // Budget (util/budget.h; flushed by the analyzer after the solve).
+  int64_t budget_polls = 0;
+  int64_t budget_time_to_stop_ms = -1;  // -1: never stopped
+
+  // Wall clock of the whole solve, flushed by the analyzer.
+  int64_t solve_wall_us = 0;
+
+  // Element-wise accumulation (time-to-stop takes the max, -1 meaning
+  // "never stopped" loses to any real stop time).
+  void Add(const SolveStats& other);
+
+  // Writes this struct as one JSON object (stable key names — see
+  // docs/observability.md).
+  void WriteJson(JsonWriter* json) const;
+
+  // Multi-line human rendering for `--stats`, one "name : value" per line,
+  // prefixed by `indent`.
+  std::string FormatHuman(const std::string& indent) const;
+
+  // Folds this request's counters into the process-wide registry under
+  // "solve.<field>" and records solve_wall_us into the "solve.wall_us"
+  // histogram. A disabled registry makes this a sequence of no-ops.
+  void PublishTo(MetricsRegistry* registry) const;
+};
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_OBS_SOLVE_STATS_H_

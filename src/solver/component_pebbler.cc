@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "graph/components.h"
+#include "obs/trace.h"
 #include "pebble/cost_model.h"
 #include "pebble/scheme_verifier.h"
 #include "util/check.h"
@@ -26,6 +27,11 @@ PebbleSolution ComponentPebbler::Solve(const Graph& g,
     const Graph sub =
         ExtractComponent(g, decomp, c, /*vertex_map=*/nullptr, &edge_map);
 
+    TraceSpan component_span(budget != nullptr ? budget->trace() : nullptr,
+                             "component", "solver");
+    component_span.AddArg(TraceArg::Num("index", c));
+    component_span.AddArg(TraceArg::Num("edges", sub.num_edges()));
+
     SolveOutcome outcome;
     std::optional<std::vector<int>> order =
         primary_->PebbleWithOutcome(sub, budget, &outcome);
@@ -35,7 +41,13 @@ PebbleSolution ComponentPebbler::Solve(const Graph& g,
                    "primary pebbler refused and no fallback configured");
       // The fallback is the termination guarantee, so it runs unbudgeted: a
       // request whose deadline already expired still gets a valid scheme.
-      order = fallback_->PebbleWithOutcome(sub, nullptr, &outcome);
+      // The fresh context drops the budget but keeps the telemetry sinks.
+      BudgetContext fallback_ctx{SolveBudget{}};
+      if (budget != nullptr) {
+        fallback_ctx.set_stats(budget->stats());
+        fallback_ctx.set_trace(budget->trace());
+      }
+      order = fallback_->PebbleWithOutcome(sub, &fallback_ctx, &outcome);
       used = fallback_->name();
     }
     JP_CHECK_MSG(order.has_value(), "fallback pebbler refused a component");

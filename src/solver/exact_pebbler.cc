@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "graph/line_graph.h"
+#include "obs/trace.h"
 #include "pebble/cost_model.h"
 #include "tsp/held_karp.h"
 #include "util/check.h"
@@ -29,7 +30,16 @@ std::optional<std::vector<int>> ExactPebbler::PebbleConnected(
   const int64_t table_ceiling =
       budget != nullptr ? budget->MemoryLimitOr(kDefaultHeldKarpTableBytes)
                         : kDefaultHeldKarpTableBytes;
-  if (instance.num_nodes() <= MaxHeldKarpNodesForMemory(table_ceiling)) {
+  const bool use_held_karp =
+      instance.num_nodes() <= MaxHeldKarpNodesForMemory(table_ceiling);
+  if (budget != nullptr && budget->trace() != nullptr) {
+    budget->trace()->Instant(
+        "exact-dispatch", "solver",
+        {TraceArg::Str("method", use_held_karp ? "held-karp"
+                                               : "branch-and-bound"),
+         TraceArg::Num("line_nodes", instance.num_nodes())});
+  }
+  if (use_held_karp) {
     std::optional<TspPathResult> result = HeldKarpSolve(instance, budget);
     // With no budget the pre-flight check above makes refusal impossible;
     // with one, a deadline expiry mid-DP legitimately yields nothing.

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/solve_stats.h"
+#include "obs/trace.h"
 #include "solver/dfs_tree_pebbler.h"
 #include "solver/greedy_walk_pebbler.h"
 #include "solver/local_search_pebbler.h"
@@ -38,6 +40,8 @@ std::optional<std::vector<int>> FallbackPebbler::PebbleWithOutcome(
   BudgetContext local_ctx{SolveBudget{}};
   BudgetContext* ctx = budget != nullptr ? budget : &local_ctx;
 
+  TraceSpan ladder_span(ctx->trace(), "ladder", "solver");
+
   const ExactPebbler exact(options_.exact);
   const IlsPebbler ils(options_.ils);
   const LocalSearchPebbler local_search(options_.local_search,
@@ -53,10 +57,13 @@ std::optional<std::vector<int>> FallbackPebbler::PebbleWithOutcome(
   if (!order.has_value()) {
     // Guaranteed terminator: Theorem 3.1 is polynomial, so it gets the
     // memory ceiling but never the deadline — a stopped request still ends
-    // with a valid scheme.
+    // with a valid scheme. The fresh context keeps the budget out but the
+    // telemetry sinks in.
     SolveBudget memory_only;
     memory_only.memory_limit_bytes = ctx->budget().memory_limit_bytes;
     BudgetContext dfs_ctx(memory_only);
+    dfs_ctx.set_stats(ctx->stats());
+    dfs_ctx.set_trace(ctx->trace());
     const DfsTreePebbler dfs(options_.max_line_graph_edges);
     order = dfs.PebbleWithOutcome(g, &dfs_ctx, outcome);
   }
@@ -64,8 +71,12 @@ std::optional<std::vector<int>> FallbackPebbler::PebbleWithOutcome(
   if (!order.has_value()) {
     // Safety net when even L(G) misses the memory ceiling: the greedy walk
     // needs no auxiliary structures and cannot decline a connected graph.
+    SolveBudget unlimited;
+    BudgetContext greedy_ctx(unlimited);
+    greedy_ctx.set_stats(ctx->stats());
+    greedy_ctx.set_trace(ctx->trace());
     const GreedyWalkPebbler greedy;
-    order = greedy.PebbleWithOutcome(g, nullptr, outcome);
+    order = greedy.PebbleWithOutcome(g, &greedy_ctx, outcome);
     JP_CHECK_MSG(order.has_value(),
                  "greedy-walk safety net refused a connected graph");
   }
@@ -83,6 +94,11 @@ std::optional<std::vector<int>> FallbackPebbler::PebbleWithOutcome(
     }
     if (RungProducedOrder(attempt.status)) break;
   }
+
+  ladder_span.AddArg(TraceArg::Str(
+      "winner", outcome->winner.empty() ? "none" : outcome->winner));
+  ladder_span.AddArg(
+      TraceArg::Str("degradation", RungStatusName(outcome->degradation)));
   return order;
 }
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "graph/line_graph.h"
+#include "obs/solve_stats.h"
 #include "pebble/cost_model.h"
 #include "solver/local_search_pebbler.h"
 #include "tsp/tour.h"
@@ -64,18 +65,26 @@ std::optional<std::vector<int>> IlsPebbler::PebbleConnected(
   const Tsp12Instance instance(*std::move(line));
 
   Rng rng(options_.seed);
+  int64_t iterations = 0;
+  int64_t kicks_accepted = 0;
   for (int round = 0; round < options_.iterations && best_jumps > 0;
        ++round) {
     // Deadline-aware rounds: stopping here returns the incumbent `best`,
     // which is always a complete, valid order.
     if (budget != nullptr && budget->Expired()) break;
+    ++iterations;
     Tour candidate = DoubleBridge(*best, &rng);
     LocalSearchImprove(instance, &candidate, options_.descent, budget);
     const int64_t jumps = TourJumps(instance, candidate);
     if (jumps < best_jumps) {
       best_jumps = jumps;
       *best = std::move(candidate);
+      ++kicks_accepted;
     }
+  }
+  if (budget != nullptr && budget->stats() != nullptr) {
+    budget->stats()->ils_iterations += iterations;
+    budget->stats()->ils_kicks_accepted += kicks_accepted;
   }
   return best;
 }

@@ -2,8 +2,11 @@
 
 #include <utility>
 
+#include "obs/solve_stats.h"
+#include "obs/trace.h"
 #include "pebble/cost_model.h"
 #include "util/check.h"
+#include "util/stopwatch.h"
 
 namespace pebblejoin {
 
@@ -12,7 +15,9 @@ std::optional<std::vector<int>> Pebbler::PebbleWithOutcome(
   JP_CHECK(outcome != nullptr);
   outcome->lower_bound = g.num_edges();
 
+  Stopwatch rung_clock;
   std::optional<std::vector<int>> order = PebbleConnected(g, budget);
+  const int64_t elapsed_us = rung_clock.ElapsedMicros();
 
   RungAttempt attempt;
   attempt.solver = name();
@@ -45,10 +50,26 @@ std::optional<std::vector<int>> Pebbler::PebbleWithOutcome(
         break;
     }
   }
+  attempt.elapsed_us = elapsed_us;
   outcome->status = attempt.status;
   outcome->degradation = RungProducedOrder(attempt.status)
                              ? RungStatus::kCompleted
                              : attempt.status;
+
+  if (budget != nullptr) {
+    if (SolveStats* stats = budget->stats()) {
+      ++stats->rungs_attempted;
+      if (!RungProducedOrder(attempt.status)) ++stats->rungs_declined;
+    }
+    if (TraceSession* trace = budget->trace()) {
+      // One Complete event per rung, back-dated to the solve start.
+      const int64_t end_us = trace->NowUs();
+      trace->Complete(attempt.solver, "rung", end_us - elapsed_us, elapsed_us,
+                      {TraceArg::Str("status", RungStatusName(attempt.status)),
+                       TraceArg::Num("cost", attempt.cost)});
+    }
+  }
+
   outcome->attempts.push_back(std::move(attempt));
   return order;
 }

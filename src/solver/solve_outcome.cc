@@ -32,13 +32,16 @@ RungStatus RungStatusFromStop(BudgetStop stop) {
   return RungStatus::kCompleted;
 }
 
-std::string SolveOutcome::Summary() const {
+std::string SolveOutcome::Summary(bool with_timing) const {
   std::string out;
   for (size_t i = 0; i < attempts.size(); ++i) {
     if (i > 0) out += " -> ";
     out += attempts[i].solver;
     out += ":";
     out += RungStatusName(attempts[i].status);
+    if (with_timing) {
+      out += "[" + std::to_string(attempts[i].elapsed_us) + "us]";
+    }
   }
   out += " (winner ";
   out += winner.empty() ? "none" : winner;

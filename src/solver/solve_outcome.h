@@ -47,6 +47,8 @@ struct RungAttempt {
   // produced none. A rung cut short by the deadline can still report a cost:
   // its best incumbent so far.
   int64_t cost = -1;
+  // Wall-clock spent inside this rung, recorded by PebbleWithOutcome.
+  int64_t elapsed_us = 0;
 };
 
 // Everything learned while solving one connected instance.
@@ -67,8 +69,10 @@ struct SolveOutcome {
   bool degraded() const { return !RungProducedOrder(degradation); }
 
   // One-line rendering: "exact:deadline-expired -> ils:completed
-  // (winner ils, cost 12, lb 10)".
-  std::string Summary() const;
+  // (winner ils, cost 12, lb 10)". With `with_timing`, each rung carries
+  // its wall clock: "exact:deadline-expired[503us] -> ...".
+  std::string Summary() const { return Summary(false); }
+  std::string Summary(bool with_timing) const;
 };
 
 }  // namespace pebblejoin

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/solve_stats.h"
 #include "tsp/local_search.h"
 #include "tsp/path_cover.h"
 #include "util/check.h"
@@ -10,6 +11,9 @@
 namespace pebblejoin {
 
 namespace {
+
+// Which admissible bound dominated a LowerBound() evaluation.
+enum class BoundKind { kNone, kComponent, kDeficiency };
 
 // Search state shared across the recursion.
 struct SearchContext {
@@ -22,6 +26,9 @@ struct SearchContext {
   std::vector<int> current;
 
   int64_t nodes_expanded = 0;
+  int64_t prunes_component = 0;
+  int64_t prunes_deficiency = 0;
+  int64_t incumbent_updates = 0;
   int64_t node_budget = 0;
   BudgetContext* budget = nullptr;  // shared deadline/node budget; may be null
   bool budget_exhausted = false;
@@ -62,7 +69,11 @@ int ComponentsInMask(const SearchContext& ctx, uint64_t mask) {
 
 // Admissible lower bound on the jumps still required given the set of
 // unvisited nodes and the current path endpoint (-1 if the path is empty).
-int64_t LowerBound(const SearchContext& ctx, uint64_t unvisited, int end) {
+// `*kind` reports which bound produced the returned value (kNone when the
+// bound is zero or both bounds are ablated), so prunes can be attributed.
+int64_t LowerBound(const SearchContext& ctx, uint64_t unvisited, int end,
+                   BoundKind* kind) {
+  *kind = BoundKind::kNone;
   if (unvisited == 0) return 0;
 
   // Component bound: each extra component of the induced good graph costs a
@@ -74,6 +85,7 @@ int64_t LowerBound(const SearchContext& ctx, uint64_t unvisited, int end) {
     const bool end_connected =
         end >= 0 && (ctx.adj[end] & unvisited) != 0;
     if (end >= 0 && !end_connected) lb += 1;
+    if (lb > 0) *kind = BoundKind::kComponent;
   }
   if (!ctx.use_deficiency_bound) return lb;
 
@@ -92,7 +104,11 @@ int64_t LowerBound(const SearchContext& ctx, uint64_t unvisited, int end) {
     if (d < 2) deficiency += 2 - d;
   }
   const int64_t deficiency_bound = (deficiency - 1 + 1) / 2;  // ⌈(s−1)/2⌉
-  return std::max(lb, std::max<int64_t>(deficiency_bound, 0));
+  if (deficiency_bound > lb) {
+    *kind = BoundKind::kDeficiency;
+    return deficiency_bound;
+  }
+  return lb;
 }
 
 void Search(SearchContext* ctx, uint64_t unvisited, int end, int64_t jumps) {
@@ -118,10 +134,19 @@ void Search(SearchContext* ctx, uint64_t unvisited, int end, int64_t jumps) {
     if (jumps < ctx->best_jumps) {
       ctx->best_jumps = jumps;
       ctx->best_tour = ctx->current;
+      ++ctx->incumbent_updates;
     }
     return;
   }
-  if (jumps + LowerBound(*ctx, unvisited, end) >= ctx->best_jumps) return;
+  BoundKind bound_kind = BoundKind::kNone;
+  if (jumps + LowerBound(*ctx, unvisited, end, &bound_kind) >=
+      ctx->best_jumps) {
+    // Attribute the cut to the bound that was decisive; a cut with a zero
+    // bound is the incumbent alone and goes uncounted.
+    if (bound_kind == BoundKind::kComponent) ++ctx->prunes_component;
+    if (bound_kind == BoundKind::kDeficiency) ++ctx->prunes_deficiency;
+    return;
+  }
 
   // Children: good extensions first (most-constrained first), then jumps.
   std::vector<int> good_children;
@@ -204,6 +229,19 @@ BranchAndBoundResult BranchAndBoundSolve(const Tsp12Instance& instance,
   result.deadline_expired = ctx.deadline_expired;
   result.budget_exhausted = ctx.budget_exhausted;
   result.nodes_expanded = ctx.nodes_expanded;
+  result.prunes_component = ctx.prunes_component;
+  result.prunes_deficiency = ctx.prunes_deficiency;
+  result.incumbent_updates = ctx.incumbent_updates;
+
+  // One flush per solve into the request's stats sink; the recursion itself
+  // only touches plain SearchContext fields.
+  if (budget != nullptr && budget->stats() != nullptr) {
+    SolveStats* stats = budget->stats();
+    stats->bnb_nodes_expanded += ctx.nodes_expanded;
+    stats->bnb_prunes_component += ctx.prunes_component;
+    stats->bnb_prunes_deficiency += ctx.prunes_deficiency;
+    stats->bnb_incumbent_updates += ctx.incumbent_updates;
+  }
   return result;
 }
 

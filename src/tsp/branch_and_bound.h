@@ -49,6 +49,12 @@ struct BranchAndBoundResult {
   bool deadline_expired = false;  // stopped by the budget's wall clock
   bool budget_exhausted = false;  // stopped by a node budget (local or shared)
   int64_t nodes_expanded = 0;
+  // Search-tree cuts attributed to the admissible bound that was largest at
+  // the cut (the numbers bench_ablation's pruning-power claim rests on).
+  int64_t prunes_component = 0;
+  int64_t prunes_deficiency = 0;
+  // Times a strictly better tour replaced the incumbent mid-search.
+  int64_t incumbent_updates = 0;
 };
 
 // Solves (or approximates, if a budget runs out) the instance. Requires

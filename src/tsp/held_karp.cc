@@ -3,6 +3,7 @@
 #include <limits>
 #include <vector>
 
+#include "obs/solve_stats.h"
 #include "util/check.h"
 
 namespace pebblejoin {
@@ -42,6 +43,15 @@ std::optional<TspPathResult> HeldKarpSolve(const Tsp12Instance& instance,
   const size_t num_masks = size_t{1} << n;
   std::vector<uint8_t> dp(num_masks * n, kInf);
   for (int v = 0; v < n; ++v) dp[(size_t{1} << v) * n + v] = 0;
+
+  // The dominant allocation just happened: record its footprint even if the
+  // deadline cuts the DP below (the bytes were materialized either way).
+  if (budget != nullptr && budget->stats() != nullptr) {
+    SolveStats* stats = budget->stats();
+    ++stats->hk_solves;
+    stats->hk_subsets_materialized += static_cast<int64_t>(num_masks);
+    stats->hk_table_bytes += static_cast<int64_t>(num_masks) * n;
+  }
 
   for (uint32_t mask = 1; mask < num_masks; ++mask) {
     // Periodic deadline poll; a timed-out DP leaves no usable incumbent.

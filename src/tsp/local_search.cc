@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/solve_stats.h"
 #include "util/check.h"
 
 namespace pebblejoin {
@@ -15,6 +16,15 @@ inline int JumpAt(const Tsp12Instance& instance, const Tour& tour, int i) {
   return instance.IsGood(tour[i], tour[i + 1]) ? 0 : 1;
 }
 
+// One flush per improver call: the hot loops bump plain locals and the
+// telemetry write happens on the way out.
+inline void FlushLocalSearchStats(BudgetContext* budget, int64_t passes,
+                                  int64_t moves) {
+  if (budget == nullptr || budget->stats() == nullptr) return;
+  budget->stats()->ls_passes += passes;
+  budget->stats()->ls_moves_accepted += moves;
+}
+
 }  // namespace
 
 int64_t TwoOptImprove(const Tsp12Instance& instance, Tour* tour,
@@ -24,14 +34,20 @@ int64_t TwoOptImprove(const Tsp12Instance& instance, Tour* tour,
   const int n = static_cast<int>(tour->size());
   if (n < 3) return 0;
   int64_t removed = 0;
+  int64_t passes = 0;
+  int64_t moves = 0;
 
   for (int pass = 0; pass < options.max_passes; ++pass) {
+    ++passes;
     bool improved = false;
     // Reverse (*tour)[i..j]. Affected pairs: (i-1, i) and (j, j+1) become
     // (i-1, j) and (i, j+1); pairs inside the segment reverse but keep their
     // jump status (weights are symmetric).
     for (int i = 0; i < n - 1; ++i) {
-      if (budget != nullptr && budget->Expired()) return removed;
+      if (budget != nullptr && budget->Expired()) {
+        FlushLocalSearchStats(budget, passes, moves);
+        return removed;
+      }
       for (int j = i + 1; j < n; ++j) {
         if (i == 0 && j == n - 1) continue;  // whole-tour reversal: no-op
         const int before = JumpAt(instance, *tour, i - 1) +
@@ -46,12 +62,14 @@ int64_t TwoOptImprove(const Tsp12Instance& instance, Tour* tour,
         if (after < before) {
           std::reverse(tour->begin() + i, tour->begin() + j + 1);
           removed += before - after;
+          ++moves;
           improved = true;
         }
       }
     }
     if (!improved) break;
   }
+  FlushLocalSearchStats(budget, passes, moves);
   return removed;
 }
 
@@ -62,12 +80,18 @@ int64_t OrOptImprove(const Tsp12Instance& instance, Tour* tour,
   const int n = static_cast<int>(tour->size());
   if (n < 3) return 0;
   int64_t removed = 0;
+  int64_t passes = 0;
+  int64_t moves = 0;
 
   for (int pass = 0; pass < options.max_passes; ++pass) {
+    ++passes;
     bool improved = false;
     for (int len = 1; len <= options.max_segment_length; ++len) {
       for (int i = 0; i + len <= n; ++i) {
-        if (budget != nullptr && budget->Expired()) return removed;
+        if (budget != nullptr && budget->Expired()) {
+          FlushLocalSearchStats(budget, passes, moves);
+          return removed;
+        }
         // Segment s = (*tour)[i .. i+len-1]. Removing it merges (i-1) with
         // (i+len); inserting it after position k (k outside the segment)
         // splits the pair (k, k+1).
@@ -116,6 +140,7 @@ int64_t OrOptImprove(const Tsp12Instance& instance, Tour* tour,
             tour->insert(tour->begin() + insert_pos, segment.begin(),
                          segment.end());
             removed += delta;
+            ++moves;
             improved = true;
             break;  // indices shifted; rescan this segment length
           }
@@ -124,6 +149,7 @@ int64_t OrOptImprove(const Tsp12Instance& instance, Tour* tour,
     }
     if (!improved) break;
   }
+  FlushLocalSearchStats(budget, passes, moves);
   return removed;
 }
 

@@ -29,6 +29,12 @@
 
 namespace pebblejoin {
 
+// Telemetry sinks (src/obs/). BudgetContext only carries the pointers —
+// solvers that record through them include the obs headers themselves, so
+// util stays dependency-free.
+struct SolveStats;
+class TraceSession;
+
 // Why a budgeted solve was stopped early. kNone means "still running" (or
 // finished within every ceiling).
 enum class BudgetStop {
@@ -120,7 +126,7 @@ class BudgetContext {
     if (stop_ != BudgetStop::kNone) return true;
     ++polls_;
     if (forced_expire_at_poll_ >= 0 && polls_ >= forced_expire_at_poll_) {
-      stop_ = BudgetStop::kDeadlineExpired;
+      LatchStop(BudgetStop::kDeadlineExpired);
       return true;
     }
     if (!budget_.has_deadline()) return false;
@@ -134,7 +140,7 @@ class BudgetContext {
     if (stop_ != BudgetStop::kNone) return true;
     if (!budget_.has_deadline()) return false;
     if (NowMs() - start_ms_ >= budget_.deadline_ms) {
-      stop_ = BudgetStop::kDeadlineExpired;
+      LatchStop(BudgetStop::kDeadlineExpired);
       return true;
     }
     return false;
@@ -148,7 +154,7 @@ class BudgetContext {
     nodes_charged_ += n;
     if (stop_ != BudgetStop::kNone) return false;
     if (budget_.has_node_budget() && nodes_charged_ > budget_.node_budget) {
-      stop_ = BudgetStop::kNodeBudgetExhausted;
+      LatchStop(BudgetStop::kNodeBudgetExhausted);
       return false;
     }
     return true;
@@ -190,6 +196,24 @@ class BudgetContext {
   // Elapsed wall-clock milliseconds since construction.
   int64_t ElapsedMs() { return NowMs() - start_ms_; }
 
+  // --- Telemetry ----------------------------------------------------------
+
+  // Optional sinks (see src/obs/): per-request stats that hot paths flush
+  // into, and a trace session that instrumentation sites emit spans on.
+  // Both may be null (the default); neither is owned.
+  void set_stats(SolveStats* stats) { stats_ = stats; }
+  SolveStats* stats() const { return stats_; }
+  void set_trace(TraceSession* trace) { trace_ = trace; }
+  TraceSession* trace() const { return trace_; }
+
+  // Number of Expired() polls so far (amortized and forced alike).
+  int64_t polls() const { return polls_; }
+
+  // Elapsed milliseconds from construction to the moment a stop latched,
+  // or -1 while unstopped. This is "where the deadline went": how long the
+  // request ran before cancellation bit.
+  int64_t stopped_elapsed_ms() const { return stopped_elapsed_ms_; }
+
   // --- Fault injection ----------------------------------------------------
 
   // Deterministically forces Expired() to report a deadline expiry on its
@@ -207,6 +231,13 @@ class BudgetContext {
         .count();
   }
 
+  // Latches the (sticky) stop reason and records the time-to-stop. The
+  // extra clock read happens at most once per context.
+  void LatchStop(BudgetStop reason) {
+    stop_ = reason;
+    stopped_elapsed_ms_ = NowMs() - start_ms_;
+  }
+
   SolveBudget budget_;
   std::function<int64_t()> clock_;
   int64_t start_ms_ = 0;
@@ -216,6 +247,9 @@ class BudgetContext {
   int64_t forced_expire_at_poll_ = -1;
   SolveDecline decline_ = SolveDecline::kNone;
   BudgetStop stop_ = BudgetStop::kNone;
+  int64_t stopped_elapsed_ms_ = -1;
+  SolveStats* stats_ = nullptr;
+  TraceSession* trace_ = nullptr;
 };
 
 }  // namespace pebblejoin

@@ -1,9 +1,11 @@
-// A minimal wall-clock stopwatch for benchmark tables.
+// A minimal wall-clock stopwatch for benchmark tables, plus a scoped timer
+// that records its lifetime into a histogram-like sink.
 
 #ifndef PEBBLEJOIN_UTIL_STOPWATCH_H_
 #define PEBBLEJOIN_UTIL_STOPWATCH_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace pebblejoin {
 
@@ -19,12 +21,40 @@ class Stopwatch {
     return std::chrono::duration<double>(Clock::now() - start_).count();
   }
 
-  // Elapsed time in microseconds.
-  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+  // Elapsed time in whole microseconds, read straight off the clock's
+  // integer ticks (no round-trip through a double of seconds).
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now() - start_)
+        .count();
+  }
 
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+// RAII timer: on destruction records the elapsed microseconds into `sink`
+// via sink->RecordMicros(us). The sink type only needs that one method
+// (obs::Histogram qualifies), which keeps util free of an obs dependency.
+// A null sink skips the record but the destructor still reads the clock,
+// so prefer guarding construction when the sink is known-disabled.
+template <typename Sink>
+class ScopedTimerT {
+ public:
+  explicit ScopedTimerT(Sink* sink) : sink_(sink) {}
+  ScopedTimerT(const ScopedTimerT&) = delete;
+  ScopedTimerT& operator=(const ScopedTimerT&) = delete;
+
+  ~ScopedTimerT() {
+    if (sink_ != nullptr) sink_->RecordMicros(watch_.ElapsedMicros());
+  }
+
+  const Stopwatch& watch() const { return watch_; }
+
+ private:
+  Sink* sink_;
+  Stopwatch watch_;
 };
 
 }  // namespace pebblejoin

@@ -28,6 +28,10 @@ class TablePrinter {
 
   int num_rows() const { return static_cast<int>(rows_.size()); }
 
+  // Structured access for machine-readable emitters (obs/bench_report.h).
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

@@ -104,6 +104,62 @@ if ! printf '%s' "$GRAPH" | "$BIN" solve --memory-mb 1 >/dev/null; then
   note_failure "solve --memory-mb 1 must exit 0"
 fi
 
+# --- Telemetry surfaces: --json, --stats, --trace-out ---------------------
+expect_fail "trace-out missing path" -- analyze --trace-out
+CLI_STDIN="this is not a graph" expect_fail "analyze --json garbage stdin" \
+  -- analyze --json
+CLI_STDIN="$GRAPH" expect_fail "trace-out unwritable path" \
+  -- analyze --trace-out /nonexistent-dir/t.json
+
+JSON_OUT=$(printf '%s' "$GRAPH" | "$BIN" analyze --solver fallback --json)
+if [ $? -ne 0 ]; then
+  note_failure "analyze --json must exit 0"
+fi
+if ! printf '%s' "$JSON_OUT" | python3 -m json.tool >/dev/null; then
+  note_failure "analyze --json must emit valid JSON"
+fi
+case "$JSON_OUT" in
+  *bnb_nodes_expanded*budget_polls*) : ;;
+  *) note_failure "analyze --json must carry the solver stats" ;;
+esac
+case "$JSON_OUT" in
+  *'"attempts"'*) : ;;
+  *) note_failure "analyze --json must carry per-rung attempts" ;;
+esac
+
+if ! printf '%s' "$GRAPH" | "$BIN" solve --json >/dev/null; then
+  note_failure "solve --json must exit 0"
+fi
+printf '%s' "$GRAPH" | "$BIN" solve --json | python3 -m json.tool \
+  >/dev/null || note_failure "solve --json must emit valid JSON"
+
+TRACE_FILE=$(mktemp)
+if ! printf '%s' "$GRAPH" | "$BIN" analyze --solver fallback \
+    --trace-out "$TRACE_FILE" >/dev/null; then
+  note_failure "analyze --trace-out must exit 0"
+fi
+if ! python3 -m json.tool <"$TRACE_FILE" >/dev/null; then
+  note_failure "--trace-out must write valid JSON"
+fi
+if ! grep -q traceEvents "$TRACE_FILE"; then
+  note_failure "--trace-out must write Chrome trace-event JSON"
+fi
+rm -f "$TRACE_FILE"
+
+# --stats rides in comments, so the 60-edge order contract must survive it.
+STATS_OUT=$(printf '%s' "$GRAPH" | "$BIN" solve --stats)
+if [ $? -ne 0 ]; then
+  note_failure "solve --stats must exit 0"
+fi
+case "$STATS_OUT" in
+  *rungs_attempted*) : ;;
+  *) note_failure "solve --stats must print the solver stats block" ;;
+esac
+STATS_EDGE_LINES=$(printf '%s\n' "$STATS_OUT" | grep -cv '^#')
+if [ "$STATS_EDGE_LINES" -ne 60 ]; then
+  note_failure "solve --stats emitted $STATS_EDGE_LINES of 60 edge lines"
+fi
+
 if [ "$FAILURES" -ne 0 ]; then
   echo "$FAILURES smoke check(s) failed" >&2
   exit 1

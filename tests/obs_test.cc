@@ -1,0 +1,288 @@
+// Tests for the observability layer: JsonWriter, SolveStats,
+// MetricsRegistry, TraceSession, and the end-to-end stats threading
+// (deterministic counters under a FakeClock, trace golden output).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "core/report.h"
+#include "graph/generators.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/solve_stats.h"
+#include "obs/trace.h"
+#include "solver/exact_pebbler.h"
+#include "tsp/tsp12.h"
+#include "util/budget.h"
+
+namespace pebblejoin {
+namespace {
+
+// --- JsonWriter -----------------------------------------------------------
+
+TEST(JsonWriterTest, NestedDocument) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("name", "pebble");
+  json.Field("count", int64_t{42});
+  json.Field("ratio", 1.25);
+  json.Field("ok", true);
+  json.Key("items");
+  json.BeginArray();
+  json.Int(1);
+  json.Int(2);
+  json.EndArray();
+  json.Key("empty");
+  json.BeginObject();
+  json.EndObject();
+  json.EndObject();
+  EXPECT_EQ(json.str(),
+            "{\"name\":\"pebble\",\"count\":42,\"ratio\":1.25,\"ok\":true,"
+            "\"items\":[1,2],\"empty\":{}}");
+}
+
+TEST(JsonWriterTest, EscapesControlCharactersAndQuotes) {
+  JsonWriter json;
+  json.String("a\"b\\c\nd");
+  EXPECT_EQ(json.str(), "\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter json;
+  json.BeginArray();
+  json.Double(1.0 / 0.0);
+  json.Double(0.0 / 0.0);
+  json.EndArray();
+  EXPECT_EQ(json.str(), "[null,null]");
+}
+
+// --- SolveStats -----------------------------------------------------------
+
+TEST(SolveStatsTest, AddAccumulatesAndMaxesTimeToStop) {
+  SolveStats a;
+  a.bnb_nodes_expanded = 10;
+  a.budget_time_to_stop_ms = -1;
+  SolveStats b;
+  b.bnb_nodes_expanded = 5;
+  b.hk_solves = 1;
+  b.budget_time_to_stop_ms = 7;
+  a.Add(b);
+  EXPECT_EQ(a.bnb_nodes_expanded, 15);
+  EXPECT_EQ(a.hk_solves, 1);
+  EXPECT_EQ(a.budget_time_to_stop_ms, 7);  // -1 loses to a real stop time
+}
+
+TEST(SolveStatsTest, JsonAndHumanRenderingsCarryEveryField) {
+  SolveStats stats;
+  stats.ils_iterations = 3;
+  JsonWriter json;
+  stats.WriteJson(&json);
+  EXPECT_NE(json.str().find("\"ils_iterations\":3"), std::string::npos);
+  EXPECT_NE(json.str().find("\"budget_time_to_stop_ms\":-1"),
+            std::string::npos);
+  const std::string human = stats.FormatHuman("  ");
+  EXPECT_NE(human.find("ils_iterations"), std::string::npos);
+  EXPECT_NE(human.find("budget_time_to_stop_ms"), std::string::npos);
+}
+
+// --- MetricsRegistry ------------------------------------------------------
+
+TEST(MetricsRegistryTest, DisabledRegistryMintsNoOpHandles) {
+  MetricsRegistry registry(/*enabled=*/false);
+  Counter counter = registry.FindOrCreateCounter("c");
+  Gauge gauge = registry.FindOrCreateGauge("g");
+  Histogram histogram = registry.FindOrCreateHistogram("h");
+  EXPECT_TRUE(counter.is_noop());
+  EXPECT_TRUE(gauge.is_noop());
+  EXPECT_TRUE(histogram.is_noop());
+  counter.Increment();
+  gauge.Set(5);
+  histogram.Record(10);
+  EXPECT_EQ(counter.Get(), 0);
+  EXPECT_EQ(gauge.Get(), 0);
+  EXPECT_EQ(histogram.Count(), 0);
+  // Nothing registered: the snapshot stays empty.
+  EXPECT_EQ(registry.SnapshotJson(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+}
+
+TEST(MetricsRegistryTest, CountersSurviveConcurrentIncrements) {
+  MetricsRegistry registry(/*enabled=*/true);
+  Counter counter = registry.FindOrCreateCounter("shared");
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry]() {
+      // Each thread mints its own handle — same underlying cell.
+      Counter local = registry.FindOrCreateCounter("shared");
+      for (int i = 0; i < kIncrements; ++i) local.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.Get(), int64_t{kThreads} * kIncrements);
+}
+
+TEST(MetricsRegistryTest, HistogramTracksCountSumMinMax) {
+  MetricsRegistry registry(/*enabled=*/true);
+  Histogram h = registry.FindOrCreateHistogram("latency_us");
+  h.RecordMicros(0);
+  h.RecordMicros(3);
+  h.RecordMicros(100);
+  EXPECT_EQ(h.Count(), 3);
+  EXPECT_EQ(h.Sum(), 103);
+  const std::string snapshot = registry.SnapshotJson();
+  EXPECT_NE(snapshot.find("\"latency_us\""), std::string::npos);
+  EXPECT_NE(snapshot.find("\"min\":0"), std::string::npos);
+  EXPECT_NE(snapshot.find("\"max\":100"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsValidForRegisteredMetrics) {
+  MetricsRegistry registry(/*enabled=*/true);
+  registry.FindOrCreateCounter("a").Add(2);
+  registry.FindOrCreateGauge("b").Set(-7);
+  const std::string snapshot = registry.SnapshotJson();
+  EXPECT_NE(snapshot.find("\"a\":2"), std::string::npos);
+  EXPECT_NE(snapshot.find("\"b\":-7"), std::string::npos);
+}
+
+TEST(SolveStatsTest, PublishToFoldsIntoRegistry) {
+  MetricsRegistry registry(/*enabled=*/true);
+  SolveStats stats;
+  stats.bnb_nodes_expanded = 11;
+  stats.solve_wall_us = 250;
+  stats.PublishTo(&registry);
+  stats.PublishTo(&registry);  // folds accumulate
+  EXPECT_EQ(registry.FindOrCreateCounter("solve.bnb_nodes_expanded").Get(),
+            22);
+  EXPECT_EQ(registry.FindOrCreateHistogram("solve.wall_us").Count(), 2);
+  MetricsRegistry disabled(/*enabled=*/false);
+  stats.PublishTo(&disabled);  // no-op, no crash
+}
+
+// --- TraceSession ---------------------------------------------------------
+
+TEST(TraceSessionTest, GoldenChromeTraceJson) {
+  int64_t now = 100;
+  TraceSession trace([&now]() { return now; });
+  trace.Instant("dispatch", "solver", {TraceArg::Str("method", "held-karp")});
+  now = 150;
+  trace.Complete("exact", "rung", /*start_us=*/100, /*duration_us=*/50,
+                 {TraceArg::Num("cost", 12)});
+  EXPECT_EQ(trace.num_events(), 2u);
+  EXPECT_EQ(
+      trace.ToJson(),
+      "{\"traceEvents\":["
+      "{\"name\":\"dispatch\",\"cat\":\"solver\",\"ph\":\"i\",\"ts\":100,"
+      "\"s\":\"t\",\"pid\":1,\"tid\":1,"
+      "\"args\":{\"method\":\"held-karp\"}},"
+      "{\"name\":\"exact\",\"cat\":\"rung\",\"ph\":\"X\",\"ts\":100,"
+      "\"dur\":50,\"pid\":1,\"tid\":1,\"args\":{\"cost\":12}}"
+      "],\"displayTimeUnit\":\"ms\"}");
+}
+
+TEST(TraceSessionTest, SpanRecordsItsLifetime) {
+  int64_t now = 10;
+  TraceSession trace([&now]() { return now; });
+  {
+    TraceSpan span(&trace, "work", "test");
+    span.AddArg(TraceArg::Num("n", 3));
+    now = 35;
+  }
+  EXPECT_EQ(trace.num_events(), 1u);
+  const std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"ts\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":25"), std::string::npos);
+  EXPECT_NE(json.find("\"n\":3"), std::string::npos);
+}
+
+TEST(TraceSessionTest, NullSessionSpanIsNoOp) {
+  TraceSpan span(nullptr, "ignored", "test");
+  span.AddArg(TraceArg::Num("n", 1));  // must not crash
+}
+
+TEST(TraceSessionTest, WriteFileRejectsBadPath) {
+  TraceSession trace;
+  std::string error;
+  EXPECT_FALSE(trace.WriteFile("/nonexistent-dir/trace.json", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+// --- End-to-end stats threading ------------------------------------------
+
+// The exact pebbler on a fixed instance produces identical search counters
+// run to run: the telemetry reflects the (deterministic) algorithm, with
+// only the wall-clock fields varying.
+TEST(StatsThreadingTest, ExactSolveCountersAreDeterministic) {
+  const Graph g = WorstCaseFamily(6).ToGraph();
+  SolveStats runs[2];
+  for (SolveStats& stats : runs) {
+    FakeClock clock;
+    BudgetContext budget(SolveBudget{}, clock.AsFunction());
+    budget.set_stats(&stats);
+    const ExactPebbler exact;
+    ASSERT_TRUE(exact.PebbleConnected(g, &budget).has_value());
+    stats.budget_polls = budget.polls();
+    stats.budget_time_to_stop_ms = budget.stopped_elapsed_ms();
+  }
+  EXPECT_GT(runs[0].hk_solves + runs[0].bnb_nodes_expanded, 0);
+  EXPECT_EQ(runs[0].hk_solves, runs[1].hk_solves);
+  EXPECT_EQ(runs[0].hk_subsets_materialized, runs[1].hk_subsets_materialized);
+  EXPECT_EQ(runs[0].bnb_nodes_expanded, runs[1].bnb_nodes_expanded);
+  EXPECT_EQ(runs[0].bnb_prunes_component, runs[1].bnb_prunes_component);
+  EXPECT_EQ(runs[0].bnb_prunes_deficiency, runs[1].bnb_prunes_deficiency);
+  EXPECT_EQ(runs[0].budget_polls, runs[1].budget_polls);
+  EXPECT_EQ(runs[0].budget_time_to_stop_ms, -1);  // never stopped
+}
+
+// The analyzer fills JoinAnalysis::stats and per-rung timings, and the JSON
+// report carries them.
+TEST(StatsThreadingTest, AnalyzerSurfacesStatsAndRungTimings) {
+  AnalyzerOptions options;
+  options.solver = SolverChoice::kFallback;
+  const JoinAnalyzer analyzer(options);
+  const JoinAnalysis analysis =
+      analyzer.AnalyzeJoinGraph(WorstCaseFamily(5), PredicateClass::kGeneral);
+  EXPECT_GE(analysis.stats.rungs_attempted, 1);
+  EXPECT_GE(analysis.stats.solve_wall_us, 0);
+  ASSERT_FALSE(analysis.solution.outcomes.empty());
+  ASSERT_FALSE(analysis.solution.outcomes[0].attempts.empty());
+  EXPECT_GE(analysis.solution.outcomes[0].attempts[0].elapsed_us, 0);
+
+  const std::string json = AnalysisJson(analysis);
+  EXPECT_NE(json.find("\"stats\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"rungs_attempted\""), std::string::npos);
+  EXPECT_NE(json.find("\"elapsed_us\""), std::string::npos);
+
+  const std::string stats_text = FormatAnalysis(analysis, /*with_stats=*/true);
+  EXPECT_NE(stats_text.find("solver stats"), std::string::npos);
+  EXPECT_NE(stats_text.find("us]"), std::string::npos);  // rung timing
+
+  // Without stats the rendering keeps its original shape.
+  const std::string plain = FormatAnalysis(analysis);
+  EXPECT_EQ(plain.find("solver stats"), std::string::npos);
+  EXPECT_EQ(plain.find("us]"), std::string::npos);
+}
+
+// The analyzer attaches the AnalyzerOptions trace session and rung spans
+// land on it.
+TEST(StatsThreadingTest, AnalyzerEmitsTraceEvents) {
+  TraceSession trace;
+  AnalyzerOptions options;
+  options.solver = SolverChoice::kFallback;
+  options.trace = &trace;
+  const JoinAnalyzer analyzer(options);
+  analyzer.AnalyzeJoinGraph(WorstCaseFamily(5), PredicateClass::kGeneral);
+  EXPECT_GT(trace.num_events(), 0u);
+  const std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"ladder\""), std::string::npos);
+  EXPECT_NE(json.find("\"component\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pebblejoin

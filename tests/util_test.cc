@@ -153,9 +153,41 @@ TEST(StopwatchTest, MonotoneAndRestartable) {
   }
   const double second = watch.ElapsedSeconds();
   EXPECT_GE(second, first);
-  EXPECT_GE(watch.ElapsedMicros(), second * 1e6);  // micros after seconds
+  // ElapsedMicros truncates to whole microseconds, so a read taken *after*
+  // `second` can trail it by strictly less than one microsecond.
+  EXPECT_GT(watch.ElapsedMicros() + 1, static_cast<int64_t>(second * 1e6));
   watch.Restart();
   EXPECT_LT(watch.ElapsedSeconds(), second + 1.0);
+}
+
+namespace {
+
+// Minimal sink exposing the RecordMicros method ScopedTimerT expects.
+struct RecordingSink {
+  void RecordMicros(int64_t micros) {
+    ++calls;
+    last_micros = micros;
+  }
+  int calls = 0;
+  int64_t last_micros = -1;
+};
+
+}  // namespace
+
+TEST(ScopedTimerTest, RecordsOnceOnDestruction) {
+  RecordingSink sink;
+  {
+    ScopedTimerT<RecordingSink> timer(&sink);
+    EXPECT_EQ(sink.calls, 0);  // nothing recorded while alive
+    for (volatile int i = 0; i < 10000; ++i) {
+    }
+  }
+  EXPECT_EQ(sink.calls, 1);
+  EXPECT_GE(sink.last_micros, 0);
+}
+
+TEST(ScopedTimerTest, NullSinkIsNoOp) {
+  ScopedTimerT<RecordingSink> timer(nullptr);  // must not crash on destruct
 }
 
 TEST(TablePrinterTest, RendersAlignedColumns) {

@@ -4,8 +4,10 @@
 //   pebblejoin gen worstcase <n>                 > g.txt
 //   pebblejoin gen complete <k> <l>              > g.txt
 //   pebblejoin gen random <left> <right> <m> <seed> [--connected] > g.txt
-//   pebblejoin analyze [--solver NAME] [--predicate NAME] [budget] < g.txt
-//   pebblejoin solve   [--solver NAME] [--explain] [budget] < g.txt
+//   pebblejoin analyze [--solver NAME] [--predicate NAME] [budget]
+//                      [--json] [--stats] [--trace-out FILE] < g.txt
+//   pebblejoin solve   [--solver NAME] [--explain] [budget]
+//                      [--json] [--stats] [--trace-out FILE] < g.txt
 //   pebblejoin realize sets < g.txt              # Lemma 3.3 instance
 //   pebblejoin bounds  < g.txt                   # Lemma 2.3 / Thm 3.1
 //   pebblejoin schedule [--k N] < g.txt          # k-buffer fetch schedule
@@ -15,6 +17,12 @@
 // Budget flags (analyze/solve): --deadline-ms N, --memory-mb N,
 // --node-budget N. Giving any of them without an explicit --solver selects
 // the fallback ladder, which degrades gracefully instead of refusing.
+//
+// Telemetry flags (analyze/solve): --json replaces the human output with
+// one machine-readable JSON document (analysis + solver stats); --stats
+// appends per-rung timings and the solver-stats block to the human output;
+// --trace-out FILE writes a Chrome-trace JSON of the solve (loadable in
+// chrome://tracing or ui.perfetto.dev). See docs/observability.md.
 //
 // Graphs use the text format of io/graph_io.h. Solvers: auto, sort-merge,
 // greedy, dfs-tree, local-search, ils, exact, fallback. Predicates:
@@ -34,6 +42,8 @@
 
 #include "core/analyzer.h"
 #include "core/report.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "graph/generators.h"
 #include "io/dot_export.h"
 #include "io/graph_io.h"
@@ -54,15 +64,16 @@ int Usage() {
       "  pebblejoin gen complete <k> <l>\n"
       "  pebblejoin gen random <left> <right> <m> <seed> [--connected]\n"
       "  pebblejoin analyze [--solver NAME] [--predicate NAME] "
-      "[budget flags] < graph\n"
+      "[budget flags] [telemetry flags] < graph\n"
       "  pebblejoin solve [--solver NAME] [--explain] "
-      "[budget flags] < graph\n"
+      "[budget flags] [telemetry flags] < graph\n"
       "  pebblejoin realize sets < graph\n"
       "  pebblejoin bounds < graph\n"
       "  pebblejoin schedule [--k N] < graph\n"
       "  pebblejoin partition [--fragments N] < graph\n"
       "  pebblejoin dot [--solve] < graph\n"
       "budget flags: --deadline-ms N  --memory-mb N  --node-budget N\n"
+      "telemetry flags: --json  --stats  --trace-out FILE\n"
       "solvers: auto sort-merge greedy dfs-tree local-search ils exact "
       "fallback\n"
       "predicates: equijoin spatial sets general\n");
@@ -136,6 +147,9 @@ struct SolveFlags {
   SolveBudget budget;
   bool budget_set = false;
   bool explain = false;
+  bool json = false;
+  bool stats = false;
+  std::string trace_out;  // empty: no trace
 };
 
 // Parses argv[start..). On failure prints a one-line error and returns
@@ -147,6 +161,17 @@ bool ParseSolveFlags(int argc, char** argv, int start, bool allow_explain,
     const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
     if (flag == "--explain" && allow_explain) {
       flags->explain = true;
+    } else if (flag == "--json") {
+      flags->json = true;
+    } else if (flag == "--stats") {
+      flags->stats = true;
+    } else if (flag == "--trace-out") {
+      if (value == nullptr || *value == '\0') {
+        Fail("--trace-out needs a file path");
+        return false;
+      }
+      flags->trace_out = value;
+      ++i;
     } else if (flag == "--solver") {
       if (value == nullptr || !ParseSolver(value, &flags->solver)) {
         Fail("--solver needs one of: auto sort-merge greedy dfs-tree "
@@ -270,6 +295,32 @@ int CmdGen(int argc, char** argv) {
   return Fail("unknown gen family '" + family + "'");
 }
 
+// Telemetry plumbing shared by analyze/solve: enables the process registry
+// under --json/--stats, attaches a TraceSession when --trace-out was given,
+// runs the analysis, and writes the trace file. Returns false (after
+// printing the error) when the trace file could not be written.
+bool RunAnalysis(const SolveFlags& flags, const BipartiteGraph& g,
+                 JoinAnalysis* analysis) {
+  if (flags.json || flags.stats) {
+    MetricsRegistry::Default()->set_enabled(true);
+  }
+  TraceSession trace;
+  AnalyzerOptions options;
+  options.solver = flags.solver;
+  options.budget = flags.budget;
+  if (!flags.trace_out.empty()) options.trace = &trace;
+  const JoinAnalyzer analyzer(options);
+  *analysis = analyzer.AnalyzeJoinGraph(g, flags.predicate);
+  if (!flags.trace_out.empty()) {
+    std::string error;
+    if (!trace.WriteFile(flags.trace_out, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
 int CmdAnalyze(int argc, char** argv) {
   SolveFlags flags;
   if (!ParseSolveFlags(argc, argv, 2, /*allow_explain=*/false, &flags)) {
@@ -277,13 +328,13 @@ int CmdAnalyze(int argc, char** argv) {
   }
   const std::optional<BipartiteGraph> g = GraphFromStdin();
   if (!g.has_value()) return 1;
-  AnalyzerOptions options;
-  options.solver = flags.solver;
-  options.budget = flags.budget;
-  const JoinAnalyzer analyzer(options);
-  std::fputs(
-      FormatAnalysis(analyzer.AnalyzeJoinGraph(*g, flags.predicate)).c_str(),
-      stdout);
+  JoinAnalysis analysis;
+  if (!RunAnalysis(flags, *g, &analysis)) return 1;
+  if (flags.json) {
+    std::fputs((AnalysisJson(analysis) + "\n").c_str(), stdout);
+  } else {
+    std::fputs(FormatAnalysis(analysis, flags.stats).c_str(), stdout);
+  }
   return 0;
 }
 
@@ -295,11 +346,13 @@ int CmdSolve(int argc, char** argv) {
   }
   const std::optional<BipartiteGraph> g = GraphFromStdin();
   if (!g.has_value()) return 1;
-  AnalyzerOptions options;
-  options.solver = flags.solver;
-  options.budget = flags.budget;
-  const JoinAnalyzer analyzer(options);
-  const JoinAnalysis analysis = analyzer.AnalyzeJoinGraph(*g, flags.predicate);
+  JoinAnalysis analysis;
+  if (!RunAnalysis(flags, *g, &analysis)) return 1;
+  if (flags.json) {
+    // Machine mode: the whole solve (order included) as one JSON document.
+    std::fputs((AnalysisJson(analysis) + "\n").c_str(), stdout);
+    return 0;
+  }
   std::printf("# pi_hat=%lld pi=%lld jumps=%lld\n",
               static_cast<long long>(analysis.solution.hat_cost),
               static_cast<long long>(analysis.solution.effective_cost),
@@ -307,7 +360,13 @@ int CmdSolve(int argc, char** argv) {
   // Solve provenance: which rungs ran per component and why each stopped.
   for (size_t c = 0; c < analysis.solution.outcomes.size(); ++c) {
     std::printf("# component %zu: %s\n", c,
-                analysis.solution.outcomes[c].Summary().c_str());
+                analysis.solution.outcomes[c].Summary(flags.stats).c_str());
+  }
+  if (flags.stats) {
+    // Keep the "non-# lines are edge ids" contract: the stats block rides
+    // in comments.
+    std::printf("# solver stats:\n");
+    std::fputs(analysis.stats.FormatHuman("#   ").c_str(), stdout);
   }
   if (!flags.explain) {
     for (int e : analysis.solution.edge_order) std::printf("%d\n", e);

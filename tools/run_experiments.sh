@@ -1,5 +1,12 @@
 #!/usr/bin/env bash
 # Runs the full experiment suite and archives the outputs.
+#
+# Each bench_* binary runs with --json so it also writes BENCH_<name>.json
+# (see src/obs/bench_report.h) next to the text log; bench_micro is the
+# google-benchmark binary, whose flag parser rejects --json, so it runs
+# plain. After the sweep, every BENCH_*.json is summarized to one line
+# (tables and row counts) in the JSON summary section of the log.
+#
 # Usage: tools/run_experiments.sh [build-dir] [output-file]
 set -u
 BUILD_DIR="${1:-build}"
@@ -8,8 +15,27 @@ OUT="${2:-bench_output.txt}"
 {
   for b in "$BUILD_DIR"/bench/bench_*; do
     [ -f "$b" ] && [ -x "$b" ] || continue
-    echo "===== $(basename "$b")"
-    "$b"
+    name="$(basename "$b")"
+    echo "===== $name"
+    if [ "$name" = "bench_micro" ]; then
+      "$b"
+    else
+      "$b" --json
+    fi
     echo
+  done
+
+  echo "===== JSON summary"
+  for j in BENCH_*.json; do
+    [ -f "$j" ] || continue
+    python3 - "$j" <<'EOF'
+import json, sys
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+tables = ", ".join(
+    f"{t['id']}({len(t['rows'])} rows)" for t in doc.get("tables", []))
+print(f"{path}: bench={doc.get('bench', '?')} tables: {tables}")
+EOF
   done
 } | tee "$OUT"
