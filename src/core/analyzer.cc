@@ -56,8 +56,10 @@ JoinAnalysis JoinAnalyzer::AnalyzeJoinGraph(const BipartiteGraph& join_graph,
   const Graph flat = join_graph.ToGraph();
   analysis.classification = ClassifyJoinGraph(flat);
 
+  ComponentPebbler::Options driver_options;
+  driver_options.threads = options_.threads;
   const ComponentPebbler driver(&PrimaryFor(analysis.classification),
-                                &greedy_);
+                                &greedy_, driver_options);
   BudgetContext budget(options_.budget);
   budget.set_stats(&analysis.stats);
   budget.set_trace(options_.trace);

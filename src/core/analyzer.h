@@ -49,9 +49,15 @@ enum class SolverChoice {
 struct AnalyzerOptions {
   SolverChoice solver = SolverChoice::kAuto;
   ExactPebbler::Options exact;
+  // Worker threads for the per-component fan-out (Lemma 2.2 additivity
+  // makes components independent). 1 = sequential on the calling thread.
+  // The analysis output is byte-identical for every value; threads only
+  // changes wall-clock. See docs/solvers.md, "Threading model".
+  int threads = 1;
   // Request-wide ceilings (deadline, node budget, memory). Defaults to
   // unlimited; the per-component fallback always runs unbudgeted, so a
-  // stopped request still yields a verified scheme.
+  // stopped request still yields a verified scheme. Under threads > 1 the
+  // ceilings are shared across all workers (one deadline, one node pool).
   SolveBudget budget;
   // Optional trace sink: when set, the solve emits spans/instants into it
   // (ladder rungs, components, exact dispatch). Not owned; must outlive the

@@ -51,6 +51,15 @@ void TraceSession::Complete(const std::string& name,
   events_.push_back(std::move(event));
 }
 
+void TraceSession::MergeFrom(const TraceSession& other, const TraceArg& tag) {
+  events_.reserve(events_.size() + other.events_.size());
+  for (const Event& event : other.events_) {
+    Event copy = event;
+    copy.args.push_back(tag);
+    events_.push_back(std::move(copy));
+  }
+}
+
 void TraceSession::WriteJson(JsonWriter* json) const {
   json->BeginObject();
   json->Key("traceEvents");

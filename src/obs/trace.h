@@ -61,6 +61,13 @@ class TraceSession {
   void Complete(const std::string& name, const std::string& category,
                 int64_t start_us, int64_t duration_us, TraceArgs args = {});
 
+  // Appends every event of `other` to this session, preserving timestamps
+  // and appending `tag` to each event's args. This is how parallel solves
+  // stay traceable: each worker records into its own session (sessions are
+  // single-threaded) with a clock tied to the parent's timeline, and the
+  // driver merges them after the join barrier tagged with the worker id.
+  void MergeFrom(const TraceSession& other, const TraceArg& tag);
+
   size_t num_events() const { return events_.size(); }
 
   // Chrome trace JSON: {"traceEvents":[...],"displayTimeUnit":"ms"}.

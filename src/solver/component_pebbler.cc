@@ -1,41 +1,65 @@
 #include "solver/component_pebbler.h"
 
+#include <algorithm>
+#include <memory>
+#include <optional>
 #include <utility>
 
 #include "graph/components.h"
+#include "obs/solve_stats.h"
 #include "obs/trace.h"
 #include "pebble/cost_model.h"
 #include "pebble/scheme_verifier.h"
 #include "util/check.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace pebblejoin {
 
+// Everything one component solve produces, buffered per component so the
+// merge can run in component-index order regardless of which worker
+// finished first — the determinism contract of Options::threads.
+struct ComponentPebbler::ComponentResult {
+  std::vector<int> edge_order;  // original edge ids, in solve order
+  std::string used;             // solver_used entry
+  SolveOutcome outcome;
+  SolveStats stats;  // per-component sink, merged deterministically
+  // Worker-local trace session (null when the request has no trace); its
+  // events merge into the parent session tagged with `worker`.
+  std::unique_ptr<TraceSession> trace;
+  int64_t wall_us = 0;
+  int worker = -1;  // ThreadPool::CurrentWorkerId(); -1 = calling thread
+};
+
 ComponentPebbler::ComponentPebbler(const Pebbler* primary,
                                    const Pebbler* fallback)
-    : primary_(primary), fallback_(fallback) {
+    : ComponentPebbler(primary, fallback, Options()) {}
+
+ComponentPebbler::ComponentPebbler(const Pebbler* primary,
+                                   const Pebbler* fallback, Options options)
+    : primary_(primary), fallback_(fallback), options_(options) {
   JP_CHECK(primary_ != nullptr);
+  JP_CHECK_MSG(options_.threads >= 1, "threads must be >= 1");
 }
 
-PebbleSolution ComponentPebbler::Solve(const Graph& g,
-                                       BudgetContext* budget) const {
-  PebbleSolution solution;
-  const ComponentDecomposition decomp = FindComponents(g);
-  solution.num_components = decomp.num_components;
+void ComponentPebbler::SolveComponent(const Graph& g,
+                                      const ComponentDecomposition& decomp,
+                                      int c, BudgetContext* slice,
+                                      ComponentResult* result) const {
+  std::vector<int> edge_map;
+  const Graph sub =
+      ExtractComponent(g, decomp, c, /*vertex_map=*/nullptr, &edge_map);
 
-  for (int c = 0; c < decomp.num_components; ++c) {
-    std::vector<int> edge_map;
-    const Graph sub =
-        ExtractComponent(g, decomp, c, /*vertex_map=*/nullptr, &edge_map);
-
-    TraceSpan component_span(budget != nullptr ? budget->trace() : nullptr,
-                             "component", "solver");
+  result->worker = ThreadPool::CurrentWorkerId();
+  Stopwatch wall;
+  {
+    TraceSpan component_span(slice->trace(), "component", "solver");
     component_span.AddArg(TraceArg::Num("index", c));
     component_span.AddArg(TraceArg::Num("edges", sub.num_edges()));
 
-    SolveOutcome outcome;
     std::optional<std::vector<int>> order =
-        primary_->PebbleWithOutcome(sub, budget, &outcome);
-    std::string used = primary_->name();
+        primary_->PebbleWithOutcome(sub, slice, &result->outcome);
+    result->used = primary_->name();
     if (!order.has_value()) {
       JP_CHECK_MSG(fallback_ != nullptr,
                    "primary pebbler refused and no fallback configured");
@@ -43,23 +67,87 @@ PebbleSolution ComponentPebbler::Solve(const Graph& g,
       // request whose deadline already expired still gets a valid scheme.
       // The fresh context drops the budget but keeps the telemetry sinks.
       BudgetContext fallback_ctx{SolveBudget{}};
-      if (budget != nullptr) {
-        fallback_ctx.set_stats(budget->stats());
-        fallback_ctx.set_trace(budget->trace());
-      }
-      order = fallback_->PebbleWithOutcome(sub, &fallback_ctx, &outcome);
-      used = fallback_->name();
+      fallback_ctx.set_stats(slice->stats());
+      fallback_ctx.set_trace(slice->trace());
+      order = fallback_->PebbleWithOutcome(sub, &fallback_ctx,
+                                           &result->outcome);
+      result->used = fallback_->name();
     }
     JP_CHECK_MSG(order.has_value(), "fallback pebbler refused a component");
     JP_CHECK(static_cast<int>(order->size()) == sub.num_edges());
-    if (!outcome.winner.empty()) {
-      used = outcome.winner;  // a ladder primary reports its winning rung
+    if (!result->outcome.winner.empty()) {
+      result->used = result->outcome.winner;  // a ladder reports its rung
     }
-    solution.solver_used.push_back(std::move(used));
-    solution.outcomes.push_back(std::move(outcome));
+    result->edge_order.reserve(order->size());
     for (int local_edge : *order) {
-      solution.edge_order.push_back(edge_map[local_edge]);
+      result->edge_order.push_back(edge_map[local_edge]);
     }
+  }
+  result->wall_us = wall.ElapsedMicros();
+}
+
+PebbleSolution ComponentPebbler::Solve(const Graph& g,
+                                       BudgetContext* budget) const {
+  PebbleSolution solution;
+  const ComponentDecomposition decomp = FindComponents(g);
+  const int num_components = decomp.num_components;
+  solution.num_components = num_components;
+
+  // A local unlimited context stands in when the caller passed none, so
+  // the slice/merge machinery below has exactly one shape.
+  BudgetContext local_parent{SolveBudget{}};
+  BudgetContext* parent = budget != nullptr ? budget : &local_parent;
+
+  if (num_components > 0) {
+    // Carve one budget slice per component on the owning thread, each with
+    // its own stats sink (and trace session when the request traces); the
+    // slices share stop/node/poll state so cancellation propagates across
+    // workers. The same slices drive the sequential path — determinism
+    // across thread counts holds by construction, not by accident.
+    SharedBudgetState shared;
+    std::vector<ComponentResult> results(num_components);
+    std::vector<BudgetContext> slices;
+    slices.reserve(num_components);
+    for (int c = 0; c < num_components; ++c) {
+      slices.push_back(parent->MakeWorkerSlice(&shared));
+      slices[c].set_stats(&results[c].stats);
+      if (parent->trace() != nullptr) {
+        TraceSession* parent_trace = parent->trace();
+        results[c].trace = std::make_unique<TraceSession>(
+            [parent_trace] { return parent_trace->NowUs(); });
+        slices[c].set_trace(results[c].trace.get());
+      }
+    }
+
+    const int threads = std::min(options_.threads, num_components);
+    if (threads > 1) {
+      ThreadPool pool(threads);
+      pool.ParallelFor(num_components, [&](int c) {
+        SolveComponent(g, decomp, c, &slices[c], &results[c]);
+      });
+    } else {
+      for (int c = 0; c < num_components; ++c) {
+        SolveComponent(g, decomp, c, &slices[c], &results[c]);
+      }
+    }
+
+    // Deterministic merge, in component-index order on the owning thread:
+    // edge order, provenance, per-component stats, worker-tagged trace
+    // events, and the budget bookkeeping the analyzer reads off the parent.
+    for (int c = 0; c < num_components; ++c) {
+      ComponentResult& result = results[c];
+      for (int e : result.edge_order) solution.edge_order.push_back(e);
+      solution.solver_used.push_back(std::move(result.used));
+      solution.outcomes.push_back(std::move(result.outcome));
+      solution.component_wall_us.push_back(result.wall_us);
+      parent->AbsorbSlice(slices[c].polls(), slices[c].stop_reason());
+      if (parent->stats() != nullptr) parent->stats()->Add(result.stats);
+      if (parent->trace() != nullptr && result.trace != nullptr) {
+        parent->trace()->MergeFrom(*result.trace,
+                                   TraceArg::Num("worker", result.worker));
+      }
+    }
+    parent->AbsorbShared(shared);
   }
 
   solution.scheme = SchemeFromEdgeOrder(g, solution.edge_order);

@@ -1,6 +1,18 @@
 // Driver that pebbles arbitrary graphs by solving each connected component
 // independently and concatenating the per-component schemes — optimal
 // composition by the additivity lemma (Lemma 2.2).
+//
+// Lemma 2.2 is also a parallelism license: components share no vertices, so
+// their solves are embarrassingly parallel. With Options::threads > 1 the
+// driver fans components out across a ThreadPool; each component runs on
+// its own BudgetContext slice (shared stop/node state, so one slow
+// component cannot starve the rest and a deadline noticed by any worker
+// cancels all of them), records into its own SolveStats sink and
+// TraceSession, and the results are merged in component-index order after
+// the join barrier. The sequential path (threads == 1) runs the exact same
+// slice-and-merge machinery inline, which is what makes the output —
+// edge order, scheme, costs, stats, AnalysisJson — byte-identical across
+// thread counts.
 
 #ifndef PEBBLEJOIN_SOLVER_COMPONENT_PEBBLER_H_
 #define PEBBLEJOIN_SOLVER_COMPONENT_PEBBLER_H_
@@ -14,6 +26,9 @@
 #include "solver/pebbler.h"
 
 namespace pebblejoin {
+
+struct ComponentDecomposition;
+class SharedBudgetState;
 
 // Outcome of pebbling a whole graph.
 struct PebbleSolution {
@@ -29,6 +44,10 @@ struct PebbleSolution {
   // Per component: full provenance — rungs attempted, why each stopped, the
   // achieved cost vs. the Lemma 2.3 lower bound m.
   std::vector<SolveOutcome> outcomes;
+  // Per component: wall clock of its solve in microseconds. Recorded by
+  // both the sequential and the parallel path (under parallelism the sum
+  // exceeds the request's wall clock — that is the speedup).
+  std::vector<int64_t> component_wall_us;
 };
 
 // Wraps a primary Pebbler with a fallback (defaulting to the greedy walk,
@@ -36,9 +55,19 @@ struct PebbleSolution {
 // invalid order from any solver aborts (it would be a library bug).
 class ComponentPebbler {
  public:
+  struct Options {
+    // Worker threads for the component fan-out. 1 solves components
+    // sequentially on the calling thread (no pool is created); values above
+    // the component count are clamped. The output is byte-identical for
+    // every value — threads only changes scheduling.
+    int threads = 1;
+  };
+
   // Neither pointer is owned; both must outlive this object. `fallback` may
   // be null, in which case the primary must handle every component.
   ComponentPebbler(const Pebbler* primary, const Pebbler* fallback);
+  ComponentPebbler(const Pebbler* primary, const Pebbler* fallback,
+                   Options options);
 
   // Pebbles `g` (which may be disconnected and contain isolated vertices).
   // The primary runs under `budget` (null = unlimited); when it refuses or
@@ -49,8 +78,18 @@ class ComponentPebbler {
   PebbleSolution Solve(const Graph& g) const { return Solve(g, nullptr); }
 
  private:
+  struct ComponentResult;
+
+  // Solves component `c` into `result` using the pre-carved budget
+  // `slice`. Runs on a pool worker (or inline when threads == 1); touches
+  // only `slice` and `result`, never the parent context.
+  void SolveComponent(const Graph& g, const ComponentDecomposition& decomp,
+                      int c, BudgetContext* slice,
+                      ComponentResult* result) const;
+
   const Pebbler* primary_;
   const Pebbler* fallback_;
+  Options options_;
 };
 
 }  // namespace pebblejoin

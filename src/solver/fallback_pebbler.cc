@@ -1,6 +1,9 @@
 #include "solver/fallback_pebbler.h"
 
+#include <algorithm>
+#include <memory>
 #include <utility>
+#include <vector>
 
 #include "obs/solve_stats.h"
 #include "obs/trace.h"
@@ -8,6 +11,7 @@
 #include "solver/greedy_walk_pebbler.h"
 #include "solver/local_search_pebbler.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace pebblejoin {
 
@@ -20,6 +24,72 @@ bool IsBudgetCut(RungStatus status) {
   return status == RungStatus::kDeadlineExpired ||
          status == RungStatus::kBudgetExhausted ||
          status == RungStatus::kMemoryCapped;
+}
+
+// Speculative ladder: all budgeted rungs run concurrently, each on its own
+// budget slice sharing stop/node state, and the winner is the strongest
+// rung that produced an order — ladder order is a fixed priority, so the
+// pick is deterministic regardless of thread interleaving. Mirrors the
+// sequential semantics: a deadline noticed by any rung latches the shared
+// stop, which is exactly the sticky-stop behavior the sequential ladder
+// has once a rung runs the clock out.
+std::optional<std::vector<int>> RaceBudgetedRungs(
+    const Pebbler* const* rungs, int num_rungs, int threads, const Graph& g,
+    BudgetContext* ctx, SolveOutcome* outcome) {
+  SharedBudgetState shared;
+  std::vector<BudgetContext> slices;
+  slices.reserve(num_rungs);
+  std::vector<SolveStats> rung_stats(num_rungs);
+  std::vector<SolveOutcome> rung_outcomes(num_rungs);
+  std::vector<std::unique_ptr<TraceSession>> rung_traces(num_rungs);
+  std::vector<std::optional<std::vector<int>>> orders(num_rungs);
+  std::vector<int> workers(num_rungs, -1);
+  for (int i = 0; i < num_rungs; ++i) {
+    slices.push_back(ctx->MakeWorkerSlice(&shared));
+    slices[i].set_stats(&rung_stats[i]);
+    if (TraceSession* parent_trace = ctx->trace()) {
+      rung_traces[i] = std::make_unique<TraceSession>(
+          [parent_trace] { return parent_trace->NowUs(); });
+      slices[i].set_trace(rung_traces[i].get());
+    }
+  }
+
+  {
+    ThreadPool pool(std::min(threads, num_rungs));
+    pool.ParallelFor(num_rungs, [&](int i) {
+      workers[i] = ThreadPool::CurrentWorkerId();
+      orders[i] =
+          rungs[i]->PebbleWithOutcome(g, &slices[i], &rung_outcomes[i]);
+    });
+  }
+
+  // Deterministic merge in ladder order on the owning thread.
+  int winner = -1;
+  for (int i = 0; i < num_rungs; ++i) {
+    ctx->AbsorbSlice(slices[i].polls(), slices[i].stop_reason());
+    if (ctx->stats() != nullptr) ctx->stats()->Add(rung_stats[i]);
+    if (ctx->trace() != nullptr && rung_traces[i] != nullptr) {
+      ctx->trace()->MergeFrom(*rung_traces[i],
+                              TraceArg::Num("worker", workers[i]));
+    }
+    for (RungAttempt& attempt : rung_outcomes[i].attempts) {
+      outcome->attempts.push_back(std::move(attempt));
+    }
+    if (winner < 0 && orders[i].has_value()) winner = i;
+  }
+  ctx->AbsorbShared(shared);
+
+  if (winner < 0) {
+    if (!outcome->attempts.empty()) {
+      outcome->status = outcome->attempts.back().status;
+    }
+    return std::nullopt;
+  }
+  outcome->winner = rung_outcomes[winner].winner;
+  outcome->status = rung_outcomes[winner].status;
+  outcome->optimal = rung_outcomes[winner].optimal;
+  outcome->effective_cost = rung_outcomes[winner].effective_cost;
+  return std::move(orders[winner]);
 }
 
 }  // namespace
@@ -47,11 +117,18 @@ std::optional<std::vector<int>> FallbackPebbler::PebbleWithOutcome(
   const LocalSearchPebbler local_search(options_.local_search,
                                         options_.max_line_graph_edges);
   const Pebbler* budgeted_rungs[] = {&exact, &ils, &local_search};
+  constexpr int kNumBudgetedRungs = 3;
 
   std::optional<std::vector<int>> order;
-  for (const Pebbler* rung : budgeted_rungs) {
-    order = rung->PebbleWithOutcome(g, ctx, outcome);
-    if (order.has_value()) break;
+  if (options_.speculative_threads > 1) {
+    outcome->lower_bound = g.num_edges();
+    order = RaceBudgetedRungs(budgeted_rungs, kNumBudgetedRungs,
+                              options_.speculative_threads, g, ctx, outcome);
+  } else {
+    for (const Pebbler* rung : budgeted_rungs) {
+      order = rung->PebbleWithOutcome(g, ctx, outcome);
+      if (order.has_value()) break;
+    }
   }
 
   if (!order.has_value()) {

@@ -17,6 +17,17 @@
 // PebbleWithOutcome reports the full provenance: every rung attempted, why
 // each stopped (SolveOutcome::attempts), which one won, and whether the
 // result is degraded relative to what an unbudgeted solve would have tried.
+//
+// With Options::speculative_threads > 1 the three budgeted rungs race on a
+// ThreadPool instead of running in sequence: each gets its own
+// BudgetContext slice sharing the deadline/node state, and the winner is
+// the *strongest* rung that produced an order (ladder order — a fixed
+// priority, so the pick is deterministic regardless of which thread
+// finished first). Latency drops from the sum of the rungs above the
+// winner to the slowest racing rung, at the cost of the extra cores; the
+// attempts list honestly records all racing rungs. Useful for one big
+// connected component; for many components prefer ComponentPebbler's
+// threads knob instead (racing inside every component would oversubscribe).
 
 #ifndef PEBBLEJOIN_SOLVER_FALLBACK_PEBBLER_H_
 #define PEBBLEJOIN_SOLVER_FALLBACK_PEBBLER_H_
@@ -39,6 +50,11 @@ class FallbackPebbler : public Pebbler {
     // Soft cap on the materialized L(G) for the heuristic rungs; a budget
     // memory ceiling tightens it further inside each rung.
     int64_t max_line_graph_edges = 20'000'000;
+    // > 1: race the budgeted rungs (exact, ils, local-search) concurrently
+    // on that many pool workers and keep the strongest producer. <= 1: the
+    // classic sequential ladder. The terminator rungs always run
+    // sequentially after the race — they are the success guarantee.
+    int speculative_threads = 1;
   };
 
   using Pebbler::PebbleConnected;

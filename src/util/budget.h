@@ -21,6 +21,8 @@
 #ifndef PEBBLEJOIN_UTIL_BUDGET_H_
 #define PEBBLEJOIN_UTIL_BUDGET_H_
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -97,8 +99,72 @@ class FakeClock {
   int64_t now_ms_ = 0;
 };
 
+// Thread-safe state shared by all BudgetContext slices of one parallel
+// request (see BudgetContext::MakeWorkerSlice). It carries the three pieces
+// of budget accounting that must be *global* across workers for one slow
+// component not to starve the rest:
+//
+//   - the latched stop reason, so a deadline noticed by one worker cancels
+//     every other worker at its next poll;
+//   - the node count, so the request-wide node budget is a single shared
+//     ceiling rather than a per-worker one;
+//   - the poll count and forced-expiry point, so ForceExpireAfterPolls
+//     fault injection reaches whichever worker polls next, exactly like the
+//     single-threaded contract.
+//
+// All members are atomics; latching is first-writer-wins.
+class SharedBudgetState {
+ public:
+  // Latches the stop reason; later latches with a different reason lose.
+  void LatchStop(BudgetStop reason) {
+    int expected = 0;
+    stop_.compare_exchange_strong(expected, static_cast<int>(reason),
+                                  std::memory_order_acq_rel,
+                                  std::memory_order_acquire);
+  }
+  bool stopped() const {
+    return stop_.load(std::memory_order_acquire) !=
+           static_cast<int>(BudgetStop::kNone);
+  }
+  BudgetStop stop() const {
+    return static_cast<BudgetStop>(stop_.load(std::memory_order_acquire));
+  }
+
+  // Adds `n` to the cross-worker node total and returns the new total.
+  int64_t AddNodes(int64_t n) {
+    return nodes_.fetch_add(n, std::memory_order_relaxed) + n;
+  }
+  int64_t nodes() const { return nodes_.load(std::memory_order_relaxed); }
+
+  // Counts one Expired() poll from any slice and returns the new total.
+  int64_t AddPoll() {
+    return polls_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  int64_t polls() const { return polls_.load(std::memory_order_relaxed); }
+
+  // Forces a deadline expiry on the `n`-th cross-slice poll from now
+  // (n >= 1), regardless of the clock — the shared analogue of
+  // BudgetContext::ForceExpireAfterPolls.
+  void ForceExpireAfterPolls(int64_t n) {
+    forced_expire_at_poll_.store(polls_.load(std::memory_order_relaxed) + n,
+                                 std::memory_order_relaxed);
+  }
+  bool ForcedExpiryAt(int64_t poll) const {
+    const int64_t at = forced_expire_at_poll_.load(std::memory_order_relaxed);
+    return at >= 0 && poll >= at;
+  }
+
+ private:
+  std::atomic<int64_t> nodes_{0};
+  std::atomic<int64_t> polls_{0};
+  std::atomic<int64_t> forced_expire_at_poll_{-1};
+  std::atomic<int> stop_{static_cast<int>(BudgetStop::kNone)};
+};
+
 // Mutable per-request state threaded through every solver's hot loop. Not
-// thread-safe: one context per request thread.
+// thread-safe: one context per request thread. Parallel drivers carve one
+// *slice* per worker with MakeWorkerSlice; the slices stay single-threaded
+// while sharing stop/node/poll state through a SharedBudgetState.
 class BudgetContext {
  public:
   // Deadline polls between real clock reads. The contract tests rely on
@@ -121,10 +187,22 @@ class BudgetContext {
   // --- Deadline -----------------------------------------------------------
 
   // Amortized deadline poll: reads the clock on the first call and then once
-  // every kPollStride calls. Sticky: once expired, stays expired.
+  // every kPollStride calls. Sticky: once expired, stays expired. A slice
+  // additionally adopts a stop latched by any sibling slice (cancellation
+  // propagation) and honors the shared forced-expiry point.
   bool Expired() {
     if (stop_ != BudgetStop::kNone) return true;
     ++polls_;
+    if (shared_ != nullptr) {
+      if (shared_->stopped()) {
+        LatchStop(shared_->stop());
+        return true;
+      }
+      if (shared_->ForcedExpiryAt(shared_->AddPoll())) {
+        LatchStop(BudgetStop::kDeadlineExpired);
+        return true;
+      }
+    }
     if (forced_expire_at_poll_ >= 0 && polls_ >= forced_expire_at_poll_) {
       LatchStop(BudgetStop::kDeadlineExpired);
       return true;
@@ -138,6 +216,10 @@ class BudgetContext {
   // Unamortized deadline check (always reads the clock).
   bool ExpiredNow() {
     if (stop_ != BudgetStop::kNone) return true;
+    if (shared_ != nullptr && shared_->stopped()) {
+      LatchStop(shared_->stop());
+      return true;
+    }
     if (!budget_.has_deadline()) return false;
     if (NowMs() - start_ms_ >= budget_.deadline_ms) {
       LatchStop(BudgetStop::kDeadlineExpired);
@@ -149,9 +231,24 @@ class BudgetContext {
   // --- Node budget --------------------------------------------------------
 
   // Charges `n` search-tree nodes against the shared budget. Returns false
-  // (and latches the stop reason) once the budget is exhausted.
+  // (and latches the stop reason) once the budget is exhausted. A slice
+  // charges the cross-worker total, so the node budget is one ceiling for
+  // the whole fan-out, not one per worker.
   bool ChargeNodes(int64_t n) {
     nodes_charged_ += n;
+    if (shared_ != nullptr) {
+      const int64_t total = shared_->AddNodes(n);
+      if (stop_ != BudgetStop::kNone) return false;
+      if (shared_->stopped()) {
+        LatchStop(shared_->stop());
+        return false;
+      }
+      if (budget_.has_node_budget() && total > budget_.node_budget) {
+        LatchStop(BudgetStop::kNodeBudgetExhausted);
+        return false;
+      }
+      return true;
+    }
     if (stop_ != BudgetStop::kNone) return false;
     if (budget_.has_node_budget() && nodes_charged_ > budget_.node_budget) {
       LatchStop(BudgetStop::kNodeBudgetExhausted);
@@ -223,6 +320,57 @@ class BudgetContext {
     forced_expire_at_poll_ = polls_ + n;
   }
 
+  // --- Parallel fan-out ---------------------------------------------------
+
+  // Carves a child slice for one parallel worker. The slice keeps the node
+  // and memory ceilings, rebases the deadline onto the wall clock still
+  // remaining *now* (so all slices of one fan-out share one absolute
+  // deadline), reuses this context's clock source, and joins the
+  // cross-slice stop/node/poll state in `shared` — which is how a stop
+  // latched by one worker cancels the others. A pending
+  // ForceExpireAfterPolls moves onto `shared` (slices poll it
+  // collectively), so fault injection set on the parent reaches whichever
+  // worker polls next. Telemetry sinks are NOT inherited: each worker gets
+  // its own (single-threaded) sinks and the driver merges them
+  // deterministically after the join barrier. Call on the owning thread
+  // only, before the fan-out starts.
+  BudgetContext MakeWorkerSlice(SharedBudgetState* shared) {
+    SolveBudget sliced = budget_;
+    if (budget_.has_deadline()) {
+      sliced.deadline_ms =
+          std::max<int64_t>(0, budget_.deadline_ms - ElapsedMs());
+    }
+    if (shared != nullptr && forced_expire_at_poll_ >= 0) {
+      shared->ForceExpireAfterPolls(
+          std::max<int64_t>(1, forced_expire_at_poll_ - polls_));
+      forced_expire_at_poll_ = -1;  // moved, not copied
+    }
+    BudgetContext slice(sliced, clock_);
+    slice.shared_ = shared;
+    return slice;
+  }
+
+  // Folds a finished worker slice's poll count and latched stop back into
+  // this parent context, so parent-level telemetry (polls(),
+  // stopped_elapsed_ms(), stop_reason()) covers the whole fan-out. Nodes
+  // are absorbed once from the SharedBudgetState via AbsorbShared, not per
+  // slice. Call after the join barrier, on the owning thread.
+  void AbsorbSlice(int64_t slice_polls, BudgetStop slice_stop) {
+    polls_ += slice_polls;
+    if (slice_stop != BudgetStop::kNone && stop_ == BudgetStop::kNone) {
+      LatchStop(slice_stop);
+    }
+  }
+
+  // Folds the cross-slice node total (and any latched stop) into this
+  // parent context after the fan-out completes.
+  void AbsorbShared(const SharedBudgetState& shared) {
+    nodes_charged_ += shared.nodes();
+    if (shared.stopped() && stop_ == BudgetStop::kNone) {
+      LatchStop(shared.stop());
+    }
+  }
+
  private:
   int64_t NowMs() const {
     if (clock_) return clock_();
@@ -232,10 +380,12 @@ class BudgetContext {
   }
 
   // Latches the (sticky) stop reason and records the time-to-stop. The
-  // extra clock read happens at most once per context.
+  // extra clock read happens at most once per context. A slice propagates
+  // the latch to its siblings through the shared state.
   void LatchStop(BudgetStop reason) {
     stop_ = reason;
     stopped_elapsed_ms_ = NowMs() - start_ms_;
+    if (shared_ != nullptr) shared_->LatchStop(reason);
   }
 
   SolveBudget budget_;
@@ -250,6 +400,10 @@ class BudgetContext {
   int64_t stopped_elapsed_ms_ = -1;
   SolveStats* stats_ = nullptr;
   TraceSession* trace_ = nullptr;
+  // Cross-slice state of the fan-out this context is a worker slice of, or
+  // null for a standalone (single-threaded) context. Not owned; the driver
+  // that carved the slices keeps it alive across the join barrier.
+  SharedBudgetState* shared_ = nullptr;
 };
 
 }  // namespace pebblejoin

@@ -104,6 +104,28 @@ if ! printf '%s' "$GRAPH" | "$BIN" solve --memory-mb 1 >/dev/null; then
   note_failure "solve --memory-mb 1 must exit 0"
 fi
 
+# --- Parallel solving: --threads determinism and bad-input contract -------
+expect_fail "threads non-numeric" -- analyze --threads many
+expect_fail "threads negative" -- analyze --threads -2
+expect_fail "threads out of range" -- analyze --threads 9999
+
+MULTI=$("$BIN" gen random 12 12 40 7)
+SEQ_OUT=$(printf '%s' "$MULTI" | "$BIN" solve --threads 1)
+if [ $? -ne 0 ]; then
+  note_failure "solve --threads 1 must exit 0"
+fi
+PAR_OUT=$(printf '%s' "$MULTI" | "$BIN" solve --threads 4)
+if [ $? -ne 0 ]; then
+  note_failure "solve --threads 4 must exit 0"
+fi
+if [ "$SEQ_OUT" != "$PAR_OUT" ]; then
+  note_failure "solve output must be identical for --threads 1 and 4"
+fi
+# 0 = one thread per hardware core; still a valid configuration.
+if ! printf '%s' "$MULTI" | "$BIN" analyze --threads 0 >/dev/null; then
+  note_failure "analyze --threads 0 must exit 0"
+fi
+
 # --- Telemetry surfaces: --json, --stats, --trace-out ---------------------
 expect_fail "trace-out missing path" -- analyze --trace-out
 CLI_STDIN="this is not a graph" expect_fail "analyze --json garbage stdin" \

@@ -24,6 +24,10 @@
 // --trace-out FILE writes a Chrome-trace JSON of the solve (loadable in
 // chrome://tracing or ui.perfetto.dev). See docs/observability.md.
 //
+// --threads N (analyze/solve) fans the per-component solves out across N
+// worker threads (0 = one per hardware thread). The output is byte-
+// identical for every N; only the wall clock changes. See docs/solvers.md.
+//
 // Graphs use the text format of io/graph_io.h. Solvers: auto, sort-merge,
 // greedy, dfs-tree, local-search, ils, exact, fallback. Predicates:
 // equijoin, spatial, sets, general (affects reporting only).
@@ -52,6 +56,7 @@
 #include "partition/partitioner.h"
 #include "pebble/cost_model.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace pebblejoin {
 namespace {
@@ -74,6 +79,7 @@ int Usage() {
       "  pebblejoin dot [--solve] < graph\n"
       "budget flags: --deadline-ms N  --memory-mb N  --node-budget N\n"
       "telemetry flags: --json  --stats  --trace-out FILE\n"
+      "parallelism: --threads N (0 = one per hardware thread)\n"
       "solvers: auto sort-merge greedy dfs-tree local-search ils exact "
       "fallback\n"
       "predicates: equijoin spatial sets general\n");
@@ -146,6 +152,7 @@ struct SolveFlags {
   PredicateClass predicate = PredicateClass::kGeneral;
   SolveBudget budget;
   bool budget_set = false;
+  int threads = 1;
   bool explain = false;
   bool json = false;
   bool stats = false;
@@ -204,6 +211,15 @@ bool ParseSolveFlags(int argc, char** argv, int start, bool allow_explain,
       }
       flags->budget.memory_limit_bytes = mb << 20;
       flags->budget_set = true;
+      ++i;
+    } else if (flag == "--threads") {
+      int threads = 0;
+      if (value == nullptr || !ParseInt32(value, &threads) || threads < 0 ||
+          threads > 4096) {
+        Fail("--threads needs an integer in [0, 4096] (0 = hardware)");
+        return false;
+      }
+      flags->threads = threads == 0 ? ThreadPool::DefaultThreads() : threads;
       ++i;
     } else if (flag == "--node-budget") {
       int64_t nodes = 0;
@@ -308,6 +324,7 @@ bool RunAnalysis(const SolveFlags& flags, const BipartiteGraph& g,
   AnalyzerOptions options;
   options.solver = flags.solver;
   options.budget = flags.budget;
+  options.threads = flags.threads;
   if (!flags.trace_out.empty()) options.trace = &trace;
   const JoinAnalyzer analyzer(options);
   *analysis = analyzer.AnalyzeJoinGraph(g, flags.predicate);
