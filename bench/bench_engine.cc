@@ -1,0 +1,144 @@
+// E19 — SolveEngine session reuse: requests x threads sweep.
+//
+// A long-lived SolveEngine owns one ThreadPool and one solver stack across
+// many requests; the alternative is constructing a fresh engine (and, when
+// the request is parallel, a fresh pool plus its worker threads) per call.
+// This experiment replays the same request stream both ways and records the
+// wall clock per mode, the reuse speedup, and — the session contract — that
+// both modes produce byte-identical analyses modulo timings.
+//
+// The gap is pure fixed overhead (thread spawn/join, allocator traffic), so
+// it is widest on small graphs at high thread counts and fades as solve
+// time dominates. On a single-core host the pool path adds overhead rather
+// than parallelism, so reuse >= per-call is the expected shape but the
+// absolute speedups stay modest (the honest result).
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/report.h"
+#include "engine/solve_engine.h"
+#include "graph/bipartite_graph.h"
+#include "graph/generators.h"
+#include "obs/bench_report.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace pebblejoin {
+namespace {
+
+// The request stream: multi-component graphs (so request.threads matters)
+// small enough that per-request fixed costs are visible in the timing.
+std::vector<BipartiteGraph> MakeRequests(int count) {
+  std::vector<BipartiteGraph> requests;
+  requests.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    BipartiteGraph g = RandomConnectedBipartite(5, 5, 12, /*seed=*/1 + i);
+    g = DisjointUnion(g, RandomConnectedBipartite(4, 5, 10, /*seed=*/101 + i));
+    g = DisjointUnion(g, WorstCaseFamily(3 + i % 3));
+    requests.push_back(std::move(g));
+  }
+  return requests;
+}
+
+// Replays the stream; `shared` null means fresh-engine-per-request mode.
+// Returns wall millis and appends each analysis digest to `digests`.
+double Replay(const std::vector<BipartiteGraph>& requests, int threads,
+              SolveEngine* shared, std::vector<std::string>* digests) {
+  Stopwatch timer;
+  for (const BipartiteGraph& g : requests) {
+    SolveEngine fresh;
+    SolveEngine* engine = shared != nullptr ? shared : &fresh;
+    SolveRequest request;
+    request.graph = &g;
+    request.threads = threads;
+    digests->push_back(AnalysisJson(engine->Solve(request).analysis));
+  }
+  return timer.ElapsedMicros() / 1000.0;
+}
+
+// Strips wall-clock fields so the two modes can be compared byte for byte.
+std::string NormalizeTimings(std::string json);  // defined below
+
+void RunReuseSweep(BenchReport* report) {
+  std::printf(
+      "E19: SolveEngine session reuse vs a fresh engine per request —\n"
+      "hardware threads on this host: %u\n\n",
+      std::thread::hardware_concurrency());
+  TablePrinter table({"requests", "threads", "per_call_ms", "reuse_ms",
+                     "speedup", "identical"});
+
+  const std::vector<BipartiteGraph> requests = MakeRequests(24);
+  for (int threads : {1, 4, 8}) {
+    // Warm both paths once so neither pays first-touch costs in the timing.
+    {
+      std::vector<std::string> scratch;
+      Replay(requests, threads, nullptr, &scratch);
+    }
+    std::vector<std::string> per_call;
+    const double per_call_ms = Replay(requests, threads, nullptr, &per_call);
+
+    SolveEngine session;
+    std::vector<std::string> reused;
+    const double reuse_ms = Replay(requests, threads, &session, &reused);
+
+    bool identical = per_call.size() == reused.size();
+    for (size_t i = 0; identical && i < per_call.size(); ++i) {
+      identical = NormalizeTimings(per_call[i]) == NormalizeTimings(reused[i]);
+    }
+    table.AddRow({FormatInt(static_cast<int64_t>(requests.size())),
+                  FormatInt(threads), FormatDouble(per_call_ms, 2),
+                  FormatDouble(reuse_ms, 2),
+                  FormatDouble(reuse_ms > 0 ? per_call_ms / reuse_ms : 0.0, 2),
+                  identical ? "yes" : "NO"});
+  }
+  std::fputs(table.Render().c_str(), stdout);
+  report->AddTable("reuse_sweep", table);
+  std::printf(
+      "\nExpected shape: identical = yes on every row (the session\n"
+      "contract), speedup >= ~1.0 everywhere, and growing with the thread\n"
+      "count as per-call mode pays a pool construction per request.\n");
+}
+
+// Zeroes the integer value of every `*_us` key plus the budget wall-clock
+// counters — the same rule tests/json_test_util.h applies.
+std::string NormalizeTimings(std::string json) {
+  size_t pos = 0;
+  while ((pos = json.find("\":", pos)) != std::string::npos) {
+    size_t key_start = json.rfind('"', pos - 1);
+    if (key_start == std::string::npos) {
+      pos += 2;
+      continue;
+    }
+    const std::string key = json.substr(key_start + 1, pos - key_start - 1);
+    const bool timing =
+        (key.size() > 3 && key.compare(key.size() - 3, 3, "_us") == 0) ||
+        key == "budget_polls" || key == "budget_time_to_stop_ms";
+    pos += 2;
+    if (!timing) continue;
+    size_t value_end = pos;
+    while (value_end < json.size() &&
+           (json[value_end] == '-' || std::isdigit(
+                static_cast<unsigned char>(json[value_end])))) {
+      ++value_end;
+    }
+    if (value_end > pos) {
+      json.replace(pos, value_end - pos, "0");
+      pos += 1;
+    }
+  }
+  return json;
+}
+
+}  // namespace
+}  // namespace pebblejoin
+
+int main(int argc, char** argv) {
+  pebblejoin::BenchReport report("engine", argc, argv);
+  pebblejoin::RunReuseSweep(&report);
+  return report.Finish() ? 0 : 1;
+}

@@ -1,84 +1,23 @@
 #include "core/analyzer.h"
 
 #include "join/join_graph_builder.h"
-#include "obs/metrics.h"
-#include "util/stopwatch.h"
 
 namespace pebblejoin {
 
-namespace {
-
-FallbackPebbler::Options LadderOptions(const AnalyzerOptions& options) {
-  FallbackPebbler::Options ladder;
-  ladder.exact = options.exact;
-  return ladder;
+JoinAnalyzer::JoinAnalyzer(AnalyzerOptions options) {
+  SolveEngine::Options engine_options;
+  engine_options.defaults = options;
+  engine_ = std::make_unique<SolveEngine>(engine_options);
 }
 
-}  // namespace
-
-JoinAnalyzer::JoinAnalyzer(AnalyzerOptions options)
-    : options_(options),
-      exact_(options.exact),
-      fallback_(LadderOptions(options)) {}
-
-const Pebbler& JoinAnalyzer::PrimaryFor(
-    const JoinGraphClassification& c) const {
-  switch (options_.solver) {
-    case SolverChoice::kAuto:
-      return c.equijoin_shape ? static_cast<const Pebbler&>(sort_merge_)
-                              : static_cast<const Pebbler&>(local_search_);
-    case SolverChoice::kSortMerge:
-      return sort_merge_;
-    case SolverChoice::kGreedyWalk:
-      return greedy_;
-    case SolverChoice::kDfsTree:
-      return dfs_tree_;
-    case SolverChoice::kLocalSearch:
-      return local_search_;
-    case SolverChoice::kIls:
-      return ils_;
-    case SolverChoice::kExact:
-      return exact_;
-    case SolverChoice::kFallback:
-      return fallback_;
-  }
-  return greedy_;
-}
+JoinAnalyzer::~JoinAnalyzer() = default;
 
 JoinAnalysis JoinAnalyzer::AnalyzeJoinGraph(const BipartiteGraph& join_graph,
                                             PredicateClass predicate) const {
-  JoinAnalysis analysis;
-  analysis.predicate = predicate;
-  analysis.left_size = join_graph.left_size();
-  analysis.right_size = join_graph.right_size();
-  analysis.output_size = join_graph.num_edges();
-
-  const Graph flat = join_graph.ToGraph();
-  analysis.classification = ClassifyJoinGraph(flat);
-
-  ComponentPebbler::Options driver_options;
-  driver_options.threads = options_.threads;
-  const ComponentPebbler driver(&PrimaryFor(analysis.classification),
-                                &greedy_, driver_options);
-  BudgetContext budget(options_.budget);
-  budget.set_stats(&analysis.stats);
-  budget.set_trace(options_.trace);
-  Stopwatch solve_clock;
-  analysis.solution = driver.Solve(flat, &budget);
-  analysis.stats.solve_wall_us = solve_clock.ElapsedMicros();
-  analysis.stats.budget_polls = budget.polls();
-  analysis.stats.budget_time_to_stop_ms = budget.stopped_elapsed_ms();
-  // Fold the per-request counters into the process-wide registry; a no-op
-  // unless some surface (CLI --json/--stats, a server) enabled it.
-  analysis.stats.PublishTo(MetricsRegistry::Default());
-  analysis.perfect =
-      analysis.solution.effective_cost == analysis.output_size;
-  analysis.cost_ratio =
-      (analysis.output_size == 0)
-          ? 1.0
-          : static_cast<double>(analysis.solution.effective_cost) /
-                static_cast<double>(analysis.output_size);
-  return analysis;
+  SolveRequest request;
+  request.graph = &join_graph;
+  request.predicate = predicate;
+  return engine_->Solve(request).analysis;
 }
 
 JoinAnalysis JoinAnalyzer::AnalyzeEquiJoin(const KeyRelation& left,

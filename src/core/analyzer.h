@@ -10,81 +10,30 @@
 //   KeyRelation s("S", {1, 2, 2});
 //   JoinAnalysis a = analyzer.AnalyzeEquiJoin(r, s);
 //   // a.solution.effective_cost == a.output_size  (equijoins are perfect)
+//
+// Since the engine extraction (see docs/architecture.md) this class is a
+// thin compatibility facade over a private, long-lived SolveEngine: each
+// Analyze* call wraps its input in a SolveRequest and runs the staged
+// pipeline. The analysis types (SolverChoice, AnalyzerOptions,
+// JoinAnalysis) live in engine/solve_engine.h and are re-exported from
+// here, so existing includes keep working. One analyzer instance reuses
+// its engine's resources (thread pool, metrics session) across requests
+// and is safe to share between threads.
 
 #ifndef PEBBLEJOIN_CORE_ANALYZER_H_
 #define PEBBLEJOIN_CORE_ANALYZER_H_
 
-#include <cstdint>
+#include <memory>
 
-#include "core/classifier.h"
-#include "graph/bipartite_graph.h"
-#include "join/predicates.h"
-#include "join/relation.h"
-#include "obs/solve_stats.h"
-#include "solver/component_pebbler.h"
-#include "solver/dfs_tree_pebbler.h"
-#include "solver/exact_pebbler.h"
-#include "solver/fallback_pebbler.h"
-#include "solver/greedy_walk_pebbler.h"
-#include "solver/ils_pebbler.h"
-#include "solver/local_search_pebbler.h"
-#include "solver/sort_merge_pebbler.h"
-#include "util/budget.h"
+#include "engine/solve_engine.h"
 
 namespace pebblejoin {
-
-// Which pebbler drives the analysis.
-enum class SolverChoice {
-  // Sort-merge on complete-bipartite components, local search elsewhere.
-  kAuto,
-  kSortMerge,     // refuses non-equijoin shapes (greedy fallback used)
-  kGreedyWalk,    // fast, <= 2m
-  kDfsTree,       // Theorem 3.1 guarantee, <= m + ⌊(m−1)/4⌋ per component
-  kLocalSearch,   // strong polynomial solver
-  kIls,           // local search + double-bridge restarts (strongest poly)
-  kExact,         // optimal; small components only (greedy fallback beyond)
-  kFallback,      // degradation ladder exact→ils→local-search→dfs-tree→greedy
-};
-
-struct AnalyzerOptions {
-  SolverChoice solver = SolverChoice::kAuto;
-  ExactPebbler::Options exact;
-  // Worker threads for the per-component fan-out (Lemma 2.2 additivity
-  // makes components independent). 1 = sequential on the calling thread.
-  // The analysis output is byte-identical for every value; threads only
-  // changes wall-clock. See docs/solvers.md, "Threading model".
-  int threads = 1;
-  // Request-wide ceilings (deadline, node budget, memory). Defaults to
-  // unlimited; the per-component fallback always runs unbudgeted, so a
-  // stopped request still yields a verified scheme. Under threads > 1 the
-  // ceilings are shared across all workers (one deadline, one node pool).
-  SolveBudget budget;
-  // Optional trace sink: when set, the solve emits spans/instants into it
-  // (ladder rungs, components, exact dispatch). Not owned; must outlive the
-  // Analyze* call.
-  TraceSession* trace = nullptr;
-};
-
-// Everything the analyzer learned about one join.
-struct JoinAnalysis {
-  PredicateClass predicate = PredicateClass::kGeneral;
-  int left_size = 0;
-  int right_size = 0;
-  int64_t output_size = 0;  // m, number of joining pairs
-  JoinGraphClassification classification;
-  PebbleSolution solution;
-  bool perfect = false;  // solution.effective_cost == m
-  double cost_ratio = 1.0;  // effective_cost / m (1.0 when m == 0)
-  // Per-request solver telemetry: counters the hot paths flushed into the
-  // request's BudgetContext, plus the budget/wall-clock fields the analyzer
-  // fills in after the solve.
-  SolveStats stats;
-};
 
 class JoinAnalyzer {
  public:
   JoinAnalyzer() : JoinAnalyzer(AnalyzerOptions()) {}
   explicit JoinAnalyzer(AnalyzerOptions options);
+  ~JoinAnalyzer();
 
   // Predicate-specific entry points; these use the specialized join-graph
   // builders from join/join_graph_builder.h.
@@ -99,17 +48,14 @@ class JoinAnalyzer {
   JoinAnalysis AnalyzeJoinGraph(const BipartiteGraph& join_graph,
                                 PredicateClass predicate) const;
 
- private:
-  const Pebbler& PrimaryFor(const JoinGraphClassification& c) const;
+  // The session behind this facade — for callers that want the request-
+  // level API (per-request overrides, batch runs) on the same resources.
+  SolveEngine* engine() const { return engine_.get(); }
 
-  AnalyzerOptions options_;
-  SortMergePebbler sort_merge_;
-  GreedyWalkPebbler greedy_;
-  DfsTreePebbler dfs_tree_;
-  LocalSearchPebbler local_search_;
-  IlsPebbler ils_;
-  ExactPebbler exact_;
-  FallbackPebbler fallback_;
+ private:
+  // unique_ptr so the facade stays movable and the engine address stays
+  // stable for the lifetime of the analyzer.
+  std::unique_ptr<SolveEngine> engine_;
 };
 
 }  // namespace pebblejoin

@@ -1,0 +1,229 @@
+#include "engine/batch_runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "core/report.h"
+#include "engine/names.h"
+#include "io/graph_io.h"
+#include "obs/json.h"
+#include "obs/json_value.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace pebblejoin {
+
+namespace {
+
+// The line-level error record: {"line":N,"error":"..."}.
+std::string ErrorRecord(int64_t line_number, const std::string& message) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("line", line_number);
+  json.Field("error", message);
+  json.EndObject();
+  return json.TakeString();
+}
+
+bool IsBlank(const std::string& line) {
+  for (char c : line) {
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+  }
+  return true;
+}
+
+// A non-negative int64 member, with kind and range validated. Returns
+// false (with a one-line reason) on any mismatch.
+bool ReadNonNegative(const JsonValue& value, const std::string& key,
+                     int64_t* out, std::string* error) {
+  const std::optional<int64_t> parsed = value.int64_value();
+  if (!parsed.has_value() || *parsed < 0) {
+    *error = "\"" + key + "\" needs a non-negative integer";
+    return false;
+  }
+  *out = *parsed;
+  return true;
+}
+
+}  // namespace
+
+BatchRunner::BatchRunner(SolveEngine* engine, Options options)
+    : engine_(engine), options_(options) {
+  JP_CHECK(engine_ != nullptr);
+  JP_CHECK_MSG(options_.threads >= 1, "threads must be >= 1");
+  JP_CHECK_MSG(options_.block_lines >= 1, "block_lines must be >= 1");
+}
+
+int64_t BatchRunner::NowMs() const {
+  if (options_.clock) return options_.clock();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string BatchRunner::RunLine(const std::string& line, int64_t line_number,
+                                 LineKind* kind) {
+  *kind = LineKind::kError;
+
+  std::string error;
+  const std::optional<JsonValue> doc = JsonValue::Parse(line, &error);
+  if (!doc.has_value()) return ErrorRecord(line_number, error);
+  if (!doc->is_object()) {
+    return ErrorRecord(line_number,
+                       std::string("expected a JSON object, got ") +
+                           JsonValue::KindName(doc->kind()));
+  }
+
+  // Per-line request state, seeded from the runner defaults.
+  std::optional<BipartiteGraph> graph;
+  PredicateClass predicate = options_.default_predicate;
+  std::optional<SolverChoice> solver = options_.default_solver;
+  SolveBudget budget = options_.default_budget.value_or(SolveBudget{});
+  bool budget_set = options_.default_budget.has_value();
+
+  for (const auto& [key, value] : doc->object_members()) {
+    if (key == "graph") {
+      if (!value.is_string()) {
+        return ErrorRecord(line_number, "\"graph\" needs a string");
+      }
+      graph = ParseBipartiteGraph(value.string_value(), &error);
+      if (!graph.has_value()) return ErrorRecord(line_number, error);
+    } else if (key == "predicate") {
+      if (!value.is_string() ||
+          !ParsePredicateName(value.string_value(), &predicate)) {
+        return ErrorRecord(line_number,
+                           std::string("\"predicate\" needs one of: ") +
+                               PredicateNameList());
+      }
+    } else if (key == "solver") {
+      SolverChoice choice = SolverChoice::kAuto;
+      if (!value.is_string() ||
+          !ParseSolverName(value.string_value(), &choice)) {
+        return ErrorRecord(line_number,
+                           std::string("\"solver\" needs one of: ") +
+                               SolverNameList());
+      }
+      solver = choice;
+    } else if (key == "deadline_ms") {
+      if (!ReadNonNegative(value, key, &budget.deadline_ms, &error)) {
+        return ErrorRecord(line_number, error);
+      }
+      budget_set = true;
+    } else if (key == "node_budget") {
+      if (!ReadNonNegative(value, key, &budget.node_budget, &error)) {
+        return ErrorRecord(line_number, error);
+      }
+      budget_set = true;
+    } else if (key == "memory_mb") {
+      int64_t mb = 0;
+      if (!ReadNonNegative(value, key, &mb, &error) ||
+          mb > (int64_t{1} << 40)) {
+        return ErrorRecord(line_number,
+                           "\"memory_mb\" needs a non-negative integer");
+      }
+      budget.memory_limit_bytes = mb << 20;
+      budget_set = true;
+    } else {
+      return ErrorRecord(line_number, "unknown key \"" + key + "\"");
+    }
+  }
+  if (!graph.has_value()) {
+    return ErrorRecord(line_number, "missing required key \"graph\"");
+  }
+  // The CLI convention: a budget without an explicit solver selects the
+  // ladder, which degrades instead of refusing.
+  if (budget_set && !solver.has_value()) solver = SolverChoice::kFallback;
+
+  // Admission against the aggregate pool. The check reads the clock once,
+  // when the line starts — under fan-out that is the worker's start time,
+  // which is exactly the admission semantics a shared pool implies.
+  if (options_.batch_deadline_ms >= 0) {
+    const int64_t remaining =
+        std::max<int64_t>(0, options_.batch_deadline_ms -
+                                 (NowMs() - batch_start_ms_));
+    if (remaining == 0 && options_.admission == Admission::kReject) {
+      *kind = LineKind::kRejected;
+      return ErrorRecord(line_number, "rejected: batch deadline exhausted");
+    }
+    // kQueue (or a pool with time left): the line runs under what remains.
+    budget.deadline_ms = budget.has_deadline()
+                             ? std::min(budget.deadline_ms, remaining)
+                             : remaining;
+  }
+
+  SolveRequest request;
+  request.graph = &*graph;
+  request.predicate = predicate;
+  request.solver = solver;
+  if (budget_set || options_.batch_deadline_ms >= 0) request.budget = budget;
+  const SolveResult result = engine_->Solve(request);
+  *kind = LineKind::kSolved;
+  return AnalysisJson(result.analysis);
+}
+
+BatchRunner::Summary BatchRunner::Run(std::istream& in, std::ostream& out) {
+  batch_start_ms_ = NowMs();
+  Summary summary;
+
+  // Block ids are global line numbers (1-based, blank lines included) so
+  // error records point at the line the user can see in the input file.
+  struct PendingLine {
+    std::string text;
+    int64_t number = 0;
+  };
+  int64_t next_line_number = 0;
+  std::string line;
+  bool eof = false;
+
+  while (!eof) {
+    std::vector<PendingLine> block;
+    block.reserve(static_cast<size_t>(options_.block_lines));
+    while (static_cast<int>(block.size()) < options_.block_lines) {
+      if (!std::getline(in, line)) {
+        eof = true;
+        break;
+      }
+      ++next_line_number;
+      if (IsBlank(line)) continue;
+      block.push_back(PendingLine{line, next_line_number});
+    }
+    if (block.empty()) continue;
+    summary.lines_read += static_cast<int64_t>(block.size());
+
+    const int n = static_cast<int>(block.size());
+    std::vector<std::string> results(n);
+    std::vector<LineKind> kinds(n, LineKind::kError);
+    const auto run_one = [&](int i) {
+      results[i] = RunLine(block[i].text, block[i].number, &kinds[i]);
+    };
+    const int threads = std::min(options_.threads, n);
+    if (threads > 1) {
+      engine_->EnsurePool(threads)->ParallelFor(n, run_one);
+    } else {
+      for (int i = 0; i < n; ++i) run_one(i);
+    }
+
+    // Emit in input order regardless of completion order.
+    for (int i = 0; i < n; ++i) {
+      out << results[i] << '\n';
+      switch (kinds[i]) {
+        case LineKind::kSolved:
+          ++summary.solved;
+          break;
+        case LineKind::kError:
+          ++summary.errors;
+          break;
+        case LineKind::kRejected:
+          ++summary.rejected;
+          break;
+      }
+    }
+    out.flush();
+  }
+  return summary;
+}
+
+}  // namespace pebblejoin

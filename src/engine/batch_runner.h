@@ -1,0 +1,109 @@
+// BatchRunner: many solve requests through one SolveEngine, JSONL in,
+// JSONL out.
+//
+// Input is one JSON object per line:
+//
+//   {"graph": "bipartite 2 2 4\n0 0\n...", "predicate": "equijoin",
+//    "solver": "fallback", "deadline_ms": 50, "node_budget": 100000,
+//    "memory_mb": 64}
+//
+// Only "graph" is required; every other key overrides the engine default
+// for that line, with the CLI's spellings (engine/names.h) and the CLI's
+// convention that a budget without an explicit solver selects the fallback
+// ladder. Blank lines are skipped. Unknown keys and malformed values are
+// line-level errors, never batch-level: the offending line yields
+//
+//   {"line": N, "error": "<one-line reason>"}
+//
+// and the run continues. A well-formed line yields exactly the document
+// `pebblejoin analyze --json` would print for the same graph and flags —
+// byte-identical, which is what the round-trip tests pin.
+//
+// Lines fan out across the engine's shared ThreadPool in fixed-size blocks
+// and the results are written in input order regardless of which worker
+// finished first. Each fan-out task runs its request sequentially (the
+// engine's nested-fan-out guard), so batch parallelism comes from
+// lines-in-flight, not from per-request component fan-out.
+//
+// Budget admission: `batch_deadline_ms` is one aggregate wall-clock pool
+// for the whole batch. Once it runs dry, admission decides what happens to
+// the lines still waiting:
+//   - kQueue (default): the line runs with whatever remains of the pool —
+//     possibly a zero deadline, under which the fallback ladder still
+//     produces a verified (if cheap) scheme;
+//   - kReject: the line is not solved at all and yields an error record
+//     ("rejected: batch deadline exhausted").
+// A line's own deadline_ms is additionally clamped to the remaining pool.
+
+#ifndef PEBBLEJOIN_ENGINE_BATCH_RUNNER_H_
+#define PEBBLEJOIN_ENGINE_BATCH_RUNNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "engine/solve_engine.h"
+
+namespace pebblejoin {
+
+class BatchRunner {
+ public:
+  // What to do with a line once the aggregate batch deadline ran dry.
+  enum class Admission { kQueue, kReject };
+
+  struct Options {
+    // Lines in flight at once. 1 = sequential on the calling thread;
+    // more borrows the engine's shared pool.
+    int threads = 1;
+    // Engine-default overrides applied to every line that does not set its
+    // own. `default_budget_set` mirrors the CLI's "budget flags given"
+    // bit: with it set and no solver named anywhere, the ladder runs.
+    PredicateClass default_predicate = PredicateClass::kGeneral;
+    std::optional<SolverChoice> default_solver;
+    std::optional<SolveBudget> default_budget;
+    // Aggregate wall-clock pool for the whole batch, milliseconds;
+    // negative = unlimited.
+    int64_t batch_deadline_ms = -1;
+    Admission admission = Admission::kQueue;
+    // Lines per fan-out block. Results are ordered within and across
+    // blocks; the block size only bounds how far reading runs ahead of
+    // writing.
+    int block_lines = 64;
+    // Milliseconds on an arbitrary monotone scale; tests inject
+    // FakeClock::AsFunction(). nullptr uses the real steady clock.
+    std::function<int64_t()> clock;
+  };
+
+  struct Summary {
+    int64_t lines_read = 0;  // non-blank lines seen
+    int64_t solved = 0;
+    int64_t errors = 0;    // malformed lines (parse/validation failures)
+    int64_t rejected = 0;  // admission kReject after pool exhaustion
+  };
+
+  // The engine is borrowed and must outlive the runner; its pool carries
+  // the fan-out, its registry receives every line's stats.
+  BatchRunner(SolveEngine* engine, Options options);
+
+  // Streams `in` to `out`, one result line per non-blank input line, in
+  // input order. Flushes `out` once per block.
+  Summary Run(std::istream& in, std::ostream& out);
+
+ private:
+  // Parses and solves one line; returns the output line (no newline).
+  // `kind` reports how the line was disposed for the summary.
+  enum class LineKind { kSolved, kError, kRejected };
+  std::string RunLine(const std::string& line, int64_t line_number,
+                      LineKind* kind);
+
+  int64_t NowMs() const;
+
+  SolveEngine* engine_;  // borrowed
+  Options options_;
+  int64_t batch_start_ms_ = 0;
+};
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_ENGINE_BATCH_RUNNER_H_

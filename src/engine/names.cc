@@ -1,0 +1,33 @@
+#include "engine/names.h"
+
+namespace pebblejoin {
+
+bool ParseSolverName(const std::string& name, SolverChoice* choice) {
+  if (name == "auto") *choice = SolverChoice::kAuto;
+  else if (name == "sort-merge") *choice = SolverChoice::kSortMerge;
+  else if (name == "greedy") *choice = SolverChoice::kGreedyWalk;
+  else if (name == "dfs-tree") *choice = SolverChoice::kDfsTree;
+  else if (name == "local-search") *choice = SolverChoice::kLocalSearch;
+  else if (name == "ils") *choice = SolverChoice::kIls;
+  else if (name == "exact") *choice = SolverChoice::kExact;
+  else if (name == "fallback") *choice = SolverChoice::kFallback;
+  else return false;
+  return true;
+}
+
+bool ParsePredicateName(const std::string& name, PredicateClass* predicate) {
+  if (name == "equijoin") *predicate = PredicateClass::kEquality;
+  else if (name == "spatial") *predicate = PredicateClass::kSpatialOverlap;
+  else if (name == "sets") *predicate = PredicateClass::kSetContainment;
+  else if (name == "general") *predicate = PredicateClass::kGeneral;
+  else return false;
+  return true;
+}
+
+const char* SolverNameList() {
+  return "auto sort-merge greedy dfs-tree local-search ils exact fallback";
+}
+
+const char* PredicateNameList() { return "equijoin spatial sets general"; }
+
+}  // namespace pebblejoin

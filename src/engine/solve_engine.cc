@@ -1,0 +1,149 @@
+#include "engine/solve_engine.h"
+
+#include <utility>
+
+#include "graph/components.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace pebblejoin {
+
+namespace {
+
+FallbackPebbler::Options LadderOptions(const AnalyzerOptions& defaults) {
+  FallbackPebbler::Options ladder;
+  ladder.exact = defaults.exact;
+  return ladder;
+}
+
+}  // namespace
+
+SolveEngine::SolveEngine(Options options)
+    : options_(options),
+      own_metrics_(/*enabled=*/true),
+      exact_(options.defaults.exact),
+      fallback_(LadderOptions(options.defaults)) {
+  JP_CHECK_MSG(options_.defaults.threads >= 1, "threads must be >= 1");
+}
+
+SolveEngine::~SolveEngine() = default;
+
+MetricsRegistry* SolveEngine::metrics() {
+  return options_.defaults.metrics != nullptr ? options_.defaults.metrics
+                                              : &own_metrics_;
+}
+
+ThreadPool* SolveEngine::EnsurePool(int threads) {
+  JP_CHECK_MSG(threads >= 2, "EnsurePool needs at least two workers");
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(threads);
+  return pool_.get();
+}
+
+ThreadPool* SolveEngine::pool() {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  return pool_.get();
+}
+
+const Pebbler& SolveEngine::PrimaryFor(
+    SolverChoice choice, const JoinGraphClassification& c) const {
+  switch (choice) {
+    case SolverChoice::kAuto:
+      return c.equijoin_shape ? static_cast<const Pebbler&>(sort_merge_)
+                              : static_cast<const Pebbler&>(local_search_);
+    case SolverChoice::kSortMerge:
+      return sort_merge_;
+    case SolverChoice::kGreedyWalk:
+      return greedy_;
+    case SolverChoice::kDfsTree:
+      return dfs_tree_;
+    case SolverChoice::kLocalSearch:
+      return local_search_;
+    case SolverChoice::kIls:
+      return ils_;
+    case SolverChoice::kExact:
+      return exact_;
+    case SolverChoice::kFallback:
+      return fallback_;
+  }
+  return greedy_;
+}
+
+SolveResult SolveEngine::Solve(const SolveRequest& request) {
+  JP_CHECK_MSG(request.graph != nullptr, "SolveRequest needs a graph");
+  const AnalyzerOptions& defaults = options_.defaults;
+  const SolverChoice solver = request.solver.value_or(defaults.solver);
+  const SolveBudget budget = request.budget.value_or(defaults.budget);
+  TraceSession* trace =
+      request.trace != nullptr ? request.trace : defaults.trace;
+  int threads = request.threads.value_or(defaults.threads);
+  JP_CHECK_MSG(threads >= 1, "threads must be >= 1");
+  // A request already running on a pool worker (a batch fan-out task) is
+  // solved sequentially: fanning out again on the same pool would have the
+  // worker wait on itself.
+  if (ThreadPool::CurrentWorkerId() != -1) threads = 1;
+
+  SolveResult result;
+  JoinAnalysis& analysis = result.analysis;
+  SolveStats& stats = analysis.stats;
+  analysis.predicate = request.predicate;
+  analysis.left_size = request.graph->left_size();
+  analysis.right_size = request.graph->right_size();
+  analysis.output_size = request.graph->num_edges();
+
+  // --- build: flatten the bipartite join graph ---------------------------
+  Stopwatch stage;
+  const Graph flat = request.graph->ToGraph();
+  stats.stage_build_us = stage.ElapsedMicros();
+
+  // --- classify: shape taxonomy + combinatorial bounds -------------------
+  stage.Restart();
+  analysis.classification = ClassifyJoinGraph(flat);
+  stats.stage_classify_us = stage.ElapsedMicros();
+
+  // --- partition: connected components (Lemma 2.2 additivity) ------------
+  stage.Restart();
+  const ComponentDecomposition decomp = FindComponents(flat);
+  stats.stage_partition_us = stage.ElapsedMicros();
+
+  // --- solve: per-component fan-out over the shared pool -----------------
+  stage.Restart();
+  ComponentPebbler::Options driver_options;
+  driver_options.threads = threads;
+  if (threads > 1) driver_options.pool = EnsurePool(threads);
+  const ComponentPebbler driver(&PrimaryFor(solver, analysis.classification),
+                                &greedy_, driver_options);
+  BudgetContext budget_ctx(budget);
+  budget_ctx.set_stats(&stats);
+  budget_ctx.set_trace(trace);
+  Stopwatch solve_clock;
+  analysis.solution = driver.SolveDecomposed(flat, decomp, &budget_ctx);
+  stats.stage_solve_us = stage.ElapsedMicros();
+
+  // --- verify: induced scheme + verifier-backed costs --------------------
+  stage.Restart();
+  ComponentPebbler::VerifyAndCost(flat, &analysis.solution);
+  stats.stage_verify_us = stage.ElapsedMicros();
+
+  // --- report: derived fields, budget bookkeeping, metrics publish -------
+  stage.Restart();
+  stats.solve_wall_us = solve_clock.ElapsedMicros();
+  stats.budget_polls = budget_ctx.polls();
+  stats.budget_time_to_stop_ms = budget_ctx.stopped_elapsed_ms();
+  analysis.perfect =
+      analysis.solution.effective_cost == analysis.output_size;
+  analysis.cost_ratio =
+      (analysis.output_size == 0)
+          ? 1.0
+          : static_cast<double>(analysis.solution.effective_cost) /
+                static_cast<double>(analysis.output_size);
+  stats.stage_report_us = stage.ElapsedMicros();
+  // Fold the per-request counters into the session's registry (or the
+  // injected one). Never the process-global default: that is the caller's
+  // explicit opt-in.
+  stats.PublishTo(metrics());
+  return result;
+}
+
+}  // namespace pebblejoin

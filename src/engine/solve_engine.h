@@ -1,0 +1,200 @@
+// SolveEngine: the long-lived session behind every analysis.
+//
+// One engine owns the resources that are worth amortizing across many
+// requests — the solver stack, a shared ThreadPool, an engine-scoped
+// MetricsRegistry, the default options/budget policy — and exposes a
+// staged request pipeline:
+//
+//   build -> classify -> partition -> solve -> verify -> report
+//
+// Each stage is a seam: its inputs and outputs are public types
+// (Graph, JoinGraphClassification, ComponentDecomposition, PebbleSolution)
+// and its wall clock lands in SolveStats::stage_*_us, so stages can be
+// tested, cached, or sharded independently. A request enters as a
+// SolveRequest (graph + predicate + per-request overrides of the engine
+// defaults) and leaves as a SolveResult carrying the familiar
+// JoinAnalysis.
+//
+// Resource-ownership rules (see docs/architecture.md):
+//   - the engine owns its pebblers, its lazily created ThreadPool, and a
+//     fallback MetricsRegistry; it never touches process-global state;
+//   - an injected MetricsRegistry / TraceSession is borrowed, never owned,
+//     and must outlive the engine / the request respectively;
+//   - the request's graph is borrowed for the duration of Solve only.
+//
+// Solve is safe to call concurrently from multiple threads: per-request
+// state lives on the caller's stack, the registry is thread-safe, and the
+// shared pool is guarded. A request that is itself running on a pool
+// worker (e.g. one of BatchRunner's fan-out tasks) is solved sequentially
+// regardless of its threads setting — nested fan-out on the same pool
+// would deadlock.
+//
+// JoinAnalyzer (core/analyzer.h) is a thin compatibility facade over a
+// private engine; existing callers keep working unchanged.
+
+#ifndef PEBBLEJOIN_ENGINE_SOLVE_ENGINE_H_
+#define PEBBLEJOIN_ENGINE_SOLVE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "core/classifier.h"
+#include "graph/bipartite_graph.h"
+#include "join/predicates.h"
+#include "obs/metrics.h"
+#include "obs/solve_stats.h"
+#include "solver/component_pebbler.h"
+#include "solver/dfs_tree_pebbler.h"
+#include "solver/exact_pebbler.h"
+#include "solver/fallback_pebbler.h"
+#include "solver/greedy_walk_pebbler.h"
+#include "solver/ils_pebbler.h"
+#include "solver/local_search_pebbler.h"
+#include "solver/sort_merge_pebbler.h"
+#include "util/budget.h"
+
+namespace pebblejoin {
+
+class ThreadPool;
+
+// Which pebbler drives the analysis.
+enum class SolverChoice {
+  // Sort-merge on complete-bipartite components, local search elsewhere.
+  kAuto,
+  kSortMerge,     // refuses non-equijoin shapes (greedy fallback used)
+  kGreedyWalk,    // fast, <= 2m
+  kDfsTree,       // Theorem 3.1 guarantee, <= m + ⌊(m−1)/4⌋ per component
+  kLocalSearch,   // strong polynomial solver
+  kIls,           // local search + double-bridge restarts (strongest poly)
+  kExact,         // optimal; small components only (greedy fallback beyond)
+  kFallback,      // degradation ladder exact→ils→local-search→dfs-tree→greedy
+};
+
+// Per-request defaults of one engine (and, through the JoinAnalyzer
+// facade, of one analyzer). Every field can be overridden per request via
+// SolveRequest.
+struct AnalyzerOptions {
+  SolverChoice solver = SolverChoice::kAuto;
+  ExactPebbler::Options exact;
+  // Worker threads for the per-component fan-out (Lemma 2.2 additivity
+  // makes components independent). 1 = sequential on the calling thread.
+  // The analysis output is byte-identical for every value; threads only
+  // changes wall-clock. See docs/solvers.md, "Threading model".
+  int threads = 1;
+  // Request-wide ceilings (deadline, node budget, memory). Defaults to
+  // unlimited; the per-component fallback always runs unbudgeted, so a
+  // stopped request still yields a verified scheme. Under threads > 1 the
+  // ceilings are shared across all workers (one deadline, one node pool).
+  SolveBudget budget;
+  // Optional trace sink: when set, the solve emits spans/instants into it
+  // (ladder rungs, components, exact dispatch). Not owned; must outlive the
+  // Analyze* call.
+  TraceSession* trace = nullptr;
+  // Registry the per-request stats fold into after every solve. Borrowed,
+  // never owned; nullptr publishes into the engine's own session-scoped
+  // registry. Library code never touches MetricsRegistry::Default() — a
+  // surface that wants process-global metrics (the CLI, a server) injects
+  // it here explicitly.
+  MetricsRegistry* metrics = nullptr;
+};
+
+// Everything the analyzer learned about one join.
+struct JoinAnalysis {
+  PredicateClass predicate = PredicateClass::kGeneral;
+  int left_size = 0;
+  int right_size = 0;
+  int64_t output_size = 0;  // m, number of joining pairs
+  JoinGraphClassification classification;
+  PebbleSolution solution;
+  bool perfect = false;  // solution.effective_cost == m
+  double cost_ratio = 1.0;  // effective_cost / m (1.0 when m == 0)
+  // Per-request solver telemetry: counters the hot paths flushed into the
+  // request's BudgetContext, the budget/wall-clock fields the engine fills
+  // in after the solve, and the per-stage pipeline timings.
+  SolveStats stats;
+};
+
+// One unit of work for the engine. The graph is borrowed for the duration
+// of Solve; every optional field, when set, overrides the engine default
+// for this request only.
+struct SolveRequest {
+  const BipartiteGraph* graph = nullptr;  // required
+  PredicateClass predicate = PredicateClass::kGeneral;
+
+  std::optional<SolverChoice> solver;
+  std::optional<SolveBudget> budget;
+  std::optional<int> threads;
+  // Per-request trace sink; overrides the engine default when non-null.
+  TraceSession* trace = nullptr;
+};
+
+// What one request produced. Thin on purpose: the analysis carries the
+// verified solution, the classification, and the stats (including
+// stage_*_us pipeline timings).
+struct SolveResult {
+  JoinAnalysis analysis;
+};
+
+class SolveEngine {
+ public:
+  struct Options {
+    // Engine-wide request defaults (solver, budget, threads, sinks).
+    AnalyzerOptions defaults;
+  };
+
+  SolveEngine() : SolveEngine(Options()) {}
+  explicit SolveEngine(Options options);
+  ~SolveEngine();
+
+  SolveEngine(const SolveEngine&) = delete;
+  SolveEngine& operator=(const SolveEngine&) = delete;
+
+  // Runs the staged pipeline on one request. Thread-safe; see the file
+  // comment for the nested-fan-out rule.
+  SolveResult Solve(const SolveRequest& request);
+
+  // The registry this engine publishes per-request stats into: the
+  // injected one, or the engine's own session-scoped registry (enabled by
+  // default — a session that wants no metrics injects a disabled one).
+  MetricsRegistry* metrics();
+
+  // The shared worker pool, created on first use with `threads` workers
+  // (>= 2) and reused for every later request and batch. The width is fixed
+  // by the first creation; later calls asking for more workers get the
+  // existing pool (parallelism is clamped, never expanded). Returns the
+  // pool, never null.
+  ThreadPool* EnsurePool(int threads);
+
+  // The shared pool, or nullptr when no parallel request has needed one
+  // yet.
+  ThreadPool* pool();
+
+  const AnalyzerOptions& defaults() const { return options_.defaults; }
+
+ private:
+  const Pebbler& PrimaryFor(SolverChoice choice,
+                            const JoinGraphClassification& c) const;
+
+  Options options_;
+  // Session-scoped fallback registry, used when no registry is injected.
+  MetricsRegistry own_metrics_;
+
+  // The solver stack: constructed once per engine, shared (const and
+  // stateless) across all requests.
+  SortMergePebbler sort_merge_;
+  GreedyWalkPebbler greedy_;
+  DfsTreePebbler dfs_tree_;
+  LocalSearchPebbler local_search_;
+  IlsPebbler ils_;
+  ExactPebbler exact_;
+  FallbackPebbler fallback_;
+
+  std::mutex pool_mu_;  // guards lazy pool creation only
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_ENGINE_SOLVE_ENGINE_H_

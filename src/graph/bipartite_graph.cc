@@ -81,10 +81,16 @@ bool BipartiteGraph::SameEdgeSet(const BipartiteGraph& other) const {
 }
 
 std::string BipartiteGraph::DebugString() const {
-  std::string out = "BipartiteGraph(" + std::to_string(left_size_) + "x" +
-                    std::to_string(right_size_) + "):";
+  std::string out = "BipartiteGraph(";
+  out += std::to_string(left_size_);
+  out += 'x';
+  out += std::to_string(right_size_);
+  out += "):";
   for (const Edge& e : edges_) {
-    out += " L" + std::to_string(e.left) + "-R" + std::to_string(e.right);
+    out += " L";
+    out += std::to_string(e.left);
+    out += "-R";
+    out += std::to_string(e.right);
   }
   return out;
 }

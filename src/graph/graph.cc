@@ -74,9 +74,14 @@ int Graph::FindEdge(int u, int v) const {
 }
 
 std::string Graph::DebugString() const {
-  std::string out = "Graph(" + std::to_string(num_vertices()) + " vertices):";
+  std::string out = "Graph(";
+  out += std::to_string(num_vertices());
+  out += " vertices):";
   for (const Edge& e : edges_) {
-    out += " " + std::to_string(e.u) + "-" + std::to_string(e.v);
+    out += ' ';
+    out += std::to_string(e.u);
+    out += '-';
+    out += std::to_string(e.v);
   }
   return out;
 }

@@ -9,12 +9,16 @@ std::string ExportDot(const BipartiteGraph& g, const DotOptions& options) {
   out += "  rankdir=LR;\n";
   out += "  subgraph cluster_left {\n    label=\"R\";\n";
   for (int l = 0; l < g.left_size(); ++l) {
-    out += "    L" + std::to_string(l) + " [shape=box];\n";
+    out += "    L";
+    out += std::to_string(l);
+    out += " [shape=box];\n";
   }
   out += "  }\n";
   out += "  subgraph cluster_right {\n    label=\"S\";\n";
   for (int r = 0; r < g.right_size(); ++r) {
-    out += "    R" + std::to_string(r) + " [shape=ellipse];\n";
+    out += "    R";
+    out += std::to_string(r);
+    out += " [shape=ellipse];\n";
   }
   out += "  }\n";
 
@@ -41,10 +45,14 @@ std::string ExportDot(const BipartiteGraph& g, const DotOptions& options) {
 
   for (int e = 0; e < g.num_edges(); ++e) {
     const BipartiteGraph::Edge& edge = g.edge(e);
-    out += "  L" + std::to_string(edge.left) + " -- R" +
-           std::to_string(edge.right);
+    out += "  L";
+    out += std::to_string(edge.left);
+    out += " -- R";
+    out += std::to_string(edge.right);
     if (!position.empty()) {
-      out += " [label=\"" + std::to_string(position[e] + 1) + "\"";
+      out += " [label=\"";
+      out += std::to_string(position[e] + 1);
+      out += '"';
       if (jump_into[e]) out += ", color=red, penwidth=2";
       out += "]";
     }

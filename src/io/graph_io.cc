@@ -40,7 +40,10 @@ std::vector<Token> Tokenize(const std::string& text) {
 }
 
 std::string AtLine(const Token& token) {
-  return "line " + std::to_string(token.line) + ": ";
+  std::string out = "line ";
+  out += std::to_string(token.line);
+  out += ": ";
+  return out;
 }
 
 std::optional<int> ParseInt(const std::string& token) {
@@ -64,9 +67,13 @@ constexpr int64_t kMaxParsedVertices = int64_t{1} << 27;
 }  // namespace
 
 std::string SerializeBipartiteGraph(const BipartiteGraph& g) {
-  std::string out = "bipartite " + std::to_string(g.left_size()) + " " +
-                    std::to_string(g.right_size()) + " " +
-                    std::to_string(g.num_edges()) + "\n";
+  std::string out = "bipartite ";
+  out += std::to_string(g.left_size());
+  out += ' ';
+  out += std::to_string(g.right_size());
+  out += ' ';
+  out += std::to_string(g.num_edges());
+  out += '\n';
   for (const BipartiteGraph::Edge& e : g.edges()) {
     out += std::to_string(e.left) + " " + std::to_string(e.right) + "\n";
   }
@@ -74,8 +81,11 @@ std::string SerializeBipartiteGraph(const BipartiteGraph& g) {
 }
 
 std::string SerializeGraph(const Graph& g) {
-  std::string out = "graph " + std::to_string(g.num_vertices()) + " " +
-                    std::to_string(g.num_edges()) + "\n";
+  std::string out = "graph ";
+  out += std::to_string(g.num_vertices());
+  out += ' ';
+  out += std::to_string(g.num_edges());
+  out += '\n';
   for (int e = 0; e < g.num_edges(); ++e) {
     out += std::to_string(g.edge(e).u) + " " + std::to_string(g.edge(e).v) +
            "\n";
@@ -104,7 +114,7 @@ std::optional<BipartiteGraph> ParseBipartiteGraph(const std::string& text,
   // int64 arithmetic: with edges near INT_MAX the expected token count
   // overflows 32 bits, and a wrapped comparison would accept a short file.
   if (static_cast<int64_t>(tokens.size()) != 4 + 2 * static_cast<int64_t>(*edges)) {
-    SetError(error, "edge list length does not match header (" +
+    SetError(error, std::string("edge list length does not match header (") +
                         std::to_string((tokens.size() - 4) / 2) +
                         " edge tokens for " + std::to_string(*edges) +
                         " declared edges)");
@@ -149,7 +159,7 @@ std::optional<Graph> ParseGraph(const std::string& text,
     return std::nullopt;
   }
   if (static_cast<int64_t>(tokens.size()) != 3 + 2 * static_cast<int64_t>(*edges)) {
-    SetError(error, "edge list length does not match header (" +
+    SetError(error, std::string("edge list length does not match header (") +
                         std::to_string((tokens.size() - 3) / 2) +
                         " edge tokens for " + std::to_string(*edges) +
                         " declared edges)");

@@ -9,7 +9,12 @@
 namespace pebblejoin {
 
 std::string Interval::DebugString() const {
-  return "[" + std::to_string(lo) + "," + std::to_string(hi) + "]";
+  std::string out = "[";
+  out += std::to_string(lo);
+  out += ',';
+  out += std::to_string(hi);
+  out += ']';
+  return out;
 }
 
 BipartiteGraph BuildIntervalOverlapJoinGraph(const IntervalRelation& left,

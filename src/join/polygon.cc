@@ -115,9 +115,12 @@ bool ConvexPolygon::Overlaps(const ConvexPolygon& other) const {
 std::string ConvexPolygon::DebugString() const {
   std::string out = "Polygon[";
   for (size_t i = 0; i < vertices_.size(); ++i) {
-    if (i > 0) out += " ";
-    out += "(" + std::to_string(vertices_[i].x) + "," +
-           std::to_string(vertices_[i].y) + ")";
+    if (i > 0) out += ' ';
+    out += '(';
+    out += std::to_string(vertices_[i].x);
+    out += ',';
+    out += std::to_string(vertices_[i].y);
+    out += ')';
   }
   out += "]";
   return out;

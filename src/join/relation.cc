@@ -38,8 +38,16 @@ bool Rect::Overlaps(const Rect& other) const {
 }
 
 std::string Rect::DebugString() const {
-  return "[" + std::to_string(x_min) + "," + std::to_string(x_max) + "]x[" +
-         std::to_string(y_min) + "," + std::to_string(y_max) + "]";
+  std::string out = "[";
+  out += std::to_string(x_min);
+  out += ',';
+  out += std::to_string(x_max);
+  out += "]x[";
+  out += std::to_string(y_min);
+  out += ',';
+  out += std::to_string(y_max);
+  out += ']';
+  return out;
 }
 
 }  // namespace pebblejoin

@@ -1,0 +1,347 @@
+#include "obs/json_value.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace pebblejoin {
+
+namespace {
+
+// Nesting beyond this is almost certainly hostile or broken input; the cap
+// turns a stack overflow into a parse error.
+constexpr int kMaxDepth = 64;
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  const JsonValue* found = nullptr;
+  for (const auto& [name, value] : object_) {
+    if (name == key) found = &value;
+  }
+  return found;
+}
+
+const char* JsonValue::KindName(Kind kind) {
+  switch (kind) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kBool:
+      return "bool";
+    case Kind::kNumber:
+      return "number";
+    case Kind::kString:
+      return "string";
+    case Kind::kArray:
+      return "array";
+    case Kind::kObject:
+      return "object";
+  }
+  return "unknown";
+}
+
+// Single-pass parser over the input bytes. Errors record the byte offset
+// of the offending character.
+class JsonParser {
+ public:
+  using Kind = JsonValue::Kind;
+
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  std::optional<JsonValue> Parse(std::string* error) {
+    JsonValue value;
+    SkipWhitespace();
+    if (!ParseValue(&value, 0)) {
+      if (error != nullptr) *error = error_;
+      return std::nullopt;
+    }
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      if (error != nullptr) {
+        *error = Describe("trailing characters after JSON value");
+      }
+      return std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  bool Fail(const std::string& message) {
+    if (error_.empty()) error_ = Describe(message);
+    return false;
+  }
+
+  std::string Describe(const std::string& message) const {
+    char buffer[160];
+    std::snprintf(buffer, sizeof(buffer), "%s at byte %zu", message.c_str(),
+                  pos_);
+    return buffer;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  bool Consume(char expected, const char* what) {
+    if (AtEnd() || text_[pos_] != expected) {
+      return Fail(std::string("expected ") + what);
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool ConsumeLiteral(const char* literal, JsonValue* out, Kind kind,
+                      bool bool_value) {
+    const std::size_t len = std::strlen(literal);
+    if (text_.compare(pos_, len, literal) != 0) {
+      return Fail("invalid literal");
+    }
+    pos_ += len;
+    out->kind_ = kind;
+    out->bool_ = bool_value;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    if (AtEnd()) return Fail("unexpected end of input");
+    switch (Peek()) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->kind_ = JsonValue::Kind::kString;
+        return ParseString(&out->string_);
+      case 't':
+        return ConsumeLiteral("true", out, Kind::kBool, true);
+      case 'f':
+        return ConsumeLiteral("false", out, Kind::kBool, false);
+      case 'n':
+        return ConsumeLiteral("null", out, Kind::kNull, false);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    out->kind_ = Kind::kObject;
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWhitespace();
+      std::string key;
+      if (AtEnd() || Peek() != '"') return Fail("expected object key");
+      if (!ParseString(&key)) return false;
+      SkipWhitespace();
+      if (!Consume(':', "':'")) return false;
+      SkipWhitespace();
+      JsonValue value;
+      if (!ParseValue(&value, depth + 1)) return false;
+      out->object_.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (AtEnd()) return Fail("unterminated object");
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      return Consume('}', "'}' or ','");
+    }
+  }
+
+  bool ParseArray(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    out->kind_ = Kind::kArray;
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWhitespace();
+      JsonValue value;
+      if (!ParseValue(&value, depth + 1)) return false;
+      out->array_.push_back(std::move(value));
+      SkipWhitespace();
+      if (AtEnd()) return Fail("unterminated array");
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      return Consume(']', "']' or ','");
+    }
+  }
+
+  // Appends the UTF-8 encoding of `code_point` to `out`.
+  static void AppendUtf8(uint32_t code_point, std::string* out) {
+    if (code_point < 0x80) {
+      out->push_back(static_cast<char>(code_point));
+    } else if (code_point < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code_point >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+    } else if (code_point < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code_point >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code_point >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code_point >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+    }
+  }
+
+  bool ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<uint32_t>(c - 'A' + 10);
+      else return Fail("invalid \\u escape");
+    }
+    pos_ += 4;
+    *out = value;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    ++pos_;  // '"'
+    out->clear();
+    while (!AtEnd()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (AtEnd()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            uint32_t code_point = 0;
+            if (!ParseHex4(&code_point)) return false;
+            if (code_point >= 0xD800 && code_point <= 0xDBFF) {
+              // High surrogate: a low surrogate escape must follow.
+              if (pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+                  text_[pos_ + 1] == 'u') {
+                pos_ += 2;
+                uint32_t low = 0;
+                if (!ParseHex4(&low)) return false;
+                if (low < 0xDC00 || low > 0xDFFF) {
+                  return Fail("invalid low surrogate");
+                }
+                code_point = 0x10000 + ((code_point - 0xD800) << 10) +
+                             (low - 0xDC00);
+              } else {
+                return Fail("unpaired high surrogate");
+              }
+            } else if (code_point >= 0xDC00 && code_point <= 0xDFFF) {
+              return Fail("unpaired low surrogate");
+            }
+            AppendUtf8(code_point, out);
+            break;
+          }
+          default:
+            --pos_;
+            return Fail("invalid escape character");
+        }
+        continue;
+      }
+      if (c < 0x20) return Fail("unescaped control character in string");
+      out->push_back(static_cast<char>(c));
+      ++pos_;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const std::size_t start = pos_;
+    if (!AtEnd() && Peek() == '-') ++pos_;
+    bool has_digits = false;
+    while (!AtEnd() && Peek() >= '0' && Peek() <= '9') {
+      ++pos_;
+      has_digits = true;
+    }
+    bool integral = true;
+    if (!AtEnd() && Peek() == '.') {
+      integral = false;
+      ++pos_;
+      bool frac_digits = false;
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') {
+        ++pos_;
+        frac_digits = true;
+      }
+      if (!frac_digits) {
+        pos_ = start;
+        return Fail("invalid number");
+      }
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      integral = false;
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      bool exp_digits = false;
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') {
+        ++pos_;
+        exp_digits = true;
+      }
+      if (!exp_digits) {
+        pos_ = start;
+        return Fail("invalid number");
+      }
+    }
+    if (!has_digits) {
+      pos_ = start;
+      return Fail("invalid character");
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    out->kind_ = Kind::kNumber;
+    out->number_ = std::strtod(token.c_str(), nullptr);
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      const long long wide = std::strtoll(token.c_str(), &end, 10);
+      if (errno != ERANGE && end != nullptr && *end == '\0') {
+        out->int_ = wide;
+        out->has_int_ = true;
+      }
+    }
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+std::optional<JsonValue> JsonValue::Parse(const std::string& text,
+                                          std::string* error) {
+  return JsonParser(text).Parse(error);
+}
+
+}  // namespace pebblejoin

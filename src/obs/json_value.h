@@ -1,0 +1,85 @@
+// A small JSON document model and recursive-descent parser — the read side
+// of obs/json.h's JsonWriter. It exists for the batched JSONL workloads
+// (engine/batch_runner.h): each input line is one JSON object naming a
+// graph and optional per-request overrides.
+//
+// Scope is deliberately RFC-8259-minimal: UTF-8 text, the six value kinds,
+// \uXXXX escapes (surrogate pairs included), a nesting-depth cap instead
+// of recursion-to-overflow, and byte-offset error messages. Numbers keep
+// both a double and, when exactly representable, an int64 view. Object
+// member order is preserved; duplicate keys keep the last value (lookup
+// scans, fine at the handful-of-keys scale this is used for).
+
+#ifndef PEBBLEJOIN_OBS_JSON_VALUE_H_
+#define PEBBLEJOIN_OBS_JSON_VALUE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pebblejoin {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  // Parses exactly one JSON value spanning the whole input (trailing
+  // whitespace allowed). On failure returns nullopt and, when `error` is
+  // non-null, stores a one-line description with a byte offset.
+  static std::optional<JsonValue> Parse(const std::string& text,
+                                        std::string* error);
+
+  JsonValue() : kind_(Kind::kNull) {}
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  // Typed accessors; calling one on the wrong kind returns the neutral
+  // value (false / 0 / empty) rather than aborting — callers validate kind
+  // first when it matters.
+  bool bool_value() const { return is_bool() && bool_; }
+  double number_value() const { return is_number() ? number_ : 0.0; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array_items() const { return array_; }
+  const std::vector<std::pair<std::string, JsonValue>>& object_members()
+      const {
+    return object_;
+  }
+
+  // The number as an int64, when it was written as an integer literal in
+  // range (no fraction, no exponent). nullopt otherwise.
+  std::optional<int64_t> int64_value() const {
+    if (is_number() && has_int_) return int_;
+    return std::nullopt;
+  }
+
+  // Object member lookup (last occurrence wins); nullptr when absent or
+  // when this value is not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  // Printable kind name, e.g. "object".
+  static const char* KindName(Kind kind);
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  int64_t int_ = 0;
+  bool has_int_ = false;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_OBS_JSON_VALUE_H_

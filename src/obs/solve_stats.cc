@@ -27,7 +27,13 @@ namespace {
   F(rungs_attempted)                       \
   F(rungs_declined)                        \
   F(budget_polls)                          \
-  F(solve_wall_us)
+  F(solve_wall_us)                         \
+  F(stage_build_us)                        \
+  F(stage_classify_us)                     \
+  F(stage_partition_us)                    \
+  F(stage_solve_us)                        \
+  F(stage_verify_us)                       \
+  F(stage_report_us)
 
 }  // namespace
 

@@ -56,6 +56,17 @@ struct SolveStats {
   // Wall clock of the whole solve, flushed by the analyzer.
   int64_t solve_wall_us = 0;
 
+  // Per-stage wall clocks of the engine's request pipeline
+  // (engine/solve_engine.h): build -> classify -> partition -> solve ->
+  // verify -> report. Filled by SolveEngine; zero when the analysis was
+  // produced outside the staged pipeline.
+  int64_t stage_build_us = 0;
+  int64_t stage_classify_us = 0;
+  int64_t stage_partition_us = 0;
+  int64_t stage_solve_us = 0;
+  int64_t stage_verify_us = 0;
+  int64_t stage_report_us = 0;
+
   // Element-wise accumulation (time-to-stop takes the max, -1 meaning
   // "never stopped" loses to any real stop time).
   void Add(const SolveStats& other);

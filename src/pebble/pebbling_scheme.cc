@@ -22,7 +22,11 @@ bool PebbleConfig::Covers(int u, int v) const {
 std::string PebblingScheme::DebugString() const {
   std::string out = "Scheme:";
   for (const PebbleConfig& c : configs) {
-    out += " (" + std::to_string(c.a) + "," + std::to_string(c.b) + ")";
+    out += " (";
+    out += std::to_string(c.a);
+    out += ',';
+    out += std::to_string(c.b);
+    out += ')';
   }
   return out;
 }

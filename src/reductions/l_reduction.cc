@@ -35,10 +35,15 @@ double ObservedBeta(const LReductionSample& sample) {
 }
 
 std::string DebugString(const LReductionSample& sample) {
-  return "opt_x=" + std::to_string(sample.opt_x) +
-         " opt_fx=" + std::to_string(sample.opt_fx) +
-         " cost_s=" + std::to_string(sample.cost_s) +
-         " cost_gs=" + std::to_string(sample.cost_gs);
+  std::string out = "opt_x=";
+  out += std::to_string(sample.opt_x);
+  out += " opt_fx=";
+  out += std::to_string(sample.opt_fx);
+  out += " cost_s=";
+  out += std::to_string(sample.cost_s);
+  out += " cost_gs=";
+  out += std::to_string(sample.cost_gs);
+  return out;
 }
 
 }  // namespace pebblejoin

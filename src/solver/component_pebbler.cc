@@ -88,8 +88,16 @@ void ComponentPebbler::SolveComponent(const Graph& g,
 
 PebbleSolution ComponentPebbler::Solve(const Graph& g,
                                        BudgetContext* budget) const {
-  PebbleSolution solution;
   const ComponentDecomposition decomp = FindComponents(g);
+  PebbleSolution solution = SolveDecomposed(g, decomp, budget);
+  VerifyAndCost(g, &solution);
+  return solution;
+}
+
+PebbleSolution ComponentPebbler::SolveDecomposed(
+    const Graph& g, const ComponentDecomposition& decomp,
+    BudgetContext* budget) const {
+  PebbleSolution solution;
   const int num_components = decomp.num_components;
   solution.num_components = num_components;
 
@@ -119,12 +127,27 @@ PebbleSolution ComponentPebbler::Solve(const Graph& g,
       }
     }
 
-    const int threads = std::min(options_.threads, num_components);
+    // Fan-out policy: a borrowed pool (the engine's long-lived one) is
+    // preferred and a private pool is constructed when none was lent. A
+    // borrowed pool is only usable from off-pool threads — a worker that
+    // waits on a ParallelFor of its own pool deadlocks — so on-pool
+    // callers drop it and keep the historical private-pool path.
+    ThreadPool* borrowed =
+        ThreadPool::CurrentWorkerId() == -1 ? options_.pool : nullptr;
+    int threads = std::min(options_.threads, num_components);
+    if (borrowed != nullptr) {
+      threads = std::min(threads, borrowed->num_threads());
+    }
     if (threads > 1) {
-      ThreadPool pool(threads);
-      pool.ParallelFor(num_components, [&](int c) {
+      const auto solve_one = [&](int c) {
         SolveComponent(g, decomp, c, &slices[c], &results[c]);
-      });
+      };
+      if (borrowed != nullptr) {
+        borrowed->ParallelFor(num_components, solve_one);
+      } else {
+        ThreadPool pool(threads);
+        pool.ParallelFor(num_components, solve_one);
+      }
     } else {
       for (int c = 0; c < num_components; ++c) {
         SolveComponent(g, decomp, c, &slices[c], &results[c]);
@@ -149,14 +172,17 @@ PebbleSolution ComponentPebbler::Solve(const Graph& g,
     }
     parent->AbsorbShared(shared);
   }
-
-  solution.scheme = SchemeFromEdgeOrder(g, solution.edge_order);
-  const VerificationResult verdict = VerifyScheme(g, solution.scheme);
-  JP_CHECK_MSG(verdict.valid, "solver produced an invalid pebbling scheme");
-  solution.hat_cost = verdict.hat_cost;
-  solution.effective_cost = verdict.effective_cost;
-  solution.jumps = solution.effective_cost - g.num_edges();
   return solution;
+}
+
+void ComponentPebbler::VerifyAndCost(const Graph& g,
+                                     PebbleSolution* solution) {
+  solution->scheme = SchemeFromEdgeOrder(g, solution->edge_order);
+  const VerificationResult verdict = VerifyScheme(g, solution->scheme);
+  JP_CHECK_MSG(verdict.valid, "solver produced an invalid pebbling scheme");
+  solution->hat_cost = verdict.hat_cost;
+  solution->effective_cost = verdict.effective_cost;
+  solution->jumps = solution->effective_cost - g.num_edges();
 }
 
 }  // namespace pebblejoin

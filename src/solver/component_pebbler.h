@@ -29,6 +29,7 @@ namespace pebblejoin {
 
 struct ComponentDecomposition;
 class SharedBudgetState;
+class ThreadPool;
 
 // Outcome of pebbling a whole graph.
 struct PebbleSolution {
@@ -61,6 +62,15 @@ class ComponentPebbler {
     // the component count are clamped. The output is byte-identical for
     // every value — threads only changes scheduling.
     int threads = 1;
+    // Borrowed worker pool for the fan-out. When set (and threads > 1) the
+    // drive submits to this pool instead of constructing one per call —
+    // the pool-reuse mode a long-lived SolveEngine runs in. Not owned; must
+    // outlive every Solve call. Parallelism is additionally clamped to the
+    // pool's width. When the calling thread is itself a worker of some
+    // pool, the drive falls back to sequential solving (fanning out again
+    // would have the worker wait on itself). nullptr keeps the historical
+    // behavior: a private pool constructed and torn down per call.
+    ThreadPool* pool = nullptr;
   };
 
   // Neither pointer is owned; both must outlive this object. `fallback` may
@@ -73,9 +83,24 @@ class ComponentPebbler {
   // The primary runs under `budget` (null = unlimited); when it refuses or
   // is cut short, the fallback runs *unbudgeted* so the drive always
   // terminates with a verified scheme — the budget shapes quality, never
-  // success.
+  // success. Equivalent to FindComponents + SolveDecomposed +
+  // VerifyAndCost; the staged pipeline calls those seams directly.
   PebbleSolution Solve(const Graph& g, BudgetContext* budget) const;
   PebbleSolution Solve(const Graph& g) const { return Solve(g, nullptr); }
+
+  // The solve stage alone: fans the components of `decomp` (which must be
+  // FindComponents(g)) across the workers and merges edge order,
+  // provenance, stats and trace deterministically in component-index
+  // order. The returned solution has no scheme and no costs yet — run
+  // VerifyAndCost on it (the verify stage) to finish.
+  PebbleSolution SolveDecomposed(const Graph& g,
+                                 const ComponentDecomposition& decomp,
+                                 BudgetContext* budget) const;
+
+  // The verify stage: induces the scheme from solution->edge_order, checks
+  // it against the verifier (an invalid order aborts — it would be a
+  // library bug), and fills in the verified hat/effective costs and jumps.
+  static void VerifyAndCost(const Graph& g, PebbleSolution* solution);
 
  private:
   struct ComponentResult;

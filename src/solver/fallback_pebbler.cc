@@ -34,8 +34,9 @@ bool IsBudgetCut(RungStatus status) {
 // stop, which is exactly the sticky-stop behavior the sequential ladder
 // has once a rung runs the clock out.
 std::optional<std::vector<int>> RaceBudgetedRungs(
-    const Pebbler* const* rungs, int num_rungs, int threads, const Graph& g,
-    BudgetContext* ctx, SolveOutcome* outcome) {
+    const Pebbler* const* rungs, int num_rungs, int threads,
+    ThreadPool* borrowed_pool, const Graph& g, BudgetContext* ctx,
+    SolveOutcome* outcome) {
   SharedBudgetState shared;
   std::vector<BudgetContext> slices;
   slices.reserve(num_rungs);
@@ -55,12 +56,17 @@ std::optional<std::vector<int>> RaceBudgetedRungs(
   }
 
   {
-    ThreadPool pool(std::min(threads, num_rungs));
-    pool.ParallelFor(num_rungs, [&](int i) {
+    const auto race_one = [&](int i) {
       workers[i] = ThreadPool::CurrentWorkerId();
       orders[i] =
           rungs[i]->PebbleWithOutcome(g, &slices[i], &rung_outcomes[i]);
-    });
+    };
+    if (borrowed_pool != nullptr) {
+      borrowed_pool->ParallelFor(num_rungs, race_one);
+    } else {
+      ThreadPool pool(std::min(threads, num_rungs));
+      pool.ParallelFor(num_rungs, race_one);
+    }
   }
 
   // Deterministic merge in ladder order on the owning thread.
@@ -120,10 +126,16 @@ std::optional<std::vector<int>> FallbackPebbler::PebbleWithOutcome(
   constexpr int kNumBudgetedRungs = 3;
 
   std::optional<std::vector<int>> order;
+  // A borrowed pool is only usable from off-pool threads: a worker that
+  // waits on a ParallelFor of its own pool deadlocks. On-pool callers race
+  // on a private pool exactly as before the pool-reuse refactor.
+  ThreadPool* race_pool =
+      ThreadPool::CurrentWorkerId() == -1 ? options_.pool : nullptr;
   if (options_.speculative_threads > 1) {
     outcome->lower_bound = g.num_edges();
     order = RaceBudgetedRungs(budgeted_rungs, kNumBudgetedRungs,
-                              options_.speculative_threads, g, ctx, outcome);
+                              options_.speculative_threads, race_pool, g,
+                              ctx, outcome);
   } else {
     for (const Pebbler* rung : budgeted_rungs) {
       order = rung->PebbleWithOutcome(g, ctx, outcome);

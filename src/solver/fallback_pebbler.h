@@ -41,6 +41,8 @@
 
 namespace pebblejoin {
 
+class ThreadPool;
+
 class FallbackPebbler : public Pebbler {
  public:
   struct Options {
@@ -55,6 +57,13 @@ class FallbackPebbler : public Pebbler {
     // classic sequential ladder. The terminator rungs always run
     // sequentially after the race — they are the success guarantee.
     int speculative_threads = 1;
+    // Borrowed worker pool for the speculative race. When set, the race
+    // submits to this pool instead of constructing one per call (the
+    // pool-reuse mode of a long-lived engine session). Not owned; must
+    // outlive every solve. Ignored while speculative_threads <= 1, and
+    // when the calling thread is itself a pool worker the ladder runs
+    // sequentially instead of racing (nested fan-out would deadlock).
+    ThreadPool* pool = nullptr;
   };
 
   using Pebbler::PebbleConnected;

@@ -40,14 +40,18 @@ std::string SolveOutcome::Summary(bool with_timing) const {
     out += ":";
     out += RungStatusName(attempts[i].status);
     if (with_timing) {
-      out += "[" + std::to_string(attempts[i].elapsed_us) + "us]";
+      out += '[';
+      out += std::to_string(attempts[i].elapsed_us);
+      out += "us]";
     }
   }
   out += " (winner ";
   out += winner.empty() ? "none" : winner;
   if (effective_cost >= 0) {
-    out += ", cost " + std::to_string(effective_cost);
-    out += ", lb " + std::to_string(lower_bound);
+    out += ", cost ";
+    out += std::to_string(effective_cost);
+    out += ", lb ";
+    out += std::to_string(lower_bound);
   }
   if (degraded()) {
     out += ", degraded: ";

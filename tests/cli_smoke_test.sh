@@ -182,6 +182,120 @@ if [ "$STATS_EDGE_LINES" -ne 60 ]; then
   note_failure "solve --stats emitted $STATS_EDGE_LINES of 60 edge lines"
 fi
 
+# --- Exit-code discipline: one distinct code per failure class ------------
+# 64 = usage (no or unknown command), 66 = missing input file, 2 = bad
+# flags. Anything >= 128 is a signal, i.e. a crash.
+expect_code() {
+  local desc="$1" want="$2"; shift; shift
+  "$BIN" "$@" >/dev/null 2>&1 </dev/null
+  local got=$?
+  if [ "$got" -ne "$want" ]; then
+    note_failure "$desc: expected exit $want, got $got"
+  fi
+}
+expect_code "no command exits 64" 64
+expect_code "unknown command exits 64" 64 frobnicate
+expect_code "batch missing input file exits 66" 66 batch --jsonl /nonexistent/in.jsonl
+expect_code "bad flag exits 2" 2 analyze --frobnicate
+expect_code "bad solver exits 2" 2 analyze --solver quantum
+
+# --- Batch JSONL: corpus round-trip, per-line errors, byte identity -------
+TOOLS_DIR="$(cd "$(dirname "$0")/../tools" && pwd)"
+WORK_DIR=$(mktemp -d)
+trap 'rm -rf "$WORK_DIR"' EXIT
+
+expect_fail "batch without --jsonl" -- batch
+expect_fail "batch bad admission" -- batch --jsonl - --admission maybe
+expect_fail "batch bad threads" -- batch --jsonl - --threads -1
+
+PEBBLEJOIN_BIN="$BIN" "$TOOLS_DIR/make_batch_corpus.sh" 20 \
+  > "$WORK_DIR/corpus.jsonl" \
+  || note_failure "make_batch_corpus.sh must succeed"
+if [ "$(wc -l < "$WORK_DIR/corpus.jsonl")" -ne 20 ]; then
+  note_failure "corpus generator must emit 20 lines"
+fi
+
+if ! "$BIN" batch --jsonl "$WORK_DIR/corpus.jsonl" \
+    > "$WORK_DIR/batch_out.jsonl" 2>"$WORK_DIR/batch_err.txt"; then
+  note_failure "batch over the corpus must exit 0"
+fi
+if [ "$(wc -l < "$WORK_DIR/batch_out.jsonl")" -ne 20 ]; then
+  note_failure "batch must emit one output line per input line"
+fi
+grep -q "20 solved" "$WORK_DIR/batch_err.txt" \
+  || note_failure "batch summary must report 20 solved"
+
+# Every batch line must be byte-identical (after timing normalization) to
+# the single-shot `analyze --json` of the same graph and flags.
+python3 - "$BIN" "$TOOLS_DIR" "$WORK_DIR" <<'EOF' \
+  || note_failure "batch output must match single-shot analyze --json"
+import json, subprocess, sys
+sys.path.insert(0, sys.argv[2])
+from json_normalize import normalize
+bin_path, work = sys.argv[1], sys.argv[3]
+with open(work + "/corpus.jsonl") as f:
+    lines = [json.loads(l) for l in f]
+with open(work + "/batch_out.jsonl") as f:
+    outputs = [l.rstrip("\n") for l in f]
+assert len(lines) == len(outputs)
+for spec, got in zip(lines, outputs):
+    args = [bin_path, "analyze", "--json"]
+    if "predicate" in spec: args += ["--predicate", spec["predicate"]]
+    if "solver" in spec: args += ["--solver", spec["solver"]]
+    if "deadline_ms" in spec: args += ["--deadline-ms", str(spec["deadline_ms"])]
+    if "node_budget" in spec: args += ["--node-budget", str(spec["node_budget"])]
+    if "memory_mb" in spec: args += ["--memory-mb", str(spec["memory_mb"])]
+    single = subprocess.run(args, input=spec["graph"], text=True,
+                            capture_output=True, check=True).stdout.strip()
+    if normalize(single) != normalize(got):
+        sys.exit("mismatch for spec: %r" % (spec,))
+EOF
+
+# A malformed line yields a per-line error record; the run continues and
+# later lines still solve.
+GOOD_LINE=$(head -1 "$WORK_DIR/corpus.jsonl")
+printf '%s\nnot json at all\n\n%s\n' "$GOOD_LINE" "$GOOD_LINE" \
+  > "$WORK_DIR/mixed.jsonl"
+if ! "$BIN" batch --jsonl "$WORK_DIR/mixed.jsonl" \
+    > "$WORK_DIR/mixed_out.jsonl" 2>"$WORK_DIR/mixed_err.txt"; then
+  note_failure "batch with a malformed line must still exit 0"
+fi
+if [ "$(wc -l < "$WORK_DIR/mixed_out.jsonl")" -ne 3 ]; then
+  note_failure "batch must emit 3 lines for 3 non-blank inputs"
+fi
+sed -n '2p' "$WORK_DIR/mixed_out.jsonl" | grep -q '"line":2,"error"' \
+  || note_failure "malformed line must yield a {line,error} record"
+sed -n '3p' "$WORK_DIR/mixed_out.jsonl" | grep -q '"edge_order"' \
+  || note_failure "batch must keep solving after a malformed line"
+grep -q "2 solved, 1 errors" "$WORK_DIR/mixed_err.txt" \
+  || note_failure "batch summary must tally the malformed line"
+
+# stdin/stdout plumbing and the fan-out path produce the same result
+# (modulo wall clocks).
+python3 "$TOOLS_DIR/json_normalize.py" < "$WORK_DIR/batch_out.jsonl" \
+  > "$WORK_DIR/seq_norm.jsonl"
+"$BIN" batch --jsonl - < "$WORK_DIR/corpus.jsonl" 2>/dev/null \
+  | python3 "$TOOLS_DIR/json_normalize.py" > "$WORK_DIR/stdin_out.jsonl"
+cmp -s "$WORK_DIR/seq_norm.jsonl" "$WORK_DIR/stdin_out.jsonl" \
+  || note_failure "batch --jsonl - must match the file path"
+"$BIN" batch --jsonl "$WORK_DIR/corpus.jsonl" --threads 4 2>/dev/null \
+  | python3 "$TOOLS_DIR/json_normalize.py" > "$WORK_DIR/par_out.jsonl"
+cmp -s "$WORK_DIR/seq_norm.jsonl" "$WORK_DIR/par_out.jsonl" \
+  || note_failure "batch --threads 4 must match sequential output"
+
+# Admission: an exhausted batch pool rejects every line under --admission
+# reject, and still solves (degraded) under queue.
+"$BIN" batch --jsonl "$WORK_DIR/corpus.jsonl" --batch-deadline-ms 0 \
+  --admission reject > "$WORK_DIR/rej_out.jsonl" 2>"$WORK_DIR/rej_err.txt" \
+  || note_failure "batch --admission reject must exit 0"
+grep -q "20 rejected" "$WORK_DIR/rej_err.txt" \
+  || note_failure "exhausted pool must reject all 20 lines"
+"$BIN" batch --jsonl "$WORK_DIR/corpus.jsonl" --batch-deadline-ms 0 \
+  --admission queue > "$WORK_DIR/q_out.jsonl" 2>"$WORK_DIR/q_err.txt" \
+  || note_failure "batch --admission queue must exit 0"
+grep -q "20 solved" "$WORK_DIR/q_err.txt" \
+  || note_failure "queued lines must still solve under a dry pool"
+
 if [ "$FAILURES" -ne 0 ]; then
   echo "$FAILURES smoke check(s) failed" >&2
   exit 1

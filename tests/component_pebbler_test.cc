@@ -1,5 +1,6 @@
 #include "solver/component_pebbler.h"
 
+#include "graph/components.h"
 #include "graph/generators.h"
 #include "gtest/gtest.h"
 #include "pebble/scheme_verifier.h"
@@ -9,6 +10,7 @@
 #include "solver/local_search_pebbler.h"
 #include "solver/sort_merge_pebbler.h"
 #include "util/budget.h"
+#include "util/thread_pool.h"
 
 namespace pebblejoin {
 namespace {
@@ -146,6 +148,96 @@ TEST(ComponentPebblerTest, FallbackLadderAsPrimaryReportsWinningRung) {
   for (const SolveOutcome& outcome : solution.outcomes) {
     EXPECT_TRUE(outcome.optimal);
   }
+}
+
+TEST(ComponentPebblerTest, BorrowedPoolMatchesPrivatePoolByteForByte) {
+  // The engine's pool-reuse mode: fanning components across a borrowed
+  // ThreadPool must yield the exact solution (order, scheme, costs,
+  // provenance) of the historical construct-a-pool-per-call path and of
+  // the sequential path.
+  const LocalSearchPebbler local;
+  const GreedyWalkPebbler greedy;
+  const BipartiteGraph u = DisjointUnion(
+      DisjointUnion(WorstCaseFamily(4), CompleteBipartite(3, 3)),
+      DisjointUnion(PathGraph(5), StarGraph(4)));
+  const Graph g = u.ToGraph();
+
+  const ComponentPebbler sequential(&local, &greedy);
+  const PebbleSolution base = sequential.Solve(g);
+
+  ComponentPebbler::Options private_pool;
+  private_pool.threads = 3;
+  const ComponentPebbler with_private(&local, &greedy, private_pool);
+
+  ThreadPool shared(3);
+  ComponentPebbler::Options borrowed;
+  borrowed.threads = 3;
+  borrowed.pool = &shared;
+  const ComponentPebbler with_borrowed(&local, &greedy, borrowed);
+
+  for (const ComponentPebbler* driver : {&with_private, &with_borrowed}) {
+    const PebbleSolution got = driver->Solve(g);
+    EXPECT_EQ(got.edge_order, base.edge_order);
+    EXPECT_EQ(got.hat_cost, base.hat_cost);
+    EXPECT_EQ(got.effective_cost, base.effective_cost);
+    EXPECT_EQ(got.solver_used, base.solver_used);
+    ASSERT_EQ(got.outcomes.size(), base.outcomes.size());
+    for (size_t c = 0; c < got.outcomes.size(); ++c) {
+      EXPECT_EQ(got.outcomes[c].winner, base.outcomes[c].winner);
+      EXPECT_EQ(got.outcomes[c].attempts.size(),
+                base.outcomes[c].attempts.size());
+    }
+  }
+  // The borrowed pool survives the solves — it is not owned.
+  EXPECT_EQ(shared.num_threads(), 3);
+}
+
+TEST(ComponentPebblerTest, BorrowedPoolIsDroppedOnPoolWorkers) {
+  // A Solve issued from inside a pool worker must not fan out into the
+  // same pool (the worker would wait on itself). It degrades to the
+  // sequential path — and still produces identical bytes.
+  const GreedyWalkPebbler greedy;
+  const BipartiteGraph u =
+      DisjointUnion(CompleteBipartite(2, 3), PathGraph(4));
+  const Graph g = u.ToGraph();
+  const ComponentPebbler sequential(&greedy, nullptr);
+  const PebbleSolution base = sequential.Solve(g);
+
+  ThreadPool pool(2);
+  ComponentPebbler::Options borrowed;
+  borrowed.threads = 2;
+  borrowed.pool = &pool;
+  const ComponentPebbler nested(&greedy, nullptr, borrowed);
+  PebbleSolution from_worker;
+  pool.Submit([&] { from_worker = nested.Solve(g); });
+  pool.Drain();
+  EXPECT_EQ(from_worker.edge_order, base.edge_order);
+  EXPECT_EQ(from_worker.effective_cost, base.effective_cost);
+}
+
+TEST(ComponentPebblerTest, StagedSeamsComposeToSolve) {
+  // The pipeline seams — FindComponents, SolveDecomposed, VerifyAndCost —
+  // composed by hand must equal the one-call Solve.
+  const GreedyWalkPebbler greedy;
+  const ComponentPebbler driver(&greedy, nullptr);
+  const BipartiteGraph u =
+      DisjointUnion(WorstCaseFamily(3), CompleteBipartite(2, 2));
+  const Graph g = u.ToGraph();
+
+  const ComponentDecomposition decomp = FindComponents(g);
+  PebbleSolution staged = driver.SolveDecomposed(g, decomp, nullptr);
+  // SolveDecomposed leaves verification to the verify stage.
+  EXPECT_EQ(staged.hat_cost, 0);
+  EXPECT_TRUE(staged.scheme.configs.empty());
+  ComponentPebbler::VerifyAndCost(g, &staged);
+
+  const PebbleSolution direct = driver.Solve(g);
+  EXPECT_EQ(staged.edge_order, direct.edge_order);
+  EXPECT_EQ(staged.hat_cost, direct.hat_cost);
+  EXPECT_EQ(staged.effective_cost, direct.effective_cost);
+  EXPECT_EQ(staged.jumps, direct.jumps);
+  EXPECT_EQ(staged.num_components, direct.num_components);
+  EXPECT_TRUE(VerifyScheme(g, staged.scheme).valid);
 }
 
 TEST(ComponentPebblerTest, EdgeOrderCoversOriginalIds) {

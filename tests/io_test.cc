@@ -174,11 +174,11 @@ TEST(DotExportTest, ContainsAllVerticesAndEdges) {
   const std::string dot = ExportDot(g);
   EXPECT_NE(dot.find("graph join_graph {"), std::string::npos);
   for (int l = 0; l < g.left_size(); ++l) {
-    EXPECT_NE(dot.find("L" + std::to_string(l) + " [shape=box]"),
+    EXPECT_NE(dot.find(std::string("L") + std::to_string(l) + " [shape=box]"),
               std::string::npos);
   }
   for (const BipartiteGraph::Edge& e : g.edges()) {
-    EXPECT_NE(dot.find("L" + std::to_string(e.left) + " -- R" +
+    EXPECT_NE(dot.find(std::string("L") + std::to_string(e.left) + " -- R" +
                        std::to_string(e.right)),
               std::string::npos);
   }

@@ -1,0 +1,45 @@
+// Shared test helper: strip wall-clock noise out of analysis JSON so
+// byte-identity assertions compare structure and costs, not timers.
+
+#ifndef PEBBLEJOIN_TESTS_JSON_TEST_UTIL_H_
+#define PEBBLEJOIN_TESTS_JSON_TEST_UTIL_H_
+
+#include <cctype>
+#include <string>
+
+namespace pebblejoin {
+
+// Zeroes the values of timing-dependent JSON keys in place, leaving every
+// structural and cost field intact: any key ending in "_us" (stage and
+// per-attempt wall clocks), plus the budget bookkeeping whose values are
+// clock- or stride-dependent. The writer emits compact `"key":<int>`
+// members, so a linear scan suffices. tools/json_normalize.py applies the
+// same rule to CLI output in the shell-level tests.
+inline std::string NormalizeTimings(std::string json) {
+  size_t pos = 0;
+  while ((pos = json.find("\":", pos)) != std::string::npos) {
+    // The key that just closed: ["start, pos) with start after the quote.
+    const size_t key_end = pos;
+    size_t key_begin = key_end;
+    while (key_begin > 0 && json[key_begin - 1] != '"') --key_begin;
+    const std::string key = json.substr(key_begin, key_end - key_begin);
+    pos += 2;  // past ":
+    const bool timing =
+        (key.size() > 3 && key.compare(key.size() - 3, 3, "_us") == 0) ||
+        key == "budget_polls" || key == "budget_time_to_stop_ms";
+    if (!timing) continue;
+    size_t value_end = pos;
+    while (value_end < json.size() &&
+           (json[value_end] == '-' ||
+            std::isdigit(static_cast<unsigned char>(json[value_end])))) {
+      ++value_end;
+    }
+    if (value_end == pos) continue;  // not a bare integer value
+    json.replace(pos, value_end - pos, "0");
+  }
+  return json;
+}
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_TESTS_JSON_TEST_UTIL_H_

@@ -13,6 +13,7 @@
 #include "core/report.h"
 #include "graph/generators.h"
 #include "obs/json.h"
+#include "obs/json_value.h"
 #include "obs/metrics.h"
 #include "obs/solve_stats.h"
 #include "obs/trace.h"
@@ -282,6 +283,94 @@ TEST(StatsThreadingTest, AnalyzerEmitsTraceEvents) {
   const std::string json = trace.ToJson();
   EXPECT_NE(json.find("\"ladder\""), std::string::npos);
   EXPECT_NE(json.find("\"component\""), std::string::npos);
+}
+
+// --- JsonValue (the read side of JsonWriter) ------------------------------
+
+TEST(JsonValueTest, ParsesEveryKind) {
+  std::string error;
+  const std::optional<JsonValue> doc = JsonValue::Parse(
+      R"({"s": "hi", "n": 3.5, "i": -42, "b": true, "z": null,)"
+      R"( "a": [1, 2, 3], "o": {"k": false}})",
+      &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(doc->Find("s")->string_value(), "hi");
+  EXPECT_DOUBLE_EQ(doc->Find("n")->number_value(), 3.5);
+  EXPECT_FALSE(doc->Find("n")->int64_value().has_value());  // not integral
+  EXPECT_EQ(doc->Find("i")->int64_value().value_or(0), -42);
+  EXPECT_TRUE(doc->Find("b")->bool_value());
+  EXPECT_TRUE(doc->Find("z")->is_null());
+  ASSERT_TRUE(doc->Find("a")->is_array());
+  EXPECT_EQ(doc->Find("a")->array_items().size(), 3u);
+  EXPECT_FALSE(doc->Find("o")->Find("k")->bool_value());
+  EXPECT_EQ(doc->Find("missing"), nullptr);
+}
+
+TEST(JsonValueTest, RoundTripsJsonWriterOutput) {
+  // What the writer emits the reader must accept — the contract the batch
+  // runner's error records and analysis lines rest on.
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Field("text", "line1\nline2\t\"quoted\"");
+  writer.Field("count", int64_t{9007199254740993});
+  writer.Field("ratio", 1.25);
+  writer.EndObject();
+  std::string error;
+  const std::optional<JsonValue> doc = JsonValue::Parse(writer.str(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->Find("text")->string_value(), "line1\nline2\t\"quoted\"");
+  EXPECT_EQ(doc->Find("count")->int64_value().value_or(0),
+            9007199254740993);
+  EXPECT_DOUBLE_EQ(doc->Find("ratio")->number_value(), 1.25);
+}
+
+TEST(JsonValueTest, DecodesEscapesAndSurrogatePairs) {
+  std::string error;
+  const std::optional<JsonValue> doc =
+      JsonValue::Parse(R"("a\u00e9b\ud83d\ude00c\/d")", &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->string_value(),
+            "a\xC3\xA9"           // é
+            "b\xF0\x9F\x98\x80"   // 😀 via surrogate pair
+            "c/d");
+}
+
+TEST(JsonValueTest, RejectsMalformedInputWithByteOffsets) {
+  const char* bad[] = {
+      "",             // empty
+      "{",            // unterminated object
+      "[1, 2",        // unterminated array
+      "{\"a\" 1}",    // missing colon
+      "tru",          // bad literal
+      "1.2.3",        // trailing characters
+      "\"\\u12\"",    // truncated escape
+      "\"\\ud800x\"", // unpaired high surrogate
+      "01e",          // bad exponent
+      "{} {}",        // two documents
+  };
+  for (const char* text : bad) {
+    std::string error;
+    EXPECT_FALSE(JsonValue::Parse(text, &error).has_value()) << text;
+    EXPECT_NE(error.find("at byte"), std::string::npos) << text;
+  }
+}
+
+TEST(JsonValueTest, DepthCapTurnsRecursionIntoAnError) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "[";
+  std::string error;
+  EXPECT_FALSE(JsonValue::Parse(deep, &error).has_value());
+  EXPECT_NE(error.find("nesting too deep"), std::string::npos);
+}
+
+TEST(JsonValueTest, DuplicateKeysKeepTheLastValue) {
+  std::string error;
+  const std::optional<JsonValue> doc =
+      JsonValue::Parse(R"({"k": 1, "k": 2})", &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->Find("k")->int64_value().value_or(0), 2);
+  EXPECT_EQ(doc->object_members().size(), 2u);  // order preserved
 }
 
 }  // namespace

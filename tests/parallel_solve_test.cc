@@ -23,6 +23,8 @@
 #include "solver/ils_pebbler.h"
 #include "util/budget.h"
 
+#include "json_test_util.h"
+
 namespace pebblejoin {
 namespace {
 
@@ -38,29 +40,6 @@ BipartiteGraph ManyComponentGraph() {
   g = DisjointUnion(g, RandomConnectedBipartite(3, 5, 8, /*seed=*/13));
   g = DisjointUnion(g, PathGraph(7));
   return g;
-}
-
-// Zeroes the values of timing-dependent JSON keys in place, leaving every
-// structural and cost field intact. The writer emits compact
-// `"key":<int>` members, so a linear scan suffices.
-std::string NormalizeTimings(std::string json) {
-  const char* kTimingKeys[] = {"elapsed_us", "solve_wall_us", "budget_polls",
-                               "budget_time_to_stop_ms"};
-  for (const char* key : kTimingKeys) {
-    const std::string needle = std::string("\"") + key + "\":";
-    size_t pos = 0;
-    while ((pos = json.find(needle, pos)) != std::string::npos) {
-      const size_t value_begin = pos + needle.size();
-      size_t value_end = value_begin;
-      while (value_end < json.size() &&
-             (json[value_end] == '-' || std::isdigit(json[value_end]))) {
-        ++value_end;
-      }
-      json.replace(value_begin, value_end - value_begin, "0");
-      pos = value_begin;
-    }
-  }
-  return json;
 }
 
 JoinAnalysis AnalyzeWithThreads(const BipartiteGraph& g, int threads) {

@@ -62,7 +62,7 @@ TEST(PropertyHarnessTest, VerifierAcceptsEverySolverOnConnectedGraphs) {
 
   constexpr int kSeeds = 125;  // x4 solvers = 500 solves
   for (uint64_t seed = 0; seed < kSeeds; ++seed) {
-    SCOPED_TRACE("seed=" + std::to_string(seed));
+    SCOPED_TRACE(std::string("seed=") + std::to_string(seed));
     int m = 0;
     const Graph g = RandomConnectedInstance(seed, &m);
 
@@ -99,7 +99,7 @@ TEST(PropertyHarnessTest, EquijoinShapesSolvePerfectly) {
 
   constexpr int kSeeds = 150;
   for (uint64_t seed = 0; seed < kSeeds; ++seed) {
-    SCOPED_TRACE("seed=" + std::to_string(seed));
+    SCOPED_TRACE(std::string("seed=") + std::to_string(seed));
     std::mt19937_64 rng(seed);
     const int blocks = 1 + static_cast<int>(rng() % 4);
     BipartiteGraph g = CompleteBipartite(1 + rng() % 4, 1 + rng() % 4);
@@ -127,7 +127,7 @@ TEST(PropertyHarnessTest, EffectiveCostIsAdditiveOverDisjointUnions) {
 
   constexpr int kSeeds = 120;
   for (uint64_t seed = 0; seed < kSeeds; ++seed) {
-    SCOPED_TRACE("seed=" + std::to_string(seed));
+    SCOPED_TRACE(std::string("seed=") + std::to_string(seed));
     std::mt19937_64 rng(seed);
     const BipartiteGraph a =
         RandomConnectedBipartite(3, 3, 5 + rng() % 5, rng());
@@ -162,7 +162,7 @@ TEST(PropertyHarnessTest, ExactOptimumFloorsEveryHeuristic) {
 
   constexpr int kSeeds = 120;
   for (uint64_t seed = 1000; seed < 1000 + kSeeds; ++seed) {
-    SCOPED_TRACE("seed=" + std::to_string(seed));
+    SCOPED_TRACE(std::string("seed=") + std::to_string(seed));
     std::mt19937_64 rng(seed);
     const int left = 2 + static_cast<int>(rng() % 2);
     const int right = 2 + static_cast<int>(rng() % 2);
@@ -191,7 +191,7 @@ TEST(PropertyHarnessTest, ExactOptimumFloorsEveryHeuristic) {
 TEST(PropertyHarnessTest, WorstCaseFamilyHitsTheorem33ClosedForm) {
   const ExactPebbler exact;
   for (int n : {3, 4}) {
-    SCOPED_TRACE("n=" + std::to_string(n));
+    SCOPED_TRACE(std::string("n=") + std::to_string(n));
     const Graph g = WorstCaseFamily(n).ToGraph();
     const auto order = exact.PebbleConnected(g);
     ASSERT_TRUE(order.has_value());

@@ -239,8 +239,8 @@ INSTANTIATE_TEST_SUITE_P(
     testing::Combine(testing::Values(7, 9, 11, 13, 15),
                      testing::Values<uint64_t>(1, 2, 3)),
     [](const testing::TestParamInfo<BridgeParam>& info) {
-      return "m" + std::to_string(std::get<0>(info.param)) + "_seed" +
-             std::to_string(std::get<1>(info.param));
+      return std::string("m") + std::to_string(std::get<0>(info.param)) +
+             "_seed" + std::to_string(std::get<1>(info.param));
     });
 
 // --- Suite 4: additivity (Lemma 2.2) across family pairs.

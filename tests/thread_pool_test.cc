@@ -73,7 +73,7 @@ TEST(ThreadPoolTest, ParallelForRethrowsLowestIndexFailure) {
   try {
     pool.ParallelFor(64, [](int i) {
       if (i == 3 || i == 17 || i == 40) {
-        throw std::runtime_error("boom at " + std::to_string(i));
+        throw std::runtime_error(std::string("boom at ") + std::to_string(i));
       }
     });
     FAIL() << "ParallelFor swallowed the task exception";

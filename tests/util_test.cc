@@ -149,8 +149,9 @@ TEST(StopwatchTest, MonotoneAndRestartable) {
   Stopwatch watch;
   const double first = watch.ElapsedSeconds();
   EXPECT_GE(first, 0.0);
-  for (volatile int i = 0; i < 100000; ++i) {
-  }
+  volatile int busy = 0;
+  for (int i = 0; i < 100000; ++i) busy = i;
+  (void)busy;
   const double second = watch.ElapsedSeconds();
   EXPECT_GE(second, first);
   // ElapsedMicros truncates to whole microseconds, so a read taken *after*
@@ -179,8 +180,9 @@ TEST(ScopedTimerTest, RecordsOnceOnDestruction) {
   {
     ScopedTimerT<RecordingSink> timer(&sink);
     EXPECT_EQ(sink.calls, 0);  // nothing recorded while alive
-    for (volatile int i = 0; i < 10000; ++i) {
-    }
+    volatile int busy = 0;
+    for (int i = 0; i < 10000; ++i) busy = i;
+    (void)busy;
   }
   EXPECT_EQ(sink.calls, 1);
   EXPECT_GE(sink.last_micros, 0);

@@ -1,0 +1,25 @@
+#!/usr/bin/env python3
+"""Zero the wall-clock fields of pebblejoin's analysis JSON.
+
+Reads JSON (or JSONL) on stdin and writes it back with every timing-
+dependent value replaced by 0: keys ending in `_us` (stage and per-attempt
+wall clocks), `budget_polls`, and `budget_time_to_stop_ms`. Structural and
+cost fields pass through untouched, so two runs of the same solve compare
+byte-identical afterwards. The C++ tests apply the same rule via
+tests/json_test_util.h.
+
+Usage:  pebblejoin analyze --json < g.txt | python3 tools/json_normalize.py
+"""
+
+import re
+import sys
+
+_TIMING = re.compile(r'"((?:[A-Za-z0-9_]+_us)|budget_polls|budget_time_to_stop_ms)":-?\d+')
+
+
+def normalize(text: str) -> str:
+    return _TIMING.sub(lambda m: '"%s":0' % m.group(1), text)
+
+
+if __name__ == "__main__":
+    sys.stdout.write(normalize(sys.stdin.read()))

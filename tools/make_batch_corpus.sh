@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Emits an N-line JSONL batch corpus on stdout: a mix of worst-case,
+# complete-bipartite, and random graphs, cycling through solvers and
+# predicates so a smoke run exercises several pipeline paths. CI feeds the
+# result to `pebblejoin batch` in the telemetry-validation step.
+#
+# Usage: PEBBLEJOIN_BIN=build/tools/pebblejoin tools/make_batch_corpus.sh [N]
+set -euo pipefail
+
+BIN="${PEBBLEJOIN_BIN:?set PEBBLEJOIN_BIN to the pebblejoin binary}"
+N="${1:-20}"
+
+json_line() {  # graph text on stdin; $1 = extra members ("" for none)
+  python3 -c '
+import json, sys
+graph = sys.stdin.read()
+extra = sys.argv[1] if len(sys.argv) > 1 else ""
+print("{\"graph\": %s%s}" % (json.dumps(graph), extra))
+' "${1:-}"
+}
+
+i=0
+while [ "$i" -lt "$N" ]; do
+  case $((i % 5)) in
+    0) "$BIN" gen worstcase $((4 + i % 3)) | json_line ;;
+    1) "$BIN" gen complete 3 $((2 + i % 4)) | json_line ', "predicate": "equijoin"' ;;
+    2) "$BIN" gen random 5 5 12 "$i" --connected | json_line ', "solver": "greedy"' ;;
+    3) "$BIN" gen random 4 6 10 "$i" | json_line ', "solver": "fallback", "deadline_ms": 50' ;;
+    4) "$BIN" gen worstcase 6 | json_line ', "solver": "ils"' ;;
+  esac
+  i=$((i + 1))
+done

@@ -13,6 +13,10 @@
 //   pebblejoin schedule [--k N] < g.txt          # k-buffer fetch schedule
 //   pebblejoin partition [--fragments N] < g.txt # Section-5 partitioning
 //   pebblejoin dot [--solve] < g.txt             # Graphviz rendering
+//   pebblejoin batch --jsonl IN.jsonl [--out OUT.jsonl] [--threads N]
+//                    [budget flags] [--batch-deadline-ms N]
+//                    [--admission queue|reject] [--solver NAME]
+//                    [--predicate NAME]
 //
 // Budget flags (analyze/solve): --deadline-ms N, --memory-mb N,
 // --node-budget N. Giving any of them without an explicit --solver selects
@@ -32,20 +36,33 @@
 // greedy, dfs-tree, local-search, ils, exact, fallback. Predicates:
 // equijoin, spatial, sets, general (affects reporting only).
 //
+// `batch` runs one solve per JSONL line through a shared SolveEngine
+// (engine/batch_runner.h): `--jsonl -` reads stdin, `--out` defaults to
+// stdout, `--threads` fans lines across the engine pool, the budget flags
+// set per-line defaults, and `--batch-deadline-ms` is an aggregate pool
+// whose exhaustion either queues (degraded solves) or rejects lines.
+//
 // Error discipline: every bad input — unknown flag, malformed number,
 // out-of-range parameter, unparsable graph — prints a one-line error to
 // stderr and exits nonzero. JP_CHECK aborts are reserved for library bugs.
+// Exit codes are distinct by failure class: 0 success, 1 runtime failure
+// (unparsable graph, unwritable output), 2 bad flags, 64 usage (no or
+// unknown command), 66 missing input file.
 
 #include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/analyzer.h"
 #include "core/report.h"
+#include "engine/batch_runner.h"
+#include "engine/names.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "graph/generators.h"
@@ -60,6 +77,13 @@
 
 namespace pebblejoin {
 namespace {
+
+// Exit codes, one per failure class, so scripts can branch on what went
+// wrong (asserted by tests/cli_smoke_test.sh).
+constexpr int kExitRuntime = 1;   // unparsable graph, unwritable output
+constexpr int kExitBadFlags = 2;  // a command was given bad flags
+constexpr int kExitUsage = 64;    // no command, or an unknown one
+constexpr int kExitMissingInput = 66;  // a named input file does not exist
 
 int Usage() {
   std::fprintf(
@@ -77,19 +101,23 @@ int Usage() {
       "  pebblejoin schedule [--k N] < graph\n"
       "  pebblejoin partition [--fragments N] < graph\n"
       "  pebblejoin dot [--solve] < graph\n"
+      "  pebblejoin batch --jsonl IN.jsonl [--out OUT.jsonl] [--threads N]\n"
+      "                   [budget flags] [--batch-deadline-ms N]\n"
+      "                   [--admission queue|reject] [--solver NAME]\n"
+      "                   [--predicate NAME]\n"
       "budget flags: --deadline-ms N  --memory-mb N  --node-budget N\n"
       "telemetry flags: --json  --stats  --trace-out FILE\n"
       "parallelism: --threads N (0 = one per hardware thread)\n"
-      "solvers: auto sort-merge greedy dfs-tree local-search ils exact "
-      "fallback\n"
-      "predicates: equijoin spatial sets general\n");
-  return 2;
+      "solvers: %s\n"
+      "predicates: %s\n",
+      SolverNameList(), PredicateNameList());
+  return kExitUsage;
 }
 
 // One-line bad-input report. Always nonzero.
 int Fail(const std::string& message) {
   std::fprintf(stderr, "error: %s\n", message.c_str());
-  return 2;
+  return kExitBadFlags;
 }
 
 // Strict integer parsing: the whole token must be a base-10 integer in
@@ -123,29 +151,8 @@ std::string ReadStdin() {
   return contents;
 }
 
-bool ParseSolver(const std::string& name, SolverChoice* choice) {
-  if (name == "auto") *choice = SolverChoice::kAuto;
-  else if (name == "sort-merge") *choice = SolverChoice::kSortMerge;
-  else if (name == "greedy") *choice = SolverChoice::kGreedyWalk;
-  else if (name == "dfs-tree") *choice = SolverChoice::kDfsTree;
-  else if (name == "local-search") *choice = SolverChoice::kLocalSearch;
-  else if (name == "ils") *choice = SolverChoice::kIls;
-  else if (name == "exact") *choice = SolverChoice::kExact;
-  else if (name == "fallback") *choice = SolverChoice::kFallback;
-  else return false;
-  return true;
-}
-
-bool ParsePredicate(const std::string& name, PredicateClass* predicate) {
-  if (name == "equijoin") *predicate = PredicateClass::kEquality;
-  else if (name == "spatial") *predicate = PredicateClass::kSpatialOverlap;
-  else if (name == "sets") *predicate = PredicateClass::kSetContainment;
-  else if (name == "general") *predicate = PredicateClass::kGeneral;
-  else return false;
-  return true;
-}
-
-// Shared flags of the analyze/solve commands.
+// Shared flags of the analyze/solve commands. Solver and predicate names
+// parse through engine/names.h, the same mapping `batch` lines use.
 struct SolveFlags {
   SolverChoice solver = SolverChoice::kAuto;
   bool solver_set = false;
@@ -180,16 +187,16 @@ bool ParseSolveFlags(int argc, char** argv, int start, bool allow_explain,
       flags->trace_out = value;
       ++i;
     } else if (flag == "--solver") {
-      if (value == nullptr || !ParseSolver(value, &flags->solver)) {
-        Fail("--solver needs one of: auto sort-merge greedy dfs-tree "
-             "local-search ils exact fallback");
+      if (value == nullptr || !ParseSolverName(value, &flags->solver)) {
+        Fail(std::string("--solver needs one of: ") + SolverNameList());
         return false;
       }
       flags->solver_set = true;
       ++i;
     } else if (flag == "--predicate") {
-      if (value == nullptr || !ParsePredicate(value, &flags->predicate)) {
-        Fail("--predicate needs one of: equijoin spatial sets general");
+      if (value == nullptr ||
+          !ParsePredicateName(value, &flags->predicate)) {
+        Fail(std::string("--predicate needs one of: ") + PredicateNameList());
         return false;
       }
       ++i;
@@ -317,15 +324,19 @@ int CmdGen(int argc, char** argv) {
 // printing the error) when the trace file could not be written.
 bool RunAnalysis(const SolveFlags& flags, const BipartiteGraph& g,
                  JoinAnalysis* analysis) {
-  if (flags.json || flags.stats) {
-    MetricsRegistry::Default()->set_enabled(true);
-  }
   TraceSession trace;
   AnalyzerOptions options;
   options.solver = flags.solver;
   options.budget = flags.budget;
   options.threads = flags.threads;
   if (!flags.trace_out.empty()) options.trace = &trace;
+  if (flags.json || flags.stats) {
+    // The process-global registry is the CLI's explicit opt-in — library
+    // code publishes only into the engine's session registry unless a
+    // surface injects one.
+    MetricsRegistry::Default()->set_enabled(true);
+    options.metrics = MetricsRegistry::Default();
+  }
   const JoinAnalyzer analyzer(options);
   *analysis = analyzer.AnalyzeJoinGraph(g, flags.predicate);
   if (!flags.trace_out.empty()) {
@@ -531,6 +542,139 @@ int CmdDot(int argc, char** argv) {
   return 0;
 }
 
+int CmdBatch(int argc, char** argv) {
+  std::string in_path;   // required; "-" = stdin
+  std::string out_path;  // empty or "-" = stdout
+  BatchRunner::Options options;
+  SolveBudget budget;
+  bool budget_set = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (flag == "--jsonl") {
+      if (value == nullptr || *value == '\0') {
+        return Fail("--jsonl needs a file path ('-' = stdin)");
+      }
+      in_path = value;
+      ++i;
+    } else if (flag == "--out") {
+      if (value == nullptr || *value == '\0') {
+        return Fail("--out needs a file path ('-' = stdout)");
+      }
+      out_path = value;
+      ++i;
+    } else if (flag == "--threads") {
+      int threads = 0;
+      if (value == nullptr || !ParseInt32(value, &threads) || threads < 0 ||
+          threads > 4096) {
+        return Fail("--threads needs an integer in [0, 4096] (0 = hardware)");
+      }
+      options.threads =
+          threads == 0 ? ThreadPool::DefaultThreads() : threads;
+      ++i;
+    } else if (flag == "--deadline-ms") {
+      int64_t ms = 0;
+      if (value == nullptr || !ParseInt64(value, &ms) || ms < 0) {
+        return Fail("--deadline-ms needs a non-negative integer");
+      }
+      budget.deadline_ms = ms;
+      budget_set = true;
+      ++i;
+    } else if (flag == "--node-budget") {
+      int64_t nodes = 0;
+      if (value == nullptr || !ParseInt64(value, &nodes) || nodes < 0) {
+        return Fail("--node-budget needs a non-negative integer");
+      }
+      budget.node_budget = nodes;
+      budget_set = true;
+      ++i;
+    } else if (flag == "--memory-mb") {
+      int64_t mb = 0;
+      if (value == nullptr || !ParseInt64(value, &mb) || mb < 0 ||
+          mb > (int64_t{1} << 40)) {
+        return Fail("--memory-mb needs a non-negative integer");
+      }
+      budget.memory_limit_bytes = mb << 20;
+      budget_set = true;
+      ++i;
+    } else if (flag == "--batch-deadline-ms") {
+      int64_t ms = 0;
+      if (value == nullptr || !ParseInt64(value, &ms) || ms < 0) {
+        return Fail("--batch-deadline-ms needs a non-negative integer");
+      }
+      options.batch_deadline_ms = ms;
+      ++i;
+    } else if (flag == "--admission") {
+      if (value != nullptr && std::string(value) == "queue") {
+        options.admission = BatchRunner::Admission::kQueue;
+      } else if (value != nullptr && std::string(value) == "reject") {
+        options.admission = BatchRunner::Admission::kReject;
+      } else {
+        return Fail("--admission needs 'queue' or 'reject'");
+      }
+      ++i;
+    } else if (flag == "--solver") {
+      SolverChoice choice = SolverChoice::kAuto;
+      if (value == nullptr || !ParseSolverName(value, &choice)) {
+        return Fail(std::string("--solver needs one of: ") + SolverNameList());
+      }
+      options.default_solver = choice;
+      ++i;
+    } else if (flag == "--predicate") {
+      if (value == nullptr ||
+          !ParsePredicateName(value, &options.default_predicate)) {
+        return Fail(std::string("--predicate needs one of: ") +
+                    PredicateNameList());
+      }
+      ++i;
+    } else {
+      return Fail("unknown flag '" + flag + "'");
+    }
+  }
+  if (in_path.empty()) {
+    return Fail("batch needs --jsonl FILE ('-' = stdin)");
+  }
+  if (budget_set) options.default_budget = budget;
+
+  std::ifstream in_file;
+  if (in_path != "-") {
+    in_file.open(in_path);
+    if (!in_file.is_open()) {
+      std::fprintf(stderr, "error: cannot open input file '%s'\n",
+                   in_path.c_str());
+      return kExitMissingInput;
+    }
+  }
+  std::istream& in = in_path == "-" ? std::cin : in_file;
+
+  std::ofstream out_file;
+  if (!out_path.empty() && out_path != "-") {
+    out_file.open(out_path);
+    if (!out_file.is_open()) {
+      std::fprintf(stderr, "error: cannot open output file '%s'\n",
+                   out_path.c_str());
+      return kExitRuntime;
+    }
+  }
+  std::ostream& out = out_file.is_open() ? out_file : std::cout;
+
+  SolveEngine engine;
+  BatchRunner runner(&engine, options);
+  const BatchRunner::Summary summary = runner.Run(in, out);
+  // Stdout is pure JSONL; the tallies go to stderr.
+  std::fprintf(stderr,
+               "batch: %lld lines, %lld solved, %lld errors, %lld rejected\n",
+               static_cast<long long>(summary.lines_read),
+               static_cast<long long>(summary.solved),
+               static_cast<long long>(summary.errors),
+               static_cast<long long>(summary.rejected));
+  if (out_file.is_open() && !out_file.good()) {
+    std::fprintf(stderr, "error: writing '%s' failed\n", out_path.c_str());
+    return kExitRuntime;
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
@@ -542,6 +686,7 @@ int Main(int argc, char** argv) {
   if (command == "schedule") return CmdSchedule(argc, argv);
   if (command == "partition") return CmdPartition(argc, argv);
   if (command == "dot") return CmdDot(argc, argv);
+  if (command == "batch") return CmdBatch(argc, argv);
   return Usage();
 }
 
