@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "obs/json.h"
+#include "obs/metrics.h"
 
 namespace pebblejoin {
 
@@ -54,6 +55,21 @@ std::string FormatAnalysis(const JoinAnalysis& analysis, bool with_stats) {
     out += line;
     out += analysis.solution.outcomes[c].Summary(with_stats);
     out += '\n';
+  }
+  if (with_stats && !analysis.solution.component_wall_us.empty()) {
+    // Exact nearest-rank percentiles over the per-component wall clocks —
+    // the tail profile of the fan-out, not just its sum.
+    std::snprintf(
+        line, sizeof(line),
+        "component wall : p50=%lldus p95=%lldus p99=%lldus (%zu components)\n",
+        static_cast<long long>(
+            PercentileOfSamples(analysis.solution.component_wall_us, 0.50)),
+        static_cast<long long>(
+            PercentileOfSamples(analysis.solution.component_wall_us, 0.95)),
+        static_cast<long long>(
+            PercentileOfSamples(analysis.solution.component_wall_us, 0.99)),
+        analysis.solution.component_wall_us.size());
+    out += line;
   }
   if (with_stats) {
     out += "solver stats   :\n";
@@ -118,6 +134,15 @@ void WriteAnalysisJson(const JoinAnalysis& analysis, JsonWriter* json) {
   json->Field("effective_cost", analysis.solution.effective_cost);
   json->Field("jumps", analysis.solution.jumps);
   json->Field("num_components", analysis.solution.num_components);
+  // Per-component wall-clock percentiles (-1 on an empty graph). The
+  // `_us` suffix keeps them inside the timing-normalization contract
+  // (tools/json_normalize.py, tests/json_test_util.h).
+  json->Field("component_wall_p50_us",
+              PercentileOfSamples(analysis.solution.component_wall_us, 0.50));
+  json->Field("component_wall_p95_us",
+              PercentileOfSamples(analysis.solution.component_wall_us, 0.95));
+  json->Field("component_wall_p99_us",
+              PercentileOfSamples(analysis.solution.component_wall_us, 0.99));
   json->Key("solver_used");
   json->BeginArray();
   for (const std::string& name : analysis.solution.solver_used) {

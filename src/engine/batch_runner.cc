@@ -11,6 +11,8 @@
 #include "io/graph_io.h"
 #include "obs/json.h"
 #include "obs/json_value.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -65,8 +67,17 @@ int64_t BatchRunner::NowMs() const {
 }
 
 std::string BatchRunner::RunLine(const std::string& line, int64_t line_number,
-                                 LineKind* kind) {
-  *kind = LineKind::kError;
+                                 LineOutcome* outcome) {
+  const int64_t start_ms = NowMs();
+  std::string result = RunLineImpl(line, line_number, start_ms, outcome);
+  outcome->latency_ms = NowMs() - start_ms;
+  return result;
+}
+
+std::string BatchRunner::RunLineImpl(const std::string& line,
+                                     int64_t line_number, int64_t start_ms,
+                                     LineOutcome* outcome) {
+  outcome->kind = LineKind::kError;
 
   std::string error;
   const std::optional<JsonValue> doc = JsonValue::Parse(line, &error);
@@ -137,15 +148,16 @@ std::string BatchRunner::RunLine(const std::string& line, int64_t line_number,
   // ladder, which degrades instead of refusing.
   if (budget_set && !solver.has_value()) solver = SolverChoice::kFallback;
 
-  // Admission against the aggregate pool. The check reads the clock once,
-  // when the line starts — under fan-out that is the worker's start time,
-  // which is exactly the admission semantics a shared pool implies.
+  // Admission against the aggregate pool, judged at the line's start time
+  // (the same clock read the latency measurement took) — under fan-out
+  // that is the worker's start, which is exactly the admission semantics
+  // a shared pool implies.
   if (options_.batch_deadline_ms >= 0) {
     const int64_t remaining =
         std::max<int64_t>(0, options_.batch_deadline_ms -
-                                 (NowMs() - batch_start_ms_));
+                                 (start_ms - batch_start_ms_));
     if (remaining == 0 && options_.admission == Admission::kReject) {
-      *kind = LineKind::kRejected;
+      outcome->kind = LineKind::kRejected;
       return ErrorRecord(line_number, "rejected: batch deadline exhausted");
     }
     // kQueue (or a pool with time left): the line runs under what remains.
@@ -158,15 +170,80 @@ std::string BatchRunner::RunLine(const std::string& line, int64_t line_number,
   request.graph = &*graph;
   request.predicate = predicate;
   request.solver = solver;
+  request.journal_line = line_number;
   if (budget_set || options_.batch_deadline_ms >= 0) request.budget = budget;
   const SolveResult result = engine_->Solve(request);
-  *kind = LineKind::kSolved;
+  outcome->kind = LineKind::kSolved;
+  for (const SolveOutcome& component : result.analysis.solution.outcomes) {
+    if (component.degraded()) {
+      outcome->degraded = true;
+      break;
+    }
+  }
   return AnalysisJson(result.analysis);
 }
 
 BatchRunner::Summary BatchRunner::Run(std::istream& in, std::ostream& out) {
   batch_start_ms_ = NowMs();
   Summary summary;
+
+  // Batch-level event carrier: batch.begin/progress/reject/end tee into
+  // the engine's journal, and the retained ring is dumped when the first
+  // line is rejected — the batch history is the postmortem for "why did
+  // the pool run dry here". Lives on the owning thread only.
+  Journal* journal = engine_->defaults().journal;
+  std::optional<EventLog> batch_log;
+  if (journal != nullptr) {
+    batch_log.emplace(journal, engine_->defaults().flight_recorder);
+    batch_log->Emit(LogLevel::kInfo, "batch.begin",
+                    {LogField::Num("expected_lines", options_.expected_lines),
+                     LogField::Num("threads", options_.threads)});
+  }
+
+  std::vector<int64_t> latencies_ms;
+  bool dumped_on_reject = false;
+  int64_t last_progress_ms = batch_start_ms_;
+
+  // One progress report: a stderr-style line on options_.progress plus a
+  // "batch.progress" journal event. Runs after a block, on the owning
+  // thread, entirely on the injectable clock — deterministic under
+  // FakeClock, which is what the batch_runner tests pin.
+  const auto report_progress = [&]() {
+    const int64_t done = static_cast<int64_t>(latencies_ms.size());
+    const int64_t elapsed_ms = NowMs() - batch_start_ms_;
+    const int64_t p50 = PercentileOfSamples(latencies_ms, 0.50);
+    const int64_t p95 = PercentileOfSamples(latencies_ms, 0.95);
+    int64_t eta_ms = -1;
+    if (options_.expected_lines >= 0 && done > 0) {
+      eta_ms = elapsed_ms * (options_.expected_lines - done) / done;
+      if (eta_ms < 0) eta_ms = 0;
+    }
+    if (options_.progress != nullptr) {
+      std::ostream& prog = *options_.progress;
+      prog << "batch: " << done;
+      if (options_.expected_lines >= 0) prog << "/" << options_.expected_lines;
+      prog << " solved=" << summary.solved << " errors=" << summary.errors
+           << " rejected=" << summary.rejected
+           << " degraded=" << summary.degraded << " p50=" << p50
+           << "ms p95=" << p95 << "ms";
+      if (eta_ms >= 0) prog << " eta=" << eta_ms << "ms";
+      prog << "\n";
+      prog.flush();
+    }
+    if (batch_log.has_value()) {
+      batch_log->Emit(LogLevel::kInfo, "batch.progress",
+                      {LogField::Num("done", done),
+                       LogField::Num("total", options_.expected_lines),
+                       LogField::Num("solved", summary.solved),
+                       LogField::Num("errors", summary.errors),
+                       LogField::Num("rejected", summary.rejected),
+                       LogField::Num("degraded", summary.degraded),
+                       LogField::Num("latency_p50_ms", p50),
+                       LogField::Num("latency_p95_ms", p95),
+                       LogField::Num("elapsed_ms", elapsed_ms),
+                       LogField::Num("eta_ms", eta_ms)});
+    }
+  };
 
   // Block ids are global line numbers (1-based, blank lines included) so
   // error records point at the line the user can see in the input file.
@@ -195,9 +272,9 @@ BatchRunner::Summary BatchRunner::Run(std::istream& in, std::ostream& out) {
 
     const int n = static_cast<int>(block.size());
     std::vector<std::string> results(n);
-    std::vector<LineKind> kinds(n, LineKind::kError);
+    std::vector<LineOutcome> outcomes(n);
     const auto run_one = [&](int i) {
-      results[i] = RunLine(block[i].text, block[i].number, &kinds[i]);
+      results[i] = RunLine(block[i].text, block[i].number, &outcomes[i]);
     };
     const int threads = std::min(options_.threads, n);
     if (threads > 1) {
@@ -209,19 +286,56 @@ BatchRunner::Summary BatchRunner::Run(std::istream& in, std::ostream& out) {
     // Emit in input order regardless of completion order.
     for (int i = 0; i < n; ++i) {
       out << results[i] << '\n';
-      switch (kinds[i]) {
+      latencies_ms.push_back(outcomes[i].latency_ms);
+      switch (outcomes[i].kind) {
         case LineKind::kSolved:
           ++summary.solved;
+          if (outcomes[i].degraded) ++summary.degraded;
           break;
         case LineKind::kError:
           ++summary.errors;
           break;
         case LineKind::kRejected:
           ++summary.rejected;
+          if (batch_log.has_value()) {
+            batch_log->Emit(
+                LogLevel::kWarn, "batch.reject",
+                {LogField::Num("line", block[i].number),
+                 LogField::Str("reason", "batch deadline exhausted")});
+            if (!dumped_on_reject) {
+              batch_log->DumpFlightRecorder("batch-line-rejected");
+              dumped_on_reject = true;
+            }
+          }
           break;
       }
     }
     out.flush();
+
+    if (options_.progress_every_ms >= 0) {
+      const int64_t now_ms = NowMs();
+      if (options_.progress_every_ms == 0 ||
+          now_ms - last_progress_ms >= options_.progress_every_ms) {
+        report_progress();
+        last_progress_ms = now_ms;
+      }
+    }
+  }
+
+  summary.latency_p50_ms = PercentileOfSamples(latencies_ms, 0.50);
+  summary.latency_p95_ms = PercentileOfSamples(latencies_ms, 0.95);
+  summary.latency_p99_ms = PercentileOfSamples(latencies_ms, 0.99);
+  if (batch_log.has_value()) {
+    batch_log->Emit(LogLevel::kInfo, "batch.end",
+                    {LogField::Num("lines", summary.lines_read),
+                     LogField::Num("solved", summary.solved),
+                     LogField::Num("errors", summary.errors),
+                     LogField::Num("rejected", summary.rejected),
+                     LogField::Num("degraded", summary.degraded),
+                     LogField::Num("latency_p50_ms", summary.latency_p50_ms),
+                     LogField::Num("latency_p95_ms", summary.latency_p95_ms),
+                     LogField::Num("latency_p99_ms", summary.latency_p99_ms),
+                     LogField::Num("elapsed_ms", NowMs() - batch_start_ms_)});
   }
   return summary;
 }

@@ -34,6 +34,15 @@
 //   - kReject: the line is not solved at all and yields an error record
 //     ("rejected: batch deadline exhausted").
 // A line's own deadline_ms is additionally clamped to the remaining pool.
+//
+// Live progress: with Options::progress_every_ms >= 0 the runner reports
+// after blocks — lines done (of expected, when known), reject/degradation
+// tallies, p50/p95 line latency, and an ETA — as one stderr-style line on
+// Options::progress and as "batch.progress" journal events. The cadence
+// runs on the injectable clock, so tests pin the reports byte-for-byte.
+// With a journal configured on the engine, the runner also keeps its own
+// flight recorder of batch-level events and dumps it when the first line
+// is rejected (see docs/observability.md).
 
 #ifndef PEBBLEJOIN_ENGINE_BATCH_RUNNER_H_
 #define PEBBLEJOIN_ENGINE_BATCH_RUNNER_H_
@@ -73,6 +82,18 @@ class BatchRunner {
     // Milliseconds on an arbitrary monotone scale; tests inject
     // FakeClock::AsFunction(). nullptr uses the real steady clock.
     std::function<int64_t()> clock;
+    // Live progress cadence, on the same clock: after a block completes,
+    // a report is due once this many milliseconds passed since the last
+    // one. 0 reports after every block (what the FakeClock tests pin);
+    // negative (the default) disables progress entirely.
+    int64_t progress_every_ms = -1;
+    // Stream for the one-line human progress reports (e.g. &std::cerr).
+    // Borrowed, may be null — with a journal configured on the engine,
+    // "batch.progress" events are still emitted when a report is due.
+    std::ostream* progress = nullptr;
+    // Total non-blank lines expected, when the caller knows it (file
+    // input); enables the done/total and ETA fields. Negative = unknown.
+    int64_t expected_lines = -1;
   };
 
   struct Summary {
@@ -80,6 +101,13 @@ class BatchRunner {
     int64_t solved = 0;
     int64_t errors = 0;    // malformed lines (parse/validation failures)
     int64_t rejected = 0;  // admission kReject after pool exhaustion
+    int64_t degraded = 0;  // solved lines whose outcome was budget-cut
+    // Per-line wall-clock percentiles (parse + solve, milliseconds, on
+    // the injectable clock), nearest-rank over every processed line; -1
+    // when the batch was empty.
+    int64_t latency_p50_ms = -1;
+    int64_t latency_p95_ms = -1;
+    int64_t latency_p99_ms = -1;
   };
 
   // The engine is borrowed and must outlive the runner; its pool carries
@@ -91,11 +119,22 @@ class BatchRunner {
   Summary Run(std::istream& in, std::ostream& out);
 
  private:
-  // Parses and solves one line; returns the output line (no newline).
-  // `kind` reports how the line was disposed for the summary.
   enum class LineKind { kSolved, kError, kRejected };
+
+  // How one line was disposed, for the summary and the progress reports.
+  struct LineOutcome {
+    LineKind kind = LineKind::kError;
+    bool degraded = false;    // solved, but the outcome was budget-cut
+    int64_t latency_ms = 0;   // parse + solve wall clock
+  };
+
+  // Parses and solves one line; returns the output line (no newline) and
+  // fills `outcome`. RunLine wraps RunLineImpl with the latency clock;
+  // `start_ms` (the wrapper's first read) doubles as the admission time.
   std::string RunLine(const std::string& line, int64_t line_number,
-                      LineKind* kind);
+                      LineOutcome* outcome);
+  std::string RunLineImpl(const std::string& line, int64_t line_number,
+                          int64_t start_ms, LineOutcome* outcome);
 
   int64_t NowMs() const;
 

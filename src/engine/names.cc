@@ -30,4 +30,26 @@ const char* SolverNameList() {
 
 const char* PredicateNameList() { return "equijoin spatial sets general"; }
 
+const char* SolverChoiceName(SolverChoice choice) {
+  switch (choice) {
+    case SolverChoice::kAuto:
+      return "auto";
+    case SolverChoice::kSortMerge:
+      return "sort-merge";
+    case SolverChoice::kGreedyWalk:
+      return "greedy";
+    case SolverChoice::kDfsTree:
+      return "dfs-tree";
+    case SolverChoice::kLocalSearch:
+      return "local-search";
+    case SolverChoice::kIls:
+      return "ils";
+    case SolverChoice::kExact:
+      return "exact";
+    case SolverChoice::kFallback:
+      return "fallback";
+  }
+  return "?";
+}
+
 }  // namespace pebblejoin

@@ -27,6 +27,9 @@ bool ParsePredicateName(const std::string& name, PredicateClass* predicate);
 const char* SolverNameList();
 const char* PredicateNameList();
 
+// The inverse of ParseSolverName: the wire spelling of `choice`.
+const char* SolverChoiceName(SolverChoice choice);
+
 }  // namespace pebblejoin
 
 #endif  // PEBBLEJOIN_ENGINE_NAMES_H_

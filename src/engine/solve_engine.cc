@@ -1,7 +1,10 @@
 #include "engine/solve_engine.h"
 
+#include <optional>
+#include <string>
 #include <utility>
 
+#include "engine/names.h"
 #include "graph/components.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
@@ -92,6 +95,24 @@ SolveResult SolveEngine::Solve(const SolveRequest& request) {
   analysis.right_size = request.graph->right_size();
   analysis.output_size = request.graph->num_edges();
 
+  // Per-request event carrier: tees into the session journal and retains
+  // the flight-recorder ring. Built only when a journal is configured.
+  std::optional<EventLog> event_log;
+  EventLog* log = nullptr;
+  if (defaults.journal != nullptr) {
+    event_log.emplace(defaults.journal, defaults.flight_recorder);
+    if (request.journal_line >= 0) {
+      event_log->AddBaseField(LogField::Num("line", request.journal_line));
+    }
+    log = &*event_log;
+    log->Emit(LogLevel::kDebug, "solve.begin",
+              {LogField::Num("left", analysis.left_size),
+               LogField::Num("right", analysis.right_size),
+               LogField::Num("edges", analysis.output_size),
+               LogField::Str("solver", SolverChoiceName(solver)),
+               LogField::Num("threads", threads)});
+  }
+
   // --- build: flatten the bipartite join graph ---------------------------
   Stopwatch stage;
   const Graph flat = request.graph->ToGraph();
@@ -117,13 +138,26 @@ SolveResult SolveEngine::Solve(const SolveRequest& request) {
   BudgetContext budget_ctx(budget);
   budget_ctx.set_stats(&stats);
   budget_ctx.set_trace(trace);
+  budget_ctx.set_log(log);
   Stopwatch solve_clock;
   analysis.solution = driver.SolveDecomposed(flat, decomp, &budget_ctx);
   stats.stage_solve_us = stage.ElapsedMicros();
 
   // --- verify: induced scheme + verifier-backed costs --------------------
   stage.Restart();
-  ComponentPebbler::VerifyAndCost(flat, &analysis.solution);
+  std::string verify_error;
+  const bool verified =
+      ComponentPebbler::TryVerifyAndCost(flat, &analysis.solution,
+                                         &verify_error);
+  if (!verified && log != nullptr) {
+    // Flush the postmortem trail before the abort the verify contract
+    // demands — an invalid scheme is a library bug, and the retained
+    // events are the only record of how the solve got there.
+    log->Emit(LogLevel::kError, "verify.failed",
+              {LogField::Str("error", verify_error)});
+    log->DumpFlightRecorder("verifier-failure");
+  }
+  JP_CHECK_MSG(verified, verify_error.c_str());
   stats.stage_verify_us = stage.ElapsedMicros();
 
   // --- report: derived fields, budget bookkeeping, metrics publish -------
@@ -143,6 +177,31 @@ SolveResult SolveEngine::Solve(const SolveRequest& request) {
   // injected one). Never the process-global default: that is the caller's
   // explicit opt-in.
   stats.PublishTo(metrics());
+
+  if (log != nullptr) {
+    // A degraded outcome gets its postmortem trail now, while the ring
+    // still holds the rung/component events that explain it.
+    std::string dump_reason;
+    if (budget_ctx.stopped()) {
+      dump_reason = BudgetStopName(budget_ctx.stop_reason());
+    } else {
+      for (const SolveOutcome& outcome : analysis.solution.outcomes) {
+        if (outcome.degraded()) {
+          dump_reason =
+              std::string("degraded:") + RungStatusName(outcome.degradation);
+          break;
+        }
+      }
+    }
+    if (!dump_reason.empty()) log->DumpFlightRecorder(dump_reason);
+    log->Emit(LogLevel::kInfo, "solve.end",
+              {LogField::Num("cost", analysis.solution.effective_cost),
+               LogField::Num("jumps", analysis.solution.jumps),
+               LogField::Num("components", analysis.solution.num_components),
+               LogField::Flag("degraded", !dump_reason.empty()),
+               LogField::Str("stop", BudgetStopName(budget_ctx.stop_reason())),
+               LogField::Num("wall_us", stats.solve_wall_us)});
+  }
   return result;
 }
 

@@ -43,6 +43,7 @@
 #include "core/classifier.h"
 #include "graph/bipartite_graph.h"
 #include "join/predicates.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/solve_stats.h"
 #include "solver/component_pebbler.h"
@@ -98,6 +99,14 @@ struct AnalyzerOptions {
   // surface that wants process-global metrics (the CLI, a server) injects
   // it here explicitly.
   MetricsRegistry* metrics = nullptr;
+  // Event journal (obs/log.h) the requests emit into: solve begin/end,
+  // per-rung and per-component events, and the flight-recorder dump every
+  // degraded outcome triggers. Borrowed, never owned; nullptr disables
+  // journaling entirely (no per-request EventLog is built).
+  Journal* journal = nullptr;
+  // Flight-recorder ring capacity: how many trailing events each request
+  // retains for the postmortem dump. Only read when `journal` is set.
+  int flight_recorder = EventLog::kDefaultCapacity;
 };
 
 // Everything the analyzer learned about one join.
@@ -128,6 +137,10 @@ struct SolveRequest {
   std::optional<int> threads;
   // Per-request trace sink; overrides the engine default when non-null.
   TraceSession* trace = nullptr;
+  // Input-line attribution for journal events (>= 0 stamps a "line" base
+  // field on every event of this request). The batch runner sets it so a
+  // shared journal stays attributable across interleaved lines.
+  int64_t journal_line = -1;
 };
 
 // What one request produced. Thin on purpose: the analysis carries the

@@ -1,8 +1,22 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
 #include "obs/json.h"
 
 namespace pebblejoin {
+
+int64_t PercentileOfSamples(std::vector<int64_t> samples, double q) {
+  if (samples.empty()) return -1;
+  std::sort(samples.begin(), samples.end());
+  q = std::min(1.0, std::max(0.0, q));
+  auto rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(samples.size())));
+  rank = std::min(samples.size(), std::max<size_t>(1, rank));
+  return samples[rank - 1];
+}
 
 namespace obs_internal {
 
@@ -42,6 +56,38 @@ void HistogramCell::Record(int64_t value) {
   sum.fetch_add(value, std::memory_order_relaxed);
   AtomicMin(&min, value);
   AtomicMax(&max, value);
+}
+
+int64_t HistogramCell::ApproxQuantile(double q) const {
+  const int64_t n = count.load(std::memory_order_relaxed);
+  if (n <= 0) return -1;
+  q = std::min(1.0, std::max(0.0, q));
+  int64_t rank =
+      static_cast<int64_t>(std::ceil(q * static_cast<double>(n)));
+  rank = std::min(n, std::max<int64_t>(1, rank));
+  int64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const int64_t in_bucket = buckets[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (seen + in_bucket >= rank) {
+      const int64_t lower = i == 0 ? 0 : int64_t{1} << (i - 1);
+      const int64_t upper =
+          i == 0 ? 1 : (i >= 63 ? INT64_MAX : int64_t{1} << i);
+      // Interpolate at the rank's midpoint inside the bucket, then clamp
+      // to the observed range — a single-valued histogram is exact.
+      const double within =
+          (static_cast<double>(rank - seen) - 0.5) /
+          static_cast<double>(in_bucket);
+      int64_t estimate =
+          lower + static_cast<int64_t>(
+                      static_cast<double>(upper - lower) * within);
+      estimate = std::max(estimate, min.load(std::memory_order_relaxed));
+      estimate = std::min(estimate, max.load(std::memory_order_relaxed));
+      return estimate;
+    }
+    seen += in_bucket;
+  }
+  return max.load(std::memory_order_relaxed);
 }
 
 }  // namespace obs_internal
@@ -104,6 +150,9 @@ void MetricsRegistry::WriteSnapshotJson(JsonWriter* json) const {
     if (count > 0) {
       json->Field("min", cell->min.load(std::memory_order_relaxed));
       json->Field("max", cell->max.load(std::memory_order_relaxed));
+      json->Field("p50", cell->ApproxQuantile(0.50));
+      json->Field("p95", cell->ApproxQuantile(0.95));
+      json->Field("p99", cell->ApproxQuantile(0.99));
     }
     json->Key("buckets");
     json->BeginObject();
@@ -128,6 +177,66 @@ std::string MetricsRegistry::SnapshotJson() const {
   JsonWriter json;
   WriteSnapshotJson(&json);
   return json.TakeString();
+}
+
+namespace {
+
+// Maps a registry name onto the OpenMetrics charset [a-zA-Z0-9_:] under
+// the pebblejoin_ prefix: "solve.wall_us" -> "pebblejoin_solve_wall_us".
+std::string OpenMetricsName(const std::string& name) {
+  std::string out = "pebblejoin_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+void MetricsRegistry::WriteOpenMetrics(std::ostream* out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, cell] : counters_) {
+    const std::string metric = OpenMetricsName(name);
+    *out << "# TYPE " << metric << " counter\n";
+    *out << metric << "_total "
+         << cell->value.load(std::memory_order_relaxed) << "\n";
+  }
+  for (const auto& [name, cell] : gauges_) {
+    const std::string metric = OpenMetricsName(name);
+    *out << "# TYPE " << metric << " gauge\n";
+    *out << metric << " " << cell->value.load(std::memory_order_relaxed)
+         << "\n";
+  }
+  for (const auto& [name, cell] : histograms_) {
+    const std::string metric = OpenMetricsName(name);
+    const int64_t count = cell->count.load(std::memory_order_relaxed);
+    *out << "# TYPE " << metric << " histogram\n";
+    int64_t cumulative = 0;
+    for (int i = 0; i < obs_internal::HistogramCell::kNumBuckets - 1; ++i) {
+      const int64_t n = cell->buckets[i].load(std::memory_order_relaxed);
+      if (n == 0) continue;
+      cumulative += n;
+      // Samples are integers, so bucket i's exclusive upper bound 2^i
+      // makes le="2^i - 1" the exact inclusive boundary ("0" for the
+      // zeros bucket). The last bucket is open-ended: +Inf covers it.
+      const int64_t le = i == 0 ? 0 : (int64_t{1} << i) - 1;
+      *out << metric << "_bucket{le=\"" << le << "\"} " << cumulative
+           << "\n";
+    }
+    *out << metric << "_bucket{le=\"+Inf\"} " << count << "\n";
+    *out << metric << "_sum " << cell->sum.load(std::memory_order_relaxed)
+         << "\n";
+    *out << metric << "_count " << count << "\n";
+  }
+  *out << "# EOF\n";
+}
+
+std::string MetricsRegistry::OpenMetricsText() const {
+  std::ostringstream out;
+  WriteOpenMetrics(&out);
+  return out.str();
 }
 
 }  // namespace pebblejoin

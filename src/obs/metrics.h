@@ -25,14 +25,23 @@
 
 #include <atomic>
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace pebblejoin {
 
 class JsonWriter;
+
+// Nearest-rank percentile of exact samples: the smallest sample such that
+// at least q of the data is <= it (q in [0,1]). Sorts a copy; returns -1
+// on an empty vector. Used where the raw samples are still at hand (per
+// component wall clocks, batch line latencies) — exact, unlike the
+// bucket-interpolated HistogramCell estimate.
+int64_t PercentileOfSamples(std::vector<int64_t> samples, double q);
 
 namespace obs_internal {
 
@@ -56,6 +65,14 @@ struct HistogramCell {
   std::atomic<int64_t> max{INT64_MIN};
 
   void Record(int64_t value);
+
+  // Estimated q-quantile (q in [0,1]) from the bucket counts: walks to the
+  // bucket holding the target rank and interpolates linearly inside it,
+  // then clamps to the observed [min, max] — so a histogram whose samples
+  // all landed in one bucket with min == max reports that value exactly.
+  // Returns -1 when empty. Relaxed reads; same consistency caveat as the
+  // JSON snapshot.
+  int64_t ApproxQuantile(double q) const;
 };
 
 }  // namespace obs_internal
@@ -120,6 +137,10 @@ class Histogram {
   int64_t Sum() const {
     return cell_ != nullptr ? cell_->sum.load(std::memory_order_relaxed) : 0;
   }
+  // Estimated q-quantile; -1 on a null handle or an empty histogram.
+  int64_t ApproxQuantile(double q) const {
+    return cell_ != nullptr ? cell_->ApproxQuantile(q) : -1;
+  }
   bool is_noop() const { return cell_ == nullptr; }
 
  private:
@@ -156,6 +177,17 @@ class MetricsRegistry {
   // consistent-enough monotone view, not a linearizable cut.
   void WriteSnapshotJson(JsonWriter* json) const;
   std::string SnapshotJson() const;
+
+  // OpenMetrics text exposition (the Prometheus scrape format): one
+  // `# TYPE` line per metric family, counter samples with the `_total`
+  // suffix, histograms as cumulative `_bucket{le="..."}` series ending at
+  // le="+Inf" plus `_sum`/`_count`, and a terminal `# EOF`. Names are
+  // prefixed `pebblejoin_` with dots mapped to underscores
+  // (`solve.wall_us` -> `pebblejoin_solve_wall_us`). Deterministic order
+  // (the registry maps are sorted). Lintable with
+  // tools/openmetrics_lint.py; conventions in docs/observability.md.
+  void WriteOpenMetrics(std::ostream* out) const;
+  std::string OpenMetricsText() const;
 
  private:
   std::atomic<bool> enabled_;

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "graph/components.h"
+#include "obs/log.h"
 #include "obs/solve_stats.h"
 #include "obs/trace.h"
 #include "pebble/cost_model.h"
@@ -27,6 +28,9 @@ struct ComponentPebbler::ComponentResult {
   // Worker-local trace session (null when the request has no trace); its
   // events merge into the parent session tagged with `worker`.
   std::unique_ptr<TraceSession> trace;
+  // Worker-local buffer-only event log (null when the request carries
+  // none); merged into the parent log tagged with `worker`.
+  std::unique_ptr<EventLog> log;
   int64_t wall_us = 0;
   int worker = -1;  // ThreadPool::CurrentWorkerId(); -1 = calling thread
 };
@@ -69,6 +73,7 @@ void ComponentPebbler::SolveComponent(const Graph& g,
       BudgetContext fallback_ctx{SolveBudget{}};
       fallback_ctx.set_stats(slice->stats());
       fallback_ctx.set_trace(slice->trace());
+      fallback_ctx.set_log(slice->log());
       order = fallback_->PebbleWithOutcome(sub, &fallback_ctx,
                                            &result->outcome);
       result->used = fallback_->name();
@@ -84,6 +89,17 @@ void ComponentPebbler::SolveComponent(const Graph& g,
     }
   }
   result->wall_us = wall.ElapsedMicros();
+
+  if (EventLog* log = slice->log()) {
+    log->Emit(LogLevel::kDebug, "component.done",
+              {LogField::Num("index", c),
+               LogField::Num("edges", sub.num_edges()),
+               LogField::Str("solver", result->used),
+               LogField::Str("status",
+                             RungStatusName(result->outcome.status)),
+               LogField::Num("cost", result->outcome.effective_cost),
+               LogField::Num("wall_us", result->wall_us)});
+  }
 }
 
 PebbleSolution ComponentPebbler::Solve(const Graph& g,
@@ -124,6 +140,12 @@ PebbleSolution ComponentPebbler::SolveDecomposed(
         results[c].trace = std::make_unique<TraceSession>(
             [parent_trace] { return parent_trace->NowUs(); });
         slices[c].set_trace(results[c].trace.get());
+      }
+      if (EventLog* parent_log = parent->log()) {
+        results[c].log = std::make_unique<EventLog>(
+            parent_log->capacity(),
+            [parent_log] { return parent_log->NowUs(); });
+        slices[c].set_log(results[c].log.get());
       }
     }
 
@@ -169,6 +191,9 @@ PebbleSolution ComponentPebbler::SolveDecomposed(
         parent->trace()->MergeFrom(*result.trace,
                                    TraceArg::Num("worker", result.worker));
       }
+      if (parent->log() != nullptr && result.log != nullptr) {
+        parent->log()->MergeFrom(*result.log, result.worker);
+      }
     }
     parent->AbsorbShared(shared);
   }
@@ -177,12 +202,25 @@ PebbleSolution ComponentPebbler::SolveDecomposed(
 
 void ComponentPebbler::VerifyAndCost(const Graph& g,
                                      PebbleSolution* solution) {
+  std::string error;
+  JP_CHECK_MSG(TryVerifyAndCost(g, solution, &error), error.c_str());
+}
+
+bool ComponentPebbler::TryVerifyAndCost(const Graph& g,
+                                        PebbleSolution* solution,
+                                        std::string* error) {
   solution->scheme = SchemeFromEdgeOrder(g, solution->edge_order);
   const VerificationResult verdict = VerifyScheme(g, solution->scheme);
-  JP_CHECK_MSG(verdict.valid, "solver produced an invalid pebbling scheme");
+  if (!verdict.valid) {
+    if (error != nullptr) {
+      *error = "solver produced an invalid pebbling scheme";
+    }
+    return false;
+  }
   solution->hat_cost = verdict.hat_cost;
   solution->effective_cost = verdict.effective_cost;
   solution->jumps = solution->effective_cost - g.num_edges();
+  return true;
 }
 
 }  // namespace pebblejoin

@@ -102,6 +102,13 @@ class ComponentPebbler {
   // library bug), and fills in the verified hat/effective costs and jumps.
   static void VerifyAndCost(const Graph& g, PebbleSolution* solution);
 
+  // VerifyAndCost that reports instead of aborting: returns false (and
+  // sets *error) when the verifier rejects the induced scheme. The abort
+  // contract stands — callers use this seam to flush diagnostics (e.g.
+  // the flight recorder) before JP_CHECK-ing the verdict themselves.
+  static bool TryVerifyAndCost(const Graph& g, PebbleSolution* solution,
+                               std::string* error);
+
  private:
   struct ComponentResult;
 

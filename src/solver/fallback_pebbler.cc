@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/log.h"
 #include "obs/solve_stats.h"
 #include "obs/trace.h"
 #include "solver/dfs_tree_pebbler.h"
@@ -43,6 +44,7 @@ std::optional<std::vector<int>> RaceBudgetedRungs(
   std::vector<SolveStats> rung_stats(num_rungs);
   std::vector<SolveOutcome> rung_outcomes(num_rungs);
   std::vector<std::unique_ptr<TraceSession>> rung_traces(num_rungs);
+  std::vector<std::unique_ptr<EventLog>> rung_logs(num_rungs);
   std::vector<std::optional<std::vector<int>>> orders(num_rungs);
   std::vector<int> workers(num_rungs, -1);
   for (int i = 0; i < num_rungs; ++i) {
@@ -52,6 +54,13 @@ std::optional<std::vector<int>> RaceBudgetedRungs(
       rung_traces[i] = std::make_unique<TraceSession>(
           [parent_trace] { return parent_trace->NowUs(); });
       slices[i].set_trace(rung_traces[i].get());
+    }
+    if (EventLog* parent_log = ctx->log()) {
+      // Buffer-only child log per racing rung; merged in ladder order
+      // below, so the journal is deterministic despite the race.
+      rung_logs[i] = std::make_unique<EventLog>(
+          parent_log->capacity(), [parent_log] { return parent_log->NowUs(); });
+      slices[i].set_log(rung_logs[i].get());
     }
   }
 
@@ -77,6 +86,9 @@ std::optional<std::vector<int>> RaceBudgetedRungs(
     if (ctx->trace() != nullptr && rung_traces[i] != nullptr) {
       ctx->trace()->MergeFrom(*rung_traces[i],
                               TraceArg::Num("worker", workers[i]));
+    }
+    if (ctx->log() != nullptr && rung_logs[i] != nullptr) {
+      ctx->log()->MergeFrom(*rung_logs[i], workers[i]);
     }
     for (RungAttempt& attempt : rung_outcomes[i].attempts) {
       outcome->attempts.push_back(std::move(attempt));
@@ -153,6 +165,7 @@ std::optional<std::vector<int>> FallbackPebbler::PebbleWithOutcome(
     BudgetContext dfs_ctx(memory_only);
     dfs_ctx.set_stats(ctx->stats());
     dfs_ctx.set_trace(ctx->trace());
+    dfs_ctx.set_log(ctx->log());
     const DfsTreePebbler dfs(options_.max_line_graph_edges);
     order = dfs.PebbleWithOutcome(g, &dfs_ctx, outcome);
   }
@@ -164,6 +177,7 @@ std::optional<std::vector<int>> FallbackPebbler::PebbleWithOutcome(
     BudgetContext greedy_ctx(unlimited);
     greedy_ctx.set_stats(ctx->stats());
     greedy_ctx.set_trace(ctx->trace());
+    greedy_ctx.set_log(ctx->log());
     const GreedyWalkPebbler greedy;
     order = greedy.PebbleWithOutcome(g, &greedy_ctx, outcome);
     JP_CHECK_MSG(order.has_value(),
@@ -188,6 +202,20 @@ std::optional<std::vector<int>> FallbackPebbler::PebbleWithOutcome(
       "winner", outcome->winner.empty() ? "none" : outcome->winner));
   ladder_span.AddArg(
       TraceArg::Str("degradation", RungStatusName(outcome->degradation)));
+
+  if (EventLog* log = ctx->log()) {
+    // Degraded ladders surface at warn (past the default info filter);
+    // healthy ones stay in the flight recorder only.
+    log->Emit(outcome->degraded() ? LogLevel::kWarn : LogLevel::kDebug,
+              "ladder.done",
+              {LogField::Str("winner", outcome->winner.empty()
+                                           ? "none"
+                                           : outcome->winner),
+               LogField::Str("degradation",
+                             RungStatusName(outcome->degradation)),
+               LogField::Num("cost", outcome->effective_cost),
+               LogField::Flag("degraded", outcome->degraded())});
+  }
   return order;
 }
 

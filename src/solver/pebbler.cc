@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/log.h"
 #include "obs/solve_stats.h"
 #include "obs/trace.h"
 #include "pebble/cost_model.h"
@@ -67,6 +68,13 @@ std::optional<std::vector<int>> Pebbler::PebbleWithOutcome(
       trace->Complete(attempt.solver, "rung", end_us - elapsed_us, elapsed_us,
                       {TraceArg::Str("status", RungStatusName(attempt.status)),
                        TraceArg::Num("cost", attempt.cost)});
+    }
+    if (EventLog* log = budget->log()) {
+      log->Emit(LogLevel::kDebug, "ladder.rung",
+                {LogField::Str("solver", attempt.solver),
+                 LogField::Str("status", RungStatusName(attempt.status)),
+                 LogField::Num("cost", attempt.cost),
+                 LogField::Num("elapsed_us", elapsed_us)});
     }
   }
 

@@ -36,6 +36,7 @@ namespace pebblejoin {
 // util stays dependency-free.
 struct SolveStats;
 class TraceSession;
+class EventLog;
 
 // Why a budgeted solve was stopped early. kNone means "still running" (or
 // finished within every ceiling).
@@ -302,6 +303,11 @@ class BudgetContext {
   SolveStats* stats() const { return stats_; }
   void set_trace(TraceSession* trace) { trace_ = trace; }
   TraceSession* trace() const { return trace_; }
+  // Per-request event journal carrier (obs/log.h) — like stats/trace, a
+  // worker slice does NOT inherit it; the driver gives each slice a
+  // buffer-only child log and merges in index order after the join.
+  void set_log(EventLog* log) { log_ = log; }
+  EventLog* log() const { return log_; }
 
   // Number of Expired() polls so far (amortized and forced alike).
   int64_t polls() const { return polls_; }
@@ -400,6 +406,7 @@ class BudgetContext {
   int64_t stopped_elapsed_ms_ = -1;
   SolveStats* stats_ = nullptr;
   TraceSession* trace_ = nullptr;
+  EventLog* log_ = nullptr;
   // Cross-slice state of the fan-out this context is a worker slice of, or
   // null for a standalone (single-threaded) context. Not owned; the driver
   // that carved the slices keeps it alive across the join barrier.

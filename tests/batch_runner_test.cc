@@ -204,5 +204,83 @@ TEST(BatchRunnerTest, PoolDrainsMidBatchUnderReject) {
   EXPECT_NE(lines[2].find("rejected"), std::string::npos);
 }
 
+TEST(BatchRunnerTest, ProgressReportsArePinnedUnderAFakeClock) {
+  // Frozen clock, one-line blocks, cadence 0: one deterministic progress
+  // line after every block, byte-for-byte.
+  FakeClock clock;
+  const BipartiteGraph g = WorstCaseFamily(4);
+  const std::string input = Line(g) + "\n\n" + Line(g) + "\n" + Line(g);
+
+  BatchRunner::Options options;
+  options.clock = clock.AsFunction();
+  options.block_lines = 1;
+  options.progress_every_ms = 0;
+  options.expected_lines = 3;
+  std::ostringstream progress;
+  options.progress = &progress;
+
+  BatchRunner::Summary summary;
+  RunBatch(input, options, &summary);
+  EXPECT_EQ(summary.solved, 3);
+  EXPECT_EQ(
+      progress.str(),
+      "batch: 1/3 solved=1 errors=0 rejected=0 degraded=0 p50=0ms p95=0ms"
+      " eta=0ms\n"
+      "batch: 2/3 solved=2 errors=0 rejected=0 degraded=0 p50=0ms p95=0ms"
+      " eta=0ms\n"
+      "batch: 3/3 solved=3 errors=0 rejected=0 degraded=0 p50=0ms p95=0ms"
+      " eta=0ms\n");
+  // The frozen clock makes every latency 0 and the percentiles with it.
+  EXPECT_EQ(summary.latency_p50_ms, 0);
+  EXPECT_EQ(summary.latency_p95_ms, 0);
+  EXPECT_EQ(summary.latency_p99_ms, 0);
+}
+
+TEST(BatchRunnerTest, ProgressCadenceFollowsTheClock) {
+  // A frozen clock never accumulates the 100ms cadence, so a positive
+  // cadence on it produces no reports at all — the cadence runs on the
+  // injected clock, not on wall time or block count.
+  FakeClock clock;
+  const BipartiteGraph g = WorstCaseFamily(4);
+  std::string input;
+  for (int i = 0; i < 5; ++i) input += Line(g) + "\n";
+
+  BatchRunner::Options options;
+  options.clock = clock.AsFunction();
+  options.block_lines = 1;
+  options.progress_every_ms = 100;
+  std::ostringstream progress;
+  options.progress = &progress;
+
+  BatchRunner::Summary summary;
+  RunBatch(input, options, &summary);
+  EXPECT_EQ(summary.solved, 5);
+  EXPECT_EQ(progress.str(), "");
+}
+
+TEST(BatchRunnerTest, SummaryLatencyPercentilesAreExact) {
+  // Latencies 10, 20, 30ms via a clock advancing a growing step per line.
+  FakeClock clock;
+  const BipartiteGraph g = WorstCaseFamily(4);
+  const std::string input = Line(g) + "\n" + Line(g) + "\n" + Line(g) + "\n";
+
+  BatchRunner::Options options;
+  options.block_lines = 1;
+  int64_t reads = 0;
+  options.clock = [&clock, &reads] {
+    const int64_t now = clock.NowMs();
+    // Reads: batch start, then per line start/end. Advance only between a
+    // line's start and end read: 10ms for line 1, 20 for line 2, ...
+    if (reads >= 1 && reads % 2 == 1) clock.AdvanceMs(10 * ((reads + 1) / 2));
+    ++reads;
+    return now;
+  };
+  BatchRunner::Summary summary;
+  RunBatch(input, options, &summary);
+  EXPECT_EQ(summary.latency_p50_ms, 20);
+  EXPECT_EQ(summary.latency_p95_ms, 30);
+  EXPECT_EQ(summary.latency_p99_ms, 30);
+}
+
 }  // namespace
 }  // namespace pebblejoin

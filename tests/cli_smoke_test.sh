@@ -296,6 +296,126 @@ grep -q "20 rejected" "$WORK_DIR/rej_err.txt" \
 grep -q "20 solved" "$WORK_DIR/q_err.txt" \
   || note_failure "queued lines must still solve under a dry pool"
 
+# --- Journal, flight recorder, OpenMetrics --------------------------------
+expect_fail "journal missing path" -- analyze --journal
+expect_fail "metrics-out missing path" -- analyze --metrics-out
+expect_fail "flight-recorder bad capacity" -- analyze --flight-recorder 0
+expect_fail "flight-recorder non-numeric" -- analyze --flight-recorder many
+expect_code "bad log level exits 2" 2 analyze --log-level verbose
+expect_code "bad log level exits 2 (batch)" 2 batch --jsonl - --log-level 7
+CLI_STDIN="$GRAPH" expect_fail "journal unwritable path" \
+  -- analyze --journal /nonexistent-dir/j.jsonl
+
+# A healthy solve at the default info level journals exactly one
+# solve.end line; every line is valid JSON and survives normalization.
+if ! printf '%s' "$GRAPH" | "$BIN" analyze --solver fallback \
+    --journal "$WORK_DIR/j.jsonl" >/dev/null; then
+  note_failure "analyze --journal must exit 0"
+fi
+if [ "$(wc -l < "$WORK_DIR/j.jsonl")" -ne 1 ]; then
+  note_failure "healthy solve must journal one line at info level"
+fi
+grep -q '"event":"solve.end"' "$WORK_DIR/j.jsonl" \
+  || note_failure "journal must carry the solve.end event"
+python3 -c 'import json,sys
+for line in open(sys.argv[1]):
+    json.loads(line)' "$WORK_DIR/j.jsonl" \
+  || note_failure "journal must be valid JSONL"
+python3 "$TOOLS_DIR/json_normalize.py" < "$WORK_DIR/j.jsonl" \
+  | grep -q '"ts_us":0' \
+  || note_failure "json_normalize.py must zero journal timestamps"
+
+# --log-level debug surfaces the rung-by-rung trail; off silences all.
+printf '%s' "$GRAPH" | "$BIN" analyze --solver fallback --log-level debug \
+  --journal "$WORK_DIR/jd.jsonl" >/dev/null
+grep -q '"event":"ladder.rung"' "$WORK_DIR/jd.jsonl" \
+  || note_failure "--log-level debug must journal ladder rungs"
+printf '%s' "$GRAPH" | "$BIN" analyze --solver fallback --log-level off \
+  --journal "$WORK_DIR/joff.jsonl" >/dev/null
+if [ -s "$WORK_DIR/joff.jsonl" ]; then
+  note_failure "--log-level off must journal nothing"
+fi
+
+# --journal - streams to stderr.
+printf '%s' "$GRAPH" | "$BIN" analyze --journal - \
+  >/dev/null 2>"$WORK_DIR/jerr.txt"
+grep -q '"event":"solve.end"' "$WORK_DIR/jerr.txt" \
+  || note_failure "--journal - must stream events to stderr"
+
+# Acceptance: a forced expiry dumps the flight recorder, whose replayed
+# debug events explain the degraded outcome.
+printf '%s' "$GRAPH" | "$BIN" analyze --deadline-ms 0 \
+  --journal "$WORK_DIR/jdump.jsonl" >/dev/null \
+  || note_failure "degraded analyze with --journal must exit 0"
+grep -q '"event":"flight_recorder.dump"' "$WORK_DIR/jdump.jsonl" \
+  || note_failure "forced expiry must dump the flight recorder"
+grep -q '"reason":"deadline-expired"' "$WORK_DIR/jdump.jsonl" \
+  || note_failure "the dump must carry the expiry reason"
+grep -q '"event":"ladder.rung".*"replay":"debug"' "$WORK_DIR/jdump.jsonl" \
+  || note_failure "the dump must replay the debug-level rung trail"
+grep -q '"event":"flight_recorder.end"' "$WORK_DIR/jdump.jsonl" \
+  || note_failure "the dump must close with flight_recorder.end"
+
+# Acceptance: sequential vs --threads 8 journals are identical modulo
+# worker tags and timings (and the echoed thread count).
+printf '%s' "$MULTI" | "$BIN" analyze --solver fallback --log-level debug \
+  --threads 1 --journal "$WORK_DIR/jt1.jsonl" >/dev/null
+printf '%s' "$MULTI" | "$BIN" analyze --solver fallback --log-level debug \
+  --threads 8 --journal "$WORK_DIR/jt8.jsonl" >/dev/null
+python3 - "$WORK_DIR" <<'EOF' \
+  || note_failure "journal must be identical for --threads 1 and 8"
+import json, sys
+def norm(path):
+    out = []
+    for line in open(path):
+        event = json.loads(line)
+        for key in list(event):
+            if key in ("ts_us", "worker", "threads") or key.endswith("_us"):
+                event.pop(key)
+        out.append(json.dumps(event, sort_keys=True))
+    return out
+work = sys.argv[1]
+if norm(work + "/jt1.jsonl") != norm(work + "/jt8.jsonl"):
+    sys.exit("journals differ")
+EOF
+
+# Acceptance: --metrics-out writes OpenMetrics text that passes the lint.
+printf '%s' "$GRAPH" | "$BIN" analyze --solver fallback \
+  --metrics-out "$WORK_DIR/m.om" >/dev/null \
+  || note_failure "analyze --metrics-out must exit 0"
+python3 "$TOOLS_DIR/openmetrics_lint.py" "$WORK_DIR/m.om" \
+  || note_failure "--metrics-out output must pass openmetrics_lint.py"
+grep -q '^pebblejoin_solve_wall_us_count 1$' "$WORK_DIR/m.om" \
+  || note_failure "metrics must carry the solve wall-clock histogram"
+CLI_STDIN="$GRAPH" expect_fail "metrics-out unwritable path" \
+  -- analyze --metrics-out /nonexistent-dir/m.om
+
+# Batch: journal + metrics + live progress ride the same flags.
+"$BIN" batch --jsonl "$WORK_DIR/corpus.jsonl" --out /dev/null \
+  --journal "$WORK_DIR/bj.jsonl" --metrics-out "$WORK_DIR/bm.om" \
+  --progress-every-ms 0 2>"$WORK_DIR/bprog.txt" \
+  || note_failure "batch with journal+metrics+progress must exit 0"
+grep -q '"event":"batch.begin"' "$WORK_DIR/bj.jsonl" \
+  || note_failure "batch journal must open with batch.begin"
+grep -q '"event":"batch.end"' "$WORK_DIR/bj.jsonl" \
+  || note_failure "batch journal must close with batch.end"
+grep -q '"event":"solve.end".*"line":1' "$WORK_DIR/bj.jsonl" \
+  || note_failure "batch journal events must carry their input line"
+grep -Eq '^batch: 20/20 .*p50=[0-9]+ms p95=[0-9]+ms' "$WORK_DIR/bprog.txt" \
+  || note_failure "batch progress must report done/total and latency"
+python3 "$TOOLS_DIR/openmetrics_lint.py" "$WORK_DIR/bm.om" \
+  || note_failure "batch --metrics-out output must pass the lint"
+
+# A rejected batch line dumps the batch-level flight recorder.
+"$BIN" batch --jsonl "$WORK_DIR/corpus.jsonl" --out /dev/null \
+  --batch-deadline-ms 0 --admission reject \
+  --journal "$WORK_DIR/brj.jsonl" 2>/dev/null \
+  || note_failure "rejecting batch with --journal must exit 0"
+grep -q '"event":"batch.reject"' "$WORK_DIR/brj.jsonl" \
+  || note_failure "a rejected line must journal batch.reject"
+grep -q '"reason":"batch-line-rejected"' "$WORK_DIR/brj.jsonl" \
+  || note_failure "the first rejection must dump the flight recorder"
+
 if [ "$FAILURES" -ne 0 ]; then
   echo "$FAILURES smoke check(s) failed" >&2
   exit 1

@@ -10,11 +10,13 @@
 namespace pebblejoin {
 
 // Zeroes the values of timing-dependent JSON keys in place, leaving every
-// structural and cost field intact: any key ending in "_us" (stage and
-// per-attempt wall clocks), plus the budget bookkeeping whose values are
-// clock- or stride-dependent. The writer emits compact `"key":<int>`
-// members, so a linear scan suffices. tools/json_normalize.py applies the
-// same rule to CLI output in the shell-level tests.
+// structural and cost field intact: any key ending in "_us" (stage,
+// per-attempt, and per-component wall clocks, percentile estimates,
+// journal timestamps) or "_ms" (budget bookkeeping, batch latencies),
+// plus the budget poll count, whose value is clock- or stride-dependent.
+// The writer emits compact `"key":<int>` members, so a linear scan
+// suffices. tools/json_normalize.py applies the same rule to CLI output
+// in the shell-level tests.
 inline std::string NormalizeTimings(std::string json) {
   size_t pos = 0;
   while ((pos = json.find("\":", pos)) != std::string::npos) {
@@ -26,7 +28,8 @@ inline std::string NormalizeTimings(std::string json) {
     pos += 2;  // past ":
     const bool timing =
         (key.size() > 3 && key.compare(key.size() - 3, 3, "_us") == 0) ||
-        key == "budget_polls" || key == "budget_time_to_stop_ms";
+        (key.size() > 3 && key.compare(key.size() - 3, 3, "_ms") == 0) ||
+        key == "budget_polls";
     if (!timing) continue;
     size_t value_end = pos;
     while (value_end < json.size() &&

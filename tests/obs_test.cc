@@ -373,5 +373,129 @@ TEST(JsonValueTest, DuplicateKeysKeepTheLastValue) {
   EXPECT_EQ(doc->object_members().size(), 2u);  // order preserved
 }
 
+// --- Histogram buckets and percentiles ------------------------------------
+
+TEST(HistogramTest, BucketBoundariesArePinned) {
+  // Bucket 0 holds zeros (snapshot key "1" = exclusive upper bound);
+  // bucket i holds [2^(i-1), 2^i) and is keyed "2^i". These boundaries
+  // are load-bearing: the OpenMetrics `le` labels and the quantile
+  // estimator both derive from them.
+  MetricsRegistry registry(/*enabled=*/true);
+  Histogram h = registry.FindOrCreateHistogram("b");
+  h.Record(0);   // bucket 0, key "1"
+  h.Record(1);   // bucket 1, key "2"
+  h.Record(2);   // bucket 2, key "4"
+  h.Record(3);   // bucket 2, key "4"
+  h.Record(4);   // bucket 3, key "8"
+  h.Record(7);   // bucket 3, key "8"
+  h.Record(8);   // bucket 4, key "16"
+  const std::string snapshot = registry.SnapshotJson();
+  EXPECT_NE(snapshot.find("\"buckets\":{\"1\":1,\"2\":1,\"4\":2,\"8\":2,"
+                          "\"16\":1}"),
+            std::string::npos)
+      << snapshot;
+}
+
+TEST(HistogramTest, ApproxQuantileIsExactWhenOneValueFillsOneBucket) {
+  MetricsRegistry registry(/*enabled=*/true);
+  Histogram h = registry.FindOrCreateHistogram("one");
+  for (int i = 0; i < 10; ++i) h.Record(5);
+  // All samples in one bucket with min == max: the clamp makes the
+  // estimate exact at every quantile.
+  EXPECT_EQ(h.ApproxQuantile(0.0), 5);
+  EXPECT_EQ(h.ApproxQuantile(0.5), 5);
+  EXPECT_EQ(h.ApproxQuantile(0.99), 5);
+  EXPECT_EQ(h.ApproxQuantile(1.0), 5);
+}
+
+TEST(HistogramTest, ApproxQuantileIsMonotoneAndWithinObservedRange) {
+  MetricsRegistry registry(/*enabled=*/true);
+  Histogram h = registry.FindOrCreateHistogram("spread");
+  for (int64_t v : {1, 2, 4, 9, 17, 33, 120, 700, 5000, 40000}) h.Record(v);
+  const int64_t p50 = h.ApproxQuantile(0.50);
+  const int64_t p95 = h.ApproxQuantile(0.95);
+  const int64_t p99 = h.ApproxQuantile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GE(p50, 1);
+  EXPECT_LE(p99, 40000);
+}
+
+TEST(HistogramTest, EmptyHistogramQuantileIsMinusOne) {
+  MetricsRegistry registry(/*enabled=*/true);
+  EXPECT_EQ(registry.FindOrCreateHistogram("empty").ApproxQuantile(0.5), -1);
+  EXPECT_EQ(Histogram().ApproxQuantile(0.5), -1);  // null handle
+}
+
+TEST(HistogramTest, SnapshotCarriesPercentilesOnlyWhenNonEmpty) {
+  MetricsRegistry registry(/*enabled=*/true);
+  registry.FindOrCreateHistogram("empty");
+  EXPECT_EQ(registry.SnapshotJson().find("\"p50\""), std::string::npos);
+  registry.FindOrCreateHistogram("full").Record(6);
+  const std::string snapshot = registry.SnapshotJson();
+  EXPECT_NE(snapshot.find("\"p50\":6"), std::string::npos) << snapshot;
+  EXPECT_NE(snapshot.find("\"p99\":6"), std::string::npos);
+}
+
+TEST(PercentileOfSamplesTest, NearestRankIsExact) {
+  const std::vector<int64_t> samples = {5, 1, 4, 2, 3};
+  EXPECT_EQ(PercentileOfSamples(samples, 0.0), 1);   // rank clamps to 1
+  EXPECT_EQ(PercentileOfSamples(samples, 0.50), 3);  // ceil(2.5) = rank 3
+  EXPECT_EQ(PercentileOfSamples(samples, 0.95), 5);
+  EXPECT_EQ(PercentileOfSamples(samples, 1.0), 5);
+  EXPECT_EQ(PercentileOfSamples({}, 0.5), -1);
+  EXPECT_EQ(PercentileOfSamples({7}, 0.5), 7);
+}
+
+// --- OpenMetrics exposition -----------------------------------------------
+
+TEST(OpenMetricsTest, EmptyRegistryIsJustEof) {
+  MetricsRegistry registry(/*enabled=*/true);
+  EXPECT_EQ(registry.OpenMetricsText(), "# EOF\n");
+}
+
+TEST(OpenMetricsTest, CountersGaugesAndHistogramsRenderInFullForm) {
+  MetricsRegistry registry(/*enabled=*/true);
+  registry.FindOrCreateCounter("solve.requests").Add(3);
+  registry.FindOrCreateGauge("pool.workers").Set(4);
+  Histogram h = registry.FindOrCreateHistogram("solve.wall_us");
+  h.Record(0);
+  h.Record(3);
+  h.Record(3);
+  const std::string text = registry.OpenMetricsText();
+  // Counter family: TYPE line + `_total` sample, dots sanitized.
+  EXPECT_NE(text.find("# TYPE pebblejoin_solve_requests counter\n"
+                      "pebblejoin_solve_requests_total 3\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE pebblejoin_pool_workers gauge\n"
+                      "pebblejoin_pool_workers 4\n"),
+            std::string::npos);
+  // Histogram: cumulative buckets with exact inclusive int bounds — the
+  // zeros bucket is le="0", [2,4) is le="3" — ending at +Inf, then
+  // sum/count.
+  EXPECT_NE(
+      text.find("# TYPE pebblejoin_solve_wall_us histogram\n"
+                "pebblejoin_solve_wall_us_bucket{le=\"0\"} 1\n"
+                "pebblejoin_solve_wall_us_bucket{le=\"3\"} 3\n"
+                "pebblejoin_solve_wall_us_bucket{le=\"+Inf\"} 3\n"
+                "pebblejoin_solve_wall_us_sum 6\n"
+                "pebblejoin_solve_wall_us_count 3\n"),
+      std::string::npos)
+      << text;
+  // Terminal EOF marker, exactly once, at the end.
+  EXPECT_EQ(text.rfind("# EOF\n"), text.size() - 6);
+}
+
+TEST(OpenMetricsTest, OutputIsDeterministic) {
+  MetricsRegistry registry(/*enabled=*/true);
+  registry.FindOrCreateCounter("z.last").Add(1);
+  registry.FindOrCreateCounter("a.first").Add(1);
+  const std::string text = registry.OpenMetricsText();
+  EXPECT_LT(text.find("pebblejoin_a_first_total"),
+            text.find("pebblejoin_z_last_total"));
+  EXPECT_EQ(text, registry.OpenMetricsText());
+}
+
 }  // namespace
 }  // namespace pebblejoin

@@ -1,12 +1,15 @@
 #!/usr/bin/env python3
-"""Zero the wall-clock fields of pebblejoin's analysis JSON.
+"""Zero the wall-clock fields of pebblejoin's analysis and journal JSON.
 
 Reads JSON (or JSONL) on stdin and writes it back with every timing-
-dependent value replaced by 0: keys ending in `_us` (stage and per-attempt
-wall clocks), `budget_polls`, and `budget_time_to_stop_ms`. Structural and
-cost fields pass through untouched, so two runs of the same solve compare
-byte-identical afterwards. The C++ tests apply the same rule via
-tests/json_test_util.h.
+dependent value replaced by 0: keys ending in `_us` (stage, per-attempt,
+and per-component wall clocks — including the `component_wall_p*_us`
+percentiles and journal `ts_us` stamps), keys ending in `_ms` (budget
+bookkeeping, batch line latencies, progress ETA), and `budget_polls`.
+Structural and cost fields pass through untouched, so two runs of the same
+solve compare byte-identical afterwards — the rule covers both `analyze
+--json` documents and `--journal` JSONL event lines. The C++ tests apply
+the same rule via tests/json_test_util.h.
 
 Usage:  pebblejoin analyze --json < g.txt | python3 tools/json_normalize.py
 """
@@ -14,7 +17,7 @@ Usage:  pebblejoin analyze --json < g.txt | python3 tools/json_normalize.py
 import re
 import sys
 
-_TIMING = re.compile(r'"((?:[A-Za-z0-9_]+_us)|budget_polls|budget_time_to_stop_ms)":-?\d+')
+_TIMING = re.compile(r'"((?:[A-Za-z0-9_]+_(?:us|ms))|budget_polls)":-?\d+')
 
 
 def normalize(text: str) -> str:

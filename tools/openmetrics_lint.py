@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Minimal OpenMetrics linter for pebblejoin --metrics-out files.
+
+Checks the invariants docs/observability.md promises, without a promtool
+dependency: a terminal `# EOF`, legal metric names, every sample preceded
+by its family's `# TYPE` line, counter samples suffixed `_total`,
+histogram bucket series that are cumulative, end at le="+Inf", and agree
+with `_count`. Exits nonzero with one line per violation.
+
+Usage:  python3 tools/openmetrics_lint.py metrics.om
+"""
+
+import re
+import sys
+
+NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE = re.compile(r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+                    r'(?:\{le="(?P<le>[^"]*)"\})? (?P<value>-?[0-9.+eEinf]+)$')
+
+
+def lint(lines):
+    errors, types, buckets, counts = [], {}, {}, {}
+    if not lines or lines[-1] != "# EOF":
+        errors.append("missing terminal '# EOF' line")
+    else:
+        lines = lines[:-1]
+    for i, line in enumerate(lines, 1):
+        if line == "# EOF":
+            errors.append(f"line {i}: '# EOF' before the end of the file")
+        elif line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge",
+                                                   "histogram"):
+                errors.append(f"line {i}: malformed TYPE line: {line}")
+            elif not NAME.match(parts[2]):
+                errors.append(f"line {i}: illegal metric name {parts[2]}")
+            else:
+                types[parts[2]] = parts[3]
+        elif line.startswith("#"):
+            errors.append(f"line {i}: unexpected comment: {line}")
+        else:
+            m = SAMPLE.match(line)
+            if not m:
+                errors.append(f"line {i}: unparsable sample: {line}")
+                continue
+            name = m.group("name")
+            base = re.sub(r"_(total|bucket|sum|count)$", "", name)
+            family = base if base in types else name
+            if family not in types:
+                errors.append(f"line {i}: sample before its TYPE: {name}")
+                continue
+            kind = types[family]
+            if kind == "counter" and not name.endswith("_total"):
+                errors.append(f"line {i}: counter sample missing _total")
+            if kind == "histogram" and name.endswith("_bucket"):
+                buckets.setdefault(family, []).append(
+                    (m.group("le"), float(m.group("value"))))
+            if kind == "histogram" and name.endswith("_count"):
+                counts[family] = float(m.group("value"))
+    for family, series in buckets.items():
+        values = [v for _, v in series]
+        if series[-1][0] != "+Inf":
+            errors.append(f"{family}: bucket series must end at le=\"+Inf\"")
+        elif counts.get(family) != values[-1]:
+            errors.append(f"{family}: +Inf bucket disagrees with _count")
+        if values != sorted(values):
+            errors.append(f"{family}: bucket series is not cumulative")
+    return errors
+
+
+def main():
+    if len(sys.argv) != 2:
+        print("usage: openmetrics_lint.py FILE", file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        errors = lint(f.read().splitlines())
+    for e in errors:
+        print(f"openmetrics_lint: {e}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

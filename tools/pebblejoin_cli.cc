@@ -16,17 +16,27 @@
 //   pebblejoin batch --jsonl IN.jsonl [--out OUT.jsonl] [--threads N]
 //                    [budget flags] [--batch-deadline-ms N]
 //                    [--admission queue|reject] [--solver NAME]
-//                    [--predicate NAME]
+//                    [--predicate NAME] [--progress-every-ms N]
+//                    [telemetry flags]
 //
 // Budget flags (analyze/solve): --deadline-ms N, --memory-mb N,
 // --node-budget N. Giving any of them without an explicit --solver selects
 // the fallback ladder, which degrades gracefully instead of refusing.
 //
-// Telemetry flags (analyze/solve): --json replaces the human output with
-// one machine-readable JSON document (analysis + solver stats); --stats
-// appends per-rung timings and the solver-stats block to the human output;
-// --trace-out FILE writes a Chrome-trace JSON of the solve (loadable in
-// chrome://tracing or ui.perfetto.dev). See docs/observability.md.
+// Telemetry flags (analyze/solve/batch): --json replaces the human output
+// with one machine-readable JSON document (analysis + solver stats);
+// --stats appends per-rung timings and the solver-stats block to the human
+// output; --trace-out FILE writes a Chrome-trace JSON of the solve
+// (loadable in chrome://tracing or ui.perfetto.dev); --journal FILE
+// ('-' = stderr) streams the structured event journal as JSONL, filtered
+// at --log-level LEVEL (debug|info|warn|error|off, default info), with a
+// --flight-recorder N ring of trailing events dumped on every degraded
+// outcome; --metrics-out FILE writes the metrics registry in the
+// OpenMetrics text format. See docs/observability.md.
+//
+// batch additionally takes --progress-every-ms N: live progress lines on
+// stderr (and batch.progress journal events) at that cadence, 0 = after
+// every block.
 //
 // --threads N (analyze/solve) fans the per-component solves out across N
 // worker threads (0 = one per hardware thread). The output is byte-
@@ -63,6 +73,7 @@
 #include "core/report.h"
 #include "engine/batch_runner.h"
 #include "engine/names.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "graph/generators.h"
@@ -104,9 +115,13 @@ int Usage() {
       "  pebblejoin batch --jsonl IN.jsonl [--out OUT.jsonl] [--threads N]\n"
       "                   [budget flags] [--batch-deadline-ms N]\n"
       "                   [--admission queue|reject] [--solver NAME]\n"
-      "                   [--predicate NAME]\n"
+      "                   [--predicate NAME] [--progress-every-ms N]\n"
+      "                   [--journal FILE] [--log-level LEVEL]\n"
+      "                   [--flight-recorder N] [--metrics-out FILE]\n"
       "budget flags: --deadline-ms N  --memory-mb N  --node-budget N\n"
-      "telemetry flags: --json  --stats  --trace-out FILE\n"
+      "telemetry flags: --json  --stats  --trace-out FILE  --journal FILE\n"
+      "                 --log-level LEVEL  --flight-recorder N\n"
+      "                 --metrics-out FILE\n"
       "parallelism: --threads N (0 = one per hardware thread)\n"
       "solvers: %s\n"
       "predicates: %s\n",
@@ -163,8 +178,58 @@ struct SolveFlags {
   bool explain = false;
   bool json = false;
   bool stats = false;
-  std::string trace_out;  // empty: no trace
+  std::string trace_out;    // empty: no trace
+  std::string journal_out;  // empty: no journal; "-" = stderr
+  LogLevel log_level = LogLevel::kInfo;
+  int flight_recorder = EventLog::kDefaultCapacity;
+  std::string metrics_out;  // empty: no OpenMetrics exposition
 };
+
+// Parses the journal/metrics flag cluster shared by analyze/solve/batch.
+// Returns 1 when `flag` consumed a value, 0 when it consumed none, and -1
+// (after printing the error) on bad input or when the flag is not one of
+// the cluster (`*known` tells those apart).
+int ParseJournalFlag(const std::string& flag, const char* value,
+                     bool* known, std::string* journal_out,
+                     LogLevel* log_level, int* flight_recorder,
+                     std::string* metrics_out) {
+  *known = true;
+  if (flag == "--journal") {
+    if (value == nullptr || *value == '\0') {
+      Fail("--journal needs a file path ('-' = stderr)");
+      return -1;
+    }
+    *journal_out = value;
+    return 1;
+  }
+  if (flag == "--log-level") {
+    if (value == nullptr || !ParseLogLevel(value, log_level)) {
+      Fail("--log-level needs one of: debug info warn error off");
+      return -1;
+    }
+    return 1;
+  }
+  if (flag == "--flight-recorder") {
+    int capacity = 0;
+    if (value == nullptr || !ParseInt32(value, &capacity) || capacity < 1 ||
+        capacity > 1 << 20) {
+      Fail("--flight-recorder needs an integer in [1, 1048576]");
+      return -1;
+    }
+    *flight_recorder = capacity;
+    return 1;
+  }
+  if (flag == "--metrics-out") {
+    if (value == nullptr || *value == '\0') {
+      Fail("--metrics-out needs a file path");
+      return -1;
+    }
+    *metrics_out = value;
+    return 1;
+  }
+  *known = false;
+  return 0;
+}
 
 // Parses argv[start..). On failure prints a one-line error and returns
 // false. `allow_explain` admits solve's --explain.
@@ -238,14 +303,55 @@ bool ParseSolveFlags(int argc, char** argv, int start, bool allow_explain,
       flags->budget_set = true;
       ++i;
     } else {
-      Fail("unknown flag '" + flag + "'");
-      return false;
+      bool known = false;
+      const int consumed = ParseJournalFlag(
+          flag, value, &known, &flags->journal_out, &flags->log_level,
+          &flags->flight_recorder, &flags->metrics_out);
+      if (consumed < 0) return false;
+      if (!known) {
+        Fail("unknown flag '" + flag + "'");
+        return false;
+      }
+      i += consumed;
     }
   }
   // A budget without an explicit solver means "give me the best scheme you
   // can inside these limits": the ladder, which never refuses.
   if (flags->budget_set && !flags->solver_set) {
     flags->solver = SolverChoice::kFallback;
+  }
+  return true;
+}
+
+// Attaches the --journal sink: '-' borrows stderr, anything else opens a
+// file. Returns false (after printing the error) on an unwritable path.
+bool AttachJournalSink(const std::string& journal_out, Journal* journal) {
+  if (journal_out == "-") {
+    journal->AttachStream(&std::cerr);
+    return true;
+  }
+  std::string error;
+  if (!journal->AttachFile(journal_out, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return false;
+  }
+  return true;
+}
+
+// Writes one registry as OpenMetrics text to `path`. Returns false (after
+// printing the error) when the file cannot be written.
+bool WriteMetricsFile(const std::string& path, MetricsRegistry* registry) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "error: cannot open metrics file '%s'\n",
+                 path.c_str());
+    return false;
+  }
+  registry->WriteOpenMetrics(&out);
+  out.flush();
+  if (!out.good()) {
+    std::fprintf(stderr, "error: writing '%s' failed\n", path.c_str());
+    return false;
   }
   return true;
 }
@@ -319,18 +425,27 @@ int CmdGen(int argc, char** argv) {
 }
 
 // Telemetry plumbing shared by analyze/solve: enables the process registry
-// under --json/--stats, attaches a TraceSession when --trace-out was given,
-// runs the analysis, and writes the trace file. Returns false (after
-// printing the error) when the trace file could not be written.
+// under --json/--stats/--metrics-out, attaches a TraceSession when
+// --trace-out was given and a Journal when --journal was, runs the
+// analysis, and writes the trace/metrics files. Returns false (after
+// printing the error) when any output file could not be written.
 bool RunAnalysis(const SolveFlags& flags, const BipartiteGraph& g,
                  JoinAnalysis* analysis) {
   TraceSession trace;
+  Journal::Options journal_options;
+  journal_options.min_level = flags.log_level;
+  Journal journal(journal_options);
   AnalyzerOptions options;
   options.solver = flags.solver;
   options.budget = flags.budget;
   options.threads = flags.threads;
   if (!flags.trace_out.empty()) options.trace = &trace;
-  if (flags.json || flags.stats) {
+  if (!flags.journal_out.empty()) {
+    if (!AttachJournalSink(flags.journal_out, &journal)) return false;
+    options.journal = &journal;
+    options.flight_recorder = flags.flight_recorder;
+  }
+  if (flags.json || flags.stats || !flags.metrics_out.empty()) {
     // The process-global registry is the CLI's explicit opt-in — library
     // code publishes only into the engine's session registry unless a
     // surface injects one.
@@ -345,6 +460,10 @@ bool RunAnalysis(const SolveFlags& flags, const BipartiteGraph& g,
       std::fprintf(stderr, "error: %s\n", error.c_str());
       return false;
     }
+  }
+  if (!flags.metrics_out.empty() &&
+      !WriteMetricsFile(flags.metrics_out, MetricsRegistry::Default())) {
+    return false;
   }
   return true;
 }
@@ -548,6 +667,10 @@ int CmdBatch(int argc, char** argv) {
   BatchRunner::Options options;
   SolveBudget budget;
   bool budget_set = false;
+  std::string journal_out;  // empty: no journal; "-" = stderr
+  LogLevel log_level = LogLevel::kInfo;
+  int flight_recorder = EventLog::kDefaultCapacity;
+  std::string metrics_out;
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
     const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
@@ -627,8 +750,21 @@ int CmdBatch(int argc, char** argv) {
                     PredicateNameList());
       }
       ++i;
+    } else if (flag == "--progress-every-ms") {
+      int64_t ms = 0;
+      if (value == nullptr || !ParseInt64(value, &ms) || ms < 0) {
+        return Fail("--progress-every-ms needs a non-negative integer");
+      }
+      options.progress_every_ms = ms;
+      ++i;
     } else {
-      return Fail("unknown flag '" + flag + "'");
+      bool known = false;
+      const int consumed =
+          ParseJournalFlag(flag, value, &known, &journal_out, &log_level,
+                           &flight_recorder, &metrics_out);
+      if (consumed < 0) return kExitBadFlags;
+      if (!known) return Fail("unknown flag '" + flag + "'");
+      i += consumed;
     }
   }
   if (in_path.empty()) {
@@ -647,6 +783,23 @@ int CmdBatch(int argc, char** argv) {
   }
   std::istream& in = in_path == "-" ? std::cin : in_file;
 
+  if (options.progress_every_ms >= 0) {
+    options.progress = &std::cerr;
+    if (in_path != "-") {
+      // Pre-count non-blank lines so progress can say "done/total" and
+      // estimate time remaining. Same blank test as the runner's.
+      std::ifstream counter(in_path);
+      std::string count_line;
+      int64_t expected = 0;
+      while (std::getline(counter, count_line)) {
+        if (count_line.find_first_not_of(" \t\r") != std::string::npos) {
+          ++expected;
+        }
+      }
+      options.expected_lines = expected;
+    }
+  }
+
   std::ofstream out_file;
   if (!out_path.empty() && out_path != "-") {
     out_file.open(out_path);
@@ -658,16 +811,34 @@ int CmdBatch(int argc, char** argv) {
   }
   std::ostream& out = out_file.is_open() ? out_file : std::cout;
 
-  SolveEngine engine;
+  Journal::Options journal_options;
+  journal_options.min_level = log_level;
+  Journal journal(journal_options);
+  SolveEngine::Options engine_options;
+  if (!journal_out.empty()) {
+    if (!AttachJournalSink(journal_out, &journal)) return kExitRuntime;
+    engine_options.defaults.journal = &journal;
+    engine_options.defaults.flight_recorder = flight_recorder;
+  }
+  SolveEngine engine(engine_options);
   BatchRunner runner(&engine, options);
   const BatchRunner::Summary summary = runner.Run(in, out);
   // Stdout is pure JSONL; the tallies go to stderr.
   std::fprintf(stderr,
-               "batch: %lld lines, %lld solved, %lld errors, %lld rejected\n",
+               "batch: %lld lines, %lld solved, %lld errors, %lld rejected, "
+               "%lld degraded, latency p50=%lldms p95=%lldms p99=%lldms\n",
                static_cast<long long>(summary.lines_read),
                static_cast<long long>(summary.solved),
                static_cast<long long>(summary.errors),
-               static_cast<long long>(summary.rejected));
+               static_cast<long long>(summary.rejected),
+               static_cast<long long>(summary.degraded),
+               static_cast<long long>(summary.latency_p50_ms),
+               static_cast<long long>(summary.latency_p95_ms),
+               static_cast<long long>(summary.latency_p99_ms));
+  if (!metrics_out.empty() &&
+      !WriteMetricsFile(metrics_out, engine.metrics())) {
+    return kExitRuntime;
+  }
   if (out_file.is_open() && !out_file.good()) {
     std::fprintf(stderr, "error: writing '%s' failed\n", out_path.c_str());
     return kExitRuntime;

@@ -4,13 +4,17 @@
 # Each bench_* binary runs with --json so it also writes BENCH_<name>.json
 # (see src/obs/bench_report.h) next to the text log; bench_micro is the
 # google-benchmark binary, whose flag parser rejects --json, so it runs
-# plain. After the sweep, every BENCH_*.json is summarized to one line
-# (tables and row counts) in the JSON summary section of the log.
+# plain. After the sweep, every BENCH_*.json is schema-checked with
+# tools/validate_bench_json.py, copied to the repo root (where the perf
+# trajectory expects them, regardless of the invocation directory), and
+# summarized to one line (tables and row counts) in the JSON summary
+# section of the log.
 #
 # Usage: tools/run_experiments.sh [build-dir] [output-file]
 set -u
 BUILD_DIR="${1:-build}"
 OUT="${2:-bench_output.txt}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
 {
   for b in "$BUILD_DIR"/bench/bench_*; do
@@ -28,6 +32,15 @@ OUT="${2:-bench_output.txt}"
   echo "===== JSON summary"
   for j in BENCH_*.json; do
     [ -f "$j" ] || continue
+    if ! python3 "$REPO_ROOT/tools/validate_bench_json.py" "$j"; then
+      echo "$j: SCHEMA INVALID"
+      continue
+    fi
+    # Land the report in the repo root so the BENCH_* trajectory
+    # accumulates there no matter where the sweep ran.
+    if [ "$(pwd)" != "$REPO_ROOT" ]; then
+      cp -f "$j" "$REPO_ROOT/$j"
+    fi
     python3 - "$j" <<'EOF'
 import json, sys
 path = sys.argv[1]

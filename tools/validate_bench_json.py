@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Schema check for the BENCH_*.json files the bench harness emits.
+
+The schema is src/obs/bench_report.h's deliberately dumb one:
+
+  {"bench": NAME, "tables": [{"id": ID, "headers": [...], "rows":
+   [[...], ...]}]}
+
+with every cell a string and every row as wide as its headers. CI runs
+this over each BENCH_*.json so a malformed or truncated report fails the
+build instead of silently polluting the perf trajectory.
+
+Usage:  python3 tools/validate_bench_json.py BENCH_engine.json [...]
+"""
+
+import json
+import sys
+
+
+def validate(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict):
+        return f"{path}: top level must be an object"
+    if not isinstance(doc.get("bench"), str) or not doc["bench"]:
+        return f"{path}: missing or empty \"bench\" name"
+    tables = doc.get("tables")
+    if not isinstance(tables, list):
+        return f"{path}: \"tables\" must be a list"
+    for t, table in enumerate(tables):
+        where = f"{path}: tables[{t}]"
+        if not isinstance(table, dict):
+            return f"{where}: must be an object"
+        if not isinstance(table.get("id"), str) or not table["id"]:
+            return f"{where}: missing or empty \"id\""
+        headers = table.get("headers")
+        if (not isinstance(headers, list) or not headers or
+                not all(isinstance(h, str) for h in headers)):
+            return f"{where}: \"headers\" must be a non-empty string list"
+        rows = table.get("rows")
+        if not isinstance(rows, list):
+            return f"{where}: \"rows\" must be a list"
+        for r, row in enumerate(rows):
+            if (not isinstance(row, list) or len(row) != len(headers) or
+                    not all(isinstance(c, str) for c in row)):
+                return (f"{where}: rows[{r}] must be a string list as wide "
+                        f"as the {len(headers)} headers")
+    return None
+
+
+def main():
+    if len(sys.argv) < 2:
+        print("usage: validate_bench_json.py FILE...", file=sys.stderr)
+        return 2
+    failed = False
+    for path in sys.argv[1:]:
+        try:
+            error = validate(path)
+        except (OSError, json.JSONDecodeError) as e:
+            error = f"{path}: {e}"
+        if error:
+            print(f"validate_bench_json: {error}", file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
