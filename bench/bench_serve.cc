@@ -1,0 +1,234 @@
+// E20 — `pebblejoin serve` throughput/latency: clients x threads sweep.
+//
+// One in-process LineServer per configuration, loopback TCP clients
+// replaying the same mixed request corpus with a bounded pipelining
+// window (below the server's per-connection in-flight cap, so nothing is
+// shed and every line is solved). Reported per cell: wall clock, solved
+// lines per second, and the p50/p95 enqueue-to-response latency a client
+// observes.
+//
+// Expected shape: throughput grows with server threads while solve work
+// is the bottleneck and with client count while the single-connection
+// pipeline is (one client cannot keep the pool busy); on a small host the
+// curves flatten as soon as the physical cores are covered, and p95 rises
+// with concurrency — the queueing cost of sharing one engine. The
+// `errors` column must stay 0: under this load profile admission never
+// sheds, so every response is a solved analysis.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/solve_engine.h"
+#include "graph/bipartite_graph.h"
+#include "graph/generators.h"
+#include "io/graph_io.h"
+#include "obs/bench_report.h"
+#include "obs/json.h"
+#include "serve/line_server.h"
+#include "serve/serve_options.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace pebblejoin {
+namespace {
+
+constexpr int kCorpusLines = 96;
+constexpr int kWindow = 4;  // below per_conn_inflight: nothing is shed
+
+std::vector<std::string> MakeCorpus() {
+  std::vector<std::string> corpus;
+  corpus.reserve(kCorpusLines);
+  for (int i = 0; i < kCorpusLines; ++i) {
+    BipartiteGraph g;
+    switch (i % 3) {
+      case 0:
+        g = WorstCaseFamily(4 + i % 3);
+        break;
+      case 1:
+        g = RandomConnectedBipartite(5, 5, 12, /*seed=*/1 + i);
+        break;
+      default:
+        g = DisjointUnion(CompleteBipartite(3, 3), StarGraph(4));
+        break;
+    }
+    corpus.push_back("{\"graph\": \"" + JsonEscape(SerializeBipartiteGraph(g)) +
+                     "\"}");
+  }
+  return corpus;
+}
+
+struct ClientStats {
+  bool ok = false;
+  int64_t errors = 0;                // responses carrying "error"
+  std::vector<double> latencies_ms;  // enqueue-to-response per line
+};
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// One blocking client: window-bounded pipelining over its line share.
+void RunClient(int port, const std::vector<std::string>* lines,
+               ClientStats* stats) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::deque<double> send_ms;
+  std::string inbox;
+  size_t sent = 0;
+  size_t received = 0;
+  char buf[4096];
+  while (received < lines->size()) {
+    while (sent < lines->size() && sent - received < kWindow) {
+      const std::string out = (*lines)[sent] + "\n";
+      size_t off = 0;
+      while (off < out.size()) {
+        const ssize_t n =
+            ::send(fd, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+        if (n <= 0 && errno != EINTR) {
+          ::close(fd);
+          return;
+        }
+        if (n > 0) off += static_cast<size_t>(n);
+      }
+      send_ms.push_back(MsSince(t0));
+      ++sent;
+    }
+    size_t nl;
+    while ((nl = inbox.find('\n')) == std::string::npos) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n <= 0 && errno != EINTR) {
+        ::close(fd);
+        return;
+      }
+      if (n > 0) inbox.append(buf, static_cast<size_t>(n));
+    }
+    const std::string line = inbox.substr(0, nl);
+    inbox.erase(0, nl + 1);
+    stats->latencies_ms.push_back(MsSince(t0) - send_ms.front());
+    send_ms.pop_front();
+    if (line.find("\"error\"") != std::string::npos) ++stats->errors;
+    ++received;
+  }
+  ::close(fd);
+  stats->ok = true;
+}
+
+double Percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return -1.0;
+  std::sort(samples.begin(), samples.end());
+  const size_t rank = static_cast<size_t>(q * (samples.size() - 1) + 0.5);
+  return samples[std::min(rank, samples.size() - 1)];
+}
+
+void RunServeSweep(BenchReport* report) {
+  std::printf(
+      "E20: serve throughput/latency, clients x server threads —\n"
+      "hardware threads on this host: %u, corpus: %d lines, window: %d\n\n",
+      std::thread::hardware_concurrency(), kCorpusLines, kWindow);
+  TablePrinter table({"clients", "threads", "lines", "wall_ms", "lines_per_s",
+                      "p50_ms", "p95_ms", "errors"});
+
+  const std::vector<std::string> corpus = MakeCorpus();
+  for (int threads : {1, 2, 4}) {
+    for (int clients : {1, 4, 8}) {
+      SolveEngine engine;
+      ServeOptions options;
+      options.port = 0;
+      options.threads = threads;
+      options.poll_tick_ms = 5;
+      LineServer server(&engine, options);
+      std::string error;
+      if (!server.Start(&error)) {
+        std::fprintf(stderr, "bench_serve: %s\n", error.c_str());
+        return;
+      }
+
+      // Deterministic round-robin split of the corpus over the clients.
+      std::vector<std::vector<std::string>> shares(clients);
+      for (int i = 0; i < kCorpusLines; ++i) {
+        shares[i % clients].push_back(corpus[i]);
+      }
+
+      Stopwatch timer;
+      std::vector<ClientStats> stats(clients);
+      std::vector<std::thread> workers;
+      workers.reserve(clients);
+      for (int c = 0; c < clients; ++c) {
+        workers.emplace_back(RunClient, server.port(), &shares[c], &stats[c]);
+      }
+      for (std::thread& t : workers) t.join();
+      const double wall_ms = timer.ElapsedMicros() / 1000.0;
+
+      server.BeginDrain();
+      server.Wait();
+
+      bool all_ok = true;
+      int64_t errors = 0;
+      std::vector<double> latencies;
+      for (const ClientStats& s : stats) {
+        all_ok = all_ok && s.ok;
+        errors += s.errors;
+        latencies.insert(latencies.end(), s.latencies_ms.begin(),
+                         s.latencies_ms.end());
+      }
+      if (!all_ok) {
+        std::fprintf(stderr, "bench_serve: a client failed mid-run\n");
+        return;
+      }
+      table.AddRow({FormatInt(clients), FormatInt(threads),
+                    FormatInt(kCorpusLines), FormatDouble(wall_ms, 2),
+                    FormatDouble(wall_ms > 0
+                                     ? kCorpusLines / (wall_ms / 1000.0)
+                                     : 0.0,
+                                 1),
+                    FormatDouble(Percentile(latencies, 0.50), 2),
+                    FormatDouble(Percentile(latencies, 0.95), 2),
+                    FormatInt(errors)});
+    }
+  }
+  std::fputs(table.Render().c_str(), stdout);
+  report->AddTable("serve_sweep", table);
+  std::printf(
+      "\nExpected shape: errors = 0 everywhere; lines_per_s grows with\n"
+      "clients (one pipeline cannot saturate the engine) and with threads\n"
+      "until the host's cores are covered; p95_ms grows with concurrency —\n"
+      "the queueing cost of multiplexing one shared engine.\n");
+}
+
+}  // namespace
+}  // namespace pebblejoin
+
+int main(int argc, char** argv) {
+  pebblejoin::BenchReport report("serve", argc, argv);
+  pebblejoin::RunServeSweep(&report);
+  return report.Finish() ? 0 : 1;
+}

@@ -1,0 +1,70 @@
+#include "engine/admission.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace pebblejoin {
+
+DeadlineAdmission::DeadlineAdmission(int64_t pool_ms, AdmissionPolicy policy,
+                                     int64_t start_ms)
+    : pool_ms_(pool_ms), policy_(policy), start_ms_(start_ms) {}
+
+int64_t DeadlineAdmission::RemainingMs(int64_t now_ms) const {
+  if (unlimited()) return SolveBudget::kUnlimited;
+  return std::max<int64_t>(0, pool_ms_ - (now_ms - start_ms_));
+}
+
+bool DeadlineAdmission::Admit(int64_t now_ms, SolveBudget* budget) const {
+  if (unlimited()) return true;
+  const int64_t remaining = RemainingMs(now_ms);
+  if (remaining == 0 && policy_ == AdmissionPolicy::kReject) return false;
+  // kQueue (or a pool with time left): the request runs under what remains.
+  budget->deadline_ms = budget->has_deadline()
+                            ? std::min(budget->deadline_ms, remaining)
+                            : remaining;
+  return true;
+}
+
+void ClampDeadline(SolveBudget* budget, int64_t cap_ms) {
+  if (cap_ms < 0) return;
+  budget->deadline_ms = budget->has_deadline()
+                            ? std::min(budget->deadline_ms, cap_ms)
+                            : cap_ms;
+}
+
+InflightLimiter::InflightLimiter(int max_total, int max_per_client)
+    : max_total_(max_total), max_per_client_(max_per_client) {}
+
+bool InflightLimiter::TryAcquire(int64_t client_id, const char** denied_by) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (max_total_ > 0 && total_ >= max_total_) {
+    if (denied_by != nullptr) *denied_by = "server overloaded";
+    return false;
+  }
+  int& mine = per_client_[client_id];
+  if (max_per_client_ > 0 && mine >= max_per_client_) {
+    if (mine == 0) per_client_.erase(client_id);
+    if (denied_by != nullptr) *denied_by = "per-connection in-flight cap";
+    return false;
+  }
+  ++mine;
+  ++total_;
+  return true;
+}
+
+void InflightLimiter::Release(int64_t client_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = per_client_.find(client_id);
+  JP_CHECK_MSG(it != per_client_.end() && it->second > 0 && total_ > 0,
+               "Release without a matching TryAcquire");
+  if (--it->second == 0) per_client_.erase(it);
+  --total_;
+}
+
+int InflightLimiter::in_flight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+}  // namespace pebblejoin

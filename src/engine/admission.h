@@ -1,0 +1,105 @@
+// Admission control shared by the JSONL batch runner and the serve layer.
+//
+// Two independent mechanisms, both deliberately tiny so the two surfaces
+// that enforce overload policy — `pebblejoin batch` and `pebblejoin serve`
+// — cannot drift apart (they used to live inline in batch_runner.cc):
+//
+//   - `DeadlineAdmission` is an aggregate wall-clock pool. Construct it
+//     with the pool size and the moment the pool started draining; every
+//     request is then judged at its own start time: while the pool has
+//     time left, the request's deadline is clamped to the remainder (a
+//     request with no deadline of its own inherits the remainder outright);
+//     once the pool is dry, policy decides — kQueue lets the request run
+//     with a zero deadline (the fallback ladder still produces a verified,
+//     if cheap, scheme), kReject sheds it without solving. The batch
+//     runner drains one pool across the whole batch
+//     (`--batch-deadline-ms`); the server opens a fresh pool at drain
+//     time (`--drain-ms`) so in-flight work finishes or is shed inside
+//     the drain budget, and uses the same clamp arithmetic to cap every
+//     admitted request at `--request-deadline-ms`.
+//
+//   - `InflightLimiter` is the bounded request queue: a server-wide slot
+//     count plus a per-client ceiling, acquire-or-shed (TryAcquire never
+//     blocks — an overloaded server answers with a structured rejection
+//     instead of queueing unboundedly). Thread-safe; Release must be
+//     called exactly once per successful TryAcquire.
+//
+// Both are clock-free: callers pass `now_ms` readings from whatever clock
+// they run on (the injectable FakeClock in tests), so admission decisions
+// are deterministic under fault injection.
+
+#ifndef PEBBLEJOIN_ENGINE_ADMISSION_H_
+#define PEBBLEJOIN_ENGINE_ADMISSION_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "util/budget.h"
+
+namespace pebblejoin {
+
+// What to do with a request once the aggregate deadline pool ran dry.
+enum class AdmissionPolicy { kQueue, kReject };
+
+// An aggregate wall-clock pool with clamp-or-shed admission. Immutable
+// after construction; safe to share across threads.
+class DeadlineAdmission {
+ public:
+  // `pool_ms` < 0 means unlimited (every Admit passes untouched).
+  DeadlineAdmission(int64_t pool_ms, AdmissionPolicy policy,
+                    int64_t start_ms);
+
+  bool unlimited() const { return pool_ms_ < 0; }
+
+  // Wall-clock milliseconds left in the pool at `now_ms`; never negative.
+  int64_t RemainingMs(int64_t now_ms) const;
+
+  // Judges one request at `now_ms`. Returns false (reject, budget
+  // untouched) only when the pool is dry under kReject. Otherwise clamps
+  // `budget->deadline_ms` to the remainder — possibly zero — and returns
+  // true. An unlimited pool admits everything unchanged.
+  bool Admit(int64_t now_ms, SolveBudget* budget) const;
+
+ private:
+  int64_t pool_ms_;
+  AdmissionPolicy policy_;
+  int64_t start_ms_;
+};
+
+// Clamps `budget->deadline_ms` to at most `cap_ms` (a budget with no
+// deadline gets exactly `cap_ms`). Negative cap = no clamp. The serve
+// layer applies this to every admitted request so no solve can outlive
+// `--request-deadline-ms` — which is what makes graceful drain bounded.
+void ClampDeadline(SolveBudget* budget, int64_t cap_ms);
+
+// Bounded in-flight slots: one server-wide total and one per-client
+// ceiling. TryAcquire never blocks; a denied acquire is the caller's cue
+// to shed load with a structured rejection.
+class InflightLimiter {
+ public:
+  // Non-positive limits mean unlimited for that dimension.
+  InflightLimiter(int max_total, int max_per_client);
+
+  // Takes one slot for `client_id`. False when either ceiling is hit;
+  // `denied_by`, when non-null, then names the ceiling ("server
+  // overloaded" / "per-connection in-flight cap") — the reason text the
+  // serve layer puts in its rejection records.
+  bool TryAcquire(int64_t client_id, const char** denied_by = nullptr);
+
+  // Returns the slot taken by a successful TryAcquire(client_id).
+  void Release(int64_t client_id);
+
+  int in_flight() const;
+
+ private:
+  const int max_total_;
+  const int max_per_client_;
+  mutable std::mutex mutex_;
+  int total_ = 0;
+  std::map<int64_t, int> per_client_;
+};
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_ENGINE_ADMISSION_H_

@@ -6,51 +6,13 @@
 #include <ostream>
 #include <vector>
 
-#include "core/report.h"
-#include "engine/names.h"
-#include "io/graph_io.h"
-#include "obs/json.h"
-#include "obs/json_value.h"
+#include "engine/jsonl_request.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
 namespace pebblejoin {
-
-namespace {
-
-// The line-level error record: {"line":N,"error":"..."}.
-std::string ErrorRecord(int64_t line_number, const std::string& message) {
-  JsonWriter json;
-  json.BeginObject();
-  json.Field("line", line_number);
-  json.Field("error", message);
-  json.EndObject();
-  return json.TakeString();
-}
-
-bool IsBlank(const std::string& line) {
-  for (char c : line) {
-    if (c != ' ' && c != '\t' && c != '\r') return false;
-  }
-  return true;
-}
-
-// A non-negative int64 member, with kind and range validated. Returns
-// false (with a one-line reason) on any mismatch.
-bool ReadNonNegative(const JsonValue& value, const std::string& key,
-                     int64_t* out, std::string* error) {
-  const std::optional<int64_t> parsed = value.int64_value();
-  if (!parsed.has_value() || *parsed < 0) {
-    *error = "\"" + key + "\" needs a non-negative integer";
-    return false;
-  }
-  *out = *parsed;
-  return true;
-}
-
-}  // namespace
 
 BatchRunner::BatchRunner(SolveEngine* engine, Options options)
     : engine_(engine), options_(options) {
@@ -66,126 +28,38 @@ int64_t BatchRunner::NowMs() const {
       .count();
 }
 
-std::string BatchRunner::RunLine(const std::string& line, int64_t line_number,
+std::string BatchRunner::RunLine(const JsonlRequestRunner& runner,
+                                 const DeadlineAdmission& admission,
+                                 const std::string& line, int64_t line_number,
                                  LineOutcome* outcome) {
+  // The first clock read doubles as the admission time (the same read the
+  // latency measurement takes) — under fan-out that is the worker's start,
+  // which is exactly the admission semantics a shared pool implies.
   const int64_t start_ms = NowMs();
-  std::string result = RunLineImpl(line, line_number, start_ms, outcome);
+  JsonlRequestRunner::Outcome line_outcome;
+  std::string result =
+      runner.Run(line, line_number, &admission, start_ms,
+                 "batch deadline exhausted", &line_outcome);
+  outcome->kind = line_outcome.disposition;
+  outcome->degraded = line_outcome.degraded;
   outcome->latency_ms = NowMs() - start_ms;
   return result;
-}
-
-std::string BatchRunner::RunLineImpl(const std::string& line,
-                                     int64_t line_number, int64_t start_ms,
-                                     LineOutcome* outcome) {
-  outcome->kind = LineKind::kError;
-
-  std::string error;
-  const std::optional<JsonValue> doc = JsonValue::Parse(line, &error);
-  if (!doc.has_value()) return ErrorRecord(line_number, error);
-  if (!doc->is_object()) {
-    return ErrorRecord(line_number,
-                       std::string("expected a JSON object, got ") +
-                           JsonValue::KindName(doc->kind()));
-  }
-
-  // Per-line request state, seeded from the runner defaults.
-  std::optional<BipartiteGraph> graph;
-  PredicateClass predicate = options_.default_predicate;
-  std::optional<SolverChoice> solver = options_.default_solver;
-  SolveBudget budget = options_.default_budget.value_or(SolveBudget{});
-  bool budget_set = options_.default_budget.has_value();
-
-  for (const auto& [key, value] : doc->object_members()) {
-    if (key == "graph") {
-      if (!value.is_string()) {
-        return ErrorRecord(line_number, "\"graph\" needs a string");
-      }
-      graph = ParseBipartiteGraph(value.string_value(), &error);
-      if (!graph.has_value()) return ErrorRecord(line_number, error);
-    } else if (key == "predicate") {
-      if (!value.is_string() ||
-          !ParsePredicateName(value.string_value(), &predicate)) {
-        return ErrorRecord(line_number,
-                           std::string("\"predicate\" needs one of: ") +
-                               PredicateNameList());
-      }
-    } else if (key == "solver") {
-      SolverChoice choice = SolverChoice::kAuto;
-      if (!value.is_string() ||
-          !ParseSolverName(value.string_value(), &choice)) {
-        return ErrorRecord(line_number,
-                           std::string("\"solver\" needs one of: ") +
-                               SolverNameList());
-      }
-      solver = choice;
-    } else if (key == "deadline_ms") {
-      if (!ReadNonNegative(value, key, &budget.deadline_ms, &error)) {
-        return ErrorRecord(line_number, error);
-      }
-      budget_set = true;
-    } else if (key == "node_budget") {
-      if (!ReadNonNegative(value, key, &budget.node_budget, &error)) {
-        return ErrorRecord(line_number, error);
-      }
-      budget_set = true;
-    } else if (key == "memory_mb") {
-      int64_t mb = 0;
-      if (!ReadNonNegative(value, key, &mb, &error) ||
-          mb > (int64_t{1} << 40)) {
-        return ErrorRecord(line_number,
-                           "\"memory_mb\" needs a non-negative integer");
-      }
-      budget.memory_limit_bytes = mb << 20;
-      budget_set = true;
-    } else {
-      return ErrorRecord(line_number, "unknown key \"" + key + "\"");
-    }
-  }
-  if (!graph.has_value()) {
-    return ErrorRecord(line_number, "missing required key \"graph\"");
-  }
-  // The CLI convention: a budget without an explicit solver selects the
-  // ladder, which degrades instead of refusing.
-  if (budget_set && !solver.has_value()) solver = SolverChoice::kFallback;
-
-  // Admission against the aggregate pool, judged at the line's start time
-  // (the same clock read the latency measurement took) — under fan-out
-  // that is the worker's start, which is exactly the admission semantics
-  // a shared pool implies.
-  if (options_.batch_deadline_ms >= 0) {
-    const int64_t remaining =
-        std::max<int64_t>(0, options_.batch_deadline_ms -
-                                 (start_ms - batch_start_ms_));
-    if (remaining == 0 && options_.admission == Admission::kReject) {
-      outcome->kind = LineKind::kRejected;
-      return ErrorRecord(line_number, "rejected: batch deadline exhausted");
-    }
-    // kQueue (or a pool with time left): the line runs under what remains.
-    budget.deadline_ms = budget.has_deadline()
-                             ? std::min(budget.deadline_ms, remaining)
-                             : remaining;
-  }
-
-  SolveRequest request;
-  request.graph = &*graph;
-  request.predicate = predicate;
-  request.solver = solver;
-  request.journal_line = line_number;
-  if (budget_set || options_.batch_deadline_ms >= 0) request.budget = budget;
-  const SolveResult result = engine_->Solve(request);
-  outcome->kind = LineKind::kSolved;
-  for (const SolveOutcome& component : result.analysis.solution.outcomes) {
-    if (component.degraded()) {
-      outcome->degraded = true;
-      break;
-    }
-  }
-  return AnalysisJson(result.analysis);
 }
 
 BatchRunner::Summary BatchRunner::Run(std::istream& in, std::ostream& out) {
   batch_start_ms_ = NowMs();
   Summary summary;
+
+  // The shared per-line machinery: parsing/solving and clamp-or-shed
+  // admission are the exact objects `pebblejoin serve` drives, so a line
+  // means the same thing in a file and on a socket.
+  JsonlRequestRunner::Defaults defaults;
+  defaults.predicate = options_.default_predicate;
+  defaults.solver = options_.default_solver;
+  defaults.budget = options_.default_budget;
+  const JsonlRequestRunner runner(engine_, defaults);
+  const DeadlineAdmission admission(options_.batch_deadline_ms,
+                                    options_.admission, batch_start_ms_);
 
   // Batch-level event carrier: batch.begin/progress/reject/end tee into
   // the engine's journal, and the retained ring is dumped when the first
@@ -264,7 +138,7 @@ BatchRunner::Summary BatchRunner::Run(std::istream& in, std::ostream& out) {
         break;
       }
       ++next_line_number;
-      if (IsBlank(line)) continue;
+      if (JsonlLineIsBlank(line)) continue;
       block.push_back(PendingLine{line, next_line_number});
     }
     if (block.empty()) continue;
@@ -274,7 +148,9 @@ BatchRunner::Summary BatchRunner::Run(std::istream& in, std::ostream& out) {
     std::vector<std::string> results(n);
     std::vector<LineOutcome> outcomes(n);
     const auto run_one = [&](int i) {
-      results[i] = RunLine(block[i].text, block[i].number, &outcomes[i]);
+      results[i] =
+          RunLine(runner, admission, block[i].text, block[i].number,
+                  &outcomes[i]);
     };
     const int threads = std::min(options_.threads, n);
     if (threads > 1) {

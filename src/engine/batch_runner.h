@@ -26,14 +26,18 @@
 // lines-in-flight, not from per-request component fan-out.
 //
 // Budget admission: `batch_deadline_ms` is one aggregate wall-clock pool
-// for the whole batch. Once it runs dry, admission decides what happens to
-// the lines still waiting:
+// for the whole batch, enforced through the shared DeadlineAdmission
+// helper (engine/admission.h — the same clamp-or-shed arithmetic
+// `pebblejoin serve` applies, so the two surfaces cannot drift). Once it
+// runs dry, admission decides what happens to the lines still waiting:
 //   - kQueue (default): the line runs with whatever remains of the pool —
 //     possibly a zero deadline, under which the fallback ladder still
 //     produces a verified (if cheap) scheme;
 //   - kReject: the line is not solved at all and yields an error record
 //     ("rejected: batch deadline exhausted").
 // A line's own deadline_ms is additionally clamped to the remaining pool.
+// Per-line parsing and solving live in the shared JsonlRequestRunner
+// (engine/jsonl_request.h), the other half of that no-drift guarantee.
 //
 // Live progress: with Options::progress_every_ms >= 0 the runner reports
 // after blocks — lines done (of expected, when known), reject/degradation
@@ -52,6 +56,8 @@
 #include <iosfwd>
 #include <string>
 
+#include "engine/admission.h"
+#include "engine/jsonl_request.h"
 #include "engine/solve_engine.h"
 
 namespace pebblejoin {
@@ -59,7 +65,8 @@ namespace pebblejoin {
 class BatchRunner {
  public:
   // What to do with a line once the aggregate batch deadline ran dry.
-  enum class Admission { kQueue, kReject };
+  // Alias of the shared AdmissionPolicy, kept for API stability.
+  using Admission = AdmissionPolicy;
 
   struct Options {
     // Lines in flight at once. 1 = sequential on the calling thread;
@@ -119,7 +126,7 @@ class BatchRunner {
   Summary Run(std::istream& in, std::ostream& out);
 
  private:
-  enum class LineKind { kSolved, kError, kRejected };
+  using LineKind = JsonlRequestRunner::Disposition;
 
   // How one line was disposed, for the summary and the progress reports.
   struct LineOutcome {
@@ -128,13 +135,13 @@ class BatchRunner {
     int64_t latency_ms = 0;   // parse + solve wall clock
   };
 
-  // Parses and solves one line; returns the output line (no newline) and
-  // fills `outcome`. RunLine wraps RunLineImpl with the latency clock;
-  // `start_ms` (the wrapper's first read) doubles as the admission time.
-  std::string RunLine(const std::string& line, int64_t line_number,
+  // Parses and solves one line through the shared JsonlRequestRunner;
+  // returns the output line (no newline) and fills `outcome`. The first
+  // clock read doubles as the admission time.
+  std::string RunLine(const JsonlRequestRunner& runner,
+                      const DeadlineAdmission& admission,
+                      const std::string& line, int64_t line_number,
                       LineOutcome* outcome);
-  std::string RunLineImpl(const std::string& line, int64_t line_number,
-                          int64_t start_ms, LineOutcome* outcome);
 
   int64_t NowMs() const;
 

@@ -1,0 +1,167 @@
+#include "engine/jsonl_request.h"
+
+#include <utility>
+
+#include "core/report.h"
+#include "engine/names.h"
+#include "io/graph_io.h"
+#include "obs/json.h"
+#include "obs/json_value.h"
+#include "util/check.h"
+
+namespace pebblejoin {
+
+namespace {
+
+// A non-negative int64 member, with kind and range validated. Returns
+// false (with a one-line reason) on any mismatch.
+bool ReadNonNegative(const JsonValue& value, const std::string& key,
+                     int64_t* out, std::string* error) {
+  const std::optional<int64_t> parsed = value.int64_value();
+  if (!parsed.has_value() || *parsed < 0) {
+    *error = "\"" + key + "\" needs a non-negative integer";
+    return false;
+  }
+  *out = *parsed;
+  return true;
+}
+
+}  // namespace
+
+std::string JsonlErrorRecord(int64_t line_number, const std::string& message) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("line", line_number);
+  json.Field("error", message);
+  json.EndObject();
+  return json.TakeString();
+}
+
+bool JsonlLineIsBlank(const std::string& line) {
+  for (char c : line) {
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+  }
+  return true;
+}
+
+JsonlRequestRunner::JsonlRequestRunner(SolveEngine* engine, Defaults defaults)
+    : engine_(engine), defaults_(std::move(defaults)) {
+  JP_CHECK(engine_ != nullptr);
+}
+
+std::string JsonlRequestRunner::Run(const std::string& line,
+                                    int64_t line_number,
+                                    const DeadlineAdmission* admission,
+                                    int64_t now_ms,
+                                    const std::string& reject_reason,
+                                    Outcome* outcome) const {
+  outcome->disposition = Disposition::kError;
+  outcome->degraded = false;
+
+  std::string error;
+  JsonValue::ParseLimits limits;
+  if (defaults_.max_line_bytes > 0) {
+    limits.max_bytes = defaults_.max_line_bytes;
+  }
+  const std::optional<JsonValue> doc = JsonValue::Parse(line, &error, limits);
+  if (!doc.has_value()) return JsonlErrorRecord(line_number, error);
+  if (!doc->is_object()) {
+    return JsonlErrorRecord(line_number,
+                            std::string("expected a JSON object, got ") +
+                                JsonValue::KindName(doc->kind()));
+  }
+
+  // Per-line request state, seeded from the runner defaults.
+  std::optional<BipartiteGraph> graph;
+  PredicateClass predicate = defaults_.predicate;
+  std::optional<SolverChoice> solver = defaults_.solver;
+  SolveBudget budget = defaults_.budget.value_or(SolveBudget{});
+  bool budget_set = defaults_.budget.has_value();
+
+  for (const auto& [key, value] : doc->object_members()) {
+    if (key == "graph") {
+      if (!value.is_string()) {
+        return JsonlErrorRecord(line_number, "\"graph\" needs a string");
+      }
+      graph = ParseBipartiteGraph(value.string_value(), &error);
+      if (!graph.has_value()) return JsonlErrorRecord(line_number, error);
+    } else if (key == "predicate") {
+      if (!value.is_string() ||
+          !ParsePredicateName(value.string_value(), &predicate)) {
+        return JsonlErrorRecord(line_number,
+                                std::string("\"predicate\" needs one of: ") +
+                                    PredicateNameList());
+      }
+    } else if (key == "solver") {
+      SolverChoice choice = SolverChoice::kAuto;
+      if (!value.is_string() ||
+          !ParseSolverName(value.string_value(), &choice)) {
+        return JsonlErrorRecord(line_number,
+                                std::string("\"solver\" needs one of: ") +
+                                    SolverNameList());
+      }
+      solver = choice;
+    } else if (key == "deadline_ms") {
+      if (!ReadNonNegative(value, key, &budget.deadline_ms, &error)) {
+        return JsonlErrorRecord(line_number, error);
+      }
+      budget_set = true;
+    } else if (key == "node_budget") {
+      if (!ReadNonNegative(value, key, &budget.node_budget, &error)) {
+        return JsonlErrorRecord(line_number, error);
+      }
+      budget_set = true;
+    } else if (key == "memory_mb") {
+      int64_t mb = 0;
+      if (!ReadNonNegative(value, key, &mb, &error) ||
+          mb > (int64_t{1} << 40)) {
+        return JsonlErrorRecord(line_number,
+                                "\"memory_mb\" needs a non-negative integer");
+      }
+      budget.memory_limit_bytes = mb << 20;
+      budget_set = true;
+    } else {
+      return JsonlErrorRecord(line_number, "unknown key \"" + key + "\"");
+    }
+  }
+  if (!graph.has_value()) {
+    return JsonlErrorRecord(line_number, "missing required key \"graph\"");
+  }
+  // The CLI convention: a budget without an explicit solver selects the
+  // ladder, which degrades instead of refusing.
+  if (budget_set && !solver.has_value()) solver = SolverChoice::kFallback;
+
+  // Admission against the aggregate pool, judged at the line's start time
+  // — under fan-out that is the worker's start, which is exactly the
+  // admission semantics a shared pool implies.
+  bool admission_clamped = false;
+  if (admission != nullptr && !admission->unlimited()) {
+    if (!admission->Admit(now_ms, &budget)) {
+      outcome->disposition = Disposition::kRejected;
+      return JsonlErrorRecord(line_number, "rejected: " + reject_reason);
+    }
+    admission_clamped = true;
+  }
+  if (defaults_.deadline_cap_ms >= 0) {
+    ClampDeadline(&budget, defaults_.deadline_cap_ms);
+    admission_clamped = true;
+  }
+
+  SolveRequest request;
+  request.graph = &*graph;
+  request.predicate = predicate;
+  request.solver = solver;
+  request.journal_line = line_number;
+  if (budget_set || admission_clamped) request.budget = budget;
+  const SolveResult result = engine_->Solve(request);
+  outcome->disposition = Disposition::kSolved;
+  for (const SolveOutcome& component : result.analysis.solution.outcomes) {
+    if (component.degraded()) {
+      outcome->degraded = true;
+      break;
+    }
+  }
+  return AnalysisJson(result.analysis);
+}
+
+}  // namespace pebblejoin

@@ -1,0 +1,97 @@
+// One JSONL solve-request line in, one response line out — the wire
+// protocol shared by `pebblejoin batch` and `pebblejoin serve`.
+//
+// A request line is one JSON object:
+//
+//   {"graph": "bipartite 2 2 4\n0 0\n...", "predicate": "equijoin",
+//    "solver": "fallback", "deadline_ms": 50, "node_budget": 100000,
+//    "memory_mb": 64}
+//
+// Only "graph" is required; every other key overrides the runner default
+// for that line, with the CLI's spellings (engine/names.h) and the CLI's
+// convention that a budget without an explicit solver selects the fallback
+// ladder. Unknown keys and malformed values are line-level errors:
+//
+//   {"line": N, "error": "<one-line reason>"}
+//
+// A well-formed line yields exactly the document `pebblejoin analyze
+// --json` prints for the same graph and flags — byte-identical, which is
+// what the batch round-trip tests and the serve-vs-batch CI diff pin.
+// Keeping this in one class is what guarantees a request means the same
+// thing whether it arrived in a file or over a socket.
+//
+// Admission hooks (engine/admission.h): an optional DeadlineAdmission is
+// judged at the line's start time (clamp-or-shed against the aggregate
+// pool), and an optional deadline cap bounds every admitted solve — the
+// serve layer relies on the cap to keep graceful drain finite.
+//
+// The runner is immutable after construction and the engine's Solve is
+// thread-safe, so one runner may be shared by any number of threads.
+
+#ifndef PEBBLEJOIN_ENGINE_JSONL_REQUEST_H_
+#define PEBBLEJOIN_ENGINE_JSONL_REQUEST_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "engine/admission.h"
+#include "engine/solve_engine.h"
+
+namespace pebblejoin {
+
+// The line-level error record: {"line":N,"error":"..."}.
+std::string JsonlErrorRecord(int64_t line_number, const std::string& message);
+
+// True when `line` is whitespace-only (space, tab, CR) — the blank lines
+// both surfaces skip without a response.
+bool JsonlLineIsBlank(const std::string& line);
+
+class JsonlRequestRunner {
+ public:
+  // Per-line defaults, the runner-level analogue of CLI flags. With
+  // `default_budget` set and no solver named anywhere, the fallback ladder
+  // runs (it degrades instead of refusing).
+  struct Defaults {
+    PredicateClass predicate = PredicateClass::kGeneral;
+    std::optional<SolverChoice> solver;
+    std::optional<SolveBudget> budget;
+    // Ceiling applied to every admitted line's deadline (see
+    // ClampDeadline); negative = no cap.
+    int64_t deadline_cap_ms = -1;
+    // Input-size cap handed to the JSON parser (JsonValue::ParseLimits);
+    // non-positive = the parser's default.
+    int64_t max_line_bytes = 0;
+  };
+
+  // How one line was disposed, for summaries and metrics.
+  enum class Disposition { kSolved, kError, kRejected };
+
+  struct Outcome {
+    Disposition disposition = Disposition::kError;
+    bool degraded = false;  // solved, but the outcome was budget-cut
+  };
+
+  // The engine is borrowed and must outlive the runner.
+  JsonlRequestRunner(SolveEngine* engine, Defaults defaults);
+
+  // Parses and solves one line; returns the response line (no trailing
+  // newline). `admission`, when non-null, is judged at `now_ms` before the
+  // solve — a shed line yields {"line":N,"error":"rejected: <reason>"}
+  // with `reject_reason` as the reason text. `journal_line` stamps the
+  // engine's journal events for this request.
+  std::string Run(const std::string& line, int64_t line_number,
+                  const DeadlineAdmission* admission, int64_t now_ms,
+                  const std::string& reject_reason, Outcome* outcome) const;
+
+  const Defaults& defaults() const { return defaults_; }
+  SolveEngine* engine() const { return engine_; }
+
+ private:
+  SolveEngine* engine_;  // borrowed
+  Defaults defaults_;
+};
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_ENGINE_JSONL_REQUEST_H_

@@ -7,14 +7,6 @@
 
 namespace pebblejoin {
 
-namespace {
-
-// Nesting beyond this is almost certainly hostile or broken input; the cap
-// turns a stack overflow into a parse error.
-constexpr int kMaxDepth = 64;
-
-}  // namespace
-
 const JsonValue* JsonValue::Find(const std::string& key) const {
   if (!is_object()) return nullptr;
   const JsonValue* found = nullptr;
@@ -48,9 +40,26 @@ class JsonParser {
  public:
   using Kind = JsonValue::Kind;
 
-  explicit JsonParser(const std::string& text) : text_(text) {}
+  JsonParser(const std::string& text, const JsonValue::ParseLimits& limits)
+      : text_(text),
+        max_depth_(limits.max_depth),
+        max_bytes_(limits.max_bytes > 0 ? limits.max_bytes
+                                        : JsonValue::kDefaultMaxBytes) {}
 
   std::optional<JsonValue> Parse(std::string* error) {
+    // The size cap is judged before the first byte: oversized input —
+    // truncated uploads, runaway lines, hostile payloads — fails in O(1)
+    // instead of being parsed up to the point of exhaustion.
+    if (static_cast<int64_t>(text_.size()) > max_bytes_) {
+      if (error != nullptr) {
+        char buffer[96];
+        std::snprintf(buffer, sizeof(buffer),
+                      "input exceeds %lld bytes (got %zu)",
+                      static_cast<long long>(max_bytes_), text_.size());
+        *error = buffer;
+      }
+      return std::nullopt;
+    }
     JsonValue value;
     SkipWhitespace();
     if (!ParseValue(&value, 0)) {
@@ -112,7 +121,7 @@ class JsonParser {
   }
 
   bool ParseValue(JsonValue* out, int depth) {
-    if (depth > kMaxDepth) return Fail("nesting too deep");
+    if (depth > max_depth_) return Fail("nesting too deep");
     if (AtEnd()) return Fail("unexpected end of input");
     switch (Peek()) {
       case '{':
@@ -335,13 +344,21 @@ class JsonParser {
   }
 
   const std::string& text_;
+  const int max_depth_;
+  const int64_t max_bytes_;
   std::size_t pos_ = 0;
   std::string error_;
 };
 
 std::optional<JsonValue> JsonValue::Parse(const std::string& text,
                                           std::string* error) {
-  return JsonParser(text).Parse(error);
+  return JsonParser(text, ParseLimits{}).Parse(error);
+}
+
+std::optional<JsonValue> JsonValue::Parse(const std::string& text,
+                                          std::string* error,
+                                          const ParseLimits& limits) {
+  return JsonParser(text, limits).Parse(error);
 }
 
 }  // namespace pebblejoin

@@ -5,10 +5,17 @@
 //
 // Scope is deliberately RFC-8259-minimal: UTF-8 text, the six value kinds,
 // \uXXXX escapes (surrogate pairs included), a nesting-depth cap instead
-// of recursion-to-overflow, and byte-offset error messages. Numbers keep
-// both a double and, when exactly representable, an int64 view. Object
-// member order is preserved; duplicate keys keep the last value (lookup
-// scans, fine at the handful-of-keys scale this is used for).
+// of recursion-to-overflow, a total input-size cap, and byte-offset error
+// messages. Numbers keep both a double and, when exactly representable, an
+// int64 view. Object member order is preserved; duplicate keys keep the
+// last value (lookup scans, fine at the handful-of-keys scale this is used
+// for).
+//
+// The input now also arrives over the network (serve/): both caps exist so
+// adversarial input turns into a one-line parse error, never a stack
+// overflow or an unbounded allocation. The serve layer passes its
+// per-line byte cap through ParseLimits; the default max_bytes is a
+// generous backstop for file-driven batches.
 
 #ifndef PEBBLEJOIN_OBS_JSON_VALUE_H_
 #define PEBBLEJOIN_OBS_JSON_VALUE_H_
@@ -25,11 +32,26 @@ class JsonValue {
  public:
   enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
 
+  // Hostile-input ceilings. Inputs beyond either cap fail fast with a
+  // one-line error instead of recursing or allocating without bound.
+  struct ParseLimits {
+    // Nesting beyond this is almost certainly hostile or broken input;
+    // the cap turns a stack overflow into a parse error.
+    int max_depth = 64;
+    // Total input size, bytes; checked before the first byte is parsed.
+    // Non-positive = the 64 MiB default backstop.
+    int64_t max_bytes = 0;
+  };
+  static constexpr int64_t kDefaultMaxBytes = int64_t{64} << 20;
+
   // Parses exactly one JSON value spanning the whole input (trailing
   // whitespace allowed). On failure returns nullopt and, when `error` is
   // non-null, stores a one-line description with a byte offset.
   static std::optional<JsonValue> Parse(const std::string& text,
                                         std::string* error);
+  static std::optional<JsonValue> Parse(const std::string& text,
+                                        std::string* error,
+                                        const ParseLimits& limits);
 
   JsonValue() : kind_(Kind::kNull) {}
 

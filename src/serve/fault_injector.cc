@@ -1,0 +1,70 @@
+#include "serve/fault_injector.h"
+
+#include <cerrno>
+#include <unistd.h>
+
+#include <sys/socket.h>
+
+namespace pebblejoin {
+
+bool FaultInjector::ConsumeArm(std::atomic<int>* counter) {
+  int n = counter->load(std::memory_order_relaxed);
+  while (n > 0) {
+    if (counter->compare_exchange_weak(n, n - 1, std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int FaultInjector::Accept(int listen_fd) {
+  if (ConsumeArm(&fail_accepts_)) {
+    accepts_failed_.fetch_add(1, std::memory_order_relaxed);
+    errno = ECONNABORTED;
+    return -1;
+  }
+  return ::accept(listen_fd, nullptr, nullptr);
+}
+
+ssize_t FaultInjector::Read(int fd, char* data, size_t len) {
+  int64_t allowance = read_allowance_.load(std::memory_order_relaxed);
+  if (allowance >= 0) {
+    // Byte-exact disconnect: shrink the read so the allowance is consumed
+    // precisely, then report end-of-stream forever after.
+    if (allowance == 0) {
+      disconnects_forced_.fetch_add(1, std::memory_order_relaxed);
+      return 0;
+    }
+    if (static_cast<int64_t>(len) > allowance) {
+      len = static_cast<size_t>(allowance);
+    }
+  }
+  const ssize_t n = ::read(fd, data, len);
+  if (n > 0 && allowance >= 0) {
+    read_allowance_.fetch_sub(n, std::memory_order_relaxed);
+  }
+  return n;
+}
+
+ssize_t FaultInjector::Write(int fd, const char* data, size_t len) {
+  if (stall_writes_.load(std::memory_order_relaxed)) {
+    errno = EAGAIN;
+    return -1;
+  }
+  if (ConsumeArm(&fail_writes_)) {
+    writes_failed_.fetch_add(1, std::memory_order_relaxed);
+    errno = EPIPE;
+    return -1;
+  }
+  const int chunk = short_write_chunk_.load(std::memory_order_relaxed);
+  if (chunk > 0 && len > static_cast<size_t>(chunk)) {
+    writes_shortened_.fetch_add(1, std::memory_order_relaxed);
+    len = static_cast<size_t>(chunk);
+  }
+  // MSG_NOSIGNAL: a peer that closed its receive side must surface as
+  // EPIPE, never as process-wide SIGPIPE — the server library cannot
+  // assume the host process ignores the signal.
+  return ::send(fd, data, len, MSG_NOSIGNAL);
+}
+
+}  // namespace pebblejoin

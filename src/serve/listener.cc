@@ -1,0 +1,75 @@
+#include "serve/listener.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace pebblejoin {
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Listener::~Listener() { Close(); }
+
+bool Listener::Open(const std::string& host, int port, std::string* error) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "invalid listen address: " + host;
+    return false;
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = Errno("socket");
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (error != nullptr) *error = Errno("bind " + host);
+    ::close(fd);
+    return false;
+  }
+  if (::listen(fd, 128) != 0) {
+    if (error != nullptr) *error = Errno("listen");
+    ::close(fd);
+    return false;
+  }
+  // Non-blocking accept: the acceptor thread polls, so a connection that
+  // vanishes between poll() and accept() yields EAGAIN, not a hang.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    if (error != nullptr) *error = Errno("getsockname");
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+  return true;
+}
+
+void Listener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace pebblejoin

@@ -1,0 +1,47 @@
+// A bound, listening TCP socket — the one piece of the serve layer that
+// talks to the address space rather than to a connection.
+//
+// Open() binds host:port (port 0 asks the kernel for an ephemeral port;
+// port() reports the real one, which is how the tests and the CI smoke job
+// avoid fixed-port collisions), sets SO_REUSEADDR so restarts do not trip
+// over TIME_WAIT, marks the socket non-blocking (the acceptor polls), and
+// starts listening. Accept itself lives in FaultInjector::Accept so the
+// failure path is injectable; the Listener only owns the fd.
+
+#ifndef PEBBLEJOIN_SERVE_LISTENER_H_
+#define PEBBLEJOIN_SERVE_LISTENER_H_
+
+#include <string>
+
+namespace pebblejoin {
+
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  // Binds and listens on host:port. On failure returns false with a
+  // one-line reason in `error` (and holds no fd). Call at most once.
+  bool Open(const std::string& host, int port, std::string* error);
+
+  // The listening fd, or -1 before Open()/after Close().
+  int fd() const { return fd_; }
+
+  // The bound port (the kernel's pick when Open() was given port 0), or -1.
+  int port() const { return port_; }
+
+  // Idempotent. After Close(), blocked-on-poll acceptors see the fd go
+  // readable/invalid and exit their loop.
+  void Close();
+
+ private:
+  int fd_ = -1;
+  int port_ = -1;
+};
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_SERVE_LISTENER_H_

@@ -1,0 +1,135 @@
+#include "serve/request_router.h"
+
+#include <utility>
+
+namespace pebblejoin {
+namespace {
+
+JsonlRequestRunner::Defaults DefaultsFrom(const ServeOptions& options) {
+  JsonlRequestRunner::Defaults defaults;
+  defaults.predicate = options.predicate;
+  defaults.solver = options.solver;
+  defaults.budget = options.budget;
+  defaults.deadline_cap_ms = options.request_deadline_cap_ms;
+  defaults.max_line_bytes = options.max_line_bytes;
+  return defaults;
+}
+
+}  // namespace
+
+RequestRouter::RequestRouter(SolveEngine* engine, const ServeOptions& options)
+    : runner_(engine, DefaultsFrom(options)),
+      limiter_(options.max_inflight, options.per_conn_inflight),
+      drain_ms_(options.drain_ms),
+      metrics_(engine->metrics()),
+      requests_(metrics_->FindOrCreateCounter("serve.requests")),
+      solved_(metrics_->FindOrCreateCounter("serve.solved")),
+      errors_(metrics_->FindOrCreateCounter("serve.errors")),
+      rejected_(metrics_->FindOrCreateCounter("serve.rejected")),
+      http_requests_(metrics_->FindOrCreateCounter("serve.http_requests")),
+      inflight_gauge_(metrics_->FindOrCreateGauge("serve.inflight")),
+      request_wall_us_(
+          metrics_->FindOrCreateHistogram("serve.request_wall_us")) {}
+
+RequestRouter::LineClass RequestRouter::Classify(const std::string& line) {
+  if (JsonlLineIsBlank(line)) return LineClass::kBlank;
+  if (line.rfind("GET ", 0) == 0) return LineClass::kHttp;
+  return LineClass::kSolve;
+}
+
+bool RequestRouter::AdmitSolve(int64_t conn_id, std::string* denied_reason) {
+  if (draining()) {
+    if (denied_reason != nullptr) *denied_reason = "server draining";
+    return false;
+  }
+  const char* denied_by = nullptr;
+  if (!limiter_.TryAcquire(conn_id, &denied_by)) {
+    if (denied_reason != nullptr) *denied_reason = denied_by;
+    return false;
+  }
+  inflight_gauge_.Set(limiter_.in_flight());
+  return true;
+}
+
+void RequestRouter::ReleaseSolve(int64_t conn_id) {
+  limiter_.Release(conn_id);
+  inflight_gauge_.Set(limiter_.in_flight());
+}
+
+std::string RequestRouter::RunSolve(const std::string& line,
+                                    int64_t line_number, int64_t now_ms,
+                                    JsonlRequestRunner::Outcome* outcome) {
+  // During drain the remaining drain budget is one aggregate pool (kQueue:
+  // clamp, never shed — admission already stopped new lines), so a solve
+  // that started just before the gate flipped still lands inside the
+  // drain window.
+  const DeadlineAdmission* admission = nullptr;
+  if (draining()) admission = &*drain_pool_;
+  std::string response = runner_.Run(line, line_number, admission, now_ms,
+                                     "server draining", outcome);
+  requests_.Increment();
+  switch (outcome->disposition) {
+    case JsonlRequestRunner::Disposition::kSolved:
+      solved_.Increment();
+      break;
+    case JsonlRequestRunner::Disposition::kError:
+      errors_.Increment();
+      break;
+    case JsonlRequestRunner::Disposition::kRejected:
+      rejected_.Increment();
+      break;
+  }
+  return response;
+}
+
+std::string RequestRouter::RejectRecord(int64_t line_number,
+                                        const std::string& reason) {
+  requests_.Increment();
+  rejected_.Increment();
+  return JsonlErrorRecord(line_number, "rejected: " + reason);
+}
+
+std::string RequestRouter::HttpResponse(const std::string& request_line) {
+  http_requests_.Increment();
+  // "GET <target> [HTTP/x.y]" — tolerate a bare "GET /metrics" and the
+  // CRLF a real HTTP client sends.
+  std::string target;
+  const size_t start = 4;  // past "GET "
+  size_t end = request_line.find(' ', start);
+  if (end == std::string::npos) end = request_line.size();
+  target = request_line.substr(start, end - start);
+  while (!target.empty() && target.back() == '\r') target.pop_back();
+
+  std::string body;
+  std::string status;
+  std::string content_type;
+  const size_t query = target.find('?');
+  if (query != std::string::npos) target.resize(query);
+  if (target == "/metrics") {
+    status = "200 OK";
+    content_type =
+        "application/openmetrics-text; version=1.0.0; charset=utf-8";
+    body = metrics_->OpenMetricsText();
+  } else {
+    status = "404 Not Found";
+    content_type = "text/plain; charset=utf-8";
+    body = "not found\n";
+  }
+  std::string response;
+  response.reserve(body.size() + 160);
+  response += "HTTP/1.1 " + status + "\r\n";
+  response += "Content-Type: " + content_type + "\r\n";
+  response += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  response += "Connection: close\r\n\r\n";
+  response += body;
+  return response;
+}
+
+void RequestRouter::BeginDrain(int64_t now_ms) {
+  std::lock_guard<std::mutex> lock(drain_mutex_);
+  if (draining_.load(std::memory_order_relaxed)) return;
+  drain_pool_.emplace(drain_ms_, AdmissionPolicy::kQueue, now_ms);
+  draining_.store(true, std::memory_order_release);
+}
+
+}  // namespace pebblejoin

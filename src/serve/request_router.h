@@ -1,0 +1,117 @@
+// RequestRouter: the serve layer's shared request brain.
+//
+// One router serves every connection. It owns the three things a request
+// touches that must be server-wide, not per-connection:
+//
+//   - the JsonlRequestRunner (engine/jsonl_request.h) — the identical
+//     line-in/response-out machinery `pebblejoin batch` runs, configured
+//     with the serve defaults and the per-request deadline cap, which is
+//     why serve responses are byte-identical to batch output;
+//   - the InflightLimiter (engine/admission.h) — the bounded server-wide
+//     request queue plus per-connection ceiling; a denied acquire becomes
+//     a structured `{"line":N,"error":"rejected: ..."}` record, never an
+//     unbounded queue;
+//   - the drain gate — after BeginDrain, new lines are shed with
+//     "rejected: server draining" and lines already admitted are clamped
+//     to the remaining drain budget through a DeadlineAdmission pool over
+//     `drain_ms` (the same clamp arithmetic `--batch-deadline-ms` uses).
+//
+// It also classifies raw lines (blank / HTTP / solve) and renders the
+// minimal HTTP response for `GET /metrics` — OpenMetrics scraped straight
+// off the engine's registry, on the same listener port as the JSONL
+// protocol.
+//
+// Thread-safety: everything here is called concurrently from connection
+// threads and pool workers. The runner is immutable, the limiter locks,
+// the drain gate is an acquire/release atomic, metrics handles are atomic
+// cells. Journal events for rejections are the caller's job (connections
+// own the per-connection EventLogs).
+
+#ifndef PEBBLEJOIN_SERVE_REQUEST_ROUTER_H_
+#define PEBBLEJOIN_SERVE_REQUEST_ROUTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "engine/admission.h"
+#include "engine/jsonl_request.h"
+#include "engine/solve_engine.h"
+#include "obs/metrics.h"
+#include "serve/serve_options.h"
+
+namespace pebblejoin {
+
+class RequestRouter {
+ public:
+  // What one raw input line is.
+  enum class LineClass { kBlank, kHttp, kSolve };
+
+  // The engine is borrowed and must outlive the router; `options` is
+  // copied (only the request-shaping fields are read).
+  RequestRouter(SolveEngine* engine, const ServeOptions& options);
+
+  static LineClass Classify(const std::string& line);
+
+  // Takes an in-flight slot for connection `conn_id`, or says why not
+  // ("server draining" / "server overloaded" / "per-connection in-flight
+  // cap"). A true return must be paired with exactly one ReleaseSolve.
+  bool AdmitSolve(int64_t conn_id, std::string* denied_reason);
+  void ReleaseSolve(int64_t conn_id);
+
+  // Parses and solves one admitted line; returns the response line (no
+  // trailing newline). During drain the request's deadline is additionally
+  // clamped to the remaining drain budget. Safe from any thread.
+  std::string RunSolve(const std::string& line, int64_t line_number,
+                       int64_t now_ms, JsonlRequestRunner::Outcome* outcome);
+
+  // The rejection record for a shed line (also counts it). Matches the
+  // batch spelling: {"line":N,"error":"rejected: <reason>"}.
+  std::string RejectRecord(int64_t line_number, const std::string& reason);
+
+  // Full HTTP response bytes for an HTTP request line: 200 with the
+  // OpenMetrics exposition for GET /metrics, 404 otherwise. The connection
+  // closes after writing it (Connection: close).
+  std::string HttpResponse(const std::string& request_line);
+
+  // Flips the drain gate: every later AdmitSolve is denied and every
+  // already-admitted solve is clamped to the `drain_ms` pool starting at
+  // `now_ms`. Idempotent (the first call wins).
+  void BeginDrain(int64_t now_ms);
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  // Feeds the serve.request_wall_us histogram (the caller owns the clock).
+  void RecordRequestWall(int64_t wall_us) { request_wall_us_.Record(wall_us); }
+
+  int in_flight() const { return limiter_.in_flight(); }
+  MetricsRegistry* metrics() const { return metrics_; }
+
+ private:
+  JsonlRequestRunner runner_;
+  InflightLimiter limiter_;
+  int64_t drain_ms_;
+
+  // Written once by BeginDrain (under mutex), then published through
+  // `draining_` with release ordering; readers acquire-load the flag
+  // before touching the pool.
+  std::mutex drain_mutex_;
+  std::optional<DeadlineAdmission> drain_pool_;
+  std::atomic<bool> draining_{false};
+
+  MetricsRegistry* metrics_;  // borrowed (the engine's registry)
+  Counter requests_;
+  Counter solved_;
+  Counter errors_;
+  Counter rejected_;
+  Counter http_requests_;
+  Gauge inflight_gauge_;
+  Histogram request_wall_us_;
+};
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_SERVE_REQUEST_ROUTER_H_

@@ -1,0 +1,178 @@
+// Admission-control units shared by `pebblejoin batch` and `pebblejoin
+// serve`: the aggregate deadline pool (clamp-or-shed semantics at explicit
+// clock readings), the per-request deadline ceiling, and the bounded
+// in-flight limiter with its two shed reasons.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/admission.h"
+#include "util/budget.h"
+
+namespace pebblejoin {
+namespace {
+
+TEST(DeadlineAdmissionTest, UnlimitedPoolAdmitsEverythingUntouched) {
+  const DeadlineAdmission pool(-1, AdmissionPolicy::kReject, /*start_ms=*/0);
+  EXPECT_TRUE(pool.unlimited());
+
+  SolveBudget budget;
+  budget.deadline_ms = 1234;
+  EXPECT_TRUE(pool.Admit(/*now_ms=*/1000000, &budget));
+  EXPECT_EQ(budget.deadline_ms, 1234);
+
+  SolveBudget bare;
+  EXPECT_TRUE(pool.Admit(/*now_ms=*/1000000, &bare));
+  EXPECT_FALSE(bare.has_deadline());
+}
+
+TEST(DeadlineAdmissionTest, RemainingMsCountsDownAndClampsAtZero) {
+  const DeadlineAdmission pool(100, AdmissionPolicy::kQueue, /*start_ms=*/50);
+  EXPECT_EQ(pool.RemainingMs(50), 100);
+  EXPECT_EQ(pool.RemainingMs(120), 30);
+  EXPECT_EQ(pool.RemainingMs(150), 0);
+  EXPECT_EQ(pool.RemainingMs(10000), 0);  // never negative
+}
+
+TEST(DeadlineAdmissionTest, AdmitClampsDeadlineToTheRemainder) {
+  const DeadlineAdmission pool(100, AdmissionPolicy::kReject, /*start_ms=*/0);
+
+  // 60 ms in: 40 ms remain. A looser request deadline is clamped down...
+  SolveBudget loose;
+  loose.deadline_ms = 500;
+  EXPECT_TRUE(pool.Admit(/*now_ms=*/60, &loose));
+  EXPECT_EQ(loose.deadline_ms, 40);
+
+  // ...a tighter one is kept...
+  SolveBudget tight;
+  tight.deadline_ms = 10;
+  EXPECT_TRUE(pool.Admit(/*now_ms=*/60, &tight));
+  EXPECT_EQ(tight.deadline_ms, 10);
+
+  // ...and a request with no deadline inherits the remainder outright.
+  SolveBudget bare;
+  EXPECT_TRUE(pool.Admit(/*now_ms=*/60, &bare));
+  EXPECT_EQ(bare.deadline_ms, 40);
+}
+
+TEST(DeadlineAdmissionTest, DryPoolShedsUnderRejectAndQueuesAtZeroUnderQueue) {
+  SolveBudget budget;
+  budget.deadline_ms = 500;
+
+  const DeadlineAdmission reject(100, AdmissionPolicy::kReject, /*start=*/0);
+  EXPECT_FALSE(reject.Admit(/*now_ms=*/100, &budget));
+  EXPECT_EQ(budget.deadline_ms, 500) << "rejected budgets stay untouched";
+
+  const DeadlineAdmission queue(100, AdmissionPolicy::kQueue, /*start=*/0);
+  EXPECT_TRUE(queue.Admit(/*now_ms=*/100, &budget));
+  EXPECT_EQ(budget.deadline_ms, 0)
+      << "kQueue admits with a zero deadline (fallback ladder still runs)";
+}
+
+TEST(ClampDeadlineTest, CapsLooseDeadlinesAndFillsMissingOnes) {
+  SolveBudget loose;
+  loose.deadline_ms = 60000;
+  ClampDeadline(&loose, 1000);
+  EXPECT_EQ(loose.deadline_ms, 1000);
+
+  SolveBudget tight;
+  tight.deadline_ms = 5;
+  ClampDeadline(&tight, 1000);
+  EXPECT_EQ(tight.deadline_ms, 5);
+
+  SolveBudget bare;
+  ClampDeadline(&bare, 1000);
+  EXPECT_EQ(bare.deadline_ms, 1000)
+      << "an uncapped request gets exactly the ceiling";
+
+  SolveBudget untouched;
+  untouched.deadline_ms = 60000;
+  ClampDeadline(&untouched, -1);
+  EXPECT_EQ(untouched.deadline_ms, 60000) << "negative cap = no clamp";
+}
+
+TEST(InflightLimiterTest, TotalCeilingShedsWithTheOverloadReason) {
+  InflightLimiter limiter(/*max_total=*/2, /*max_per_client=*/0);
+  EXPECT_TRUE(limiter.TryAcquire(/*client_id=*/1));
+  EXPECT_TRUE(limiter.TryAcquire(/*client_id=*/2));
+  EXPECT_EQ(limiter.in_flight(), 2);
+
+  const char* denied_by = nullptr;
+  EXPECT_FALSE(limiter.TryAcquire(/*client_id=*/3, &denied_by));
+  ASSERT_NE(denied_by, nullptr);
+  EXPECT_EQ(std::string(denied_by), "server overloaded");
+
+  limiter.Release(/*client_id=*/1);
+  EXPECT_EQ(limiter.in_flight(), 1);
+  EXPECT_TRUE(limiter.TryAcquire(/*client_id=*/3));
+}
+
+TEST(InflightLimiterTest, PerClientCeilingShedsOnlyThatClient) {
+  InflightLimiter limiter(/*max_total=*/0, /*max_per_client=*/2);
+  EXPECT_TRUE(limiter.TryAcquire(/*client_id=*/7));
+  EXPECT_TRUE(limiter.TryAcquire(/*client_id=*/7));
+
+  const char* denied_by = nullptr;
+  EXPECT_FALSE(limiter.TryAcquire(/*client_id=*/7, &denied_by));
+  ASSERT_NE(denied_by, nullptr);
+  EXPECT_EQ(std::string(denied_by), "per-connection in-flight cap");
+
+  // Another client is unaffected by the first one's ceiling.
+  EXPECT_TRUE(limiter.TryAcquire(/*client_id=*/8));
+  EXPECT_EQ(limiter.in_flight(), 3);
+
+  limiter.Release(/*client_id=*/7);
+  EXPECT_TRUE(limiter.TryAcquire(/*client_id=*/7));
+}
+
+TEST(InflightLimiterTest, UnlimitedDimensionsNeverShed) {
+  InflightLimiter limiter(/*max_total=*/0, /*max_per_client=*/0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(limiter.TryAcquire(/*client_id=*/i % 3));
+  }
+  EXPECT_EQ(limiter.in_flight(), 100);
+}
+
+TEST(InflightLimiterTest, ReleaseForgetsDrainedClients) {
+  InflightLimiter limiter(/*max_total=*/0, /*max_per_client=*/1);
+  // Churn through many distinct client ids; each releases its slot, so the
+  // per-client map must not retain an entry (and thus a ceiling) per id.
+  for (int64_t id = 0; id < 64; ++id) {
+    EXPECT_TRUE(limiter.TryAcquire(id));
+    limiter.Release(id);
+  }
+  EXPECT_EQ(limiter.in_flight(), 0);
+  // Every one of them can come back.
+  for (int64_t id = 0; id < 64; ++id) {
+    EXPECT_TRUE(limiter.TryAcquire(id));
+  }
+}
+
+TEST(InflightLimiterTest, ConcurrentAcquireNeverOverAdmits) {
+  InflightLimiter limiter(/*max_total=*/8, /*max_per_client=*/0);
+  std::atomic<int> admitted{0};
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&limiter, &admitted, t] {
+      for (int i = 0; i < 1000; ++i) {
+        if (limiter.TryAcquire(/*client_id=*/t)) {
+          const int now = admitted.fetch_add(1) + 1;
+          EXPECT_LE(now, 8);
+          admitted.fetch_sub(1);
+          limiter.Release(/*client_id=*/t);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(limiter.in_flight(), 0);
+}
+
+}  // namespace
+}  // namespace pebblejoin

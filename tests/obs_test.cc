@@ -364,6 +364,69 @@ TEST(JsonValueTest, DepthCapTurnsRecursionIntoAnError) {
   EXPECT_NE(error.find("nesting too deep"), std::string::npos);
 }
 
+TEST(JsonValueTest, SizeCapTurnsOversizedInputIntoAnError) {
+  JsonValue::ParseLimits limits;
+  limits.max_bytes = 64;
+  std::string error;
+
+  // Oversized input is refused before the first byte is parsed — even
+  // when it is valid JSON.
+  const std::string big = "\"" + std::string(100, 'x') + "\"";
+  EXPECT_FALSE(JsonValue::Parse(big, &error, limits).has_value());
+  EXPECT_NE(error.find("input exceeds 64 bytes"), std::string::npos) << error;
+
+  // At the cap exactly, parsing proceeds.
+  const std::string fits = "\"" + std::string(62, 'x') + "\"";
+  ASSERT_EQ(fits.size(), 64u);
+  EXPECT_TRUE(JsonValue::Parse(fits, &error, limits).has_value()) << error;
+
+  // Non-positive max_bytes falls back to the 64 MiB default backstop, so
+  // ordinary documents keep parsing.
+  limits.max_bytes = 0;
+  EXPECT_TRUE(JsonValue::Parse(big, &error, limits).has_value()) << error;
+}
+
+TEST(JsonValueTest, SizeCapErrorIsDeterministicNotAPrefixParse) {
+  // A truncation-shaped attack: a huge open string. The cap must answer
+  // with the size error, never attempt the allocation-heavy parse.
+  JsonValue::ParseLimits limits;
+  limits.max_bytes = 1024;
+  std::string hostile = "\"";
+  hostile.append(4096, 'a');  // unterminated on purpose
+  std::string error;
+  EXPECT_FALSE(JsonValue::Parse(hostile, &error, limits).has_value());
+  EXPECT_NE(error.find("input exceeds"), std::string::npos) << error;
+}
+
+TEST(JsonValueTest, EmbeddedNulBytesAreAParseErrorNotATruncation) {
+  // NUL inside a string literal is not printable JSON; the parser must
+  // reject it (control characters must be escaped) rather than silently
+  // truncating at the first NUL.
+  std::string text = "{\"k\": \"a";
+  text.push_back('\0');
+  text += "b\"}";
+  std::string error;
+  EXPECT_FALSE(JsonValue::Parse(text, &error).has_value());
+  EXPECT_NE(error.find("at byte"), std::string::npos) << error;
+
+  // NUL between tokens is equally fatal — not whitespace.
+  std::string between = "{}";
+  between.push_back('\0');
+  EXPECT_FALSE(JsonValue::Parse(between, &error).has_value());
+}
+
+TEST(JsonValueTest, TruncatedLinesReportTheTruncationPoint) {
+  // The serve layer can hand the parser a line cut mid-flight by a
+  // disconnect; every prefix must fail cleanly with an offset, not crash.
+  const std::string full = R"({"graph": "bipartite 2 2", "deadline_ms": 5})";
+  for (size_t cut = 0; cut + 1 < full.size(); ++cut) {
+    std::string error;
+    EXPECT_FALSE(JsonValue::Parse(full.substr(0, cut), &error).has_value())
+        << "prefix of " << cut << " bytes parsed unexpectedly";
+    EXPECT_NE(error.find("at byte"), std::string::npos) << error;
+  }
+}
+
 TEST(JsonValueTest, DuplicateKeysKeepTheLastValue) {
   std::string error;
   const std::optional<JsonValue> doc =

@@ -1,0 +1,721 @@
+// LineServer torture tests: loopback round-trips byte-identical to the
+// single-shot engine, admission shedding (per-connection cap, server-wide
+// cap, connection cap), the fault-injection matrix (accept failures,
+// mid-request disconnects, short writes, broken pipes, stalled writers,
+// oversized lines), fake-clock timeouts, and graceful drain under
+// concurrent multi-client load. Runs under ThreadSanitizer in CI — the
+// concurrency claims in serve/ are checked here, not argued.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/report.h"
+#include "engine/solve_engine.h"
+#include "graph/bipartite_graph.h"
+#include "graph/generators.h"
+#include "io/graph_io.h"
+#include "obs/json.h"
+#include "serve/fault_injector.h"
+#include "serve/line_server.h"
+#include "serve/serve_options.h"
+#include "util/thread_pool.h"
+
+#include "json_test_util.h"
+
+namespace pebblejoin {
+namespace {
+
+// One corpus line: {"graph": "<serialized>"<extra>} — the wire format.
+std::string Line(const BipartiteGraph& g, const std::string& extra = "") {
+  return "{\"graph\": \"" + JsonEscape(SerializeBipartiteGraph(g)) + "\"" +
+         extra + "}";
+}
+
+// A FakeClock that is safe to advance while server threads read it —
+// util/budget.h's FakeClock is single-threaded by design.
+struct SharedClock {
+  std::atomic<int64_t> now_ms{0};
+  std::function<int64_t()> AsFunction() {
+    return [this] { return now_ms.load(std::memory_order_relaxed); };
+  }
+};
+
+// Fast-tick defaults for tests: ephemeral port, 5 ms event-loop tick.
+ServeOptions TestOptions(FaultInjector* injector = nullptr) {
+  ServeOptions options;
+  options.port = 0;
+  options.poll_tick_ms = 5;
+  options.injector = injector;
+  return options;
+}
+
+// A blocking loopback client with poll-based timeouts. Every operation is
+// tolerant of the server closing first (that is often the point).
+class TestClient {
+ public:
+  explicit TestClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  ~TestClient() { Close(); }
+
+  bool connected() const { return fd_ >= 0; }
+
+  // Writes all of `data`; false on any error (EPIPE included).
+  bool Send(const std::string& data) {
+    size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t n = ::send(fd_, data.data() + off, data.size() - off,
+                               MSG_NOSIGNAL);
+      if (n > 0) {
+        off += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    return true;
+  }
+
+  // Reads one '\n'-terminated line (newline stripped). False on EOF, read
+  // error, or timeout; `eof()` distinguishes a clean close afterwards.
+  bool ReadLine(std::string* line, int timeout_ms = 20000) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      const size_t nl = inbox_.find('\n');
+      if (nl != std::string::npos) {
+        *line = inbox_.substr(0, nl);
+        inbox_.erase(0, nl + 1);
+        return true;
+      }
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (left.count() <= 0) return false;
+      pollfd pfd{fd_, POLLIN, 0};
+      if (::poll(&pfd, 1, static_cast<int>(left.count())) <= 0) continue;
+      char buf[4096];
+      const ssize_t n = ::read(fd_, buf, sizeof(buf));
+      if (n > 0) {
+        inbox_.append(buf, static_cast<size_t>(n));
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      eof_ = true;  // closed or reset; either way the server is done with us
+      return false;
+    }
+  }
+
+  // Drains the socket until EOF (or timeout); returns everything read.
+  std::string ReadAll(int timeout_ms = 20000) {
+    std::string all = inbox_;
+    inbox_.clear();
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+    while (!eof_) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (left.count() <= 0) break;
+      pollfd pfd{fd_, POLLIN, 0};
+      if (::poll(&pfd, 1, static_cast<int>(left.count())) <= 0) continue;
+      char buf[4096];
+      const ssize_t n = ::read(fd_, buf, sizeof(buf));
+      if (n > 0) {
+        all.append(buf, static_cast<size_t>(n));
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      eof_ = true;
+    }
+    return all;
+  }
+
+  // True when no byte arrives within `window_ms` — the exactly-one-response
+  // check's other half.
+  bool NoDataFor(int window_ms) {
+    if (!inbox_.empty()) return false;
+    pollfd pfd{fd_, POLLIN, 0};
+    if (::poll(&pfd, 1, window_ms) <= 0) return true;
+    char buf[1];
+    return ::recv(fd_, buf, 1, MSG_PEEK) <= 0 && eof_;
+  }
+
+  // Waits (bounded) for the server to close its side.
+  bool WaitForEof(int timeout_ms = 20000) {
+    std::string rest = ReadAll(timeout_ms);
+    return eof_;
+  }
+
+  bool eof() const { return eof_; }
+
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string inbox_;
+  bool eof_ = false;
+};
+
+// Starts a server or fails the test.
+#define START_SERVER(server)                      \
+  do {                                            \
+    std::string start_error;                      \
+    ASSERT_TRUE((server).Start(&start_error)) << start_error; \
+  } while (0)
+
+TEST(ServeTest, RoundTripMatchesSingleShotEngineOutput) {
+  const std::vector<BipartiteGraph> graphs = {
+      WorstCaseFamily(5), CompleteBipartite(3, 3),
+      RandomConnectedBipartite(5, 5, 12, /*seed=*/4)};
+
+  SolveEngine engine;
+  ServeOptions options = TestOptions();
+  options.threads = 2;
+  LineServer server(&engine, options);
+  START_SERVER(server);
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  std::string request;
+  for (const BipartiteGraph& g : graphs) request += Line(g) + "\n";
+  ASSERT_TRUE(client.Send(request));
+
+  for (size_t i = 0; i < graphs.size(); ++i) {
+    std::string response;
+    ASSERT_TRUE(client.ReadLine(&response)) << "response " << i;
+    SolveEngine fresh;
+    SolveRequest single;
+    single.graph = &graphs[i];
+    EXPECT_EQ(NormalizeTimings(response),
+              NormalizeTimings(AnalysisJson(fresh.Solve(single).analysis)))
+        << "line " << i;
+  }
+  // Exactly one response per line: nothing extra shows up.
+  EXPECT_TRUE(client.NoDataFor(100));
+
+  client.Close();
+  server.BeginDrain();
+  const LineServer::Summary summary = server.Wait();
+  EXPECT_EQ(summary.connections, 1);
+  EXPECT_EQ(summary.lines, 3);
+  EXPECT_EQ(summary.responses, 3);
+  EXPECT_EQ(summary.rejected_lines, 0);
+  EXPECT_FALSE(summary.aborted);
+}
+
+TEST(ServeTest, BlankAndMalformedLinesFollowBatchSemantics) {
+  SolveEngine engine;
+  LineServer server(&engine, TestOptions());
+  START_SERVER(server);
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  // Blank line 1 keeps its number and produces no response; malformed
+  // line 2 gets an error record; line 3 solves.
+  ASSERT_TRUE(client.Send("   \nnot json\n" + Line(WorstCaseFamily(4)) + "\n"));
+
+  std::string response;
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_NE(response.find("\"line\":2"), std::string::npos) << response;
+  EXPECT_NE(response.find("\"error\""), std::string::npos) << response;
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_NE(response.find("\"winner\""), std::string::npos) << response;
+
+  client.Close();
+  server.BeginDrain();
+  const LineServer::Summary summary = server.Wait();
+  EXPECT_EQ(summary.lines, 3);
+  EXPECT_EQ(summary.responses, 2);
+}
+
+TEST(ServeTest, OversizedLineIsShedWithAStructuredError) {
+  SolveEngine engine;
+  ServeOptions options = TestOptions();
+  options.max_line_bytes = 128;
+  LineServer server(&engine, options);
+  START_SERVER(server);
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  const std::string oversized(300, 'x');
+  ASSERT_TRUE(client.Send(oversized + "\n" + Line(WorstCaseFamily(4)) + "\n"));
+
+  std::string response;
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_NE(response.find("\"line\":1"), std::string::npos) << response;
+  EXPECT_NE(response.find("rejected: line exceeds 128 bytes"),
+            std::string::npos)
+      << response;
+  // The connection survives the babbling line; the next request solves.
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_NE(response.find("\"winner\""), std::string::npos) << response;
+
+  client.Close();
+  server.BeginDrain();
+  const LineServer::Summary summary = server.Wait();
+  EXPECT_EQ(summary.rejected_lines, 1);
+}
+
+// Parks `n` tasks on the engine's pool so admitted solves cannot complete
+// until Release() — which makes the in-flight caps deterministic to hit.
+class PoolBlocker {
+ public:
+  PoolBlocker(SolveEngine* engine, int n) {
+    ThreadPool* pool = engine->EnsurePool(n);
+    for (int i = 0; i < n; ++i) {
+      pool->Submit([this] {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this] { return released_; });
+      });
+    }
+  }
+  ~PoolBlocker() { Release(); }
+
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      released_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool released_ = false;
+};
+
+TEST(ServeTest, PerConnectionInflightCapShedsTheThirdPipelinedLine) {
+  SolveEngine engine;
+  PoolBlocker blocker(&engine, 2);  // both workers parked: solves queue
+
+  ServeOptions options = TestOptions();
+  options.threads = 2;
+  options.per_conn_inflight = 2;
+  LineServer server(&engine, options);
+  START_SERVER(server);
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  const std::string line = Line(WorstCaseFamily(4));
+  ASSERT_TRUE(client.Send(line + "\n" + line + "\n" + line + "\n"));
+
+  // The rejection is deposited at its submission slot, so it arrives third
+  // — after the two admitted solves complete.
+  std::string response;
+  const bool got_reject_early = client.ReadLine(&response, 500);
+  EXPECT_FALSE(got_reject_early)
+      << "no response should complete while the pool is parked: " << response;
+  blocker.Release();
+
+  EXPECT_TRUE(client.ReadLine(&response));
+  EXPECT_NE(response.find("\"winner\""), std::string::npos) << response;
+  EXPECT_TRUE(client.ReadLine(&response));
+  EXPECT_NE(response.find("\"winner\""), std::string::npos) << response;
+  EXPECT_TRUE(client.ReadLine(&response));
+  EXPECT_NE(response.find("rejected: per-connection in-flight cap"),
+            std::string::npos)
+      << response;
+
+  client.Close();
+  server.BeginDrain();
+  const LineServer::Summary summary = server.Wait();
+  EXPECT_EQ(summary.lines, 3);
+  EXPECT_EQ(summary.responses, 3);
+  EXPECT_EQ(summary.rejected_lines, 1);
+}
+
+TEST(ServeTest, ServerWideInflightCapShedsWithTheOverloadReason) {
+  SolveEngine engine;
+  PoolBlocker blocker(&engine, 2);
+
+  ServeOptions options = TestOptions();
+  options.threads = 2;
+  options.max_inflight = 1;
+  options.per_conn_inflight = 8;
+  LineServer server(&engine, options);
+  START_SERVER(server);
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  const std::string line = Line(WorstCaseFamily(4));
+  ASSERT_TRUE(client.Send(line + "\n" + line + "\n"));
+
+  // Hold the pool until the server has read and judged both lines — only
+  // then is the shed of line 2 deterministic. No response can complete
+  // while the workers are parked.
+  std::string response;
+  EXPECT_FALSE(client.ReadLine(&response, 500)) << response;
+  blocker.Release();
+
+  EXPECT_TRUE(client.ReadLine(&response));
+  EXPECT_NE(response.find("\"winner\""), std::string::npos) << response;
+  EXPECT_TRUE(client.ReadLine(&response));
+  EXPECT_NE(response.find("rejected: server overloaded"), std::string::npos)
+      << response;
+
+  client.Close();
+  server.BeginDrain();
+  server.Wait();
+}
+
+TEST(ServeTest, ConnectionCapShedsAtAcceptWithAStructuredError) {
+  SolveEngine engine;
+  ServeOptions options = TestOptions();
+  options.max_connections = 1;
+  LineServer server(&engine, options);
+  START_SERVER(server);
+
+  TestClient first(server.port());
+  ASSERT_TRUE(first.connected());
+  // Round-trip one line so the first connection is definitely registered
+  // before the second one knocks.
+  ASSERT_TRUE(first.Send(Line(WorstCaseFamily(4)) + "\n"));
+  std::string response;
+  ASSERT_TRUE(first.ReadLine(&response));
+
+  TestClient second(server.port());
+  ASSERT_TRUE(second.connected());
+  ASSERT_TRUE(second.ReadLine(&response));
+  EXPECT_EQ(response, "{\"error\":\"rejected: too many connections\"}");
+  EXPECT_TRUE(second.WaitForEof());
+
+  first.Close();
+  server.BeginDrain();
+  const LineServer::Summary summary = server.Wait();
+  EXPECT_EQ(summary.connections, 1);
+  EXPECT_EQ(summary.conn_rejected, 1);
+}
+
+TEST(ServeTest, TransientAcceptFailuresAreSurvived) {
+  SolveEngine engine;
+  FaultInjector injector;
+  injector.FailNextAccepts(2);
+  LineServer server(&engine, TestOptions(&injector));
+  START_SERVER(server);
+
+  // The kernel completes our connect via the backlog; the server's accept
+  // fails twice (ECONNABORTED) before the third attempt picks us up.
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send(Line(WorstCaseFamily(4)) + "\n"));
+  std::string response;
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_NE(response.find("\"winner\""), std::string::npos);
+  EXPECT_EQ(injector.accepts_failed(), 2);
+
+  client.Close();
+  server.BeginDrain();
+  const LineServer::Summary summary = server.Wait();
+  EXPECT_EQ(summary.accept_failures, 2);
+  EXPECT_EQ(summary.connections, 1);
+}
+
+TEST(ServeTest, MidRequestDisconnectIsContainedToThatConnection) {
+  SolveEngine engine;
+  FaultInjector injector;
+  LineServer server(&engine, TestOptions(&injector));
+  START_SERVER(server);
+
+  // The injector cuts the stream 10 bytes into the request: the server
+  // sees a partial line then EOF, closes that connection, and keeps
+  // serving others.
+  injector.DisconnectAfterReadBytes(10);
+  TestClient victim(server.port());
+  ASSERT_TRUE(victim.connected());
+  ASSERT_TRUE(victim.Send(Line(WorstCaseFamily(4)) + "\n"));
+  EXPECT_TRUE(victim.WaitForEof());
+  EXPECT_GE(injector.disconnects_forced(), 1);
+
+  injector.DisconnectAfterReadBytes(-1);  // disarm
+  TestClient next(server.port());
+  ASSERT_TRUE(next.connected());
+  ASSERT_TRUE(next.Send(Line(WorstCaseFamily(4)) + "\n"));
+  std::string response;
+  ASSERT_TRUE(next.ReadLine(&response));
+  EXPECT_NE(response.find("\"winner\""), std::string::npos);
+
+  next.Close();
+  server.BeginDrain();
+  const LineServer::Summary summary = server.Wait();
+  EXPECT_EQ(summary.connections, 2);
+}
+
+TEST(ServeTest, ShortWritesStillDeliverCompleteResponses) {
+  SolveEngine engine;
+  FaultInjector injector;
+  injector.ShortWriteChunk(7);  // every write moves at most 7 bytes
+  LineServer server(&engine, TestOptions(&injector));
+  START_SERVER(server);
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send(Line(WorstCaseFamily(5)) + "\n" +
+                          Line(CompleteBipartite(3, 3)) + "\n"));
+  std::string response;
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_NE(response.find("\"winner\""), std::string::npos);
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_NE(response.find("\"winner\""), std::string::npos);
+  EXPECT_GT(injector.writes_shortened(), 0);
+
+  client.Close();
+  server.BeginDrain();
+  server.Wait();
+}
+
+TEST(ServeTest, BrokenPipeClosesOnlyThatConnection) {
+  SolveEngine engine;
+  FaultInjector injector;
+  LineServer server(&engine, TestOptions(&injector));
+  START_SERVER(server);
+
+  injector.FailNextWrites(1);  // the victim's first response write EPIPEs
+  TestClient victim(server.port());
+  ASSERT_TRUE(victim.connected());
+  ASSERT_TRUE(victim.Send(Line(WorstCaseFamily(4)) + "\n"));
+  EXPECT_TRUE(victim.WaitForEof());
+  EXPECT_EQ(injector.writes_failed(), 1);
+
+  TestClient next(server.port());
+  ASSERT_TRUE(next.connected());
+  ASSERT_TRUE(next.Send(Line(WorstCaseFamily(4)) + "\n"));
+  std::string response;
+  ASSERT_TRUE(next.ReadLine(&response));
+  EXPECT_NE(response.find("\"winner\""), std::string::npos);
+
+  next.Close();
+  server.BeginDrain();
+  server.Wait();
+}
+
+TEST(ServeTest, StalledWriterIsTimedOutNotWedgedOn) {
+  SolveEngine engine;
+  FaultInjector injector;
+  SharedClock clock;
+  ServeOptions options = TestOptions(&injector);
+  options.clock_ms = clock.AsFunction();
+  options.idle_timeout_ms = -1;  // isolate the write-stall path
+  options.write_stall_timeout_ms = 50;
+  LineServer server(&engine, options);
+  START_SERVER(server);
+
+  injector.StallWrites(true);  // the client "stops reading": EAGAIN forever
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send(Line(WorstCaseFamily(4)) + "\n"));
+  // Give the solve real time to finish and the flush to hit the stall,
+  // then advance the fake clock past the stall budget.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  clock.now_ms.fetch_add(10000);
+
+  EXPECT_TRUE(client.WaitForEof())
+      << "a stalled writer must be closed, not waited on";
+  injector.StallWrites(false);
+
+  server.BeginDrain();
+  const LineServer::Summary summary = server.Wait();
+  EXPECT_EQ(summary.connections, 1);
+}
+
+TEST(ServeTest, IdleConnectionIsTimedOutUnderAFakeClock) {
+  SolveEngine engine;
+  SharedClock clock;
+  ServeOptions options = TestOptions();
+  options.clock_ms = clock.AsFunction();
+  options.idle_timeout_ms = 100;
+  LineServer server(&engine, options);
+  START_SERVER(server);
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  clock.now_ms.fetch_add(10000);
+  EXPECT_TRUE(client.WaitForEof());
+
+  server.BeginDrain();
+  const LineServer::Summary summary = server.Wait();
+  EXPECT_EQ(summary.connections, 1);
+  EXPECT_EQ(summary.lines, 0);
+}
+
+TEST(ServeTest, MetricsEndpointSpeaksOpenMetricsAndCloses) {
+  SolveEngine engine;
+  LineServer server(&engine, TestOptions());
+  START_SERVER(server);
+
+  // Solve something first so the serve counters are non-zero.
+  TestClient solver_client(server.port());
+  ASSERT_TRUE(solver_client.connected());
+  ASSERT_TRUE(solver_client.Send(Line(WorstCaseFamily(4)) + "\n"));
+  std::string response;
+  ASSERT_TRUE(solver_client.ReadLine(&response));
+  solver_client.Close();
+
+  TestClient scraper(server.port());
+  ASSERT_TRUE(scraper.connected());
+  ASSERT_TRUE(scraper.Send("GET /metrics HTTP/1.1\r\n\r\n"));
+  const std::string reply = scraper.ReadAll();
+  EXPECT_EQ(reply.rfind("HTTP/1.1 200 OK", 0), 0u) << reply.substr(0, 200);
+  EXPECT_NE(reply.find("application/openmetrics-text"), std::string::npos);
+  EXPECT_NE(reply.find("pebblejoin_serve_requests_total"), std::string::npos);
+  EXPECT_NE(reply.find("# EOF"), std::string::npos);
+  EXPECT_TRUE(scraper.eof()) << "HTTP responses close the connection";
+
+  TestClient lost(server.port());
+  ASSERT_TRUE(lost.connected());
+  ASSERT_TRUE(lost.Send("GET /nope HTTP/1.1\r\n\r\n"));
+  EXPECT_NE(lost.ReadAll().find("404"), std::string::npos);
+
+  server.BeginDrain();
+  server.Wait();
+}
+
+TEST(ServeTest, AbortStopsTheServerImmediately) {
+  SolveEngine engine;
+  LineServer server(&engine, TestOptions());
+  START_SERVER(server);
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  server.Abort();
+  EXPECT_TRUE(client.WaitForEof());
+  const LineServer::Summary summary = server.Wait();
+  EXPECT_TRUE(summary.aborted);
+}
+
+TEST(ServeTest, DrainWithNoConnectionsExitsImmediately) {
+  SolveEngine engine;
+  LineServer server(&engine, TestOptions());
+  START_SERVER(server);
+  server.BeginDrain();
+  const LineServer::Summary summary = server.Wait();
+  EXPECT_EQ(summary.connections, 0);
+  EXPECT_FALSE(summary.aborted);
+}
+
+// The drain torture: many concurrent pipelining clients, short writes
+// armed, one babbling client, one vanishing client — then BeginDrain in
+// the middle of the load. The server must stop cleanly (Wait returns, no
+// TSan report), every line a client does receive must be well-formed, and
+// nobody hangs.
+TEST(ServeTest, DrainUnderConcurrentMultiClientLoadExitsCleanly) {
+  SolveEngine engine;
+  FaultInjector injector;
+  injector.ShortWriteChunk(64);
+
+  ServeOptions options = TestOptions(&injector);
+  options.threads = 4;
+  options.per_conn_inflight = 4;
+  options.max_inflight = 64;
+  options.max_line_bytes = 2048;
+  options.drain_ms = 5000;
+  options.request_deadline_cap_ms = 2000;
+  LineServer server(&engine, options);
+  START_SERVER(server);
+
+  constexpr int kClients = 9;
+  constexpr int kLinesPerClient = 6;
+  const std::string line = Line(WorstCaseFamily(4));
+
+  struct ClientOutcome {
+    int sent = 0;
+    int received = 0;
+    bool malformed = false;
+  };
+  std::vector<ClientOutcome> outcomes(kClients);
+
+  // Connect everyone before the load so most connections beat the drain.
+  std::vector<std::unique_ptr<TestClient>> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.push_back(std::make_unique<TestClient>(server.port()));
+    ASSERT_TRUE(clients[c]->connected()) << "client " << c;
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([c, &clients, &outcomes, &line] {
+      TestClient& client = *clients[c];
+      ClientOutcome& outcome = outcomes[c];
+      std::string burst;
+      for (int i = 0; i < kLinesPerClient; ++i) {
+        if (c == 1 && i == 2) {
+          burst += std::string(4096, 'x');  // beyond max_line_bytes
+        } else {
+          burst += line;
+        }
+        burst += '\n';
+        ++outcome.sent;
+      }
+      if (!client.Send(burst)) return;  // drain may have beaten us; fine
+      if (c == 2) {
+        client.Close();  // vanishes without reading a single response
+        return;
+      }
+      std::string response;
+      while (outcome.received < outcome.sent &&
+             client.ReadLine(&response, 15000)) {
+        if (response.empty() || response[0] != '{') outcome.malformed = true;
+        ++outcome.received;
+      }
+    });
+  }
+
+  // Let the load get going, then pull the plug mid-flight.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  server.BeginDrain();
+  const LineServer::Summary summary = server.Wait();
+
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_FALSE(summary.aborted) << "drain must finish inside its budget";
+  EXPECT_GE(summary.connections, 1);
+  EXPECT_LE(summary.connections, kClients);
+  int64_t received_total = 0;
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_FALSE(outcomes[c].malformed) << "client " << c;
+    EXPECT_LE(outcomes[c].received, outcomes[c].sent) << "client " << c;
+    if (c != 2) received_total += outcomes[c].received;
+  }
+  // Everything a client received was produced by the server, and every
+  // line the server read got at most one response (shed or solved).
+  EXPECT_LE(received_total, summary.responses);
+  EXPECT_LE(summary.responses, summary.lines);
+}
+
+}  // namespace
+}  // namespace pebblejoin

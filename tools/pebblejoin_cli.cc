@@ -18,6 +18,21 @@
 //                    [--admission queue|reject] [--solver NAME]
 //                    [--predicate NAME] [--progress-every-ms N]
 //                    [telemetry flags]
+//   pebblejoin serve [--host H] [--port P] [--threads N]
+//                    [--max-conns N] [--max-inflight N]
+//                    [--per-conn-inflight N] [--idle-timeout-ms N]
+//                    [--max-line-bytes N] [--request-deadline-ms N]
+//                    [--drain-ms N] [budget flags] [--solver NAME]
+//                    [--predicate NAME] [telemetry flags]
+//
+// `serve` runs the long-lived JSONL solve service (serve/line_server.h):
+// the batch wire format over TCP, one request object per line in, one
+// `analyze --json` document per line out, plus `GET /metrics` answering
+// OpenMetrics on the same port. First SIGTERM/SIGINT drains gracefully
+// (stop accepting, finish or shed in-flight inside --drain-ms, exit 0);
+// a second signal aborts (exit 1). --port 0 picks an ephemeral port; the
+// bound address is announced on stderr as "serving on HOST:PORT".
+// Protocol, flags, and failure modes: docs/serving.md.
 //
 // Budget flags (analyze/solve): --deadline-ms N, --memory-mb N,
 // --node-budget N. Giving any of them without an explicit --solver selects
@@ -59,6 +74,9 @@
 // (unparsable graph, unwritable output), 2 bad flags, 64 usage (no or
 // unknown command), 66 missing input file.
 
+#include <csignal>
+#include <unistd.h>
+
 #include <cerrno>
 #include <cstdint>
 #include <cstdio>
@@ -67,12 +85,14 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/analyzer.h"
 #include "core/report.h"
 #include "engine/batch_runner.h"
 #include "engine/names.h"
+#include "serve/line_server.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -118,6 +138,14 @@ int Usage() {
       "                   [--predicate NAME] [--progress-every-ms N]\n"
       "                   [--journal FILE] [--log-level LEVEL]\n"
       "                   [--flight-recorder N] [--metrics-out FILE]\n"
+      "  pebblejoin serve [--host H] [--port P] [--threads N]\n"
+      "                   [--max-conns N] [--max-inflight N]\n"
+      "                   [--per-conn-inflight N] [--idle-timeout-ms N]\n"
+      "                   [--max-line-bytes N] [--request-deadline-ms N]\n"
+      "                   [--drain-ms N] [budget flags] [--solver NAME]\n"
+      "                   [--predicate NAME] [--journal FILE]\n"
+      "                   [--log-level LEVEL] [--flight-recorder N]\n"
+      "                   [--metrics-out FILE]\n"
       "budget flags: --deadline-ms N  --memory-mb N  --node-budget N\n"
       "telemetry flags: --json  --stats  --trace-out FILE  --journal FILE\n"
       "                 --log-level LEVEL  --flight-recorder N\n"
@@ -846,6 +874,231 @@ int CmdBatch(int argc, char** argv) {
   return 0;
 }
 
+// --- serve signal plumbing -------------------------------------------------
+// Handlers must be async-signal-safe, so they only write one byte into a
+// self-pipe; a watcher thread turns the first byte into BeginDrain and any
+// later one into Abort. A zero byte is the shutdown sentinel the main
+// thread sends to retire the watcher.
+int g_serve_signal_pipe[2] = {-1, -1};
+
+extern "C" void ServeSignalHandler(int /*signum*/) {
+  const char byte = 1;
+  (void)!::write(g_serve_signal_pipe[1], &byte, 1);
+}
+
+int CmdServe(int argc, char** argv) {
+  ServeOptions sopts;
+  SolveBudget budget;
+  bool budget_set = false;
+  bool solver_set = false;
+  std::string journal_out;
+  LogLevel log_level = LogLevel::kInfo;
+  int flight_recorder = EventLog::kDefaultCapacity;
+  std::string metrics_out;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (flag == "--host") {
+      if (value == nullptr || *value == '\0') {
+        return Fail("--host needs an IPv4 address");
+      }
+      sopts.host = value;
+      ++i;
+    } else if (flag == "--port") {
+      int port = 0;
+      if (value == nullptr || !ParseInt32(value, &port) || port < 0 ||
+          port > 65535) {
+        return Fail("--port needs an integer in [0, 65535] (0 = ephemeral)");
+      }
+      sopts.port = port;
+      ++i;
+    } else if (flag == "--threads") {
+      int threads = 0;
+      if (value == nullptr || !ParseInt32(value, &threads) || threads < 0 ||
+          threads > 4096) {
+        return Fail("--threads needs an integer in [0, 4096] (0 = hardware)");
+      }
+      sopts.threads = threads == 0 ? ThreadPool::DefaultThreads() : threads;
+      ++i;
+    } else if (flag == "--max-conns") {
+      int n = 0;
+      if (value == nullptr || !ParseInt32(value, &n) || n < 1) {
+        return Fail("--max-conns needs a positive integer");
+      }
+      sopts.max_connections = n;
+      ++i;
+    } else if (flag == "--max-inflight") {
+      int n = 0;
+      if (value == nullptr || !ParseInt32(value, &n) || n < 1) {
+        return Fail("--max-inflight needs a positive integer");
+      }
+      sopts.max_inflight = n;
+      ++i;
+    } else if (flag == "--per-conn-inflight") {
+      int n = 0;
+      if (value == nullptr || !ParseInt32(value, &n) || n < 1) {
+        return Fail("--per-conn-inflight needs a positive integer");
+      }
+      sopts.per_conn_inflight = n;
+      ++i;
+    } else if (flag == "--idle-timeout-ms") {
+      int64_t ms = 0;
+      if (value == nullptr || !ParseInt64(value, &ms)) {
+        return Fail("--idle-timeout-ms needs an integer (<= 0 disables)");
+      }
+      sopts.idle_timeout_ms = ms;
+      ++i;
+    } else if (flag == "--max-line-bytes") {
+      int64_t bytes = 0;
+      if (value == nullptr || !ParseInt64(value, &bytes) || bytes < 1) {
+        return Fail("--max-line-bytes needs a positive integer");
+      }
+      sopts.max_line_bytes = bytes;
+      ++i;
+    } else if (flag == "--request-deadline-ms") {
+      int64_t ms = 0;
+      if (value == nullptr || !ParseInt64(value, &ms)) {
+        return Fail(
+            "--request-deadline-ms needs an integer (< 0 disables the cap)");
+      }
+      sopts.request_deadline_cap_ms = ms;
+      ++i;
+    } else if (flag == "--drain-ms") {
+      int64_t ms = 0;
+      if (value == nullptr || !ParseInt64(value, &ms) || ms < 0) {
+        return Fail("--drain-ms needs a non-negative integer");
+      }
+      sopts.drain_ms = ms;
+      ++i;
+    } else if (flag == "--deadline-ms") {
+      int64_t ms = 0;
+      if (value == nullptr || !ParseInt64(value, &ms) || ms < 0) {
+        return Fail("--deadline-ms needs a non-negative integer");
+      }
+      budget.deadline_ms = ms;
+      budget_set = true;
+      ++i;
+    } else if (flag == "--node-budget") {
+      int64_t nodes = 0;
+      if (value == nullptr || !ParseInt64(value, &nodes) || nodes < 0) {
+        return Fail("--node-budget needs a non-negative integer");
+      }
+      budget.node_budget = nodes;
+      budget_set = true;
+      ++i;
+    } else if (flag == "--memory-mb") {
+      int64_t mb = 0;
+      if (value == nullptr || !ParseInt64(value, &mb) || mb < 0 ||
+          mb > (int64_t{1} << 40)) {
+        return Fail("--memory-mb needs a non-negative integer");
+      }
+      budget.memory_limit_bytes = mb << 20;
+      budget_set = true;
+      ++i;
+    } else if (flag == "--solver") {
+      SolverChoice choice = SolverChoice::kAuto;
+      if (value == nullptr || !ParseSolverName(value, &choice)) {
+        return Fail(std::string("--solver needs one of: ") + SolverNameList());
+      }
+      sopts.solver = choice;
+      solver_set = true;
+      ++i;
+    } else if (flag == "--predicate") {
+      if (value == nullptr || !ParsePredicateName(value, &sopts.predicate)) {
+        return Fail(std::string("--predicate needs one of: ") +
+                    PredicateNameList());
+      }
+      ++i;
+    } else {
+      bool known = false;
+      const int consumed =
+          ParseJournalFlag(flag, value, &known, &journal_out, &log_level,
+                           &flight_recorder, &metrics_out);
+      if (consumed < 0) return kExitBadFlags;
+      if (!known) return Fail("unknown flag '" + flag + "'");
+      i += consumed;
+    }
+  }
+  if (budget_set) {
+    sopts.budget = budget;
+    // The CLI convention: a budget with no explicit solver means the
+    // fallback ladder (degrade, never refuse) — same as analyze/batch.
+    if (!solver_set) sopts.solver = SolverChoice::kFallback;
+  }
+
+  Journal::Options journal_options;
+  journal_options.min_level = log_level;
+  Journal journal(journal_options);
+  SolveEngine::Options engine_options;
+  if (!journal_out.empty()) {
+    if (!AttachJournalSink(journal_out, &journal)) return kExitRuntime;
+    engine_options.defaults.journal = &journal;
+    engine_options.defaults.flight_recorder = flight_recorder;
+  }
+  SolveEngine engine(engine_options);
+  LineServer server(&engine, sopts);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return kExitRuntime;
+  }
+  std::fprintf(stderr, "serving on %s:%d\n", sopts.host.c_str(),
+               server.port());
+  std::fflush(stderr);
+
+  // A dead client's socket must cost an EPIPE errno, never the process.
+  std::signal(SIGPIPE, SIG_IGN);
+  if (::pipe(g_serve_signal_pipe) != 0) {
+    std::fprintf(stderr, "error: pipe() failed\n");
+    return kExitRuntime;
+  }
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = ServeSignalHandler;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+
+  std::thread watcher([&server] {
+    int signals_seen = 0;
+    char byte = 0;
+    while (true) {
+      const ssize_t n = ::read(g_serve_signal_pipe[0], &byte, 1);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0 || byte == 0) break;  // sentinel or closed pipe: retire
+      ++signals_seen;
+      if (signals_seen == 1) {
+        std::fprintf(stderr, "serve: drain requested\n");
+        server.BeginDrain();
+      } else {
+        std::fprintf(stderr, "serve: aborting\n");
+        server.Abort();
+      }
+    }
+  });
+
+  const LineServer::Summary summary = server.Wait();
+  const char sentinel = 0;
+  (void)!::write(g_serve_signal_pipe[1], &sentinel, 1);
+  watcher.join();
+  ::close(g_serve_signal_pipe[0]);
+  ::close(g_serve_signal_pipe[1]);
+
+  std::fprintf(stderr,
+               "serve: %lld connections (%lld shed), %lld lines, "
+               "%lld responses, %lld rejected%s\n",
+               static_cast<long long>(summary.connections),
+               static_cast<long long>(summary.conn_rejected),
+               static_cast<long long>(summary.lines),
+               static_cast<long long>(summary.responses),
+               static_cast<long long>(summary.rejected_lines),
+               summary.aborted ? ", aborted" : "");
+  if (!metrics_out.empty() &&
+      !WriteMetricsFile(metrics_out, engine.metrics())) {
+    return kExitRuntime;
+  }
+  return summary.aborted ? kExitRuntime : 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
@@ -858,6 +1111,7 @@ int Main(int argc, char** argv) {
   if (command == "partition") return CmdPartition(argc, argv);
   if (command == "dot") return CmdDot(argc, argv);
   if (command == "batch") return CmdBatch(argc, argv);
+  if (command == "serve") return CmdServe(argc, argv);
   return Usage();
 }
 
