@@ -18,6 +18,13 @@ class JsonWriter;
 std::string FormatAnalysis(const JoinAnalysis& analysis);
 std::string FormatAnalysis(const JoinAnalysis& analysis, bool with_stats);
 
+// Per-stage hardware-counter table for `--perf-stats`: one row per pipeline
+// stage with cycles / instructions / cache misses alongside the stage's
+// wall clock, then the whole-solve totals and the hot-loop attribution.
+// Leads with the availability status, so an "unavailable:<reason>" run
+// explains its zero columns instead of just printing them.
+std::string FormatPerfStats(const JoinAnalysis& analysis);
+
 // Writes the whole analysis as one JSON object: predicate, sizes,
 // classification and bounds, achieved costs, per-component outcomes with
 // per-rung status/cost/timing, and the solver stats. Key names are stable —

@@ -6,6 +6,7 @@
 
 #include "engine/names.h"
 #include "graph/components.h"
+#include "obs/prof.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -19,6 +20,31 @@ FallbackPebbler::Options LadderOptions(const AnalyzerOptions& defaults) {
   ladder.exact = defaults.exact;
   return ladder;
 }
+
+// Stage-boundary counter attribution, the hardware twin of the pipeline's
+// Stopwatch/Restart idiom: Flush() writes the delta since the previous
+// Flush (or construction) into one stage's three fields. A null group —
+// perf off, or counters unavailable — makes every call a no-op.
+class StagePerf {
+ public:
+  explicit StagePerf(PerfCounterGroup* group) : group_(group) {
+    if (group_ != nullptr) last_ = group_->Read();
+  }
+
+  void Flush(int64_t* cycles, int64_t* insns, int64_t* cache_misses) {
+    if (group_ == nullptr) return;
+    const PerfCounts now = group_->Read();
+    const PerfCounts delta = now - last_;
+    last_ = now;
+    *cycles = delta.cycles;
+    *insns = delta.instructions;
+    *cache_misses = delta.cache_misses;
+  }
+
+ private:
+  PerfCounterGroup* group_;
+  PerfCounts last_;
+};
 
 }  // namespace
 
@@ -81,6 +107,7 @@ SolveResult SolveEngine::Solve(const SolveRequest& request) {
   TraceSession* trace =
       request.trace != nullptr ? request.trace : defaults.trace;
   int threads = request.threads.value_or(defaults.threads);
+  const bool perf_on = request.perf.value_or(defaults.perf);
   JP_CHECK_MSG(threads >= 1, "threads must be >= 1");
   // A request already running on a pool worker (a batch fan-out task) is
   // solved sequentially: fanning out again on the same pool would have the
@@ -113,20 +140,43 @@ SolveResult SolveEngine::Solve(const SolveRequest& request) {
                LogField::Num("threads", threads)});
   }
 
+  // Hardware counters for this request: the request thread's group when
+  // perf is requested and the syscall is permitted; otherwise the status
+  // string records why the perf fields will stay zero.
+  PerfCounterGroup* perf_group = nullptr;
+  if (perf_on) {
+    PerfCounterGroup* group = PerfCounterGroup::ThisThread();
+    if (group->available()) {
+      perf_group = group;
+      stats.perf = "ok";
+    } else {
+      stats.perf = "unavailable:" + group->unavailable_reason();
+    }
+  }
+  StagePerf stage_perf(perf_group);
+  const PerfCounts pipeline_start =
+      perf_group != nullptr ? perf_group->Read() : PerfCounts();
+
   // --- build: flatten the bipartite join graph ---------------------------
   Stopwatch stage;
   const Graph flat = request.graph->ToGraph();
   stats.stage_build_us = stage.ElapsedMicros();
+  stage_perf.Flush(&stats.stage_build_cycles, &stats.stage_build_insns,
+                   &stats.stage_build_cache_misses);
 
   // --- classify: shape taxonomy + combinatorial bounds -------------------
   stage.Restart();
   analysis.classification = ClassifyJoinGraph(flat);
   stats.stage_classify_us = stage.ElapsedMicros();
+  stage_perf.Flush(&stats.stage_classify_cycles, &stats.stage_classify_insns,
+                   &stats.stage_classify_cache_misses);
 
   // --- partition: connected components (Lemma 2.2 additivity) ------------
   stage.Restart();
   const ComponentDecomposition decomp = FindComponents(flat);
   stats.stage_partition_us = stage.ElapsedMicros();
+  stage_perf.Flush(&stats.stage_partition_cycles, &stats.stage_partition_insns,
+                   &stats.stage_partition_cache_misses);
 
   // --- solve: per-component fan-out over the shared pool -----------------
   stage.Restart();
@@ -139,9 +189,14 @@ SolveResult SolveEngine::Solve(const SolveRequest& request) {
   budget_ctx.set_stats(&stats);
   budget_ctx.set_trace(trace);
   budget_ctx.set_log(log);
+  budget_ctx.set_perf_enabled(perf_on);
   Stopwatch solve_clock;
   analysis.solution = driver.SolveDecomposed(flat, decomp, &budget_ctx);
   stats.stage_solve_us = stage.ElapsedMicros();
+  // Request-thread attribution only: under threads > 1 the workers' cycles
+  // land in the hot-loop counters (bnb/hk/ls) via their per-slice stats.
+  stage_perf.Flush(&stats.stage_solve_cycles, &stats.stage_solve_insns,
+                   &stats.stage_solve_cache_misses);
 
   // --- verify: induced scheme + verifier-backed costs --------------------
   stage.Restart();
@@ -159,6 +214,8 @@ SolveResult SolveEngine::Solve(const SolveRequest& request) {
   }
   JP_CHECK_MSG(verified, verify_error.c_str());
   stats.stage_verify_us = stage.ElapsedMicros();
+  stage_perf.Flush(&stats.stage_verify_cycles, &stats.stage_verify_insns,
+                   &stats.stage_verify_cache_misses);
 
   // --- report: derived fields, budget bookkeeping, metrics publish -------
   stage.Restart();
@@ -173,6 +230,17 @@ SolveResult SolveEngine::Solve(const SolveRequest& request) {
           : static_cast<double>(analysis.solution.effective_cost) /
                 static_cast<double>(analysis.output_size);
   stats.stage_report_us = stage.ElapsedMicros();
+  stage_perf.Flush(&stats.stage_report_cycles, &stats.stage_report_insns,
+                   &stats.stage_report_cache_misses);
+  if (perf_group != nullptr) {
+    // Whole-pipeline totals on the request thread, all five events.
+    const PerfCounts total = perf_group->Read() - pipeline_start;
+    stats.perf_cycles = total.cycles;
+    stats.perf_instructions = total.instructions;
+    stats.perf_cache_references = total.cache_references;
+    stats.perf_cache_misses = total.cache_misses;
+    stats.perf_branch_misses = total.branch_misses;
+  }
   // Fold the per-request counters into the session's registry (or the
   // injected one). Never the process-global default: that is the caller's
   // explicit opt-in.

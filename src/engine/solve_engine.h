@@ -107,6 +107,13 @@ struct AnalyzerOptions {
   // Flight-recorder ring capacity: how many trailing events each request
   // retains for the postmortem dump. Only read when `journal` is set.
   int flight_recorder = EventLog::kDefaultCapacity;
+  // Hardware-counter measurement (obs/prof.h). Off by default: perf keeps
+  // every output byte-identical to a perf-less build unless explicitly
+  // requested (`--perf-stats`). When on, the engine attributes cycles /
+  // instructions / cache misses per pipeline stage and the solvers meter
+  // their hot loops; where perf_event_open is denied the request records
+  // stats.perf = "unavailable:<reason>" and proceeds identically.
+  bool perf = false;
 };
 
 // Everything the analyzer learned about one join.
@@ -135,6 +142,7 @@ struct SolveRequest {
   std::optional<SolverChoice> solver;
   std::optional<SolveBudget> budget;
   std::optional<int> threads;
+  std::optional<bool> perf;
   // Per-request trace sink; overrides the engine default when non-null.
   TraceSession* trace = nullptr;
   // Input-line attribution for journal events (>= 0 stamps a "line" base

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/build_info.h"
 #include "obs/json.h"
 
 namespace pebblejoin {
@@ -38,6 +39,10 @@ bool BenchReport::Finish() {
   JsonWriter json;
   json.BeginObject();
   json.Field("bench", name_);
+  // Build provenance rides in every bench document so a regression found
+  // by tools/bench_compare.py names the exact build pair that diverged.
+  json.Key("build");
+  WriteBuildInfoJson(&json);
   json.Key("tables");
   json.BeginArray();
   for (const TableSnapshot& table : tables_) {

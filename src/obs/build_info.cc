@@ -1,0 +1,36 @@
+#include "obs/build_info.h"
+
+#include "obs/build_info_gen.h"
+#include "obs/json.h"
+
+namespace pebblejoin {
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo info = {
+      PEBBLEJOIN_BUILD_GIT_SHA, PEBBLEJOIN_BUILD_COMPILER,
+      PEBBLEJOIN_BUILD_TYPE, PEBBLEJOIN_BUILD_FLAGS,
+      PEBBLEJOIN_BUILD_CXX_STANDARD};
+  return info;
+}
+
+std::string FormatBuildInfo() {
+  const BuildInfo& info = GetBuildInfo();
+  std::string out = "pebblejoin " + info.git_sha + " (" + info.compiler +
+                    ", " + info.build_type + ", " + info.cxx_standard;
+  if (!info.flags.empty()) out += ", " + info.flags;
+  out += ")";
+  return out;
+}
+
+void WriteBuildInfoJson(JsonWriter* json) {
+  const BuildInfo& info = GetBuildInfo();
+  json->BeginObject();
+  json->Field("git_sha", info.git_sha);
+  json->Field("compiler", info.compiler);
+  json->Field("build_type", info.build_type);
+  json->Field("cxx_standard", info.cxx_standard);
+  json->Field("flags", info.flags);
+  json->EndObject();
+}
+
+}  // namespace pebblejoin

@@ -1,0 +1,43 @@
+// Build provenance: which exact build produced this number?
+//
+// Bench JSON, journals, and `--version` all need to attribute results to a
+// build — a BENCH_*.json baseline from an unknown compiler at an unknown
+// commit is a diary entry, not a comparison point. CMake resolves the git
+// SHA, compiler, and flags at configure time into a generated header
+// (obs/build_info_gen.h.in); this module is the one place that includes it,
+// so everything else links a plain function instead of a macro surface.
+//
+// Consumers: `pebblejoin --version`, the serve banner and its
+// `serve.start` journal event, and the "build" object in BenchReport JSON.
+
+#ifndef PEBBLEJOIN_OBS_BUILD_INFO_H_
+#define PEBBLEJOIN_OBS_BUILD_INFO_H_
+
+#include <string>
+
+namespace pebblejoin {
+
+class JsonWriter;
+
+struct BuildInfo {
+  std::string git_sha;       // short HEAD SHA; "unknown" outside a checkout
+  std::string compiler;      // e.g. "GNU 13.2.0"
+  std::string build_type;    // e.g. "Release"
+  std::string flags;         // CMAKE_CXX_FLAGS + build-type flags
+  std::string cxx_standard;  // e.g. "c++20"
+};
+
+// The provenance baked in at configure time. Static data; cheap to call.
+const BuildInfo& GetBuildInfo();
+
+// One-line rendering for `--version` and the serve banner, e.g.
+// "pebblejoin a1b2c3d (GNU 13.2.0, Release, c++20, -O3 -DNDEBUG)".
+std::string FormatBuildInfo();
+
+// Writes the provenance as one JSON object {"git_sha":...,"compiler":...,
+// "build_type":...,"flags":...} — the "build" object in BenchReport files.
+void WriteBuildInfoJson(JsonWriter* json);
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_OBS_BUILD_INFO_H_

@@ -35,14 +35,56 @@ namespace {
   F(stage_verify_us)                       \
   F(stage_report_us)
 
+// Hardware-counter fields (obs/prof.h), kept in their own list so
+// PublishTo can register them under the "perf." metric prefix (→
+// pebblejoin_perf_*_total) and skip them entirely for perf-off requests.
+// `F(metric, field)`: the registry name suffix and the struct member.
+#define PEBBLEJOIN_SOLVE_STATS_PERF_FIELDS(F)                 \
+  F(cycles, perf_cycles)                                      \
+  F(instructions, perf_instructions)                          \
+  F(cache_references, perf_cache_references)                  \
+  F(cache_misses, perf_cache_misses)                          \
+  F(branch_misses, perf_branch_misses)                        \
+  F(stage_build_cycles, stage_build_cycles)                   \
+  F(stage_build_insns, stage_build_insns)                     \
+  F(stage_build_cache_misses, stage_build_cache_misses)       \
+  F(stage_classify_cycles, stage_classify_cycles)             \
+  F(stage_classify_insns, stage_classify_insns)               \
+  F(stage_classify_cache_misses, stage_classify_cache_misses) \
+  F(stage_partition_cycles, stage_partition_cycles)           \
+  F(stage_partition_insns, stage_partition_insns)             \
+  F(stage_partition_cache_misses,                             \
+    stage_partition_cache_misses)                             \
+  F(stage_solve_cycles, stage_solve_cycles)                   \
+  F(stage_solve_insns, stage_solve_insns)                     \
+  F(stage_solve_cache_misses, stage_solve_cache_misses)       \
+  F(stage_verify_cycles, stage_verify_cycles)                 \
+  F(stage_verify_insns, stage_verify_insns)                   \
+  F(stage_verify_cache_misses, stage_verify_cache_misses)     \
+  F(stage_report_cycles, stage_report_cycles)                 \
+  F(stage_report_insns, stage_report_insns)                   \
+  F(stage_report_cache_misses, stage_report_cache_misses)     \
+  F(bnb_cycles, bnb_cycles)                                   \
+  F(bnb_cache_misses, bnb_cache_misses)                       \
+  F(hk_cycles, hk_cycles)                                     \
+  F(hk_cache_misses, hk_cache_misses)                         \
+  F(ls_cycles, ls_cycles)                                     \
+  F(ls_cache_misses, ls_cache_misses)
+
 }  // namespace
 
 void SolveStats::Add(const SolveStats& other) {
 #define PEBBLEJOIN_ADD_FIELD(name) name += other.name;
   PEBBLEJOIN_SOLVE_STATS_COUNTERS(PEBBLEJOIN_ADD_FIELD)
 #undef PEBBLEJOIN_ADD_FIELD
+#define PEBBLEJOIN_ADD_PERF_FIELD(metric, field) field += other.field;
+  PEBBLEJOIN_SOLVE_STATS_PERF_FIELDS(PEBBLEJOIN_ADD_PERF_FIELD)
+#undef PEBBLEJOIN_ADD_PERF_FIELD
   budget_time_to_stop_ms =
       std::max(budget_time_to_stop_ms, other.budget_time_to_stop_ms);
+  // Perf availability: "off" loses to any real status; two real statuses
+  // keep ours (merges happen slice-into-request, so the request's wins).
+  if (perf == "off") perf = other.perf;
 }
 
 void SolveStats::WriteJson(JsonWriter* json) const {
@@ -50,7 +92,11 @@ void SolveStats::WriteJson(JsonWriter* json) const {
 #define PEBBLEJOIN_JSON_FIELD(name) json->Field(#name, name);
   PEBBLEJOIN_SOLVE_STATS_COUNTERS(PEBBLEJOIN_JSON_FIELD)
 #undef PEBBLEJOIN_JSON_FIELD
+#define PEBBLEJOIN_JSON_PERF_FIELD(metric, field) json->Field(#field, field);
+  PEBBLEJOIN_SOLVE_STATS_PERF_FIELDS(PEBBLEJOIN_JSON_PERF_FIELD)
+#undef PEBBLEJOIN_JSON_PERF_FIELD
   json->Field("budget_time_to_stop_ms", budget_time_to_stop_ms);
+  json->Field("perf", perf);
   json->EndObject();
 }
 
@@ -67,6 +113,20 @@ std::string SolveStats::FormatHuman(const std::string& indent) const {
                 "budget_time_to_stop_ms",
                 static_cast<long long>(budget_time_to_stop_ms));
   out += line;
+  // Hardware counters only earn their 29 lines when they actually ran;
+  // a perf-off dump stays exactly as wide as it was before counters
+  // existed. The availability status always prints.
+  if (perf != "off") {
+#define PEBBLEJOIN_HUMAN_PERF_FIELD(metric, field)                       \
+  std::snprintf(line, sizeof(line), "%s%-28s: %lld\n", indent.c_str(),   \
+                #field, static_cast<long long>(field));                  \
+  out += line;
+    PEBBLEJOIN_SOLVE_STATS_PERF_FIELDS(PEBBLEJOIN_HUMAN_PERF_FIELD)
+#undef PEBBLEJOIN_HUMAN_PERF_FIELD
+  }
+  std::snprintf(line, sizeof(line), "%s%-24s: %s\n", indent.c_str(), "perf",
+                perf.c_str());
+  out += line;
   return out;
 }
 
@@ -77,6 +137,14 @@ void SolveStats::PublishTo(MetricsRegistry* registry) const {
   PEBBLEJOIN_SOLVE_STATS_COUNTERS(PEBBLEJOIN_PUBLISH_FIELD)
 #undef PEBBLEJOIN_PUBLISH_FIELD
   registry->FindOrCreateHistogram("solve.wall_us").RecordMicros(solve_wall_us);
+  // Perf families appear in the exposition only once a perf-enabled
+  // request has run, so perf-off processes keep their exact /metrics shape.
+  if (perf != "off") {
+#define PEBBLEJOIN_PUBLISH_PERF_FIELD(metric, field) \
+  registry->FindOrCreateCounter("perf." #metric).Add(field);
+    PEBBLEJOIN_SOLVE_STATS_PERF_FIELDS(PEBBLEJOIN_PUBLISH_PERF_FIELD)
+#undef PEBBLEJOIN_PUBLISH_PERF_FIELD
+  }
 }
 
 }  // namespace pebblejoin

@@ -67,6 +67,57 @@ struct SolveStats {
   int64_t stage_verify_us = 0;
   int64_t stage_report_us = 0;
 
+  // Hardware counters (obs/prof.h). All zero unless the request ran with
+  // perf counters enabled (`--perf-stats` / AnalyzerOptions::perf) on a
+  // host where perf_event_open succeeds; the `perf` string below says
+  // which of those it was.
+  //
+  // Whole-solve totals, measured on the request thread across the engine
+  // pipeline:
+  int64_t perf_cycles = 0;
+  int64_t perf_instructions = 0;
+  int64_t perf_cache_references = 0;
+  int64_t perf_cache_misses = 0;
+  int64_t perf_branch_misses = 0;
+
+  // Per-stage attribution alongside stage_*_us. Counted on the request
+  // thread, so under --threads N the solve stage covers the coordinating
+  // thread only; pool workers report through the hot-loop counters below.
+  int64_t stage_build_cycles = 0;
+  int64_t stage_build_insns = 0;
+  int64_t stage_build_cache_misses = 0;
+  int64_t stage_classify_cycles = 0;
+  int64_t stage_classify_insns = 0;
+  int64_t stage_classify_cache_misses = 0;
+  int64_t stage_partition_cycles = 0;
+  int64_t stage_partition_insns = 0;
+  int64_t stage_partition_cache_misses = 0;
+  int64_t stage_solve_cycles = 0;
+  int64_t stage_solve_insns = 0;
+  int64_t stage_solve_cache_misses = 0;
+  int64_t stage_verify_cycles = 0;
+  int64_t stage_verify_insns = 0;
+  int64_t stage_verify_cache_misses = 0;
+  int64_t stage_report_cycles = 0;
+  int64_t stage_report_insns = 0;
+  int64_t stage_report_cache_misses = 0;
+
+  // Hot-loop attribution: each solver flushes its own thread's counter
+  // deltas alongside its work counters, so these survive the per-slice
+  // deterministic merge and add up across pool workers.
+  int64_t bnb_cycles = 0;
+  int64_t bnb_cache_misses = 0;
+  int64_t hk_cycles = 0;
+  int64_t hk_cache_misses = 0;
+  int64_t ls_cycles = 0;
+  int64_t ls_cache_misses = 0;
+
+  // Perf availability for this request: "off" (counters not requested),
+  // "ok" (requested and counting), or "unavailable:<reason>" (requested
+  // but perf_event_open was denied — all perf fields stay zero and the
+  // solve proceeds identically). Add() keeps the first non-"off" status.
+  std::string perf = "off";
+
   // Element-wise accumulation (time-to-stop takes the max, -1 meaning
   // "never stopped" loses to any real stop time).
   void Add(const SolveStats& other);
@@ -81,7 +132,11 @@ struct SolveStats {
 
   // Folds this request's counters into the process-wide registry under
   // "solve.<field>" and records solve_wall_us into the "solve.wall_us"
-  // histogram. A disabled registry makes this a sequence of no-ops.
+  // histogram. When perf counters ran for this request (perf != "off"),
+  // additionally publishes the hardware-counter fields under "perf.<name>"
+  // (exposed as pebblejoin_perf_*_total in OpenMetrics); a perf-off request
+  // leaves those families untouched so expositions stay byte-stable. A
+  // disabled registry makes this a sequence of no-ops.
   void PublishTo(MetricsRegistry* registry) const;
 };
 

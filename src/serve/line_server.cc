@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "obs/build_info.h"
 #include "obs/log.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
@@ -132,12 +133,18 @@ void LineServer::Reap() {
 
 void LineServer::AcceptLoop() {
   EventLog log(engine_->defaults().journal, engine_->defaults().flight_recorder);
+  // Build provenance on the start event, so any journal can attribute its
+  // numbers to an exact build (SHA + compiler) without external context.
+  const BuildInfo& build = GetBuildInfo();
   log.Emit(LogLevel::kInfo, "serve.start",
            {LogField::Str("host", options_.host),
             LogField::Num("port", listener_.port()),
             LogField::Num("threads", options_.threads),
             LogField::Num("max_connections", options_.max_connections),
-            LogField::Num("max_inflight", options_.max_inflight)});
+            LogField::Num("max_inflight", options_.max_inflight),
+            LogField::Str("git_sha", build.git_sha),
+            LogField::Str("compiler", build.compiler),
+            LogField::Str("build_type", build.build_type)});
 
   ConnectionEnv env;
   env.options = &options_;

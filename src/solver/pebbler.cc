@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "obs/log.h"
+#include "obs/prof.h"
 #include "obs/solve_stats.h"
 #include "obs/trace.h"
 #include "pebble/cost_model.h"
@@ -16,12 +17,25 @@ std::optional<std::vector<int>> Pebbler::PebbleWithOutcome(
   JP_CHECK(outcome != nullptr);
   outcome->lower_bound = g.num_edges();
 
+  // Per-rung hardware counters, same attribution thread as the rung itself;
+  // the delta lands on the RungAttempt so ladder provenance can say not
+  // just how long a rung ran but what it burned.
+  PerfCounterGroup* perf_group =
+      budget != nullptr && budget->perf_enabled() ? PerfCounterGroup::ThisThread()
+                                                  : nullptr;
+  PerfCounts rung_perf;
   Stopwatch rung_clock;
-  std::optional<std::vector<int>> order = PebbleConnected(g, budget);
+  std::optional<std::vector<int>> order;
+  {
+    ScopedCounterProbe rung_probe(perf_group, &rung_perf);
+    order = PebbleConnected(g, budget);
+  }
   const int64_t elapsed_us = rung_clock.ElapsedMicros();
 
   RungAttempt attempt;
   attempt.solver = name();
+  attempt.cycles = rung_perf.cycles;
+  attempt.cache_misses = rung_perf.cache_misses;
   if (order.has_value()) {
     attempt.cost =
         static_cast<int64_t>(order->size()) + JumpsOfEdgeOrder(g, *order);

@@ -49,6 +49,11 @@ struct RungAttempt {
   int64_t cost = -1;
   // Wall-clock spent inside this rung, recorded by PebbleWithOutcome.
   int64_t elapsed_us = 0;
+  // Hardware counters spent inside this rung on the attempting thread
+  // (obs/prof.h). Zero unless the request ran with perf enabled on a
+  // perf-capable host.
+  int64_t cycles = 0;
+  int64_t cache_misses = 0;
 };
 
 // Everything learned while solving one connected instance.

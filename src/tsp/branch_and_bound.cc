@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/prof.h"
 #include "obs/solve_stats.h"
 #include "tsp/local_search.h"
 #include "tsp/path_cover.h"
@@ -191,6 +192,17 @@ BranchAndBoundResult BranchAndBoundSolve(const Tsp12Instance& instance,
                                          BudgetContext* budget) {
   const int n = instance.num_nodes();
   JP_CHECK(1 <= n && n <= kBranchAndBoundMaxNodes);
+
+  // Hot-loop hardware counters: this thread's group meters the whole solve
+  // (priming + recursion) and RAII-flushes into the stats sink, so a pool
+  // worker's cycles land in its per-slice stats and survive the merge.
+  SolveStats* sink = budget != nullptr ? budget->stats() : nullptr;
+  ScopedHotLoopProbe perf_probe(
+      budget != nullptr && budget->perf_enabled() && sink != nullptr
+          ? PerfCounterGroup::ThisThread()
+          : nullptr,
+      sink != nullptr ? &sink->bnb_cycles : nullptr,
+      sink != nullptr ? &sink->bnb_cache_misses : nullptr);
 
   SearchContext ctx;
   ctx.instance = &instance;

@@ -3,6 +3,7 @@
 #include <limits>
 #include <vector>
 
+#include "obs/prof.h"
 #include "obs/solve_stats.h"
 #include "util/check.h"
 
@@ -11,6 +12,16 @@ namespace pebblejoin {
 std::optional<TspPathResult> HeldKarpSolve(const Tsp12Instance& instance,
                                            BudgetContext* budget) {
   const int n = instance.num_nodes();
+
+  // Hardware counters across the whole DP (table fill + reconstruction);
+  // RAII so the periodic-deadline early returns still flush.
+  SolveStats* sink = budget != nullptr ? budget->stats() : nullptr;
+  ScopedHotLoopProbe perf_probe(
+      budget != nullptr && budget->perf_enabled() && sink != nullptr
+          ? PerfCounterGroup::ThisThread()
+          : nullptr,
+      sink != nullptr ? &sink->hk_cycles : nullptr,
+      sink != nullptr ? &sink->hk_cache_misses : nullptr);
   // Pre-flight: the 2^n · n-byte table must fit the memory ceiling. With no
   // budget this reproduces the historical n <= 20 limit.
   const int64_t table_ceiling =

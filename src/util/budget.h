@@ -309,6 +309,15 @@ class BudgetContext {
   void set_log(EventLog* log) { log_ = log; }
   EventLog* log() const { return log_; }
 
+  // Whether hardware-counter measurement (obs/prof.h) is on for this
+  // request. Just a flag: util stays dependency-free, and measurement
+  // sites consult it before touching their own thread's counter group.
+  // Unlike the telemetry sinks, worker slices DO inherit it — each worker
+  // reads its own thread_local counters and flushes into its per-slice
+  // stats, so the flag is safe (and necessary) to share.
+  void set_perf_enabled(bool enabled) { perf_enabled_ = enabled; }
+  bool perf_enabled() const { return perf_enabled_; }
+
   // Number of Expired() polls so far (amortized and forced alike).
   int64_t polls() const { return polls_; }
 
@@ -353,6 +362,7 @@ class BudgetContext {
     }
     BudgetContext slice(sliced, clock_);
     slice.shared_ = shared;
+    slice.perf_enabled_ = perf_enabled_;
     return slice;
   }
 
@@ -407,6 +417,7 @@ class BudgetContext {
   SolveStats* stats_ = nullptr;
   TraceSession* trace_ = nullptr;
   EventLog* log_ = nullptr;
+  bool perf_enabled_ = false;
   // Cross-slice state of the fan-out this context is a worker slice of, or
   // null for a standalone (single-threaded) context. Not owned; the driver
   // that carved the slices keeps it alive across the join barrier.

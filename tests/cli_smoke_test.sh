@@ -390,6 +390,58 @@ grep -q '^pebblejoin_solve_wall_us_count 1$' "$WORK_DIR/m.om" \
 CLI_STDIN="$GRAPH" expect_fail "metrics-out unwritable path" \
   -- analyze --metrics-out /nonexistent-dir/m.om
 
+# --- Hardware counters, sampling profiler, --version ----------------------
+expect_fail "profile-out missing path" -- analyze --profile-out
+expect_code "solve bad perf flag value exits 2" 2 solve --profile-out ""
+
+VERSION_OUT=$("$BIN" --version)
+if [ $? -ne 0 ]; then
+  note_failure "--version must exit 0"
+fi
+case "$VERSION_OUT" in
+  pebblejoin\ *) : ;;
+  *) note_failure "--version must print the build banner, got: $VERSION_OUT" ;;
+esac
+
+# Acceptance: --perf-stats exits 0 whether or not the host grants
+# perf_event_open, prints the per-stage counter table in comments, and
+# keeps the 60-edge order contract intact.
+PERF_OUT=$(printf '%s' "$GRAPH" | "$BIN" solve --perf-stats)
+if [ $? -ne 0 ]; then
+  note_failure "solve --perf-stats must exit 0 even without PMU access"
+fi
+case "$PERF_OUT" in
+  *"perf counters"*) : ;;
+  *) note_failure "solve --perf-stats must print the counter status" ;;
+esac
+case "$PERF_OUT" in
+  *instructions*cache_misses*) : ;;
+  *) note_failure "solve --perf-stats must print the per-stage table" ;;
+esac
+PERF_EDGE_LINES=$(printf '%s\n' "$PERF_OUT" | grep -cv '^#')
+if [ "$PERF_EDGE_LINES" -ne 60 ]; then
+  note_failure "solve --perf-stats emitted $PERF_EDGE_LINES of 60 edges"
+fi
+
+# The JSON surface records the availability status: "ok" or
+# "unavailable:<reason>" under --perf-stats, the literal "off" without.
+printf '%s' "$GRAPH" | "$BIN" analyze --json --perf-stats \
+  | grep -Eq '"perf":"(ok|unavailable:[^"]+)"' \
+  || note_failure "analyze --json --perf-stats must record perf status"
+printf '%s' "$GRAPH" | "$BIN" analyze --json | grep -q '"perf":"off"' \
+  || note_failure "perf must default to off in analyze --json"
+
+# --profile-out always produces the folded file, its trailing sample
+# comment included, even when the profiler collected zero samples.
+printf '%s' "$GRAPH" | "$BIN" solve --profile-out "$WORK_DIR/p.folded" \
+  >/dev/null || note_failure "solve --profile-out must exit 0"
+[ -f "$WORK_DIR/p.folded" ] \
+  || note_failure "--profile-out must write the folded file"
+tail -1 "$WORK_DIR/p.folded" | grep -Eq '^# samples [0-9]+ dropped [0-9]+$' \
+  || note_failure "folded profile must end with the sample tally comment"
+CLI_STDIN="$GRAPH" expect_fail "profile-out unwritable path" \
+  -- solve --profile-out /nonexistent-dir/p.folded
+
 # Batch: journal + metrics + live progress ride the same flags.
 "$BIN" batch --jsonl "$WORK_DIR/corpus.jsonl" --out /dev/null \
   --journal "$WORK_DIR/bj.jsonl" --metrics-out "$WORK_DIR/bm.om" \

@@ -14,10 +14,17 @@ namespace pebblejoin {
 // per-attempt, and per-component wall clocks, percentile estimates,
 // journal timestamps) or "_ms" (budget bookkeeping, batch latencies),
 // plus the budget poll count, whose value is clock- or stride-dependent.
+// Hardware-counter keys (obs/prof.h) are exactly as run-dependent, so the
+// "_cycles"/"_insns"/"_instructions"/"_references"/"_misses" suffixes and
+// the per-rung "cycles" field zero out too.
 // The writer emits compact `"key":<int>` members, so a linear scan
 // suffices. tools/json_normalize.py applies the same rule to CLI output
 // in the shell-level tests.
 inline std::string NormalizeTimings(std::string json) {
+  const auto ends_with = [](const std::string& key, const char* suffix) {
+    const size_t n = std::char_traits<char>::length(suffix);
+    return key.size() > n && key.compare(key.size() - n, n, suffix) == 0;
+  };
   size_t pos = 0;
   while ((pos = json.find("\":", pos)) != std::string::npos) {
     // The key that just closed: ["start, pos) with start after the quote.
@@ -27,9 +34,11 @@ inline std::string NormalizeTimings(std::string json) {
     const std::string key = json.substr(key_begin, key_end - key_begin);
     pos += 2;  // past ":
     const bool timing =
-        (key.size() > 3 && key.compare(key.size() - 3, 3, "_us") == 0) ||
-        (key.size() > 3 && key.compare(key.size() - 3, 3, "_ms") == 0) ||
-        key == "budget_polls";
+        ends_with(key, "_us") || ends_with(key, "_ms") ||
+        ends_with(key, "_cycles") || ends_with(key, "_insns") ||
+        ends_with(key, "_instructions") || ends_with(key, "_references") ||
+        ends_with(key, "_misses") || key == "budget_polls" ||
+        key == "cycles";
     if (!timing) continue;
     size_t value_end = pos;
     while (value_end < json.size() &&

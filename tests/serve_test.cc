@@ -17,12 +17,14 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -599,6 +601,56 @@ TEST(ServeTest, MetricsEndpointSpeaksOpenMetricsAndCloses) {
   ASSERT_TRUE(lost.connected());
   ASSERT_TRUE(lost.Send("GET /nope HTTP/1.1\r\n\r\n"));
   EXPECT_NE(lost.ReadAll().find("404"), std::string::npos);
+
+  server.BeginDrain();
+  server.Wait();
+}
+
+// The mini-HTTP hardening contract scrapers depend on: every response —
+// 200 and 404 alike — carries a Content-Length that matches its body
+// exactly and an explicit `Connection: close`, then actually closes.
+TEST(ServeTest, HttpResponsesCarryExactContentLengthAndClose) {
+  SolveEngine engine;
+  LineServer server(&engine, TestOptions());
+  START_SERVER(server);
+
+  // reply -> (headers, body) split at the blank line; "" on malformed.
+  const auto split = [](const std::string& reply) {
+    const size_t blank = reply.find("\r\n\r\n");
+    return blank == std::string::npos
+               ? std::pair<std::string, std::string>("", "")
+               : std::pair<std::string, std::string>(
+                     reply.substr(0, blank + 2), reply.substr(blank + 4));
+  };
+  const auto content_length = [](const std::string& headers) {
+    const size_t at = headers.find("Content-Length: ");
+    if (at == std::string::npos) return int64_t{-1};
+    return static_cast<int64_t>(
+        std::strtoll(headers.c_str() + at + 16, nullptr, 10));
+  };
+
+  TestClient scraper(server.port());
+  ASSERT_TRUE(scraper.connected());
+  ASSERT_TRUE(scraper.Send("GET /metrics HTTP/1.1\r\n\r\n"));
+  const auto [ok_headers, ok_body] = split(scraper.ReadAll());
+  ASSERT_FALSE(ok_headers.empty());
+  EXPECT_EQ(content_length(ok_headers),
+            static_cast<int64_t>(ok_body.size()));
+  EXPECT_NE(ok_headers.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_TRUE(scraper.eof());
+
+  TestClient lost(server.port());
+  ASSERT_TRUE(lost.connected());
+  ASSERT_TRUE(lost.Send("GET /nope HTTP/1.1\r\n\r\n"));
+  const auto [nf_headers, nf_body] = split(lost.ReadAll());
+  ASSERT_FALSE(nf_headers.empty());
+  EXPECT_EQ(nf_headers.rfind("HTTP/1.1 404 Not Found", 0), 0u)
+      << nf_headers.substr(0, 200);
+  EXPECT_EQ(content_length(nf_headers),
+            static_cast<int64_t>(nf_body.size()));
+  EXPECT_GT(nf_body.size(), 0u) << "404 must carry a diagnostic body";
+  EXPECT_NE(nf_headers.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_TRUE(lost.eof());
 
   server.BeginDrain();
   server.Wait();

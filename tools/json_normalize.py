@@ -6,10 +6,13 @@ dependent value replaced by 0: keys ending in `_us` (stage, per-attempt,
 and per-component wall clocks — including the `component_wall_p*_us`
 percentiles and journal `ts_us` stamps), keys ending in `_ms` (budget
 bookkeeping, batch line latencies, progress ETA), and `budget_polls`.
-Structural and cost fields pass through untouched, so two runs of the same
-solve compare byte-identical afterwards — the rule covers both `analyze
---json` documents and `--journal` JSONL event lines. The C++ tests apply
-the same rule via tests/json_test_util.h.
+Hardware-counter values (obs/prof.h) are exactly as run-dependent as wall
+clocks, so keys ending in `_cycles`, `_insns`, `_instructions`,
+`_references`, or `_misses` — and the per-rung `cycles` field — zero out
+too. Structural and cost fields pass through untouched, so two runs of
+the same solve compare byte-identical afterwards — the rule covers both
+`analyze --json` documents and `--journal` JSONL event lines. The C++
+tests apply the same rule via tests/json_test_util.h.
 
 Usage:  pebblejoin analyze --json < g.txt | python3 tools/json_normalize.py
 """
@@ -17,7 +20,10 @@ Usage:  pebblejoin analyze --json < g.txt | python3 tools/json_normalize.py
 import re
 import sys
 
-_TIMING = re.compile(r'"((?:[A-Za-z0-9_]+_(?:us|ms))|budget_polls)":-?\d+')
+_TIMING = re.compile(
+    r'"((?:[A-Za-z0-9_]+_'
+    r'(?:us|ms|cycles|insns|instructions|references|misses))'
+    r'|budget_polls|cycles)":-?\d+')
 
 
 def normalize(text: str) -> str:

@@ -5,17 +5,23 @@ Checks the invariants docs/observability.md promises, without a promtool
 dependency: a terminal `# EOF`, legal metric names, every sample preceded
 by its family's `# TYPE` line, counter samples suffixed `_total`,
 histogram bucket series that are cumulative, end at le="+Inf", and agree
-with `_count`. Exits nonzero with one line per violation.
+with `_count`. Every sample value must be a finite number, and counter
+and histogram values must be non-negative — the hardware-counter families
+(pebblejoin_perf_*_total) are computed with multiplexing scaling, so a
+NaN or negative sample means the scaling math (not the kernel) broke.
+Exits nonzero with one line per violation.
 
-Usage:  python3 tools/openmetrics_lint.py metrics.om
+Usage:  python3 tools/openmetrics_lint.py FILE
+        python3 tools/openmetrics_lint.py --self-test
 """
 
+import math
 import re
 import sys
 
 NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 SAMPLE = re.compile(r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
-                    r'(?:\{le="(?P<le>[^"]*)"\})? (?P<value>-?[0-9.+eEinf]+)$')
+                    r'(?:\{le="(?P<le>[^"]*)"\})? (?P<value>\S+)$')
 
 
 def lint(lines):
@@ -44,6 +50,14 @@ def lint(lines):
                 errors.append(f"line {i}: unparsable sample: {line}")
                 continue
             name = m.group("name")
+            try:
+                value = float(m.group("value"))
+            except ValueError:
+                errors.append(f"line {i}: non-numeric value: {line}")
+                continue
+            if math.isnan(value) or math.isinf(value):
+                errors.append(f"line {i}: non-finite sample: {name}")
+                continue
             base = re.sub(r"_(total|bucket|sum|count)$", "", name)
             family = base if base in types else name
             if family not in types:
@@ -52,11 +66,14 @@ def lint(lines):
             kind = types[family]
             if kind == "counter" and not name.endswith("_total"):
                 errors.append(f"line {i}: counter sample missing _total")
+            if kind in ("counter", "histogram") and value < 0:
+                errors.append(f"line {i}: negative {kind} sample: "
+                              f"{name} {value}")
             if kind == "histogram" and name.endswith("_bucket"):
                 buckets.setdefault(family, []).append(
-                    (m.group("le"), float(m.group("value"))))
+                    (m.group("le"), value))
             if kind == "histogram" and name.endswith("_count"):
-                counts[family] = float(m.group("value"))
+                counts[family] = value
     for family, series in buckets.items():
         values = [v for _, v in series]
         if series[-1][0] != "+Inf":
@@ -68,9 +85,49 @@ def lint(lines):
     return errors
 
 
+def self_test():
+    """In-memory fixtures for every check, including the perf-value ones."""
+    good = ["# TYPE pebblejoin_perf_cycles counter",
+            "pebblejoin_perf_cycles_total 123456",
+            "# TYPE pebblejoin_conns gauge",
+            "pebblejoin_conns 3",
+            "# EOF"]
+    cases = [
+        ("good exposition", good, False),
+        ("negative counter",
+         ["# TYPE c counter", "c_total -1", "# EOF"], True),
+        ("NaN sample",
+         ["# TYPE c counter", "c_total nan", "# EOF"], True),
+        ("infinite sample",
+         ["# TYPE g gauge", "g inf", "# EOF"], True),
+        ("non-numeric value",
+         ["# TYPE g gauge", "g fast", "# EOF"], True),
+        ("counter without _total",
+         ["# TYPE c counter", "c 1", "# EOF"], True),
+        ("sample before TYPE", ["x_total 1", "# EOF"], True),
+        ("missing EOF", ["# TYPE g gauge", "g 1"], True),
+        ("non-cumulative histogram",
+         ["# TYPE h histogram", 'h_bucket{le="1"} 5', 'h_bucket{le="+Inf"} 3',
+          "h_count 3", "h_sum 1", "# EOF"], True),
+    ]
+    failures = []
+    for name, lines, want_errors in cases:
+        errors = lint(lines)
+        if bool(errors) != want_errors:
+            failures.append(f"{name}: got {errors!r}, want "
+                            f"{'errors' if want_errors else 'none'}")
+    for failure in failures:
+        print(f"openmetrics_lint --self-test: {failure}", file=sys.stderr)
+    print("openmetrics_lint --self-test: " + ("FAIL" if failures else "PASS"))
+    return 1 if failures else 0
+
+
 def main():
+    if len(sys.argv) == 2 and sys.argv[1] == "--self-test":
+        return self_test()
     if len(sys.argv) != 2:
-        print("usage: openmetrics_lint.py FILE", file=sys.stderr)
+        print("usage: openmetrics_lint.py FILE | --self-test",
+              file=sys.stderr)
         return 2
     with open(sys.argv[1]) as f:
         errors = lint(f.read().splitlines())

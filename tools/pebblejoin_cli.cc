@@ -1,6 +1,7 @@
 // pebblejoin — command-line front end.
 //
 // Usage:
+//   pebblejoin --version                         # build provenance
 //   pebblejoin gen worstcase <n>                 > g.txt
 //   pebblejoin gen complete <k> <l>              > g.txt
 //   pebblejoin gen random <left> <right> <m> <seed> [--connected] > g.txt
@@ -47,7 +48,12 @@
 // at --log-level LEVEL (debug|info|warn|error|off, default info), with a
 // --flight-recorder N ring of trailing events dumped on every degraded
 // outcome; --metrics-out FILE writes the metrics registry in the
-// OpenMetrics text format. See docs/observability.md.
+// OpenMetrics text format; --perf-stats opens hardware counters
+// (perf_event_open) around the solve and appends a per-stage
+// cycles/instructions/cache-miss table (degrades to a one-line
+// "unavailable" status where counters are denied — exit stays 0);
+// --profile-out FILE runs the SIGPROF sampling profiler across the solve
+// and writes flamegraph-collapsed stacks. See docs/observability.md.
 //
 // batch additionally takes --progress-every-ms N: live progress lines on
 // stderr (and batch.progress journal events) at that cadence, 0 = after
@@ -93,8 +99,10 @@
 #include "engine/batch_runner.h"
 #include "engine/names.h"
 #include "serve/line_server.h"
+#include "obs/build_info.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 #include "graph/generators.h"
 #include "io/dot_export.h"
@@ -120,6 +128,7 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage:\n"
+      "  pebblejoin --version\n"
       "  pebblejoin gen worstcase <n>\n"
       "  pebblejoin gen complete <k> <l>\n"
       "  pebblejoin gen random <left> <right> <m> <seed> [--connected]\n"
@@ -138,6 +147,7 @@ int Usage() {
       "                   [--predicate NAME] [--progress-every-ms N]\n"
       "                   [--journal FILE] [--log-level LEVEL]\n"
       "                   [--flight-recorder N] [--metrics-out FILE]\n"
+      "                   [--perf-stats] [--profile-out FILE]\n"
       "  pebblejoin serve [--host H] [--port P] [--threads N]\n"
       "                   [--max-conns N] [--max-inflight N]\n"
       "                   [--per-conn-inflight N] [--idle-timeout-ms N]\n"
@@ -145,11 +155,12 @@ int Usage() {
       "                   [--drain-ms N] [budget flags] [--solver NAME]\n"
       "                   [--predicate NAME] [--journal FILE]\n"
       "                   [--log-level LEVEL] [--flight-recorder N]\n"
-      "                   [--metrics-out FILE]\n"
+      "                   [--metrics-out FILE] [--perf-stats]\n"
       "budget flags: --deadline-ms N  --memory-mb N  --node-budget N\n"
       "telemetry flags: --json  --stats  --trace-out FILE  --journal FILE\n"
       "                 --log-level LEVEL  --flight-recorder N\n"
-      "                 --metrics-out FILE\n"
+      "                 --metrics-out FILE  --perf-stats\n"
+      "                 --profile-out FILE\n"
       "parallelism: --threads N (0 = one per hardware thread)\n"
       "solvers: %s\n"
       "predicates: %s\n",
@@ -211,6 +222,8 @@ struct SolveFlags {
   LogLevel log_level = LogLevel::kInfo;
   int flight_recorder = EventLog::kDefaultCapacity;
   std::string metrics_out;  // empty: no OpenMetrics exposition
+  bool perf = false;        // --perf-stats: hardware counters on
+  std::string profile_out;  // empty: no sampling profiler
 };
 
 // Parses the journal/metrics flag cluster shared by analyze/solve/batch.
@@ -272,6 +285,15 @@ bool ParseSolveFlags(int argc, char** argv, int start, bool allow_explain,
       flags->json = true;
     } else if (flag == "--stats") {
       flags->stats = true;
+    } else if (flag == "--perf-stats") {
+      flags->perf = true;
+    } else if (flag == "--profile-out") {
+      if (value == nullptr || *value == '\0') {
+        Fail("--profile-out needs a file path");
+        return false;
+      }
+      flags->profile_out = value;
+      ++i;
     } else if (flag == "--trace-out") {
       if (value == nullptr || *value == '\0') {
         Fail("--trace-out needs a file path");
@@ -384,6 +406,46 @@ bool WriteMetricsFile(const std::string& path, MetricsRegistry* registry) {
   return true;
 }
 
+// Arms the SIGPROF sampling profiler when --profile-out was given. An
+// unsupported or busy profiler is a warning, not an error: the solve's
+// result does not depend on it, and the folded file is still written (with
+// zero samples) so scripted pipelines see a deterministic artifact.
+void StartProfiler(const std::string& profile_out,
+                   SamplingProfiler* profiler) {
+  if (profile_out.empty()) return;
+  if (!profiler->Start()) {
+    std::fprintf(stderr, "warning: sampling profiler disabled: %s\n",
+                 profiler->reason().c_str());
+  }
+}
+
+// Disarms the profiler and writes the folded-stack file. Returns false
+// (after printing the error) when the file cannot be written.
+bool FinishProfiler(const std::string& profile_out,
+                    SamplingProfiler* profiler) {
+  if (profile_out.empty()) return true;
+  profiler->Stop();
+  if (!profiler->WriteFolded(profile_out)) {
+    std::fprintf(stderr, "error: cannot write profile file '%s'\n",
+                 profile_out.c_str());
+    return false;
+  }
+  return true;
+}
+
+// Prints a multi-line block with every line prefixed by "# ", preserving
+// solve's "non-# lines are edge ids" output contract.
+void PrintCommented(const std::string& block) {
+  size_t start = 0;
+  while (start < block.size()) {
+    size_t end = block.find('\n', start);
+    if (end == std::string::npos) end = block.size();
+    std::printf("# %.*s\n", static_cast<int>(end - start),
+                block.c_str() + start);
+    start = end + 1;
+  }
+}
+
 std::optional<BipartiteGraph> GraphFromStdin() {
   std::string error;
   std::optional<BipartiteGraph> g = ParseBipartiteGraph(ReadStdin(), &error);
@@ -467,6 +529,7 @@ bool RunAnalysis(const SolveFlags& flags, const BipartiteGraph& g,
   options.solver = flags.solver;
   options.budget = flags.budget;
   options.threads = flags.threads;
+  options.perf = flags.perf;
   if (!flags.trace_out.empty()) options.trace = &trace;
   if (!flags.journal_out.empty()) {
     if (!AttachJournalSink(flags.journal_out, &journal)) return false;
@@ -480,8 +543,11 @@ bool RunAnalysis(const SolveFlags& flags, const BipartiteGraph& g,
     MetricsRegistry::Default()->set_enabled(true);
     options.metrics = MetricsRegistry::Default();
   }
+  SamplingProfiler profiler;
+  StartProfiler(flags.profile_out, &profiler);
   const JoinAnalyzer analyzer(options);
   *analysis = analyzer.AnalyzeJoinGraph(g, flags.predicate);
+  if (!FinishProfiler(flags.profile_out, &profiler)) return false;
   if (!flags.trace_out.empty()) {
     std::string error;
     if (!trace.WriteFile(flags.trace_out, &error)) {
@@ -509,6 +575,7 @@ int CmdAnalyze(int argc, char** argv) {
     std::fputs((AnalysisJson(analysis) + "\n").c_str(), stdout);
   } else {
     std::fputs(FormatAnalysis(analysis, flags.stats).c_str(), stdout);
+    if (flags.perf) std::fputs(FormatPerfStats(analysis).c_str(), stdout);
   }
   return 0;
 }
@@ -542,6 +609,10 @@ int CmdSolve(int argc, char** argv) {
     // in comments.
     std::printf("# solver stats:\n");
     std::fputs(analysis.stats.FormatHuman("#   ").c_str(), stdout);
+  }
+  if (flags.perf) {
+    // Same contract: the perf table rides in comments too.
+    PrintCommented(FormatPerfStats(analysis));
   }
   if (!flags.explain) {
     for (int e : analysis.solution.edge_order) std::printf("%d\n", e);
@@ -699,10 +770,20 @@ int CmdBatch(int argc, char** argv) {
   LogLevel log_level = LogLevel::kInfo;
   int flight_recorder = EventLog::kDefaultCapacity;
   std::string metrics_out;
+  bool perf = false;
+  std::string profile_out;
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
     const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
-    if (flag == "--jsonl") {
+    if (flag == "--perf-stats") {
+      perf = true;
+    } else if (flag == "--profile-out") {
+      if (value == nullptr || *value == '\0') {
+        return Fail("--profile-out needs a file path");
+      }
+      profile_out = value;
+      ++i;
+    } else if (flag == "--jsonl") {
       if (value == nullptr || *value == '\0') {
         return Fail("--jsonl needs a file path ('-' = stdin)");
       }
@@ -848,9 +929,13 @@ int CmdBatch(int argc, char** argv) {
     engine_options.defaults.journal = &journal;
     engine_options.defaults.flight_recorder = flight_recorder;
   }
+  engine_options.defaults.perf = perf;
   SolveEngine engine(engine_options);
   BatchRunner runner(&engine, options);
+  SamplingProfiler profiler;
+  StartProfiler(profile_out, &profiler);
   const BatchRunner::Summary summary = runner.Run(in, out);
+  if (!FinishProfiler(profile_out, &profiler)) return kExitRuntime;
   // Stdout is pure JSONL; the tallies go to stderr.
   std::fprintf(stderr,
                "batch: %lld lines, %lld solved, %lld errors, %lld rejected, "
@@ -895,10 +980,13 @@ int CmdServe(int argc, char** argv) {
   LogLevel log_level = LogLevel::kInfo;
   int flight_recorder = EventLog::kDefaultCapacity;
   std::string metrics_out;
+  bool perf = false;
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
     const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
-    if (flag == "--host") {
+    if (flag == "--perf-stats") {
+      perf = true;
+    } else if (flag == "--host") {
       if (value == nullptr || *value == '\0') {
         return Fail("--host needs an IPv4 address");
       }
@@ -1035,6 +1123,7 @@ int CmdServe(int argc, char** argv) {
     engine_options.defaults.journal = &journal;
     engine_options.defaults.flight_recorder = flight_recorder;
   }
+  engine_options.defaults.perf = perf;
   SolveEngine engine(engine_options);
   LineServer server(&engine, sopts);
   std::string error;
@@ -1042,6 +1131,10 @@ int CmdServe(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return kExitRuntime;
   }
+  // Build provenance precedes the address announcement so log captures
+  // can attribute the run to an exact build. Scripts key on the
+  // "serving on" line, which keeps its position as the last banner line.
+  std::fprintf(stderr, "%s\n", FormatBuildInfo().c_str());
   std::fprintf(stderr, "serving on %s:%d\n", sopts.host.c_str(),
                server.port());
   std::fflush(stderr);
@@ -1102,6 +1195,10 @@ int CmdServe(int argc, char** argv) {
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
+  if (command == "--version" || command == "version") {
+    std::printf("%s\n", FormatBuildInfo().c_str());
+    return 0;
+  }
   if (command == "gen") return CmdGen(argc, argv);
   if (command == "analyze") return CmdAnalyze(argc, argv);
   if (command == "solve") return CmdSolve(argc, argv);

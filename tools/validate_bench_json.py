@@ -3,27 +3,63 @@
 
 The schema is src/obs/bench_report.h's deliberately dumb one:
 
-  {"bench": NAME, "tables": [{"id": ID, "headers": [...], "rows":
-   [[...], ...]}]}
+  {"bench": NAME, "build": {...}, "tables": [{"id": ID, "headers": [...],
+   "rows": [[...], ...]}]}
 
-with every cell a string and every row as wide as its headers. CI runs
-this over each BENCH_*.json so a malformed or truncated report fails the
-build instead of silently polluting the perf trajectory.
+with every cell a string and every row as wide as its headers. The
+optional "build" object (git_sha, compiler, ...) is string-to-string
+provenance stamped by the harness. Beyond shape, measurement columns —
+headers ending in _ms, _us, _cycles, _insns, or _misses — must hold
+finite, non-negative numbers: a NaN or negative wall clock or hardware
+count means the probe itself broke, and tools/bench_compare.py would
+otherwise diff garbage. (Cells that are not numbers at all are allowed
+only in non-measurement columns, except the literal "inf" which sweep
+parameters like deadline_ms legitimately use.)
+
+CI runs this over each BENCH_*.json so a malformed or truncated report
+fails the build instead of silently polluting the perf trajectory.
 
 Usage:  python3 tools/validate_bench_json.py BENCH_engine.json [...]
+        python3 tools/validate_bench_json.py --self-test
 """
 
 import json
+import math
 import sys
 
+MEASUREMENT_SUFFIXES = ("_ms", "_us", "_cycles", "_insns", "_misses")
 
-def validate(path):
-    with open(path) as f:
-        doc = json.load(f)
+
+def is_measurement_header(header):
+    return header.endswith(MEASUREMENT_SUFFIXES)
+
+
+def check_measurement_cell(cell):
+    """None when the cell is a legal measurement value, else a reason."""
+    if cell == "inf":
+        return None  # "no limit" sweep parameter (deadline_ms etc.)
+    try:
+        value = float(cell)
+    except ValueError:
+        return f"non-numeric value {cell!r}"
+    if math.isnan(value):
+        return "NaN"
+    if value < 0:
+        return f"negative value {cell!r}"
+    return None
+
+
+def validate_doc(doc, path):
     if not isinstance(doc, dict):
         return f"{path}: top level must be an object"
     if not isinstance(doc.get("bench"), str) or not doc["bench"]:
         return f"{path}: missing or empty \"bench\" name"
+    build = doc.get("build")
+    if build is not None:
+        if (not isinstance(build, dict) or
+                not all(isinstance(k, str) and isinstance(v, str)
+                        for k, v in build.items())):
+            return f"{path}: \"build\" must map strings to strings"
     tables = doc.get("tables")
     if not isinstance(tables, list):
         return f"{path}: \"tables\" must be a list"
@@ -45,12 +81,60 @@ def validate(path):
                     not all(isinstance(c, str) for c in row)):
                 return (f"{where}: rows[{r}] must be a string list as wide "
                         f"as the {len(headers)} headers")
+            for header, cell in zip(headers, row):
+                if not is_measurement_header(header):
+                    continue
+                reason = check_measurement_cell(cell)
+                if reason:
+                    return (f"{where}: rows[{r}].{header}: {reason} in a "
+                            "measurement column")
     return None
 
 
+def validate(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return validate_doc(doc, path)
+
+
+def self_test():
+    """In-memory fixtures: the checks this script exists for must fire."""
+    good = {"bench": "fx",
+            "build": {"git_sha": "abc1234", "compiler": "GNU 12"},
+            "tables": [{"id": "t", "headers": ["n", "time_ms", "hw_cycles"],
+                        "rows": [["4", "1.5", "123456"],
+                                 ["8", "inf", "0"]]}]}
+    cases = [
+        ("good doc", good, False),
+        ("NaN wall clock", {**good, "tables": [{
+            "id": "t", "headers": ["time_ms"], "rows": [["nan"]]}]}, True),
+        ("negative cycles", {**good, "tables": [{
+            "id": "t", "headers": ["hw_cycles"], "rows": [["-5"]]}]}, True),
+        ("garbage in measurement column", {**good, "tables": [{
+            "id": "t", "headers": ["time_ms"], "rows": [["fast"]]}]}, True),
+        ("non-string build", {**good, "build": {"sha": 7}}, True),
+        ("ragged row", {**good, "tables": [{
+            "id": "t", "headers": ["a", "b"], "rows": [["1"]]}]}, True),
+    ]
+    failures = []
+    for name, doc, want_error in cases:
+        error = validate_doc(doc, "<fixture>")
+        if bool(error) != want_error:
+            failures.append(f"{name}: got {error!r}, want "
+                            f"{'an error' if want_error else 'no error'}")
+    for failure in failures:
+        print(f"validate_bench_json --self-test: {failure}", file=sys.stderr)
+    print("validate_bench_json --self-test: "
+          + ("FAIL" if failures else "PASS"))
+    return 1 if failures else 0
+
+
 def main():
+    if len(sys.argv) == 2 and sys.argv[1] == "--self-test":
+        return self_test()
     if len(sys.argv) < 2:
-        print("usage: validate_bench_json.py FILE...", file=sys.stderr)
+        print("usage: validate_bench_json.py FILE... | --self-test",
+              file=sys.stderr)
         return 2
     failed = False
     for path in sys.argv[1:]:
