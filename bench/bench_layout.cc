@@ -1,0 +1,187 @@
+// E21 — Cache-conscious layout: CSR + arena + bitset hot loops vs the
+// legacy vector-of-vectors graph.
+//
+// Two sweeps, both differential (every row runs the *same* instance
+// through both layouts and asserts the answers are identical before
+// reporting the speedup):
+//  (a) full engine solves (AnalyzerOptions::layout = legacy vs csr) on
+//      dense complete-bipartite, dense random, and Theorem 3.3 worst-case
+//      instances — the end-to-end number the layout work is judged by;
+//  (b) the k-pebble scheduler in isolation (its edge-selection loop is the
+//      single hottest scan in the repo: legacy re-walks a deleted[] array
+//      per pick, CSR word-scans a liveness bitset).
+//
+// The cache is flushed between timed runs by streaming through a buffer
+// far larger than LLC, so rows measure cold-cache behavior — the regime
+// the paper's page-fetch model cares about — rather than whichever layout
+// happened to run second.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "graph/generators.h"
+#include "kpebble/k_pebble_game.h"
+#include "obs/bench_report.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace pebblejoin {
+namespace {
+
+constexpr int kRepetitions = 5;
+
+// Streams a buffer much larger than any LLC in write mode, evicting both
+// layouts' working sets so each timed run starts cold.
+void ClearCache() {
+  static std::vector<uint64_t> sink(32 * 1024 * 1024);  // 256 MiB
+  for (size_t i = 0; i < sink.size(); i += 8) sink[i] += 1;
+}
+
+// Best-of-N cold-cache wall time for one closure.
+template <typename Fn>
+int64_t TimeColdMicros(const Fn& fn) {
+  int64_t best = -1;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    ClearCache();
+    Stopwatch watch;
+    fn();
+    const int64_t us = watch.ElapsedMicros();
+    if (best < 0 || us < best) best = us;
+  }
+  return best;
+}
+
+std::string SpeedupCell(int64_t legacy_us, int64_t csr_us) {
+  if (csr_us <= 0) return "-";
+  return FormatDouble(static_cast<double>(legacy_us) /
+                          static_cast<double>(csr_us),
+                      2) +
+         "x";
+}
+
+void RunEngineSweep(BenchReport* report) {
+  std::printf(
+      "E21a: full engine solve, legacy vs csr layout (best of %d, cold "
+      "cache)\n\n",
+      kRepetitions);
+  TablePrinter table({"family", "m", "legacy_us", "csr_us", "speedup",
+                      "cost_legacy", "cost_csr", "identical"});
+
+  auto add = [&](const char* name, const BipartiteGraph& g,
+                 SolverChoice solver) {
+    AnalyzerOptions legacy_options;
+    legacy_options.layout = GraphLayout::kLegacy;
+    legacy_options.solver = solver;
+    AnalyzerOptions csr_options = legacy_options;
+    csr_options.layout = GraphLayout::kCsr;
+    const JoinAnalyzer legacy(legacy_options);
+    const JoinAnalyzer csr(csr_options);
+
+    const JoinAnalysis a_legacy =
+        legacy.AnalyzeJoinGraph(g, PredicateClass::kGeneral);
+    const JoinAnalysis a_csr = csr.AnalyzeJoinGraph(g, PredicateClass::kGeneral);
+    const bool identical =
+        a_legacy.solution.effective_cost == a_csr.solution.effective_cost &&
+        a_legacy.solution.edge_order == a_csr.solution.edge_order;
+    if (!identical) {
+      std::fprintf(stderr, "FATAL: layout divergence on %s\n", name);
+      std::exit(1);
+    }
+
+    const int64_t legacy_us = TimeColdMicros(
+        [&] { legacy.AnalyzeJoinGraph(g, PredicateClass::kGeneral); });
+    const int64_t csr_us = TimeColdMicros(
+        [&] { csr.AnalyzeJoinGraph(g, PredicateClass::kGeneral); });
+    table.AddRow({name, FormatInt(a_csr.output_size), FormatInt(legacy_us),
+                  FormatInt(csr_us), SpeedupCell(legacy_us, csr_us),
+                  FormatInt(a_legacy.solution.effective_cost),
+                  FormatInt(a_csr.solution.effective_cost),
+                  identical ? "yes" : "NO"});
+  };
+
+  // Complete bipartite under kAuto routes to the closed-form sort-merge
+  // path (no hot loops; the row pins parity, not speedup). The greedy rows
+  // force the same dense instances through the walk's cursor scans.
+  add("K_32,32 auto", CompleteBipartite(32, 32), SolverChoice::kAuto);
+  add("K_32,32 greedy", CompleteBipartite(32, 32), SolverChoice::kGreedyWalk);
+  add("K_64,64 greedy", CompleteBipartite(64, 64), SolverChoice::kGreedyWalk);
+  add("K_96,96 greedy", CompleteBipartite(96, 96), SolverChoice::kGreedyWalk);
+  add("rand 24x24 m=400", RandomConnectedBipartite(24, 24, 400, 21),
+      SolverChoice::kAuto);
+  add("rand 32x32 m=700", RandomConnectedBipartite(32, 32, 700, 22),
+      SolverChoice::kAuto);
+  add("G_128", WorstCaseFamily(128), SolverChoice::kAuto);
+  add("G_256", WorstCaseFamily(256), SolverChoice::kAuto);
+  add("G_512", WorstCaseFamily(512), SolverChoice::kAuto);
+  std::fputs(table.Render().c_str(), stdout);
+  report->AddTable("engine_solve", table);
+  std::printf(
+      "\nExpected shape: identical = yes throughout — the layout changes\n"
+      "where bytes live, never what the solver does. The dense random and\n"
+      "G_n rows route through local-search/ILS adjacency probes (O(1)\n"
+      "bitset matrix vs O(deg) list walk) and clear 1.5x by an order of\n"
+      "magnitude; the single-pass greedy/sort-merge rows are overhead-\n"
+      "bound either way and pin parity more than speedup.\n");
+}
+
+void RunKPebbleSweep(BenchReport* report) {
+  std::printf(
+      "\nE21b: k-pebble scheduler, legacy scan vs csr bitset word-scan\n\n");
+  TablePrinter table({"graph", "m", "k", "legacy_us", "csr_us", "speedup",
+                      "fetches", "identical"});
+
+  auto add = [&](const char* name, const Graph& base, int k) {
+    Graph legacy = base;
+    Graph frozen = base;
+    frozen.BuildCsr();
+    KPebbleOptions options;
+    options.k = k;
+    options.policy = EvictionPolicy::kMinRemainingDegree;
+    options.seed = 5;
+
+    const auto r_legacy = ScheduleKPebbles(legacy, options);
+    const auto r_csr = ScheduleKPebbles(frozen, options);
+    const bool identical = r_legacy.fetches == r_csr.fetches;
+    if (!identical) {
+      std::fprintf(stderr, "FATAL: k-pebble divergence on %s\n", name);
+      std::exit(1);
+    }
+
+    const int64_t legacy_us =
+        TimeColdMicros([&] { ScheduleKPebbles(legacy, options); });
+    const int64_t csr_us =
+        TimeColdMicros([&] { ScheduleKPebbles(frozen, options); });
+    table.AddRow({name, FormatInt(base.num_edges()), FormatInt(k),
+                  FormatInt(legacy_us), FormatInt(csr_us),
+                  SpeedupCell(legacy_us, csr_us), FormatInt(r_csr.fetches),
+                  identical ? "yes" : "NO"});
+  };
+
+  add("K_24,24", CompleteBipartite(24, 24).ToGraph(), 2);
+  add("K_32,32", CompleteBipartite(32, 32).ToGraph(), 2);
+  add("K_32,32", CompleteBipartite(32, 32).ToGraph(), 4);
+  add("G_256", WorstCaseFamily(256).ToGraph(), 2);
+  add("G_512", WorstCaseFamily(512).ToGraph(), 2);
+  add("rand 32x32 m=768",
+      RandomConnectedBipartite(32, 32, 768, 9).ToGraph(), 2);
+  std::fputs(table.Render().c_str(), stdout);
+  report->AddTable("kpebble_schedule", table);
+  std::printf(
+      "\nExpected shape: the selection loop is O(m) probes per pick either\n"
+      "way, but csr touches m/64 contiguous words instead of m scattered\n"
+      "flags — the dense rows should clear 1.5x comfortably.\n");
+}
+
+}  // namespace
+}  // namespace pebblejoin
+
+int main(int argc, char** argv) {
+  pebblejoin::BenchReport report("layout", argc, argv);
+  pebblejoin::RunEngineSweep(&report);
+  pebblejoin::RunKPebbleSweep(&report);
+  return report.Finish() ? 0 : 1;
+}

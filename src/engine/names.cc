@@ -24,11 +24,30 @@ bool ParsePredicateName(const std::string& name, PredicateClass* predicate) {
   return true;
 }
 
+bool ParseGraphLayoutName(const std::string& name, GraphLayout* layout) {
+  if (name == "csr") *layout = GraphLayout::kCsr;
+  else if (name == "legacy") *layout = GraphLayout::kLegacy;
+  else return false;
+  return true;
+}
+
 const char* SolverNameList() {
   return "auto sort-merge greedy dfs-tree local-search ils exact fallback";
 }
 
 const char* PredicateNameList() { return "equijoin spatial sets general"; }
+
+const char* GraphLayoutNameList() { return "csr legacy"; }
+
+const char* GraphLayoutName(GraphLayout layout) {
+  switch (layout) {
+    case GraphLayout::kCsr:
+      return "csr";
+    case GraphLayout::kLegacy:
+      return "legacy";
+  }
+  return "?";
+}
 
 const char* SolverChoiceName(SolverChoice choice) {
   switch (choice) {

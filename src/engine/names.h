@@ -23,12 +23,20 @@ bool ParseSolverName(const std::string& name, SolverChoice* choice);
 // spelling; *predicate is untouched on failure.
 bool ParsePredicateName(const std::string& name, PredicateClass* predicate);
 
+// "csr", "legacy". Returns false on any other spelling; *layout is
+// untouched on failure.
+bool ParseGraphLayoutName(const std::string& name, GraphLayout* layout);
+
 // The accepted spellings, space-separated, for error messages.
 const char* SolverNameList();
 const char* PredicateNameList();
+const char* GraphLayoutNameList();
 
 // The inverse of ParseSolverName: the wire spelling of `choice`.
 const char* SolverChoiceName(SolverChoice choice);
+
+// The inverse of ParseGraphLayoutName: the wire spelling of `layout`.
+const char* GraphLayoutName(GraphLayout layout);
 
 }  // namespace pebblejoin
 

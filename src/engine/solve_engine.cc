@@ -103,6 +103,7 @@ SolveResult SolveEngine::Solve(const SolveRequest& request) {
   JP_CHECK_MSG(request.graph != nullptr, "SolveRequest needs a graph");
   const AnalyzerOptions& defaults = options_.defaults;
   const SolverChoice solver = request.solver.value_or(defaults.solver);
+  const GraphLayout layout = request.layout.value_or(defaults.layout);
   const SolveBudget budget = request.budget.value_or(defaults.budget);
   TraceSession* trace =
       request.trace != nullptr ? request.trace : defaults.trace;
@@ -159,7 +160,12 @@ SolveResult SolveEngine::Solve(const SolveRequest& request) {
 
   // --- build: flatten the bipartite join graph ---------------------------
   Stopwatch stage;
-  const Graph flat = request.graph->ToGraph();
+  Graph flat = request.graph->ToGraph();
+  // Freezing the CSR view here is what flips every downstream stage onto
+  // the flat-array hot loops: the view travels into component subgraphs
+  // and line graphs (Graph copy semantics), so no other stage needs a
+  // layout parameter.
+  if (layout == GraphLayout::kCsr) flat.BuildCsr();
   stats.stage_build_us = stage.ElapsedMicros();
   stage_perf.Flush(&stats.stage_build_cycles, &stats.stage_build_insns,
                    &stats.stage_build_cache_misses);

@@ -73,11 +73,28 @@ enum class SolverChoice {
   kFallback,      // degradation ladder exact→ils→local-search→dfs-tree→greedy
 };
 
+// Which in-memory layout the pipeline solves on. The build stage always
+// flattens the bipartite join graph into a Graph; under kCsr it then
+// freezes that graph into the compressed-sparse-row view
+// (graph/csr_graph.h), which travels into every component subgraph and
+// line graph and switches the hot loops onto flat arrays and bitsets.
+// Output is byte-identical across layouts (the differential harness in
+// tests/layout_equivalence_test.cc pins this); the layouts differ only in
+// cache behavior and wall clock. kLegacy exists as the differential
+// baseline and an escape hatch.
+enum class GraphLayout {
+  kCsr,
+  kLegacy,
+};
+
 // Per-request defaults of one engine (and, through the JoinAnalyzer
 // facade, of one analyzer). Every field can be overridden per request via
 // SolveRequest.
 struct AnalyzerOptions {
   SolverChoice solver = SolverChoice::kAuto;
+  // Graph layout the pipeline runs on; kCsr is the default everywhere and
+  // kLegacy the differential baseline (see GraphLayout).
+  GraphLayout layout = GraphLayout::kCsr;
   ExactPebbler::Options exact;
   // Worker threads for the per-component fan-out (Lemma 2.2 additivity
   // makes components independent). 1 = sequential on the calling thread.
@@ -140,6 +157,7 @@ struct SolveRequest {
   PredicateClass predicate = PredicateClass::kGeneral;
 
   std::optional<SolverChoice> solver;
+  std::optional<GraphLayout> layout;
   std::optional<SolveBudget> budget;
   std::optional<int> threads;
   std::optional<bool> perf;

@@ -1,8 +1,35 @@
 #include "graph/graph.h"
 
+#include <utility>
+
+#include "graph/csr_graph.h"
 #include "util/check.h"
 
 namespace pebblejoin {
+
+Graph::Graph() = default;
+Graph::~Graph() = default;
+
+Graph::Graph(const Graph& other)
+    : edges_(other.edges_), incident_(other.incident_) {
+  if (other.csr_ != nullptr) BuildCsr();
+}
+
+Graph& Graph::operator=(const Graph& other) {
+  if (this == &other) return *this;
+  edges_ = other.edges_;
+  incident_ = other.incident_;
+  csr_.reset();
+  if (other.csr_ != nullptr) BuildCsr();
+  return *this;
+}
+
+Graph::Graph(Graph&& other) noexcept = default;
+Graph& Graph::operator=(Graph&& other) noexcept = default;
+
+void Graph::BuildCsr() {
+  if (csr_ == nullptr) csr_ = std::make_unique<CsrGraph>(*this);
+}
 
 int Graph::Edge::Other(int w) const {
   JP_CHECK(w == u || w == v);
@@ -20,6 +47,7 @@ Graph::Graph(int num_vertices) {
 
 int Graph::AddVertices(int count) {
   JP_CHECK(count >= 0);
+  csr_.reset();  // mutation invalidates the frozen view
   const int first = num_vertices();
   incident_.resize(incident_.size() + count);
   return first;
@@ -30,6 +58,19 @@ int Graph::AddEdge(int u, int v) {
   JP_CHECK(0 <= v && v < num_vertices());
   JP_CHECK_MSG(u != v, "self-loops are not allowed");
   JP_CHECK_MSG(!HasEdge(u, v), "parallel edges are not allowed");
+  csr_.reset();  // mutation invalidates the frozen view
+  const int id = num_edges();
+  edges_.push_back(Edge{u, v});
+  incident_[u].push_back(id);
+  incident_[v].push_back(id);
+  return id;
+}
+
+int Graph::AddEdgeUnchecked(int u, int v) {
+  JP_CHECK(0 <= u && u < num_vertices());
+  JP_CHECK(0 <= v && v < num_vertices());
+  JP_CHECK_MSG(u != v, "self-loops are not allowed");
+  csr_.reset();
   const int id = num_edges();
   edges_.push_back(Edge{u, v});
   incident_[u].push_back(id);

@@ -8,10 +8,13 @@
 #ifndef PEBBLEJOIN_GRAPH_GRAPH_H_
 #define PEBBLEJOIN_GRAPH_GRAPH_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace pebblejoin {
+
+class CsrGraph;
 
 // An undirected simple graph. Vertices are 0..num_vertices()-1; edges are
 // 0..num_edges()-1 in insertion order. Parallel edges and self-loops are
@@ -28,8 +31,18 @@ class Graph {
     bool Touches(const Edge& other) const;
   };
 
-  Graph() = default;
+  Graph();
   explicit Graph(int num_vertices);
+  ~Graph();
+
+  // Copying preserves "CSR-ness": a copy of a graph whose CSR view was
+  // built gets its own freshly built view, so the cache-conscious layout
+  // travels with the graph through ExtractComponent / BuildLineGraph
+  // without any options plumbing. Moves transfer the view as-is.
+  Graph(const Graph& other);
+  Graph& operator=(const Graph& other);
+  Graph(Graph&& other) noexcept;
+  Graph& operator=(Graph&& other) noexcept;
 
   // Appends `count` fresh isolated vertices; returns the id of the first.
   int AddVertices(int count);
@@ -37,6 +50,12 @@ class Graph {
   // Adds the undirected edge {u, v} and returns its id. Aborts on self-loops
   // and duplicate edges (callers own deduplication; see HasEdge()).
   int AddEdge(int u, int v);
+
+  // AddEdge without the O(deg) duplicate probe, for builders that prove
+  // uniqueness structurally (the line-graph pair enumeration, CSR-driven
+  // component extraction). Endpoints are still bounds-checked; inserting a
+  // duplicate through this entry violates the simple-graph invariant.
+  int AddEdgeUnchecked(int u, int v);
 
   int num_vertices() const { return static_cast<int>(incident_.size()); }
   int num_edges() const { return static_cast<int>(edges_.size()); }
@@ -59,9 +78,23 @@ class Graph {
   // Human-readable dump, e.g. "Graph(5 vertices): 0-1 1-2 ...".
   std::string DebugString() const;
 
+  // Freezes the current adjacency into a compressed-sparse-row view
+  // (graph/csr_graph.h) that csr() then exposes. Hot paths branch on the
+  // view's presence: a graph with a CSR view takes the flat-array loops,
+  // one without takes the legacy vector-of-vectors loops — with
+  // byte-identical results (tests/layout_equivalence_test.cc). Idempotent;
+  // a later AddEdge/AddVertices invalidates the view (csr() reverts to
+  // nullptr until the next BuildCsr).
+  void BuildCsr();
+
+  // The frozen CSR view, or nullptr when none was built (or the graph was
+  // mutated since). Stable address until the next mutation.
+  const CsrGraph* csr() const { return csr_.get(); }
+
  private:
   std::vector<Edge> edges_;
   std::vector<std::vector<int>> incident_;  // vertex -> incident edge ids
+  std::unique_ptr<CsrGraph> csr_;           // frozen view; see BuildCsr()
 };
 
 }  // namespace pebblejoin

@@ -3,7 +3,9 @@
 #include <vector>
 
 #include "graph/components.h"
+#include "graph/csr_graph.h"
 #include "pebble/cost_model.h"
+#include "util/bitset.h"
 
 namespace pebblejoin {
 
@@ -20,7 +22,8 @@ VerificationResult VerifyScheme(const Graph& g, const PebblingScheme& scheme) {
     return result;
   }
 
-  std::vector<bool> deleted(g.num_edges(), false);
+  const CsrGraph* csr = g.csr();
+  Bitset deleted(g.num_edges());
   for (const PebbleConfig& c : scheme.configs) {
     if (c.a < 0 || c.a >= g.num_vertices() || c.b < 0 ||
         c.b >= g.num_vertices()) {
@@ -31,9 +34,12 @@ VerificationResult VerifyScheme(const Graph& g, const PebblingScheme& scheme) {
       result.error = "both pebbles on the same vertex";
       return result;
     }
-    const int e = g.FindEdge(c.a, c.b);
-    if (e != -1 && !deleted[e]) {
-      deleted[e] = true;
+    const int64_t e =
+        csr != nullptr ? csr->FindEdge(static_cast<uint32_t>(c.a),
+                                       static_cast<uint32_t>(c.b))
+                       : g.FindEdge(c.a, c.b);
+    if (e != -1 && !deleted.Test(static_cast<size_t>(e))) {
+      deleted.Set(static_cast<size_t>(e));
       ++result.edges_deleted;
     }
   }
@@ -58,17 +64,17 @@ VerificationResult VerifyEdgeOrder(const Graph& g,
     result.error = "edge order has wrong length";
     return result;
   }
-  std::vector<bool> seen(g.num_edges(), false);
+  Bitset seen(g.num_edges());
   for (int e : edge_order) {
     if (e < 0 || e >= g.num_edges()) {
       result.error = "edge order references an unknown edge id";
       return result;
     }
-    if (seen[e]) {
+    if (seen.Test(e)) {
       result.error = "edge order repeats an edge id";
       return result;
     }
-    seen[e] = true;
+    seen.Set(e);
   }
   return VerifyScheme(g, SchemeFromEdgeOrder(g, edge_order));
 }

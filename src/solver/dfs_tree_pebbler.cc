@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <vector>
 
+#include "graph/csr_graph.h"
 #include "graph/line_graph.h"
+#include "util/bitset.h"
 #include "util/check.h"
 
 namespace pebblejoin {
@@ -16,10 +18,12 @@ class PeelableTree {
  public:
   explicit PeelableTree(const Graph& line_graph)
       : line_(line_graph),
+        csr_(line_graph.csr()),
         parent_(line_graph.num_vertices(), -1),
         children_(line_graph.num_vertices()),
-        alive_(line_graph.num_vertices(), true),
+        alive_(line_graph.num_vertices()),
         num_alive_(line_graph.num_vertices()) {
+    alive_.SetAll();
     BuildDfsTree();
   }
 
@@ -31,7 +35,7 @@ class PeelableTree {
     while (changed) {
       changed = false;
       for (int p = 0; p < line_.num_vertices(); ++p) {
-        if (!alive_[p]) continue;
+        if (!alive_.Test(p)) continue;
         if (children_[p].size() != 2) continue;
         const int l1 = children_[p][0];
         const int l2 = children_[p][1];
@@ -40,14 +44,14 @@ class PeelableTree {
         // needs no elimination (the final segment handles it).
         const int gp = parent_[p];
         if (gp == -1) continue;
-        if (line_.HasEdge(gp, l1)) {
+        if (HasLineEdge(gp, l1)) {
           Reparent(p, l1, gp);
-        } else if (line_.HasEdge(gp, l2)) {
+        } else if (HasLineEdge(gp, l2)) {
           Reparent(p, l2, gp);
         } else {
           // p's neighbors gp, l1, l2 must not be pairwise non-adjacent
           // (L(G) is claw-free), so l1-l2 is an edge: chain p—l1—l2.
-          JP_CHECK_MSG(line_.HasEdge(l1, l2),
+          JP_CHECK_MSG(HasLineEdge(l1, l2),
                        "induced claw in a line graph (impossible)");
           Detach(l2, p);
           Attach(l2, l1);
@@ -100,7 +104,7 @@ class PeelableTree {
     // Delete the subtree.
     if (parent_[r] != -1) Detach(r, parent_[r]);
     for (int v : path) {
-      alive_[v] = false;
+      alive_.Reset(v);
       --num_alive_;
       children_[v].clear();
       parent_[v] = -1;
@@ -113,7 +117,7 @@ class PeelableTree {
     JP_CHECK(num_alive_ <= 3);
     std::vector<int> nodes;
     for (int v = 0; v < line_.num_vertices(); ++v) {
-      if (alive_[v]) nodes.push_back(v);
+      if (alive_.Test(v)) nodes.push_back(v);
     }
     if (nodes.size() <= 1) return nodes;
     // A tree with 2 or 3 nodes is a path; order it endpoint-first. The
@@ -131,7 +135,7 @@ class PeelableTree {
       std::swap(nodes[1], nodes[2]);
     }
     for (size_t i = 0; i + 1 < nodes.size(); ++i) {
-      JP_CHECK_MSG(line_.HasEdge(nodes[i], nodes[i + 1]),
+      JP_CHECK_MSG(HasLineEdge(nodes[i], nodes[i + 1]),
                    "remainder tree is not a path in L(G)");
     }
     return nodes;
@@ -139,36 +143,62 @@ class PeelableTree {
 
  private:
   void BuildDfsTree() {
-    std::vector<bool> visited(line_.num_vertices(), false);
-    std::vector<int> stack;
+    Bitset visited(line_.num_vertices());
     // The graph is connected (the caller pebbles per component), so one DFS
     // from node 0 covers everything.
-    stack.push_back(0);
-    visited[0] = true;
-    // Iterative DFS that assigns parents on first discovery.
+    visited.Set(0);
+    // Iterative DFS that assigns parents on first discovery. Both branches
+    // expand neighbors in incidence order, so the tree (and the pebbling
+    // derived from it) is identical across layouts; the CSR branch walks
+    // the contiguous neighbor row instead of chasing edge structs.
     std::vector<std::pair<int, size_t>> frames;
     frames.emplace_back(0, 0);
-    while (!frames.empty()) {
-      auto& [v, idx] = frames.back();
-      const std::vector<int>& inc = line_.IncidentEdges(v);
-      if (idx >= inc.size()) {
-        frames.pop_back();
-        continue;
+    if (csr_ != nullptr) {
+      while (!frames.empty()) {
+        auto& [v, idx] = frames.back();
+        const CsrSpan nbrs = csr_->Neighbors(static_cast<uint32_t>(v));
+        if (idx >= nbrs.size) {
+          frames.pop_back();
+          continue;
+        }
+        const int w = static_cast<int>(nbrs[idx]);
+        ++idx;
+        if (!visited.Test(w)) {
+          visited.Set(w);
+          parent_[w] = v;
+          children_[v].push_back(w);
+          frames.emplace_back(w, 0);
+        }
       }
-      const int w = line_.edge(inc[idx]).Other(v);
-      ++idx;
-      if (!visited[w]) {
-        visited[w] = true;
-        parent_[w] = v;
-        children_[v].push_back(w);
-        frames.emplace_back(w, 0);
+    } else {
+      while (!frames.empty()) {
+        auto& [v, idx] = frames.back();
+        const std::vector<int>& inc = line_.IncidentEdges(v);
+        if (idx >= inc.size()) {
+          frames.pop_back();
+          continue;
+        }
+        const int w = line_.edge(inc[idx]).Other(v);
+        ++idx;
+        if (!visited.Test(w)) {
+          visited.Set(w);
+          parent_[w] = v;
+          children_[v].push_back(w);
+          frames.emplace_back(w, 0);
+        }
       }
     }
     for (int v = 0; v < line_.num_vertices(); ++v) {
-      JP_CHECK_MSG(visited[v], "line graph is not connected");
+      JP_CHECK_MSG(visited.Test(v), "line graph is not connected");
       JP_CHECK_MSG(children_[v].size() <= 2,
                    "DFS node with >2 children in a claw-free graph");
     }
+  }
+
+  bool HasLineEdge(int a, int b) const {
+    return csr_ != nullptr ? csr_->HasEdge(static_cast<uint32_t>(a),
+                                           static_cast<uint32_t>(b))
+                           : line_.HasEdge(a, b);
   }
 
   // Makes `child` the new child of `new_parent`, detaching from old parent.
@@ -203,7 +233,7 @@ class PeelableTree {
     std::vector<int> order;
     order.reserve(num_alive_);
     for (int v = 0; v < line_.num_vertices(); ++v) {
-      if (alive_[v] && parent_[v] == -1) {
+      if (alive_.Test(v) && parent_[v] == -1) {
         // BFS from the root.
         size_t head = order.size();
         order.push_back(v);
@@ -233,9 +263,10 @@ class PeelableTree {
   }
 
   const Graph& line_;
+  const CsrGraph* csr_;  // line_'s frozen view, or nullptr (legacy layout)
   std::vector<int> parent_;
   std::vector<std::vector<int>> children_;
-  std::vector<bool> alive_;
+  Bitset alive_;
   int num_alive_;
 };
 

@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "graph/csr_graph.h"
+#include "util/bitset.h"
 #include "util/check.h"
 
 namespace pebblejoin {
@@ -14,7 +16,7 @@ std::optional<std::vector<int>> GreedyWalkPebbler::PebbleConnected(
   if (budget != nullptr && budget->Expired()) return std::nullopt;
   const int m = g.num_edges();
 
-  std::vector<bool> deleted(m, false);
+  Bitset deleted(m);
   // undeleted_degree[v]: undeleted edges incident to v.
   std::vector<int> undeleted_degree(g.num_vertices());
   for (int v = 0; v < g.num_vertices(); ++v) {
@@ -29,8 +31,49 @@ std::optional<std::vector<int>> GreedyWalkPebbler::PebbleConnected(
   std::vector<int> order;
   order.reserve(m);
 
+  if (const CsrGraph* csr = g.csr()) {
+    // Flat-array walk: the cursor scans run over contiguous CSR rows with
+    // the far endpoint loaded from the parallel neighbor array — same
+    // candidate order and tie-breaking as the legacy loop below.
+    auto delete_edge = [&](int e) {
+      deleted.Set(e);
+      order.push_back(e);
+      --undeleted_degree[csr->EdgeU(e)];
+      --undeleted_degree[csr->EdgeV(e)];
+    };
+
+    int scan_edge = 0;  // cursor for jumps
+    delete_edge(0);
+
+    while (static_cast<int>(order.size()) < m) {
+      if (budget != nullptr && budget->Expired()) return std::nullopt;
+      const int last = order.back();
+      int best = -1;
+      int best_score = 0;
+      for (uint32_t endpoint : {csr->EdgeU(last), csr->EdgeV(last)}) {
+        const CsrSpan inc = csr->IncidentEdges(endpoint);
+        const CsrSpan nbr = csr->Neighbors(endpoint);
+        size_t& cur = cursor[endpoint];
+        while (cur < inc.size && deleted.Test(inc[cur])) ++cur;
+        if (cur >= inc.size) continue;
+        const int e = static_cast<int>(inc[cur]);
+        const int score = undeleted_degree[nbr[cur]];
+        if (best == -1 || score < best_score) {
+          best = e;
+          best_score = score;
+        }
+      }
+      if (best == -1) {
+        while (deleted.Test(scan_edge)) ++scan_edge;
+        best = scan_edge;
+      }
+      delete_edge(best);
+    }
+    return order;
+  }
+
   auto delete_edge = [&](int e) {
-    deleted[e] = true;
+    deleted.Set(e);
     order.push_back(e);
     --undeleted_degree[g.edge(e).u];
     --undeleted_degree[g.edge(e).v];
@@ -51,7 +94,7 @@ std::optional<std::vector<int>> GreedyWalkPebbler::PebbleConnected(
     int best_score = 0;
     for (int endpoint : {last.u, last.v}) {
       while (cursor[endpoint] < g.IncidentEdges(endpoint).size() &&
-             deleted[g.IncidentEdges(endpoint)[cursor[endpoint]]]) {
+             deleted.Test(g.IncidentEdges(endpoint)[cursor[endpoint]])) {
         ++cursor[endpoint];
       }
       if (cursor[endpoint] >= g.IncidentEdges(endpoint).size()) continue;
@@ -64,7 +107,7 @@ std::optional<std::vector<int>> GreedyWalkPebbler::PebbleConnected(
       }
     }
     if (best == -1) {
-      while (deleted[scan_edge]) ++scan_edge;
+      while (deleted.Test(scan_edge)) ++scan_edge;
       best = scan_edge;
     }
     delete_edge(best);

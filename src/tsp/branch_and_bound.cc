@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "graph/csr_graph.h"
 #include "obs/prof.h"
 #include "obs/solve_stats.h"
 #include "tsp/local_search.h"
@@ -208,10 +209,18 @@ BranchAndBoundResult BranchAndBoundSolve(const Tsp12Instance& instance,
   ctx.instance = &instance;
   ctx.n = n;
   ctx.adj.assign(n, 0);
-  for (int e = 0; e < instance.good().num_edges(); ++e) {
-    const Graph::Edge& edge = instance.good().edge(e);
-    ctx.adj[edge.u] |= uint64_t{1} << edge.v;
-    ctx.adj[edge.v] |= uint64_t{1} << edge.u;
+  if (const CsrGraph* csr = instance.good().csr()) {
+    const uint32_t m = csr->num_edges();
+    for (uint32_t e = 0; e < m; ++e) {
+      ctx.adj[csr->EdgeU(e)] |= uint64_t{1} << csr->EdgeV(e);
+      ctx.adj[csr->EdgeV(e)] |= uint64_t{1} << csr->EdgeU(e);
+    }
+  } else {
+    for (int e = 0; e < instance.good().num_edges(); ++e) {
+      const Graph::Edge& edge = instance.good().edge(e);
+      ctx.adj[edge.u] |= uint64_t{1} << edge.v;
+      ctx.adj[edge.v] |= uint64_t{1} << edge.u;
+    }
   }
   ctx.node_budget = options.node_budget;
   ctx.budget = budget;

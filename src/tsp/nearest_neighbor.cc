@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "graph/csr_graph.h"
+#include "util/bitset.h"
 #include "util/check.h"
 #include "util/random.h"
 
@@ -11,18 +13,27 @@ Tour NearestNeighborTour(const Tsp12Instance& instance, int start) {
   const int n = instance.num_nodes();
   JP_CHECK(0 <= start && start < n);
   const Graph& good = instance.good();
+  const CsrGraph* csr = good.csr();
 
-  std::vector<bool> visited(n, false);
+  Bitset visited(n);
   // remaining_degree[v]: number of unvisited good neighbors of v.
   std::vector<int> remaining_degree(n);
   for (int v = 0; v < n; ++v) remaining_degree[v] = good.Degree(v);
 
   Tour tour;
   tour.reserve(n);
+  // Both layouts visit neighbors in incidence order; the CSR branch reads
+  // the contiguous neighbor row instead of materializing a vector per call.
   auto visit = [&](int v) {
-    visited[v] = true;
+    visited.Set(v);
     tour.push_back(v);
-    for (int w : good.Neighbors(v)) --remaining_degree[w];
+    if (csr != nullptr) {
+      for (uint32_t w : csr->Neighbors(static_cast<uint32_t>(v))) {
+        --remaining_degree[w];
+      }
+    } else {
+      for (int w : good.Neighbors(v)) --remaining_degree[w];
+    }
   };
   visit(start);
 
@@ -30,14 +41,23 @@ Tour NearestNeighborTour(const Tsp12Instance& instance, int start) {
   while (static_cast<int>(tour.size()) < n) {
     const int cur = tour.back();
     int best = -1;
-    for (int w : good.Neighbors(cur)) {
-      if (visited[w]) continue;
-      if (best == -1 || remaining_degree[w] < remaining_degree[best]) {
-        best = w;
+    if (csr != nullptr) {
+      for (uint32_t w : csr->Neighbors(static_cast<uint32_t>(cur))) {
+        if (visited.Test(w)) continue;
+        if (best == -1 || remaining_degree[w] < remaining_degree[best]) {
+          best = static_cast<int>(w);
+        }
+      }
+    } else {
+      for (int w : good.Neighbors(cur)) {
+        if (visited.Test(w)) continue;
+        if (best == -1 || remaining_degree[w] < remaining_degree[best]) {
+          best = w;
+        }
       }
     }
     if (best == -1) {
-      while (visited[scan_from]) ++scan_from;
+      while (visited.Test(scan_from)) ++scan_from;
       best = scan_from;
     }
     visit(best);

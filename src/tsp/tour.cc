@@ -1,15 +1,16 @@
 #include "tsp/tour.h"
 
+#include "util/bitset.h"
 #include "util/check.h"
 
 namespace pebblejoin {
 
 bool IsValidTour(const Tsp12Instance& instance, const Tour& tour) {
   if (static_cast<int>(tour.size()) != instance.num_nodes()) return false;
-  std::vector<bool> seen(instance.num_nodes(), false);
+  Bitset seen(instance.num_nodes());
   for (int v : tour) {
-    if (v < 0 || v >= instance.num_nodes() || seen[v]) return false;
-    seen[v] = true;
+    if (v < 0 || v >= instance.num_nodes() || seen.Test(v)) return false;
+    seen.Set(v);
   }
   return true;
 }

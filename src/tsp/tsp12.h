@@ -16,12 +16,19 @@
 #include <cstdint>
 
 #include "graph/graph.h"
+#include "util/bitset.h"
 
 namespace pebblejoin {
 
 // A TSP-(1,2) instance. Immutable after construction.
 class Tsp12Instance {
  public:
+  // Instances whose good graph carries a CSR view and has at most this many
+  // nodes get a dense adjacency matrix (one bit per ordered pair, ≤ 2 MiB),
+  // making IsGood() — the innermost predicate of local search and 2-opt —
+  // a single word load instead of an O(deg) incidence scan.
+  static constexpr int kAdjMatrixMaxNodes = 4096;
+
   // `good` defines the weight-1 edges; all other pairs weigh 2.
   explicit Tsp12Instance(Graph good);
 
@@ -29,13 +36,22 @@ class Tsp12Instance {
   const Graph& good() const { return good_; }
 
   // True if {u, v} is a weight-1 edge.
-  bool IsGood(int u, int v) const { return good_.HasEdge(u, v); }
+  bool IsGood(int u, int v) const {
+    if (matrix_stride_ > 0) {
+      return adj_matrix_.Test(static_cast<size_t>(u) * matrix_stride_ + v);
+    }
+    return good_.HasEdge(u, v);
+  }
 
   // Maximum good-degree; the instance belongs to TSP-k(1,2) for any k >= this.
   int MaxGoodDegree() const;
 
  private:
   Graph good_;
+  // Dense n×n good-edge matrix (row-major, stride matrix_stride_), built
+  // only when good_ is CSR-frozen and small enough; stride 0 means absent.
+  Bitset adj_matrix_;
+  int matrix_stride_ = 0;
 };
 
 }  // namespace pebblejoin

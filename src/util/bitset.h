@@ -1,0 +1,132 @@
+// Flat uint64_t bitsets with popcount/ctz word scans.
+//
+// The solver hot loops track "deleted edge", "buffered vertex", and
+// "visited node" sets. std::vector<bool> pays a shift-and-mask per probe
+// and cannot be scanned a word at a time; std::set pays a pointer chase
+// per element. A flat word array supports O(1) probes, O(n/64) scans via
+// __builtin_ctzll, and O(n/64) population counts via __builtin_popcountll,
+// and its storage is one contiguous allocation that stays in cache. This
+// header is the one place those idioms live; src/tsp, src/solver, and
+// src/kpebble all iterate through it.
+
+#ifndef PEBBLEJOIN_UTIL_BITSET_H_
+#define PEBBLEJOIN_UTIL_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace pebblejoin {
+
+// A fixed-capacity dynamic bitset. Bits are indexed 0..size()-1; the
+// unused tail of the last word is kept zero so word-level scans and counts
+// need no masking.
+class Bitset {
+ public:
+  Bitset() = default;
+  explicit Bitset(size_t size, bool value = false) { Assign(size, value); }
+
+  // Re-sizes to `size` bits, all set to `value` (the vector<bool>::assign
+  // replacement).
+  void Assign(size_t size, bool value) {
+    size_ = size;
+    words_.assign(NumWords(size), value ? ~uint64_t{0} : 0);
+    if (value) ClearTail();
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool Test(size_t i) const {
+    JP_CHECK(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void Set(size_t i) {
+    JP_CHECK(i < size_);
+    words_[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+
+  void Reset(size_t i) {
+    JP_CHECK(i < size_);
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+
+  void SetTo(size_t i, bool value) { value ? Set(i) : Reset(i); }
+
+  // Number of set bits, one popcount per word.
+  size_t Count() const {
+    size_t count = 0;
+    for (uint64_t w : words_) count += __builtin_popcountll(w);
+    return count;
+  }
+
+  bool AnySet() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  // Index of the first set bit, or -1 when none: word scan + ctz.
+  int64_t FindFirst() const { return FindNext(0); }
+
+  // Index of the first set bit at position >= `from`, or -1 when none.
+  int64_t FindNext(size_t from) const {
+    if (from >= size_) return -1;
+    size_t w = from >> 6;
+    uint64_t word = words_[w] & (~uint64_t{0} << (from & 63));
+    while (true) {
+      if (word != 0) {
+        return static_cast<int64_t>((w << 6) + __builtin_ctzll(word));
+      }
+      if (++w == words_.size()) return -1;
+      word = words_[w];
+    }
+  }
+
+  // Calls f(index) for every set bit in ascending order. The classic
+  // `word &= word - 1` inner loop: one ctz per set bit, one load per word.
+  template <typename F>
+  void ForEachSetBit(F&& f) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t word = words_[w];
+      while (word != 0) {
+        f((w << 6) + __builtin_ctzll(word));
+        word &= word - 1;
+      }
+    }
+  }
+
+  void SetAll() {
+    for (uint64_t& w : words_) w = ~uint64_t{0};
+    ClearTail();
+  }
+
+  void ResetAll() {
+    for (uint64_t& w : words_) w = 0;
+  }
+
+  // Raw word access for callers composing their own masks.
+  const uint64_t* words() const { return words_.data(); }
+  size_t num_words() const { return words_.size(); }
+
+ private:
+  static size_t NumWords(size_t size) { return (size + 63) >> 6; }
+
+  void ClearTail() {
+    const size_t tail = size_ & 63;
+    if (tail != 0 && !words_.empty()) {
+      words_.back() &= (uint64_t{1} << tail) - 1;
+    }
+  }
+
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace pebblejoin
+
+#endif  // PEBBLEJOIN_UTIL_BITSET_H_

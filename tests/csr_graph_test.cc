@@ -1,0 +1,250 @@
+// The CSR graph core: the frozen view must mirror the mutable Graph
+// exactly (same degrees, same insertion-ordered incidence rows, same
+// FindEdge answers), travel correctly through copies / mutation /
+// ExtractComponent / BuildLineGraph, and — the determinism contract every
+// layout-equivalence guarantee rests on — produce line and incidence
+// graphs whose neighbor order is identical to the legacy build path,
+// without any re-sorting.
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/components.h"
+#include "graph/csr_graph.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/graph_properties.h"
+#include "graph/incidence_graph.h"
+#include "graph/line_graph.h"
+
+namespace pebblejoin {
+namespace {
+
+// A connected random block with a legal edge count for its dimensions.
+BipartiteGraph RandomConnectedBlock(std::mt19937_64& rng) {
+  const int left = 2 + static_cast<int>(rng() % 3);
+  const int right = 2 + static_cast<int>(rng() % 3);
+  const int min_m = left + right - 1;
+  const int max_m = left * right;
+  const int m = min_m + static_cast<int>(rng() % (max_m - min_m + 1));
+  return RandomConnectedBipartite(left, right, m, rng());
+}
+
+Graph RandomInstance(uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const int left = 1 + static_cast<int>(rng() % 6);
+  const int right = 1 + static_cast<int>(rng() % 6);
+  const int max_m = left * right;
+  const int m = static_cast<int>(rng() % (max_m + 1));
+  return RandomBipartiteWithEdges(left, right, m, rng()).ToGraph();
+}
+
+// The core invariant: every CSR accessor agrees with the Graph it froze.
+TEST(CsrGraphTest, MirrorsGraphExactly) {
+  for (uint64_t seed = 0; seed < 200; ++seed) {
+    SCOPED_TRACE(std::string("seed=") + std::to_string(seed));
+    const Graph g = RandomInstance(seed);
+    const CsrGraph csr(g);
+
+    ASSERT_EQ(csr.num_vertices(), static_cast<uint32_t>(g.num_vertices()));
+    ASSERT_EQ(csr.num_edges(), static_cast<uint32_t>(g.num_edges()));
+    for (int e = 0; e < g.num_edges(); ++e) {
+      EXPECT_EQ(csr.EdgeU(e), static_cast<uint32_t>(g.edge(e).u));
+      EXPECT_EQ(csr.EdgeV(e), static_cast<uint32_t>(g.edge(e).v));
+      EXPECT_EQ(csr.EdgeOther(e, csr.EdgeU(e)), csr.EdgeV(e));
+      EXPECT_EQ(csr.EdgeOther(e, csr.EdgeV(e)), csr.EdgeU(e));
+    }
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      SCOPED_TRACE(std::string("v=") + std::to_string(v));
+      ASSERT_EQ(csr.Degree(v), static_cast<uint32_t>(g.Degree(v)));
+      // Incidence rows preserve Graph insertion order, element for element.
+      const std::vector<int>& incident = g.IncidentEdges(v);
+      const CsrSpan row = csr.IncidentEdges(v);
+      ASSERT_EQ(row.size, incident.size());
+      for (size_t i = 0; i < incident.size(); ++i) {
+        EXPECT_EQ(row[i], static_cast<uint32_t>(incident[i]));
+      }
+      const std::vector<int> neighbors = g.Neighbors(v);
+      const CsrSpan nbr = csr.Neighbors(v);
+      ASSERT_EQ(nbr.size, neighbors.size());
+      for (size_t i = 0; i < neighbors.size(); ++i) {
+        EXPECT_EQ(nbr[i], static_cast<uint32_t>(neighbors[i]));
+      }
+    }
+    // Edge probes agree on every pair, present or absent.
+    for (int u = 0; u < g.num_vertices(); ++u) {
+      for (int v = 0; v < g.num_vertices(); ++v) {
+        if (u == v) continue;
+        EXPECT_EQ(csr.FindEdge(u, v), static_cast<int64_t>(g.FindEdge(u, v)));
+        EXPECT_EQ(csr.HasEdge(u, v), g.HasEdge(u, v));
+      }
+    }
+    EXPECT_GT(csr.arena_bytes(), 0u);
+  }
+}
+
+TEST(CsrGraphTest, BuildCsrIsIdempotentAndMutationInvalidates) {
+  Graph g = CompleteBipartite(3, 4).ToGraph();
+  EXPECT_EQ(g.csr(), nullptr);
+  g.BuildCsr();
+  const CsrGraph* view = g.csr();
+  ASSERT_NE(view, nullptr);
+  g.BuildCsr();
+  EXPECT_EQ(g.csr(), view);  // idempotent: same frozen view
+
+  const int w = g.AddVertices(1);
+  EXPECT_EQ(g.csr(), nullptr);  // mutation invalidated the view
+  g.BuildCsr();
+  ASSERT_NE(g.csr(), nullptr);
+  g.AddEdge(0, w);
+  EXPECT_EQ(g.csr(), nullptr);
+  g.BuildCsr();
+  EXPECT_EQ(g.csr()->num_edges(), static_cast<uint32_t>(g.num_edges()));
+}
+
+TEST(CsrGraphTest, CopyAndAssignmentPreserveCsrness) {
+  Graph frozen = WorstCaseFamily(4).ToGraph();
+  frozen.BuildCsr();
+  Graph plain = WorstCaseFamily(4).ToGraph();
+
+  // Copying a frozen graph yields a fresh frozen view; copying a plain
+  // graph yields none — the layout travels with the graph.
+  const Graph frozen_copy(frozen);
+  ASSERT_NE(frozen_copy.csr(), nullptr);
+  EXPECT_NE(frozen_copy.csr(), frozen.csr());
+  EXPECT_EQ(frozen_copy.csr()->num_edges(),
+            static_cast<uint32_t>(frozen.num_edges()));
+  const Graph plain_copy(plain);
+  EXPECT_EQ(plain_copy.csr(), nullptr);
+
+  Graph target;
+  target = frozen;
+  ASSERT_NE(target.csr(), nullptr);
+  target = plain;
+  EXPECT_EQ(target.csr(), nullptr);
+
+  // Moves transfer the view as-is.
+  Graph moved(std::move(frozen));
+  ASSERT_NE(moved.csr(), nullptr);
+}
+
+TEST(CsrGraphTest, ExtractComponentPropagatesLayoutAndOrder) {
+  for (uint64_t seed = 0; seed < 100; ++seed) {
+    SCOPED_TRACE(std::string("seed=") + std::to_string(seed));
+    std::mt19937_64 rng(seed);
+    // A union of two blocks guarantees >= 2 components.
+    const BipartiteGraph b =
+        DisjointUnion(RandomConnectedBlock(rng), RandomConnectedBlock(rng));
+    const Graph legacy = b.ToGraph();
+    Graph frozen = b.ToGraph();
+    frozen.BuildCsr();
+
+    const ComponentDecomposition decomp_legacy = FindComponents(legacy);
+    const ComponentDecomposition decomp_frozen = FindComponents(frozen);
+    ASSERT_EQ(decomp_legacy.num_components, decomp_frozen.num_components);
+    ASSERT_EQ(decomp_legacy.component_of, decomp_frozen.component_of);
+    ASSERT_EQ(decomp_legacy.vertices_of, decomp_frozen.vertices_of);
+    ASSERT_EQ(decomp_legacy.edges_of, decomp_frozen.edges_of);
+
+    for (int c = 0; c < decomp_legacy.num_components; ++c) {
+      std::vector<int> vmap_l, emap_l, vmap_f, emap_f;
+      const Graph sub_l =
+          ExtractComponent(legacy, decomp_legacy, c, &vmap_l, &emap_l);
+      const Graph sub_f =
+          ExtractComponent(frozen, decomp_frozen, c, &vmap_f, &emap_f);
+      EXPECT_EQ(vmap_l, vmap_f);
+      EXPECT_EQ(emap_l, emap_f);
+      // The subgraph of a frozen parent is itself frozen; of a legacy
+      // parent, legacy. Structure is identical either way.
+      EXPECT_EQ(sub_l.csr(), nullptr);
+      ASSERT_NE(sub_f.csr(), nullptr);
+      EXPECT_EQ(sub_l.DebugString(), sub_f.DebugString());
+    }
+  }
+}
+
+// The regression this suite pins: line/incidence builds from CSR stream
+// the frozen rows directly, and the neighbor order they produce must be
+// identical to the legacy build path — no re-sorting on either side.
+TEST(CsrGraphTest, LineGraphIdenticalAcrossBuildPaths) {
+  for (uint64_t seed = 0; seed < 150; ++seed) {
+    SCOPED_TRACE(std::string("seed=") + std::to_string(seed));
+    const Graph legacy = RandomInstance(seed);
+    Graph frozen = RandomInstance(seed);
+    frozen.BuildCsr();
+
+    ASSERT_EQ(LineGraphEdgeCount(legacy), LineGraphEdgeCount(frozen));
+    const Graph line_legacy = BuildLineGraph(legacy);
+    const Graph line_frozen = BuildLineGraph(frozen);
+    // Same vertices, same edges, same insertion order — byte-identical
+    // structure dump.
+    ASSERT_EQ(line_legacy.DebugString(), line_frozen.DebugString());
+    // Per-vertex incidence order matches too (DebugString only covers
+    // edge order).
+    for (int v = 0; v < line_legacy.num_vertices(); ++v) {
+      ASSERT_EQ(line_legacy.IncidentEdges(v), line_frozen.IncidentEdges(v));
+    }
+    // A line graph built from a frozen source inherits the layout, so the
+    // solvers that consume it (dfs-tree, exact) stay on the fast path.
+    EXPECT_EQ(line_legacy.csr(), nullptr);
+    EXPECT_NE(line_frozen.csr(), nullptr);
+  }
+}
+
+TEST(CsrGraphTest, IncidenceGraphIdenticalAcrossBuildPaths) {
+  for (uint64_t seed = 0; seed < 150; ++seed) {
+    SCOPED_TRACE(std::string("seed=") + std::to_string(seed));
+    std::mt19937_64 rng(seed);
+    // BuildIncidenceGraph wants a general graph; keep every node covered.
+    const Graph legacy =
+        RandomConnectedBoundedDegree(2 + static_cast<int>(rng() % 6), 4,
+                                     static_cast<int>(rng() % 5), rng());
+    Graph frozen = legacy;
+    frozen.BuildCsr();
+
+    const BipartiteGraph b_legacy = BuildIncidenceGraph(legacy);
+    const BipartiteGraph b_frozen = BuildIncidenceGraph(frozen);
+    ASSERT_EQ(b_legacy.DebugString(), b_frozen.DebugString());
+  }
+}
+
+TEST(CsrGraphTest, GraphPropertiesIdenticalAcrossLayouts) {
+  for (uint64_t seed = 0; seed < 200; ++seed) {
+    SCOPED_TRACE(std::string("seed=") + std::to_string(seed));
+    const Graph legacy = RandomInstance(seed);
+    Graph frozen = legacy;
+    frozen.BuildCsr();
+
+    EXPECT_EQ(TwoColor(legacy), TwoColor(frozen));
+    EXPECT_EQ(ComponentsAreCompleteBipartite(legacy),
+              ComponentsAreCompleteBipartite(frozen));
+    EXPECT_EQ(MaxDegree(legacy), MaxDegree(frozen));
+    EXPECT_EQ(DegreeHistogram(legacy), DegreeHistogram(frozen));
+    EXPECT_EQ(NumNonIsolatedVertices(legacy), NumNonIsolatedVertices(frozen));
+  }
+  // Claw detection: stars have claws, cycles and completes do not; the
+  // witness (not just the verdict) must match across layouts.
+  for (int m : {3, 4, 7}) {
+    SCOPED_TRACE(std::string("star m=") + std::to_string(m));
+    const Graph legacy = StarGraph(m).ToGraph();
+    Graph frozen = legacy;
+    frozen.BuildCsr();
+    const auto claw_legacy = FindInducedClaw(legacy);
+    const auto claw_frozen = FindInducedClaw(frozen);
+    ASSERT_TRUE(claw_legacy.has_value());
+    ASSERT_TRUE(claw_frozen.has_value());
+    EXPECT_EQ(*claw_legacy, *claw_frozen);
+  }
+  for (int n : {4, 5, 6}) {
+    SCOPED_TRACE(std::string("K_n n=") + std::to_string(n));
+    Graph frozen = CompleteGraph(n);
+    frozen.BuildCsr();
+    EXPECT_FALSE(FindInducedClaw(frozen).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace pebblejoin

@@ -1,0 +1,151 @@
+// The differential harness pinning the PR's core contract: the CSR layout
+// (AnalyzerOptions::layout = kCsr, the default) and the legacy
+// vector-of-vectors layout (kLegacy) produce byte-identical SolveOutcome
+// JSON — same schemes, same costs, same classification, same per-component
+// outcomes — modulo the timing keys NormalizeTimings() zeroes. The corpus
+// runs every instance at threads 1 and 8 (output is thread-count-invariant
+// by the ComponentPebbler merge contract, so all four runs must agree),
+// across a ~900-seed mix of random, structured, and adversarial families.
+//
+// Every check runs under a SCOPED_TRACE carrying the seed/family, so a
+// divergence prints the exact instance to replay with
+// `pebblejoin solve --layout legacy` vs `--layout csr`.
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/analyzer.h"
+#include "core/report.h"
+#include "engine/names.h"
+#include "graph/generators.h"
+#include "json_test_util.h"
+
+namespace pebblejoin {
+namespace {
+
+// One full pipeline run; returns the timing-normalized analysis JSON.
+std::string RunJson(const BipartiteGraph& g, GraphLayout layout, int threads,
+                    SolverChoice solver) {
+  AnalyzerOptions options;
+  options.layout = layout;
+  options.threads = threads;
+  options.solver = solver;
+  const JoinAnalyzer analyzer(options);
+  return NormalizeTimings(
+      AnalysisJson(analyzer.AnalyzeJoinGraph(g, PredicateClass::kGeneral)));
+}
+
+// Asserts all four (layout x threads) runs produce one identical document.
+void ExpectLayoutEquivalence(const BipartiteGraph& g, SolverChoice solver) {
+  const std::string csr1 = RunJson(g, GraphLayout::kCsr, 1, solver);
+  const std::string legacy1 = RunJson(g, GraphLayout::kLegacy, 1, solver);
+  ASSERT_EQ(csr1, legacy1) << "layout divergence at threads=1";
+  const std::string csr8 = RunJson(g, GraphLayout::kCsr, 8, solver);
+  const std::string legacy8 = RunJson(g, GraphLayout::kLegacy, 8, solver);
+  ASSERT_EQ(csr8, legacy8) << "layout divergence at threads=8";
+  ASSERT_EQ(csr1, csr8) << "thread-count divergence under csr";
+}
+
+// A mixed random instance: connected, uniform (possibly disconnected, with
+// isolated vertices), or a disjoint union of connected blocks.
+BipartiteGraph RandomMixedInstance(uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  switch (rng() % 3) {
+    case 0: {
+      const int left = 2 + static_cast<int>(rng() % 4);
+      const int right = 2 + static_cast<int>(rng() % 4);
+      const int min_m = left + right - 1;
+      const int max_m = left * right;
+      const int m = min_m + static_cast<int>(rng() % (max_m - min_m + 1));
+      return RandomConnectedBipartite(left, right, m, rng());
+    }
+    case 1: {
+      const int left = 1 + static_cast<int>(rng() % 5);
+      const int right = 1 + static_cast<int>(rng() % 5);
+      const int m = static_cast<int>(rng() % (left * right + 1));
+      return RandomBipartiteWithEdges(left, right, m, rng());
+    }
+    default: {
+      const auto block = [&rng] {
+        const int left = 2 + static_cast<int>(rng() % 3);
+        const int right = 2 + static_cast<int>(rng() % 3);
+        const int min_m = left + right - 1;
+        const int max_m = left * right;
+        const int m = min_m + static_cast<int>(rng() % (max_m - min_m + 1));
+        return RandomConnectedBipartite(left, right, m, rng());
+      };
+      BipartiteGraph g = block();
+      const int blocks = 1 + static_cast<int>(rng() % 3);
+      for (int b = 0; b < blocks; ++b) {
+        g = DisjointUnion(g, block());
+      }
+      return g;
+    }
+  }
+}
+
+// The bulk of the corpus: 600 random instances under the default solver
+// pick (kAuto routes per classification), each at both layouts and both
+// thread counts.
+TEST(LayoutEquivalenceTest, RandomCorpusAutoSolver) {
+  for (uint64_t seed = 0; seed < 600; ++seed) {
+    SCOPED_TRACE(std::string("seed=") + std::to_string(seed));
+    ExpectLayoutEquivalence(RandomMixedInstance(seed), SolverChoice::kAuto);
+  }
+}
+
+// Every solver choice exercised explicitly — each routes through different
+// hot loops (greedy walk cursors, dfs-tree line graphs, ils/local-search
+// tours, exact Held-Karp/B&B, fallback ladder), and each must be
+// layout-invariant on its own.
+TEST(LayoutEquivalenceTest, EverySolverChoice) {
+  const SolverChoice solvers[] = {
+      SolverChoice::kAuto,       SolverChoice::kSortMerge,
+      SolverChoice::kGreedyWalk, SolverChoice::kDfsTree,
+      SolverChoice::kLocalSearch, SolverChoice::kIls,
+      SolverChoice::kExact,      SolverChoice::kFallback,
+  };
+  for (const SolverChoice solver : solvers) {
+    for (uint64_t seed = 100; seed < 130; ++seed) {
+      SCOPED_TRACE(std::string("solver=") + SolverChoiceName(solver) +
+                   " seed=" + std::to_string(seed));
+      ExpectLayoutEquivalence(RandomMixedInstance(seed), solver);
+    }
+  }
+}
+
+// Structured and adversarial families: the shapes with special-cased
+// classifications (complete bipartite, matchings, paths, cycles, stars)
+// plus the Theorem 3.3 worst-case family whose line graph is dense.
+TEST(LayoutEquivalenceTest, StructuredFamilies) {
+  for (int k = 1; k <= 4; ++k) {
+    for (int l = 1; l <= 4; ++l) {
+      SCOPED_TRACE("complete k=" + std::to_string(k) +
+                   " l=" + std::to_string(l));
+      ExpectLayoutEquivalence(CompleteBipartite(k, l), SolverChoice::kAuto);
+    }
+  }
+  for (int m : {1, 2, 5, 9}) {
+    SCOPED_TRACE("matching m=" + std::to_string(m));
+    ExpectLayoutEquivalence(MatchingGraph(m), SolverChoice::kAuto);
+    SCOPED_TRACE("path m=" + std::to_string(m));
+    ExpectLayoutEquivalence(PathGraph(m), SolverChoice::kAuto);
+    SCOPED_TRACE("star m=" + std::to_string(m));
+    ExpectLayoutEquivalence(StarGraph(m), SolverChoice::kAuto);
+  }
+  for (int k : {2, 3, 5}) {
+    SCOPED_TRACE("cycle k=" + std::to_string(k));
+    ExpectLayoutEquivalence(EvenCycle(k), SolverChoice::kAuto);
+  }
+  for (int n : {3, 4, 5, 6}) {
+    SCOPED_TRACE("worstcase n=" + std::to_string(n));
+    ExpectLayoutEquivalence(WorstCaseFamily(n), SolverChoice::kAuto);
+    ExpectLayoutEquivalence(WorstCaseFamily(n), SolverChoice::kFallback);
+  }
+}
+
+}  // namespace
+}  // namespace pebblejoin

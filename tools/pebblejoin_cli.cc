@@ -133,8 +133,8 @@ int Usage() {
       "  pebblejoin gen complete <k> <l>\n"
       "  pebblejoin gen random <left> <right> <m> <seed> [--connected]\n"
       "  pebblejoin analyze [--solver NAME] [--predicate NAME] "
-      "[budget flags] [telemetry flags] < graph\n"
-      "  pebblejoin solve [--solver NAME] [--explain] "
+      "[--layout NAME] [budget flags] [telemetry flags] < graph\n"
+      "  pebblejoin solve [--solver NAME] [--explain] [--layout NAME] "
       "[budget flags] [telemetry flags] < graph\n"
       "  pebblejoin realize sets < graph\n"
       "  pebblejoin bounds < graph\n"
@@ -163,8 +163,10 @@ int Usage() {
       "                 --profile-out FILE\n"
       "parallelism: --threads N (0 = one per hardware thread)\n"
       "solvers: %s\n"
-      "predicates: %s\n",
-      SolverNameList(), PredicateNameList());
+      "predicates: %s\n"
+      "layouts: %s (csr is the default; output is identical, only cache\n"
+      "         behavior differs)\n",
+      SolverNameList(), PredicateNameList(), GraphLayoutNameList());
   return kExitUsage;
 }
 
@@ -210,6 +212,7 @@ std::string ReadStdin() {
 struct SolveFlags {
   SolverChoice solver = SolverChoice::kAuto;
   bool solver_set = false;
+  GraphLayout layout = GraphLayout::kCsr;
   PredicateClass predicate = PredicateClass::kGeneral;
   SolveBudget budget;
   bool budget_set = false;
@@ -312,6 +315,12 @@ bool ParseSolveFlags(int argc, char** argv, int start, bool allow_explain,
       if (value == nullptr ||
           !ParsePredicateName(value, &flags->predicate)) {
         Fail(std::string("--predicate needs one of: ") + PredicateNameList());
+        return false;
+      }
+      ++i;
+    } else if (flag == "--layout") {
+      if (value == nullptr || !ParseGraphLayoutName(value, &flags->layout)) {
+        Fail(std::string("--layout needs one of: ") + GraphLayoutNameList());
         return false;
       }
       ++i;
@@ -527,6 +536,7 @@ bool RunAnalysis(const SolveFlags& flags, const BipartiteGraph& g,
   Journal journal(journal_options);
   AnalyzerOptions options;
   options.solver = flags.solver;
+  options.layout = flags.layout;
   options.budget = flags.budget;
   options.threads = flags.threads;
   options.perf = flags.perf;
