@@ -55,6 +55,17 @@ std::string FormatAnalysis(const JoinAnalysis& analysis, bool with_stats) {
     out += line;
     out += analysis.solution.outcomes[c].Summary(with_stats);
     out += '\n';
+    const LadderPlanInfo& plan = analysis.solution.outcomes[c].plan;
+    if (plan.active) {
+      std::snprintf(line, sizeof(line),
+                    "  plan         : start=%s predicted_rung=%d "
+                    "actual_rung=%d cap_ms=%lld saved_ms=%lld\n",
+                    plan.predicted_solver.c_str(), plan.predicted_rung,
+                    plan.actual_rung,
+                    static_cast<long long>(plan.exact_cap_ms),
+                    static_cast<long long>(plan.budget_saved_ms));
+      out += line;
+    }
   }
   if (with_stats && !analysis.solution.component_wall_us.empty()) {
     // Exact nearest-rank percentiles over the per-component wall clocks —
@@ -171,6 +182,22 @@ void WriteOutcomeJson(const SolveOutcome& outcome, JsonWriter* json) {
   json->Field("lower_bound", outcome.lower_bound);
   json->Field("degradation", RungStatusName(outcome.degradation));
   json->Field("degraded", outcome.degraded());
+  // Planner provenance, only when a calibrated plan drove this descent —
+  // the default blind ladder keeps its document byte-identical to the
+  // planner-less build.
+  if (outcome.plan.active) {
+    json->Key("plan");
+    json->BeginObject();
+    json->Field("predicted_solver", outcome.plan.predicted_solver);
+    json->Field("predicted_rung", outcome.plan.predicted_rung);
+    json->Field("actual_rung", outcome.plan.actual_rung);
+    json->Field("exact_cap_ms", outcome.plan.exact_cap_ms);
+    json->Field("predicted_exact_us", outcome.plan.predicted_exact_us);
+    json->Field("predicted_ils_us", outcome.plan.predicted_ils_us);
+    json->Field("predicted_ls_us", outcome.plan.predicted_ls_us);
+    json->Field("budget_saved_ms", outcome.plan.budget_saved_ms);
+    json->EndObject();
+  }
   json->EndObject();
 }
 

@@ -56,6 +56,7 @@ BatchRunner::Summary BatchRunner::Run(std::istream& in, std::ostream& out) {
   JsonlRequestRunner::Defaults defaults;
   defaults.predicate = options_.default_predicate;
   defaults.solver = options_.default_solver;
+  defaults.planner = options_.default_planner;
   defaults.budget = options_.default_budget;
   const JsonlRequestRunner runner(engine_, defaults);
   const DeadlineAdmission admission(options_.batch_deadline_ms,

@@ -77,6 +77,9 @@ class BatchRunner {
     // bit: with it set and no solver named anywhere, the ladder runs.
     PredicateClass default_predicate = PredicateClass::kGeneral;
     std::optional<SolverChoice> default_solver;
+    // Ladder dispatch default ("--planner" on batch); unset = the engine
+    // default. A line's "planner" key overrides it.
+    std::optional<PlannerChoice> default_planner;
     std::optional<SolveBudget> default_budget;
     // Aggregate wall-clock pool for the whole batch, milliseconds;
     // negative = unlimited.

@@ -75,6 +75,7 @@ std::string JsonlRequestRunner::Run(const std::string& line,
   std::optional<BipartiteGraph> graph;
   PredicateClass predicate = defaults_.predicate;
   std::optional<SolverChoice> solver = defaults_.solver;
+  std::optional<PlannerChoice> planner = defaults_.planner;
   SolveBudget budget = defaults_.budget.value_or(SolveBudget{});
   bool budget_set = defaults_.budget.has_value();
 
@@ -101,6 +102,15 @@ std::string JsonlRequestRunner::Run(const std::string& line,
                                     SolverNameList());
       }
       solver = choice;
+    } else if (key == "planner") {
+      PlannerChoice choice = PlannerChoice::kLadder;
+      if (!value.is_string() ||
+          !ParsePlannerName(value.string_value(), &choice)) {
+        return JsonlErrorRecord(line_number,
+                                std::string("\"planner\" needs one of: ") +
+                                    PlannerNameList());
+      }
+      planner = choice;
     } else if (key == "deadline_ms") {
       if (!ReadNonNegative(value, key, &budget.deadline_ms, &error)) {
         return JsonlErrorRecord(line_number, error);
@@ -151,6 +161,7 @@ std::string JsonlRequestRunner::Run(const std::string& line,
   request.graph = &*graph;
   request.predicate = predicate;
   request.solver = solver;
+  request.planner = planner;
   request.journal_line = line_number;
   if (budget_set || admission_clamped) request.budget = budget;
   const SolveResult result = engine_->Solve(request);

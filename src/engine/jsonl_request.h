@@ -4,8 +4,8 @@
 // A request line is one JSON object:
 //
 //   {"graph": "bipartite 2 2 4\n0 0\n...", "predicate": "equijoin",
-//    "solver": "fallback", "deadline_ms": 50, "node_budget": 100000,
-//    "memory_mb": 64}
+//    "solver": "fallback", "planner": "calibrated", "deadline_ms": 50,
+//    "node_budget": 100000, "memory_mb": 64}
 //
 // Only "graph" is required; every other key overrides the runner default
 // for that line, with the CLI's spellings (engine/names.h) and the CLI's
@@ -55,6 +55,10 @@ class JsonlRequestRunner {
   struct Defaults {
     PredicateClass predicate = PredicateClass::kGeneral;
     std::optional<SolverChoice> solver;
+    // Ladder dispatch policy ("planner" wire key); unset = the engine
+    // default (the blind ladder unless the engine was configured
+    // otherwise).
+    std::optional<PlannerChoice> planner;
     std::optional<SolveBudget> budget;
     // Ceiling applied to every admitted line's deadline (see
     // ClampDeadline); negative = no cap.

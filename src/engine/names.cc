@@ -31,6 +31,13 @@ bool ParseGraphLayoutName(const std::string& name, GraphLayout* layout) {
   return true;
 }
 
+bool ParsePlannerName(const std::string& name, PlannerChoice* planner) {
+  if (name == "ladder") *planner = PlannerChoice::kLadder;
+  else if (name == "calibrated") *planner = PlannerChoice::kCalibrated;
+  else return false;
+  return true;
+}
+
 const char* SolverNameList() {
   return "auto sort-merge greedy dfs-tree local-search ils exact fallback";
 }
@@ -38,6 +45,18 @@ const char* SolverNameList() {
 const char* PredicateNameList() { return "equijoin spatial sets general"; }
 
 const char* GraphLayoutNameList() { return "csr legacy"; }
+
+const char* PlannerNameList() { return "ladder calibrated"; }
+
+const char* PlannerChoiceName(PlannerChoice planner) {
+  switch (planner) {
+    case PlannerChoice::kLadder:
+      return "ladder";
+    case PlannerChoice::kCalibrated:
+      return "calibrated";
+  }
+  return "?";
+}
 
 const char* GraphLayoutName(GraphLayout layout) {
   switch (layout) {

@@ -21,6 +21,13 @@ FallbackPebbler::Options LadderOptions(const AnalyzerOptions& defaults) {
   return ladder;
 }
 
+FallbackPebbler::Options CalibratedLadderOptions(
+    const AnalyzerOptions& defaults, const LadderPlanner* planner) {
+  FallbackPebbler::Options ladder = LadderOptions(defaults);
+  ladder.planner = planner;
+  return ladder;
+}
+
 // Stage-boundary counter attribution, the hardware twin of the pipeline's
 // Stopwatch/Restart idiom: Flush() writes the delta since the previous
 // Flush (or construction) into one stage's three fields. A null group —
@@ -52,7 +59,10 @@ SolveEngine::SolveEngine(Options options)
     : options_(options),
       own_metrics_(/*enabled=*/true),
       exact_(options.defaults.exact),
-      fallback_(LadderOptions(options.defaults)) {
+      fallback_(LadderOptions(options.defaults)),
+      planner_(options.defaults.cost_model),
+      calibrated_fallback_(
+          CalibratedLadderOptions(options.defaults, &planner_)) {
   JP_CHECK_MSG(options_.defaults.threads >= 1, "threads must be >= 1");
 }
 
@@ -103,6 +113,7 @@ SolveResult SolveEngine::Solve(const SolveRequest& request) {
   JP_CHECK_MSG(request.graph != nullptr, "SolveRequest needs a graph");
   const AnalyzerOptions& defaults = options_.defaults;
   const SolverChoice solver = request.solver.value_or(defaults.solver);
+  const PlannerChoice planner = request.planner.value_or(defaults.planner);
   const GraphLayout layout = request.layout.value_or(defaults.layout);
   const SolveBudget budget = request.budget.value_or(defaults.budget);
   TraceSession* trace =
@@ -173,6 +184,12 @@ SolveResult SolveEngine::Solve(const SolveRequest& request) {
   // --- classify: shape taxonomy + combinatorial bounds -------------------
   stage.Restart();
   analysis.classification = ClassifyJoinGraph(flat);
+  // The structural feature vector is classify-stage output like the
+  // taxonomy above: extracted once per request, layout/thread invariant,
+  // and handed to the solve stage through the BudgetContext so the
+  // calibrated ladder can plan without re-scanning a single-component
+  // graph.
+  analysis.features = ExtractGraphFeatures(flat);
   stats.stage_classify_us = stage.ElapsedMicros();
   stage_perf.Flush(&stats.stage_classify_cycles, &stats.stage_classify_insns,
                    &stats.stage_classify_cache_misses);
@@ -189,13 +206,21 @@ SolveResult SolveEngine::Solve(const SolveRequest& request) {
   ComponentPebbler::Options driver_options;
   driver_options.threads = threads;
   if (threads > 1) driver_options.pool = EnsurePool(threads);
-  const ComponentPebbler driver(&PrimaryFor(solver, analysis.classification),
-                                &greedy_, driver_options);
+  // The calibrated planner only rewires the fallback ladder; every other
+  // solver choice ignores it, so those requests stay byte-identical to a
+  // planner-less engine.
+  const Pebbler* primary = &PrimaryFor(solver, analysis.classification);
+  if (planner == PlannerChoice::kCalibrated &&
+      solver == SolverChoice::kFallback) {
+    primary = &calibrated_fallback_;
+  }
+  const ComponentPebbler driver(primary, &greedy_, driver_options);
   BudgetContext budget_ctx(budget);
   budget_ctx.set_stats(&stats);
   budget_ctx.set_trace(trace);
   budget_ctx.set_log(log);
   budget_ctx.set_perf_enabled(perf_on);
+  budget_ctx.set_features(&analysis.features);
   Stopwatch solve_clock;
   analysis.solution = driver.SolveDecomposed(flat, decomp, &budget_ctx);
   stats.stage_solve_us = stage.ElapsedMicros();

@@ -42,6 +42,7 @@
 
 #include "core/classifier.h"
 #include "graph/bipartite_graph.h"
+#include "graph/features.h"
 #include "join/predicates.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -52,6 +53,7 @@
 #include "solver/fallback_pebbler.h"
 #include "solver/greedy_walk_pebbler.h"
 #include "solver/ils_pebbler.h"
+#include "solver/ladder_planner.h"
 #include "solver/local_search_pebbler.h"
 #include "solver/sort_merge_pebbler.h"
 #include "util/budget.h"
@@ -87,11 +89,30 @@ enum class GraphLayout {
   kLegacy,
 };
 
+// How the fallback ladder orders its rungs when SolverChoice::kFallback
+// runs. kLadder — the default — is the blind top-down sequence, preserved
+// byte-identically (the contract layout_equivalence_test and the
+// batch/serve diffs pin). kCalibrated plans each descent from the
+// instance's GraphFeatures with the engine's cost model
+// (solver/ladder_planner.h): the starting rung may move down and the exact
+// rung may be wall-clock-capped, trading the proof-of-optimality gamble
+// for budget. Solver choices other than kFallback ignore the planner.
+enum class PlannerChoice {
+  kLadder,
+  kCalibrated,
+};
+
 // Per-request defaults of one engine (and, through the JoinAnalyzer
 // facade, of one analyzer). Every field can be overridden per request via
 // SolveRequest.
 struct AnalyzerOptions {
   SolverChoice solver = SolverChoice::kAuto;
+  // Ladder dispatch policy (see PlannerChoice). Only consulted when the
+  // effective solver is kFallback.
+  PlannerChoice planner = PlannerChoice::kLadder;
+  // Coefficients behind kCalibrated: the compiled-in calibration run by
+  // default, or a file loaded via `--cost-model` (LoadCostModelFile).
+  CostModel cost_model = CostModel::BuiltIn();
   // Graph layout the pipeline runs on; kCsr is the default everywhere and
   // kLegacy the differential baseline (see GraphLayout).
   GraphLayout layout = GraphLayout::kCsr;
@@ -140,6 +161,10 @@ struct JoinAnalysis {
   int right_size = 0;
   int64_t output_size = 0;  // m, number of joining pairs
   JoinGraphClassification classification;
+  // Structural feature vector (graph/features.h), extracted once in the
+  // classify stage; the calibrated planner's input, and layout/thread
+  // invariant like everything else in the analysis.
+  GraphFeatures features;
   PebbleSolution solution;
   bool perfect = false;  // solution.effective_cost == m
   double cost_ratio = 1.0;  // effective_cost / m (1.0 when m == 0)
@@ -157,6 +182,7 @@ struct SolveRequest {
   PredicateClass predicate = PredicateClass::kGeneral;
 
   std::optional<SolverChoice> solver;
+  std::optional<PlannerChoice> planner;
   std::optional<GraphLayout> layout;
   std::optional<SolveBudget> budget;
   std::optional<int> threads;
@@ -229,6 +255,13 @@ class SolveEngine {
   IlsPebbler ils_;
   ExactPebbler exact_;
   FallbackPebbler fallback_;
+  // Calibrated dispatch: the planner wraps the engine's cost model, and
+  // calibrated_fallback_ is a second ladder configured to consult it.
+  // Selected instead of fallback_ when the effective planner is kCalibrated
+  // and the effective solver is kFallback; every other combination uses the
+  // blind fallback_ and stays byte-identical to the planner-less engine.
+  LadderPlanner planner_;
+  FallbackPebbler calibrated_fallback_;
 
   std::mutex pool_mu_;  // guards lazy pool creation only
   std::unique_ptr<ThreadPool> pool_;

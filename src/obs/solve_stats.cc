@@ -26,6 +26,11 @@ namespace {
   F(ils_kicks_accepted)                    \
   F(rungs_attempted)                       \
   F(rungs_declined)                        \
+  F(planner_plans)                         \
+  F(planner_predicted_rung)                \
+  F(planner_actual_rung)                   \
+  F(planner_rungs_skipped)                 \
+  F(planner_budget_saved_ms)               \
   F(budget_polls)                          \
   F(solve_wall_us)                         \
   F(stage_build_us)                        \

@@ -49,6 +49,16 @@ struct SolveStats {
   int64_t rungs_attempted = 0;
   int64_t rungs_declined = 0;  // attempts that produced no order
 
+  // Calibrated ladder planner (solver/ladder_planner.h). All zero on the
+  // default blind ladder. Rung indexes are the budgeted-rung numbering
+  // (0 exact, 1 ils, 2 local-search, 3 terminator), summed per plan so
+  // predicted-vs-actual drift is readable per request and per session.
+  int64_t planner_plans = 0;
+  int64_t planner_predicted_rung = 0;  // Σ planned starting rung
+  int64_t planner_actual_rung = 0;     // Σ rung that actually answered
+  int64_t planner_rungs_skipped = 0;   // Σ rungs planned away
+  int64_t planner_budget_saved_ms = 0;  // Σ model-estimated savings
+
   // Budget (util/budget.h; flushed by the analyzer after the solve).
   int64_t budget_polls = 0;
   int64_t budget_time_to_stop_ms = -1;  // -1: never stopped

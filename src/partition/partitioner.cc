@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "graph/components.h"
+#include "util/bitset.h"
 #include "util/check.h"
 
 namespace pebblejoin {
@@ -20,20 +21,17 @@ int64_t CountTouchedPairs(const BipartiteGraph& join_graph,
            join_graph.left_size());
   JP_CHECK(static_cast<int>(partition.right_fragment.size()) ==
            join_graph.right_size());
-  std::vector<bool> touched(
-      static_cast<size_t>(partition.p) * partition.q, false);
-  int64_t count = 0;
+  // The exhaustive partitioner calls this in its innermost loop, once per
+  // enumerated assignment — the word-packed bitset keeps that scan out of
+  // vector<bool>'s bit-proxy codegen and pays back a whole-word Count().
+  Bitset touched(static_cast<size_t>(partition.p) * partition.q);
   for (const BipartiteGraph::Edge& e : join_graph.edges()) {
     const int i = partition.left_fragment[e.left];
     const int j = partition.right_fragment[e.right];
     JP_CHECK(0 <= i && i < partition.p && 0 <= j && j < partition.q);
-    const size_t cell = static_cast<size_t>(i) * partition.q + j;
-    if (!touched[cell]) {
-      touched[cell] = true;
-      ++count;
-    }
+    touched.Set(static_cast<size_t>(i) * partition.q + j);
   }
-  return count;
+  return static_cast<int64_t>(touched.Count());
 }
 
 int64_t TouchedPairsLowerBound(const BipartiteGraph& join_graph, int p,

@@ -76,6 +76,9 @@ struct ServeOptions {
   // Request defaults, the serve analogue of the batch CLI flags.
   PredicateClass predicate = PredicateClass::kGeneral;
   std::optional<SolverChoice> solver;
+  // Ladder dispatch default for every request ("--planner" on serve);
+  // unset = the engine default. A line's "planner" key overrides it.
+  std::optional<PlannerChoice> planner;
   std::optional<SolveBudget> budget;
 
   // --- Determinism seams --------------------------------------------------

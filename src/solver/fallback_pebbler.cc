@@ -5,11 +5,13 @@
 #include <utility>
 #include <vector>
 
+#include "graph/features.h"
 #include "obs/log.h"
 #include "obs/solve_stats.h"
 #include "obs/trace.h"
 #include "solver/dfs_tree_pebbler.h"
 #include "solver/greedy_walk_pebbler.h"
+#include "solver/ladder_planner.h"
 #include "solver/local_search_pebbler.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
@@ -110,6 +112,97 @@ std::optional<std::vector<int>> RaceBudgetedRungs(
   return std::move(orders[winner]);
 }
 
+// Plans one descent for the calibrated ladder: derive the component's
+// features (reusing the classify-stage vector when the request *is* this
+// one component), ask the planner, and surface the decision everywhere
+// provenance lives — the outcome, the stats counters, the journal.
+LadderPlan PlanDescent(const LadderPlanner& planner, const Graph& g,
+                       BudgetContext* ctx, SolveOutcome* outcome) {
+  GraphFeatures features;
+  const GraphFeatures* request_features = ctx->features();
+  if (request_features != nullptr && request_features->betti_zero == 1 &&
+      request_features->num_edges == g.num_edges()) {
+    features = *request_features;
+  } else {
+    // Multi-component request (or a caller that never ran the classify
+    // stage): one linear pass over the component subgraph.
+    features = ExtractGraphFeatures(g);
+  }
+  int64_t remaining_ms = -1;
+  if (ctx->budget().has_deadline()) {
+    remaining_ms =
+        std::max<int64_t>(0, ctx->budget().deadline_ms - ctx->ElapsedMs());
+  }
+  const LadderPlan plan = planner.Plan(features, remaining_ms);
+
+  outcome->plan.active = true;
+  outcome->plan.predicted_rung = plan.start_rung;
+  outcome->plan.predicted_solver = PlannedRungName(plan.start_rung);
+  outcome->plan.exact_cap_ms = plan.exact_cap_ms;
+  outcome->plan.predicted_exact_us = plan.predicted_us[kPlanExact];
+  outcome->plan.predicted_ils_us = plan.predicted_us[kPlanIls];
+  outcome->plan.predicted_ls_us = plan.predicted_us[kPlanLocalSearch];
+  outcome->plan.budget_saved_ms = plan.budget_saved_ms;
+  if (SolveStats* stats = ctx->stats()) {
+    ++stats->planner_plans;
+    stats->planner_predicted_rung += plan.start_rung;
+    stats->planner_rungs_skipped += plan.start_rung;
+    stats->planner_budget_saved_ms += plan.budget_saved_ms;
+  }
+  if (EventLog* log = ctx->log()) {
+    log->Emit(LogLevel::kDebug, "ladder.plan",
+              {LogField::Str("start", PlannedRungName(plan.start_rung)),
+               LogField::Num("exact_cap_ms", plan.exact_cap_ms),
+               LogField::Num("predicted_exact_us",
+                             plan.predicted_us[kPlanExact]),
+               LogField::Num("predicted_ils_us", plan.predicted_us[kPlanIls]),
+               LogField::Num("predicted_ls_us",
+                             plan.predicted_us[kPlanLocalSearch]),
+               LogField::Num("saved_ms", plan.budget_saved_ms)});
+  }
+  return plan;
+}
+
+// Runs one rung under a plan-imposed wall-clock cap: a child context whose
+// deadline is min(cap, remaining), telemetry sinks shared. The child's
+// *local* expiry is deliberately not latched onto the parent — freeing the
+// rest of the deadline for the anytime rungs is the point of the cap — but
+// its polls and node charges fold back, so request-wide accounting (and
+// the shared node ceiling) behave exactly as on the uncapped path.
+std::optional<std::vector<int>> RunWithRungCap(const Pebbler& rung,
+                                               const Graph& g,
+                                               BudgetContext* ctx,
+                                               int64_t cap_ms,
+                                               SolveOutcome* outcome) {
+  SolveBudget capped = ctx->budget();
+  if (capped.has_deadline()) {
+    const int64_t remaining =
+        std::max<int64_t>(0, capped.deadline_ms - ctx->ElapsedMs());
+    capped.deadline_ms = std::min(cap_ms, remaining);
+  } else {
+    capped.deadline_ms = cap_ms;
+  }
+  BudgetContext rung_ctx(capped);
+  rung_ctx.set_stats(ctx->stats());
+  rung_ctx.set_trace(ctx->trace());
+  rung_ctx.set_log(ctx->log());
+  rung_ctx.set_perf_enabled(ctx->perf_enabled());
+  std::optional<std::vector<int>> order =
+      rung.PebbleWithOutcome(g, &rung_ctx, outcome);
+  ctx->AbsorbSlice(rung_ctx.polls(), BudgetStop::kNone);
+  if (rung_ctx.nodes_charged() > 0) ctx->ChargeNodes(rung_ctx.nodes_charged());
+  return order;
+}
+
+// Budgeted-rung index of the rung that answered, for predicted-vs-actual
+// provenance; terminator rungs map past the planned range.
+int ActualRungIndex(const std::string& winner) {
+  if (winner == "exact") return kPlanExact;
+  if (winner == "ils") return kPlanIls;
+  if (winner == "local-search") return kPlanLocalSearch;
+  return kNumPlannedRungs;
+}
+
 }  // namespace
 
 std::optional<std::vector<int>> FallbackPebbler::PebbleConnected(
@@ -136,6 +229,16 @@ std::optional<std::vector<int>> FallbackPebbler::PebbleWithOutcome(
                                         options_.max_line_graph_edges);
   const Pebbler* budgeted_rungs[] = {&exact, &ils, &local_search};
   constexpr int kNumBudgetedRungs = 3;
+  static_assert(kNumBudgetedRungs == kNumPlannedRungs,
+                "plan indexing mirrors the budgeted rung array");
+
+  // Rung iteration is plan-driven. The inert default plan (start_rung 0,
+  // no caps) reproduces the historical blind sequence byte-identically;
+  // a configured planner may start lower and cap the exact rung.
+  LadderPlan plan;
+  if (options_.planner != nullptr) {
+    plan = PlanDescent(*options_.planner, g, ctx, outcome);
+  }
 
   std::optional<std::vector<int>> order;
   // A borrowed pool is only usable from off-pool threads: a worker that
@@ -143,16 +246,30 @@ std::optional<std::vector<int>> FallbackPebbler::PebbleWithOutcome(
   // on a private pool exactly as before the pool-reuse refactor.
   ThreadPool* race_pool =
       ThreadPool::CurrentWorkerId() == -1 ? options_.pool : nullptr;
-  if (options_.speculative_threads > 1) {
+  if (options_.speculative_threads > 1 &&
+      plan.start_rung < kNumBudgetedRungs) {
     outcome->lower_bound = g.num_edges();
-    order = RaceBudgetedRungs(budgeted_rungs, kNumBudgetedRungs,
+    // The race already slices the budget per rung, so the plan contributes
+    // only its starting-rung cut here (the exact cap is a sequential-path
+    // refinement).
+    order = RaceBudgetedRungs(budgeted_rungs + plan.start_rung,
+                              kNumBudgetedRungs - plan.start_rung,
                               options_.speculative_threads, race_pool, g,
                               ctx, outcome);
-  } else {
-    for (const Pebbler* rung : budgeted_rungs) {
-      order = rung->PebbleWithOutcome(g, ctx, outcome);
+  } else if (options_.speculative_threads <= 1) {
+    for (int r = plan.start_rung; r < kNumBudgetedRungs; ++r) {
+      const Pebbler* rung = budgeted_rungs[r];
+      if (r == kPlanExact && plan.exact_cap_ms >= 0) {
+        order = RunWithRungCap(*rung, g, ctx, plan.exact_cap_ms, outcome);
+      } else {
+        order = rung->PebbleWithOutcome(g, ctx, outcome);
+      }
       if (order.has_value()) break;
     }
+  } else {
+    // Speculative mode with every budgeted rung planned away: nothing to
+    // race; the terminator below answers.
+    outcome->lower_bound = g.num_edges();
   }
 
   if (!order.has_value()) {
@@ -196,6 +313,15 @@ std::optional<std::vector<int>> FallbackPebbler::PebbleWithOutcome(
       break;
     }
     if (RungProducedOrder(attempt.status)) break;
+  }
+
+  if (outcome->plan.active) {
+    outcome->plan.actual_rung = ActualRungIndex(outcome->winner);
+    if (SolveStats* stats = ctx->stats()) {
+      stats->planner_actual_rung += outcome->plan.actual_rung;
+    }
+    ladder_span.AddArg(
+        TraceArg::Str("plan_start", outcome->plan.predicted_solver));
   }
 
   ladder_span.AddArg(TraceArg::Str(

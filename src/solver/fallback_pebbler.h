@@ -41,6 +41,7 @@
 
 namespace pebblejoin {
 
+class LadderPlanner;
 class ThreadPool;
 
 class FallbackPebbler : public Pebbler {
@@ -52,6 +53,16 @@ class FallbackPebbler : public Pebbler {
     // Soft cap on the materialized L(G) for the heuristic rungs; a budget
     // memory ceiling tightens it further inside each rung.
     int64_t max_line_graph_edges = 20'000'000;
+    // Calibrated dispatch (solver/ladder_planner.h). Null — the default —
+    // is the blind ladder: rung iteration starts at exact with no per-rung
+    // caps, byte-identical to the pre-planner sequence. Non-null, each
+    // descent is planned from the component's GraphFeatures (reusing the
+    // classify-stage vector on BudgetContext::features() when the request
+    // is a single component) and the remaining deadline: the plan picks
+    // the starting rung, may cap the exact rung's wall clock, and records
+    // `plan` provenance on the SolveOutcome, SolveStats and the journal
+    // (`ladder.plan`). Borrowed; must outlive every solve.
+    const LadderPlanner* planner = nullptr;
     // > 1: race the budgeted rungs (exact, ils, local-search) concurrently
     // on that many pool workers and keep the strongest producer. <= 1: the
     // classic sequential ladder. The terminator rungs always run

@@ -56,6 +56,29 @@ struct RungAttempt {
   int64_t cache_misses = 0;
 };
 
+// Provenance of a planner-driven ladder descent (solver/ladder_planner.h).
+// Inert (active == false) on the default blind ladder, so default output
+// stays byte-identical: report JSON emits the block only when active.
+struct LadderPlanInfo {
+  bool active = false;
+  // Planned starting rung: its name ("exact", "ils", "local-search",
+  // "dfs-tree") and its budgeted-rung index (0..3, 3 = skipped straight to
+  // the terminator).
+  std::string predicted_solver;
+  int predicted_rung = 0;
+  // Budgeted-rung index of the rung that actually produced the order
+  // (3 = a terminator rung answered); -1 while unresolved.
+  int actual_rung = -1;
+  // Wall-clock cap the plan put on the exact rung, ms; -1 = uncapped.
+  int64_t exact_cap_ms = -1;
+  // Model-predicted burn per budgeted rung, microseconds.
+  int64_t predicted_exact_us = 0;
+  int64_t predicted_ils_us = 0;
+  int64_t predicted_ls_us = 0;
+  // Estimated budget saved versus the blind ladder, ms (model-based).
+  int64_t budget_saved_ms = 0;
+};
+
 // Everything learned while solving one connected instance.
 struct SolveOutcome {
   std::vector<RungAttempt> attempts;  // in the order they ran
@@ -70,6 +93,8 @@ struct SolveOutcome {
   // reason the result is degraded (kDeadlineExpired, kBudgetExhausted or
   // kMemoryCapped); kOptimal/kCompleted when nothing was cut short.
   RungStatus degradation = RungStatus::kCompleted;
+  // Calibrated-planner provenance; inert on the default blind ladder.
+  LadderPlanInfo plan;
 
   bool degraded() const { return !RungProducedOrder(degradation); }
 

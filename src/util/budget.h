@@ -37,6 +37,7 @@ namespace pebblejoin {
 struct SolveStats;
 class TraceSession;
 class EventLog;
+struct GraphFeatures;
 
 // Why a budgeted solve was stopped early. kNone means "still running" (or
 // finished within every ceiling).
@@ -318,6 +319,15 @@ class BudgetContext {
   void set_perf_enabled(bool enabled) { perf_enabled_ = enabled; }
   bool perf_enabled() const { return perf_enabled_; }
 
+  // Request-level graph features (graph/features.h), extracted once by the
+  // engine's classify stage and read by the calibrated ladder planner.
+  // Opaque here (util stays dependency-free) and const: like perf_enabled,
+  // worker slices inherit the pointer — this is how the features thread
+  // through ComponentPebbler's fan-out to every component's ladder.
+  // Borrowed; must outlive the solve.
+  void set_features(const GraphFeatures* features) { features_ = features; }
+  const GraphFeatures* features() const { return features_; }
+
   // Number of Expired() polls so far (amortized and forced alike).
   int64_t polls() const { return polls_; }
 
@@ -363,6 +373,7 @@ class BudgetContext {
     BudgetContext slice(sliced, clock_);
     slice.shared_ = shared;
     slice.perf_enabled_ = perf_enabled_;
+    slice.features_ = features_;
     return slice;
   }
 
@@ -418,6 +429,7 @@ class BudgetContext {
   TraceSession* trace_ = nullptr;
   EventLog* log_ = nullptr;
   bool perf_enabled_ = false;
+  const GraphFeatures* features_ = nullptr;
   // Cross-slice state of the fan-out this context is a worker slice of, or
   // null for a standalone (single-threaded) context. Not owned; the driver
   // that carved the slices keeps it alive across the join barrier.

@@ -509,6 +509,49 @@ printf '%s' "$DENSE" | "$BIN" analyze --json --perf-stats \
 printf '%s\n' "$DEFAULT_OUT" | grep -q 'perf counters' \
   && note_failure "default solve must not print the perf counter block"
 
+# --- Ladder planner: --planner / --cost-model -----------------------------
+# The default `--planner ladder` is the inert blind ladder: its output must
+# be indistinguishable from not passing the flag at all (after timing
+# normalization). `--planner calibrated` must surface plan provenance.
+expect_code "bad planner exits 2" 2 analyze --planner quantum
+expect_code "cost-model missing file exits 66" 66 \
+  analyze --cost-model /nonexistent/cost_model.json
+printf 'not json' > "$WORK_DIR/bad_model.json"
+expect_code "malformed cost-model exits 2" 2 \
+  analyze --cost-model "$WORK_DIR/bad_model.json"
+
+printf '%s' "$GRAPH" | "$BIN" analyze --solver fallback --json \
+  | python3 "$TOOLS_DIR/json_normalize.py" > "$WORK_DIR/plan_default.json"
+printf '%s' "$GRAPH" | "$BIN" analyze --solver fallback --planner ladder \
+  --json | python3 "$TOOLS_DIR/json_normalize.py" \
+  > "$WORK_DIR/plan_ladder.json"
+cmp -s "$WORK_DIR/plan_default.json" "$WORK_DIR/plan_ladder.json" \
+  || note_failure "--planner ladder must match the default byte-for-byte"
+grep -q '"plan"' "$WORK_DIR/plan_ladder.json" \
+  && note_failure "blind ladder output must not carry plan provenance"
+
+CAL_OUT=$(printf '%s' "$GRAPH" \
+  | "$BIN" analyze --solver fallback --planner calibrated --json)
+if [ $? -ne 0 ]; then
+  note_failure "analyze --planner calibrated must exit 0"
+fi
+case "$CAL_OUT" in
+  *'"plan"'*'"predicted_solver"'*) : ;;
+  *) note_failure "--planner calibrated --json must carry plan provenance" ;;
+esac
+case "$CAL_OUT" in
+  *'"planner_plans"'*) : ;;
+  *) note_failure "--planner calibrated must count planner_plans in stats" ;;
+esac
+
+# The committed calibration artifact must load cleanly through the flag.
+REPO_ROOT="$(cd "$TOOLS_DIR/.." && pwd)"
+if [ -f "$REPO_ROOT/cost_model.json" ]; then
+  printf '%s' "$GRAPH" | "$BIN" analyze --solver fallback \
+    --planner calibrated --cost-model "$REPO_ROOT/cost_model.json" \
+    >/dev/null || note_failure "committed cost_model.json must load"
+fi
+
 if [ "$FAILURES" -ne 0 ]; then
   echo "$FAILURES smoke check(s) failed" >&2
   exit 1

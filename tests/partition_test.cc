@@ -22,6 +22,46 @@ TEST(CountTouchedPairsTest, CountsDistinctFragmentPairs) {
   EXPECT_EQ(CountTouchedPairs(g, partition), 4);  // all pairs
 }
 
+TEST(CountTouchedPairsTest, MatchesNaiveMarkingOnRandomPartitions) {
+  // Differential check of the word-packed Bitset fast path against the
+  // obvious mark-and-count loop it replaced, over random graphs and
+  // random (not necessarily balanced) assignments, including grids wide
+  // enough to cross the 64-bit word boundary.
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    const BipartiteGraph g = RandomBipartite(9, 11, 0.3, seed);
+    JoinPartition partition;
+    partition.p = 3 + static_cast<int>(seed % 8);   // up to 10x13 = 130
+    partition.q = 5 + static_cast<int>(seed % 9);   // cells: > one word
+    uint64_t state = seed * 2654435761u;
+    const auto next = [&state]() {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      return state >> 33;
+    };
+    for (int l = 0; l < g.left_size(); ++l) {
+      partition.left_fragment.push_back(
+          static_cast<int>(next() % partition.p));
+    }
+    for (int r = 0; r < g.right_size(); ++r) {
+      partition.right_fragment.push_back(
+          static_cast<int>(next() % partition.q));
+    }
+    std::vector<bool> touched(
+        static_cast<size_t>(partition.p) * partition.q, false);
+    int64_t naive = 0;
+    for (const BipartiteGraph::Edge& e : g.edges()) {
+      const size_t cell =
+          static_cast<size_t>(partition.left_fragment[e.left]) *
+              partition.q +
+          partition.right_fragment[e.right];
+      if (!touched[cell]) {
+        touched[cell] = true;
+        ++naive;
+      }
+    }
+    EXPECT_EQ(CountTouchedPairs(g, partition), naive) << "seed " << seed;
+  }
+}
+
 TEST(TouchedPairsLowerBoundTest, VolumeAndDegreeArguments) {
   // K_{4,4}, p=q=2 (caps 2x2 = 4 edges per pair): >= 16/4 = 4.
   EXPECT_EQ(TouchedPairsLowerBound(CompleteBipartite(4, 4), 2, 2), 4);

@@ -6,9 +6,13 @@
 //   pebblejoin gen complete <k> <l>              > g.txt
 //   pebblejoin gen random <left> <right> <m> <seed> [--connected] > g.txt
 //   pebblejoin analyze [--solver NAME] [--predicate NAME] [budget]
+//                      [--planner NAME] [--cost-model FILE]
 //                      [--json] [--stats] [--trace-out FILE] < g.txt
 //   pebblejoin solve   [--solver NAME] [--explain] [budget]
+//                      [--planner NAME] [--cost-model FILE]
 //                      [--json] [--stats] [--trace-out FILE] < g.txt
+//   pebblejoin calibrate [--instances N] [--rung-deadline-ms N]
+//                        [--seed S] [--out FILE]    # cost-model labels
 //   pebblejoin realize sets < g.txt              # Lemma 3.3 instance
 //   pebblejoin bounds  < g.txt                   # Lemma 2.3 / Thm 3.1
 //   pebblejoin schedule [--k N] < g.txt          # k-buffer fetch schedule
@@ -38,6 +42,14 @@
 // Budget flags (analyze/solve): --deadline-ms N, --memory-mb N,
 // --node-budget N. Giving any of them without an explicit --solver selects
 // the fallback ladder, which degrades gracefully instead of refusing.
+//
+// Planner flags (analyze/solve/batch/serve): --planner ladder|calibrated
+// picks how the fallback ladder dispatches (docs/solvers.md, "Planner");
+// ladder — the default — is byte-identical to omitting the flag, while
+// calibrated plans each descent from the instance's GraphFeatures and the
+// cost model. --cost-model FILE loads fitted coefficients (see `pebblejoin
+// calibrate` and tools/calibrate_cost_model.py); without it the compiled-in
+// calibration runs.
 //
 // Telemetry flags (analyze/solve/batch): --json replaces the human output
 // with one machine-readable JSON document (analysis + solver stats);
@@ -83,6 +95,8 @@
 #include <csignal>
 #include <unistd.h>
 
+#include <algorithm>
+#include <array>
 #include <cerrno>
 #include <cstdint>
 #include <cstdio>
@@ -90,6 +104,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <string>
 #include <thread>
 #include <vector>
@@ -100,6 +115,7 @@
 #include "engine/names.h"
 #include "serve/line_server.h"
 #include "obs/build_info.h"
+#include "obs/json.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/sampler.h"
@@ -111,7 +127,9 @@
 #include "kpebble/k_pebble_game.h"
 #include "partition/partitioner.h"
 #include "pebble/cost_model.h"
+#include "solver/ladder_planner.h"
 #include "util/check.h"
+#include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace pebblejoin {
@@ -133,9 +151,16 @@ int Usage() {
       "  pebblejoin gen complete <k> <l>\n"
       "  pebblejoin gen random <left> <right> <m> <seed> [--connected]\n"
       "  pebblejoin analyze [--solver NAME] [--predicate NAME] "
-      "[--layout NAME] [budget flags] [telemetry flags] < graph\n"
-      "  pebblejoin solve [--solver NAME] [--explain] [--layout NAME] "
-      "[budget flags] [telemetry flags] < graph\n"
+      "[--layout NAME]\n"
+      "                     [--planner NAME] [--cost-model FILE] "
+      "[budget flags]\n"
+      "                     [telemetry flags] < graph\n"
+      "  pebblejoin solve [--solver NAME] [--explain] [--layout NAME]\n"
+      "                   [--planner NAME] [--cost-model FILE] "
+      "[budget flags]\n"
+      "                   [telemetry flags] < graph\n"
+      "  pebblejoin calibrate [--instances N] [--rung-deadline-ms N]\n"
+      "                       [--seed S] [--out FILE]\n"
       "  pebblejoin realize sets < graph\n"
       "  pebblejoin bounds < graph\n"
       "  pebblejoin schedule [--k N] < graph\n"
@@ -144,6 +169,7 @@ int Usage() {
       "  pebblejoin batch --jsonl IN.jsonl [--out OUT.jsonl] [--threads N]\n"
       "                   [budget flags] [--batch-deadline-ms N]\n"
       "                   [--admission queue|reject] [--solver NAME]\n"
+      "                   [--planner NAME] [--cost-model FILE]\n"
       "                   [--predicate NAME] [--progress-every-ms N]\n"
       "                   [--journal FILE] [--log-level LEVEL]\n"
       "                   [--flight-recorder N] [--metrics-out FILE]\n"
@@ -153,6 +179,7 @@ int Usage() {
       "                   [--per-conn-inflight N] [--idle-timeout-ms N]\n"
       "                   [--max-line-bytes N] [--request-deadline-ms N]\n"
       "                   [--drain-ms N] [budget flags] [--solver NAME]\n"
+      "                   [--planner NAME] [--cost-model FILE]\n"
       "                   [--predicate NAME] [--journal FILE]\n"
       "                   [--log-level LEVEL] [--flight-recorder N]\n"
       "                   [--metrics-out FILE] [--perf-stats]\n"
@@ -165,8 +192,11 @@ int Usage() {
       "solvers: %s\n"
       "predicates: %s\n"
       "layouts: %s (csr is the default; output is identical, only cache\n"
-      "         behavior differs)\n",
-      SolverNameList(), PredicateNameList(), GraphLayoutNameList());
+      "         behavior differs)\n"
+      "planners: %s (ladder is the default blind descent; calibrated\n"
+      "          plans the fallback ladder from the cost model)\n",
+      SolverNameList(), PredicateNameList(), GraphLayoutNameList(),
+      PlannerNameList());
   return kExitUsage;
 }
 
@@ -212,7 +242,13 @@ std::string ReadStdin() {
 struct SolveFlags {
   SolverChoice solver = SolverChoice::kAuto;
   bool solver_set = false;
+  PlannerChoice planner = PlannerChoice::kLadder;
   GraphLayout layout = GraphLayout::kCsr;
+  // --cost-model FILE: coefficients for the calibrated planner; empty
+  // keeps the compiled-in calibration. Resolved by ResolveCostModel after
+  // flag parsing (distinct exit codes for missing vs. malformed files).
+  std::string cost_model_path;
+  CostModel cost_model = CostModel::BuiltIn();
   PredicateClass predicate = PredicateClass::kGeneral;
   SolveBudget budget;
   bool budget_set = false;
@@ -324,6 +360,19 @@ bool ParseSolveFlags(int argc, char** argv, int start, bool allow_explain,
         return false;
       }
       ++i;
+    } else if (flag == "--planner") {
+      if (value == nullptr || !ParsePlannerName(value, &flags->planner)) {
+        Fail(std::string("--planner needs one of: ") + PlannerNameList());
+        return false;
+      }
+      ++i;
+    } else if (flag == "--cost-model") {
+      if (value == nullptr || *value == '\0') {
+        Fail("--cost-model needs a file path");
+        return false;
+      }
+      flags->cost_model_path = value;
+      ++i;
     } else if (flag == "--deadline-ms") {
       int64_t ms = 0;
       if (value == nullptr || !ParseInt64(value, &ms) || ms < 0) {
@@ -380,6 +429,28 @@ bool ParseSolveFlags(int argc, char** argv, int start, bool allow_explain,
     flags->solver = SolverChoice::kFallback;
   }
   return true;
+}
+
+// Resolves a --cost-model path into `*model`. Returns 0 on success (or an
+// empty path — the compiled-in calibration stands), kExitMissingInput when
+// the file cannot be read, and kExitBadFlags when its contents do not
+// parse — the same missing-vs-malformed split the graph inputs use.
+int ResolveCostModel(const std::string& path, CostModel* model) {
+  if (path.empty()) return 0;
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "error: cannot open cost-model file '%s'\n",
+                 path.c_str());
+    return kExitMissingInput;
+  }
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  std::string error;
+  if (!ParseCostModelJson(contents, model, &error)) {
+    Fail("cost-model file '" + path + "': " + error);
+    return kExitBadFlags;
+  }
+  return 0;
 }
 
 // Attaches the --journal sink: '-' borrows stderr, anything else opens a
@@ -536,6 +607,8 @@ bool RunAnalysis(const SolveFlags& flags, const BipartiteGraph& g,
   Journal journal(journal_options);
   AnalyzerOptions options;
   options.solver = flags.solver;
+  options.planner = flags.planner;
+  options.cost_model = flags.cost_model;
   options.layout = flags.layout;
   options.budget = flags.budget;
   options.threads = flags.threads;
@@ -577,6 +650,9 @@ int CmdAnalyze(int argc, char** argv) {
   if (!ParseSolveFlags(argc, argv, 2, /*allow_explain=*/false, &flags)) {
     return 2;
   }
+  const int model_rc = ResolveCostModel(flags.cost_model_path,
+                                        &flags.cost_model);
+  if (model_rc != 0) return model_rc;
   const std::optional<BipartiteGraph> g = GraphFromStdin();
   if (!g.has_value()) return 1;
   JoinAnalysis analysis;
@@ -596,6 +672,9 @@ int CmdSolve(int argc, char** argv) {
   if (!ParseSolveFlags(argc, argv, 2, /*allow_explain=*/true, &flags)) {
     return 2;
   }
+  const int model_rc = ResolveCostModel(flags.cost_model_path,
+                                        &flags.cost_model);
+  if (model_rc != 0) return model_rc;
   const std::optional<BipartiteGraph> g = GraphFromStdin();
   if (!g.has_value()) return 1;
   JoinAnalysis analysis;
@@ -770,12 +849,172 @@ int CmdDot(int argc, char** argv) {
   return 0;
 }
 
+// `pebblejoin calibrate`: the labeled-instance sweep behind the cost
+// model. Emits one JSONL record per generated instance — its family, its
+// GraphFeatures (raw and as the planner's log-feature vector), and per
+// budgeted rung (exact, ils, local-search) the status, wall clock, and
+// cost of attempting that rung alone under --rung-deadline-ms. The labels
+// are "time burned by attempting", the exact quantity LadderPlanner
+// predicts; tools/calibrate_cost_model.py fits the per-rung linear models
+// over these records and writes cost_model.json.
+int CmdCalibrate(int argc, char** argv) {
+  int instances = 120;
+  int64_t rung_deadline_ms = 500;
+  int64_t seed = 1;
+  std::string out_path;  // empty or "-" = stdout
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (flag == "--instances") {
+      if (value == nullptr || !ParseInt32(value, &instances) ||
+          instances < 1 || instances > 100000) {
+        return Fail("--instances needs an integer in [1, 100000]");
+      }
+      ++i;
+    } else if (flag == "--rung-deadline-ms") {
+      if (value == nullptr || !ParseInt64(value, &rung_deadline_ms) ||
+          rung_deadline_ms < 1) {
+        return Fail("--rung-deadline-ms needs a positive integer");
+      }
+      ++i;
+    } else if (flag == "--seed") {
+      if (value == nullptr || !ParseInt64(value, &seed)) {
+        return Fail("--seed needs an integer");
+      }
+      ++i;
+    } else if (flag == "--out") {
+      if (value == nullptr || *value == '\0') {
+        return Fail("--out needs a file path ('-' = stdout)");
+      }
+      out_path = value;
+      ++i;
+    } else {
+      return Fail("unknown flag '" + flag + "'");
+    }
+  }
+
+  std::ofstream out_file;
+  if (!out_path.empty() && out_path != "-") {
+    out_file.open(out_path);
+    if (!out_file.is_open()) {
+      std::fprintf(stderr, "error: cannot open output file '%s'\n",
+                   out_path.c_str());
+      return kExitRuntime;
+    }
+  }
+  std::ostream& out = out_file.is_open() ? out_file : std::cout;
+
+  const ExactPebbler exact{ExactPebbler::Options()};
+  const IlsPebbler ils;
+  const LocalSearchPebbler local_search;
+  const Pebbler* rungs[kNumPlannedRungs] = {&exact, &ils, &local_search};
+
+  // Four interleaved families, sizes growing with the sweep index so the
+  // fit sees both the exact-feasible region and the sizes it must learn to
+  // skip: Theorem 3.3 worst cases, complete bipartite (equijoin shape),
+  // sparse near-trees, and dense random graphs. All connected — the
+  // planner plans per component, so the labels must be per-component too.
+  for (int i = 0; i < instances; ++i) {
+    const int family = i % 4;
+    const int size = i / 4;
+    std::string family_name;
+    BipartiteGraph g(1, 1);
+    switch (family) {
+      case 0: {
+        family_name = "worstcase";
+        g = WorstCaseFamily(3 + size);
+        break;
+      }
+      case 1: {
+        family_name = "complete";
+        g = CompleteBipartite(2 + size % 7, 2 + size / 2);
+        break;
+      }
+      case 2: {
+        family_name = "sparse";
+        const int side = 3 + size;
+        g = RandomConnectedBipartite(
+            side, side, 2 * side - 1 + size / 2,
+            static_cast<uint64_t>(seed) * 7919 + static_cast<uint64_t>(i));
+        break;
+      }
+      default: {
+        family_name = "dense";
+        const int side = 3 + size % 14;
+        const int64_t want = 3 * side;
+        const int m = static_cast<int>(
+            std::min<int64_t>(int64_t{side} * side, want));
+        g = RandomConnectedBipartite(
+            side, side, m,
+            static_cast<uint64_t>(seed) * 104729 + static_cast<uint64_t>(i));
+        break;
+      }
+    }
+    Graph flat = g.ToGraph();
+    flat.BuildCsr();
+    const GraphFeatures features = ExtractGraphFeatures(flat);
+    const std::array<double, kNumLogFeatures> log_features =
+        LogFeatureVector(features);
+
+    JsonWriter json;
+    json.BeginObject();
+    json.Field("family", family_name);
+    json.Field("left", g.left_size());
+    json.Field("right", g.right_size());
+    json.Field("m", g.num_edges());
+    json.Key("features");
+    json.BeginObject();
+    json.Field("num_vertices", features.num_vertices);
+    json.Field("num_edges", features.num_edges);
+    json.Field("betti_zero", features.betti_zero);
+    json.Field("max_degree", features.max_degree);
+    json.Field("mean_degree", features.mean_degree);
+    json.Field("density", features.density);
+    json.Field("degree_skew", features.degree_skew);
+    json.Field("line_graph_edges", features.line_graph_edges);
+    json.Field("equijoin_shape", features.equijoin_shape);
+    json.Field("bipartite", features.bipartite);
+    json.EndObject();
+    json.Key("log_features");
+    json.BeginArray();
+    for (double v : log_features) json.Double(v);
+    json.EndArray();
+    json.Key("rungs");
+    json.BeginObject();
+    for (int r = 0; r < kNumPlannedRungs; ++r) {
+      SolveBudget budget;
+      budget.deadline_ms = rung_deadline_ms;
+      BudgetContext ctx(budget);
+      SolveOutcome outcome;
+      const std::optional<std::vector<int>> order =
+          rungs[r]->PebbleWithOutcome(flat, &ctx, &outcome);
+      const RungAttempt& attempt = outcome.attempts.back();
+      json.Key(PlannedRungName(r));
+      json.BeginObject();
+      json.Field("status", RungStatusName(attempt.status));
+      json.Field("elapsed_us", attempt.elapsed_us);
+      json.Field("cost", order.has_value() ? attempt.cost : int64_t{-1});
+      json.EndObject();
+    }
+    json.EndObject();
+    json.EndObject();
+    out << json.TakeString() << "\n";
+  }
+  out.flush();
+  if (out_file.is_open() && !out_file.good()) {
+    std::fprintf(stderr, "error: writing '%s' failed\n", out_path.c_str());
+    return kExitRuntime;
+  }
+  return 0;
+}
+
 int CmdBatch(int argc, char** argv) {
   std::string in_path;   // required; "-" = stdin
   std::string out_path;  // empty or "-" = stdout
   BatchRunner::Options options;
   SolveBudget budget;
   bool budget_set = false;
+  std::string cost_model_path;
   std::string journal_out;  // empty: no journal; "-" = stderr
   LogLevel log_level = LogLevel::kInfo;
   int flight_recorder = EventLog::kDefaultCapacity;
@@ -862,6 +1101,20 @@ int CmdBatch(int argc, char** argv) {
       }
       options.default_solver = choice;
       ++i;
+    } else if (flag == "--planner") {
+      PlannerChoice choice = PlannerChoice::kLadder;
+      if (value == nullptr || !ParsePlannerName(value, &choice)) {
+        return Fail(std::string("--planner needs one of: ") +
+                    PlannerNameList());
+      }
+      options.default_planner = choice;
+      ++i;
+    } else if (flag == "--cost-model") {
+      if (value == nullptr || *value == '\0') {
+        return Fail("--cost-model needs a file path");
+      }
+      cost_model_path = value;
+      ++i;
     } else if (flag == "--predicate") {
       if (value == nullptr ||
           !ParsePredicateName(value, &options.default_predicate)) {
@@ -890,6 +1143,9 @@ int CmdBatch(int argc, char** argv) {
     return Fail("batch needs --jsonl FILE ('-' = stdin)");
   }
   if (budget_set) options.default_budget = budget;
+  CostModel cost_model = CostModel::BuiltIn();
+  const int model_rc = ResolveCostModel(cost_model_path, &cost_model);
+  if (model_rc != 0) return model_rc;
 
   std::ifstream in_file;
   if (in_path != "-") {
@@ -940,6 +1196,7 @@ int CmdBatch(int argc, char** argv) {
     engine_options.defaults.flight_recorder = flight_recorder;
   }
   engine_options.defaults.perf = perf;
+  engine_options.defaults.cost_model = cost_model;
   SolveEngine engine(engine_options);
   BatchRunner runner(&engine, options);
   SamplingProfiler profiler;
@@ -986,6 +1243,7 @@ int CmdServe(int argc, char** argv) {
   SolveBudget budget;
   bool budget_set = false;
   bool solver_set = false;
+  std::string cost_model_path;
   std::string journal_out;
   LogLevel log_level = LogLevel::kInfo;
   int flight_recorder = EventLog::kDefaultCapacity;
@@ -1101,6 +1359,20 @@ int CmdServe(int argc, char** argv) {
       sopts.solver = choice;
       solver_set = true;
       ++i;
+    } else if (flag == "--planner") {
+      PlannerChoice choice = PlannerChoice::kLadder;
+      if (value == nullptr || !ParsePlannerName(value, &choice)) {
+        return Fail(std::string("--planner needs one of: ") +
+                    PlannerNameList());
+      }
+      sopts.planner = choice;
+      ++i;
+    } else if (flag == "--cost-model") {
+      if (value == nullptr || *value == '\0') {
+        return Fail("--cost-model needs a file path");
+      }
+      cost_model_path = value;
+      ++i;
     } else if (flag == "--predicate") {
       if (value == nullptr || !ParsePredicateName(value, &sopts.predicate)) {
         return Fail(std::string("--predicate needs one of: ") +
@@ -1123,6 +1395,9 @@ int CmdServe(int argc, char** argv) {
     // fallback ladder (degrade, never refuse) — same as analyze/batch.
     if (!solver_set) sopts.solver = SolverChoice::kFallback;
   }
+  CostModel cost_model = CostModel::BuiltIn();
+  const int model_rc = ResolveCostModel(cost_model_path, &cost_model);
+  if (model_rc != 0) return model_rc;
 
   Journal::Options journal_options;
   journal_options.min_level = log_level;
@@ -1134,6 +1409,7 @@ int CmdServe(int argc, char** argv) {
     engine_options.defaults.flight_recorder = flight_recorder;
   }
   engine_options.defaults.perf = perf;
+  engine_options.defaults.cost_model = cost_model;
   SolveEngine engine(engine_options);
   LineServer server(&engine, sopts);
   std::string error;
@@ -1217,6 +1493,7 @@ int Main(int argc, char** argv) {
   if (command == "schedule") return CmdSchedule(argc, argv);
   if (command == "partition") return CmdPartition(argc, argv);
   if (command == "dot") return CmdDot(argc, argv);
+  if (command == "calibrate") return CmdCalibrate(argc, argv);
   if (command == "batch") return CmdBatch(argc, argv);
   if (command == "serve") return CmdServe(argc, argv);
   return Usage();
