@@ -1,4 +1,11 @@
 // E20 — `pebblejoin serve` throughput/latency: clients x threads sweep.
+// E23 — observability overhead: the same load with every request-level
+// surface on (client ids on every line, sampled tracing, SLO targets,
+// live /statusz + /metrics) vs everything off. Expected: a fixed ~1-2 us
+// per request — low single digits of this corpus's ~50 us solves, under
+// 1% of any millisecond-scale request — because the surfaces are atomic
+// counters, one string field, and an async-written sampled trace, none
+// of it on the solve's critical path.
 //
 // One in-process LineServer per configuration, loopback TCP clients
 // replaying the same mixed request corpus with a bounded pipelining
@@ -16,10 +23,14 @@
 // sheds, so every response is a solved analysis.
 
 #include <arpa/inet.h>
+#include <dirent.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <unistd.h>
+
+#include <atomic>
 
 #include <algorithm>
 #include <cerrno>
@@ -224,11 +235,235 @@ void RunServeSweep(BenchReport* report) {
       "the queueing cost of multiplexing one shared engine.\n");
 }
 
+// Minimal blocking HTTP GET against the serve listener (one request per
+// connection, the server closes after responding).
+std::string HttpGet(int port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = "GET " + target + " HTTP/1.1\r\n\r\n";
+  (void)!::send(fd, request.data(), request.size(), MSG_NOSIGNAL);
+  std::string reply;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    reply.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return reply;
+}
+
+// One measured pass of the fixed load profile (1 client x 1 engine
+// thread over `lines`); with `trace_sample` > 0, every surface is armed
+// (ids, window accounting, 1-in-`trace_sample` tracing, SLO targets) and
+// /statusz + /metrics are scraped outside the timed region to confirm
+// they render from the freshly written rings. Scrapes are deliberately
+// NOT concurrent with the timed window: a scrape is a cadence cost
+// (~1-2 ms each, and on a single-core host it displaces solve work 1:1),
+// and at a production scrape interval (>= 10 s, matching the ring's
+// bucket width) the expected number of scrapes inside a ~200 ms pass is
+// zero — a fast poller would over-represent scrape frequency by ~2
+// orders of magnitude. Returns the wall clock in ms, or -1 on a client
+// failure.
+double RunOverheadPass(const std::vector<std::string>& lines,
+                       int64_t trace_sample, const std::string& trace_dir,
+                       std::vector<double>* latencies) {
+  // Serial profile on purpose: one client, one engine thread. Every
+  // microsecond a surface spends on the request path lands directly on
+  // the wall clock — concurrency would let spare cores absorb exactly
+  // the cost this experiment exists to expose, and on the single-core CI
+  // host the 12-thread E20 profile adds ~±7% scheduler jitter that
+  // swamps a ~1% effect.
+  constexpr int kClients = 1;
+  const bool obs = trace_sample > 0;
+  SolveEngine engine;
+  ServeOptions options;
+  options.port = 0;
+  options.threads = 1;
+  options.poll_tick_ms = 5;
+  if (obs) {
+    options.trace_sample = trace_sample;
+    options.trace_dir = trace_dir;
+    options.slo_p99_ms = 1000;
+    options.slo_error_rate = 0.01;
+  }
+  LineServer server(&engine, options);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "bench_serve: %s\n", error.c_str());
+    return -1.0;
+  }
+
+  std::vector<std::vector<std::string>> shares(kClients);
+  for (size_t i = 0; i < lines.size(); ++i) {
+    shares[i % kClients].push_back(lines[i]);
+  }
+
+  if (obs) {
+    // Warm the HTTP path (first-scrape allocations) before the clock runs.
+    (void)HttpGet(server.port(), "/statusz");
+  }
+
+  Stopwatch timer;
+  std::vector<ClientStats> stats(kClients);
+  std::vector<std::thread> workers;
+  workers.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    workers.emplace_back(RunClient, server.port(), &shares[c], &stats[c]);
+  }
+  for (std::thread& t : workers) t.join();
+  const double wall_ms = timer.ElapsedMicros() / 1000.0;
+
+  if (obs) {
+    // Post-pass scrape: the surfaces must render from the rings the pass
+    // just filled. A failure here voids the pass.
+    const std::string status = HttpGet(server.port(), "/statusz");
+    const std::string metrics = HttpGet(server.port(), "/metrics");
+    if (status.find("\"window\"") == std::string::npos ||
+        metrics.find("pebblejoin_serve_window_requests") ==
+            std::string::npos) {
+      std::fprintf(stderr, "bench_serve: live surfaces failed to render\n");
+      return -1.0;
+    }
+  }
+  server.BeginDrain();
+  server.Wait();
+
+  for (const ClientStats& s : stats) {
+    if (!s.ok || s.errors != 0) {
+      std::fprintf(stderr, "bench_serve: overhead client failed\n");
+      return -1.0;
+    }
+    latencies->insert(latencies->end(), s.latencies_ms.begin(),
+                      s.latencies_ms.end());
+  }
+  return wall_ms;
+}
+
+void RunObsOverhead(BenchReport* report) {
+  constexpr int kRepeat = 32;  // 32 x 96 = 3072 lines per pass, so the
+                               // per-pass wall is ~100x any fixed cost
+  constexpr int kPasses = 9;   // best-of-9 per mode: noise only ever adds
+                               // wall time, so min converges to true cost
+                               // (the single-core CI host jitters ~5%)
+
+  // The observability-on corpus carries a client id on every line; the
+  // off corpus is the id-less baseline.
+  const std::vector<std::string> base = MakeCorpus();
+  std::vector<std::string> plain;
+  std::vector<std::string> with_ids;
+  for (int r = 0; r < kRepeat; ++r) {
+    for (size_t i = 0; i < base.size(); ++i) {
+      plain.push_back(base[i]);
+      std::string tagged = base[i];
+      const size_t brace = tagged.rfind('}');
+      tagged.insert(brace, ", \"id\": \"b" +
+                               std::to_string(r * base.size() + i) + "\"");
+      with_ids.push_back(std::move(tagged));
+    }
+  }
+
+  char trace_dir_template[] = "/tmp/pebblejoin-bench-traces-XXXXXX";
+  const char* trace_dir = ::mkdtemp(trace_dir_template);
+  if (trace_dir == nullptr) trace_dir = "/tmp";
+
+  std::printf(
+      "\nE23: observability overhead — ids on every line, sliding-window\n"
+      "accounting, SLO targets, /statusz and /metrics verified live after\n"
+      "each pass — vs all surfaces off. Two sampled-tracing rates: the\n"
+      "production-shaped 1-in-1024 (~0.1%%, ~20 traces/s at this\n"
+      "throughput) and the aggressive 1-in-64, which prices the sampling\n"
+      "knob itself: one trace costs ~150 us to serialize and write —\n"
+      "several solves' worth of CPU — so its share is sample_rate-bound.\n"
+      "%zu lines per pass, best of %d passes per mode.\n\n",
+      plain.size(), kPasses);
+
+  // Mode 0: all surfaces off. Mode 1: the realistic config the <2% claim
+  // is about. Mode 2: same but sampling 16x hotter.
+  constexpr int kModes = 3;
+  const int64_t kTraceSample[kModes] = {0, 1024, 64};
+  const char* kModeNames[kModes] = {"off", "on", "on-trace64"};
+  // Modes interleave within each pass iteration, and the reported delta
+  // compares per-mode minima: noise (scheduler preemption, a noisy
+  // neighbor) only ever adds wall time, so the min over passes converges
+  // on each mode's noise-free floor. (A paired per-iteration median was
+  // tried and rejected: the first mode of an iteration runs coldest, and
+  // that position bias skews every pairwise delta the same way.)
+  double wall[kModes] = {-1.0, -1.0, -1.0};
+  std::vector<double> lat[kModes];
+  for (int pass = 0; pass < kPasses; ++pass) {
+    for (int mode = 0; mode < kModes; ++mode) {
+      std::vector<double> pass_lat;
+      const double ms =
+          RunOverheadPass(mode == 0 ? plain : with_ids, kTraceSample[mode],
+                          trace_dir, &pass_lat);
+      if (ms < 0) return;
+      if (wall[mode] < 0 || ms < wall[mode]) {
+        wall[mode] = ms;
+        lat[mode] = std::move(pass_lat);
+      }
+    }
+  }
+
+  // Sampled traces are scratch output; sweep the temp dir.
+  if (DIR* dir = ::opendir(trace_dir)) {
+    while (dirent* entry = ::readdir(dir)) {
+      const std::string name = entry->d_name;
+      if (name.rfind("trace-", 0) == 0) {
+        ::unlink((std::string(trace_dir) + "/" + name).c_str());
+      }
+    }
+    ::closedir(dir);
+    ::rmdir(trace_dir);
+  }
+
+  TablePrinter table({"mode", "lines", "wall_ms", "lines_per_s", "p50_ms",
+                      "p95_ms", "delta_pct"});
+  for (int mode = 0; mode < kModes; ++mode) {
+    const double delta_pct =
+        (mode > 0 && wall[0] > 0) ? (wall[mode] - wall[0]) / wall[0] * 100.0
+                                  : 0.0;
+    table.AddRow(
+        {kModeNames[mode], FormatInt(static_cast<int64_t>(plain.size())),
+         FormatDouble(wall[mode], 2),
+         FormatDouble(wall[mode] > 0
+                          ? plain.size() / (wall[mode] / 1000.0)
+                          : 0.0,
+                      1),
+         FormatDouble(Percentile(lat[mode], 0.50), 2),
+         FormatDouble(Percentile(lat[mode], 0.95), 2),
+         FormatDouble(delta_pct, 2)});
+  }
+  std::fputs(table.Render().c_str(), stdout);
+  report->AddTable("obs_overhead", table);
+  std::printf(
+      "\nExpected shape: `on` delta_pct in the low single digits — the\n"
+      "fixed per-request cost is ~1-2 us (parsing one extra key, echoing\n"
+      "one string field; window updates are relaxed atomics and sampled\n"
+      "trace writes are handed to the async writer thread), which is\n"
+      "~2-4%% of the ~50 us solves in this corpus and under 1%% of any\n"
+      "millisecond-scale request. `on-trace64` prices aggressive\n"
+      "sampling: ~48 traces x ~150 us each is real CPU that a\n"
+      "single-core host pays on the wall clock (a spare core absorbs it\n"
+      "elsewhere). Scrape cost is a cadence cost, not a per-request\n"
+      "cost: ~1-2 ms per scrape, zero expected scrapes inside a pass at\n"
+      "a >= 10 s production interval.\n");
+}
+
 }  // namespace
 }  // namespace pebblejoin
 
 int main(int argc, char** argv) {
   pebblejoin::BenchReport report("serve", argc, argv);
   pebblejoin::RunServeSweep(&report);
+  pebblejoin::RunObsOverhead(&report);
   return report.Finish() ? 0 : 1;
 }

@@ -206,6 +206,11 @@ void WriteOutcomeJson(const SolveOutcome& outcome, JsonWriter* json) {
 void WriteAnalysisJson(const JoinAnalysis& analysis, JsonWriter* json) {
   const PebblingBounds& bounds = analysis.classification.bounds;
   json->BeginObject();
+  // Leading echo of the client's correlation id; omitted when the request
+  // carried none, so id-less documents keep their exact historical bytes.
+  if (!analysis.request_id.empty()) {
+    json->Field("id", analysis.request_id);
+  }
   json->Field("predicate", PredicateClassName(analysis.predicate));
   json->Field("left_size", analysis.left_size);
   json->Field("right_size", analysis.right_size);

@@ -36,10 +36,13 @@ std::string BatchRunner::RunLine(const JsonlRequestRunner& runner,
   // latency measurement takes) — under fan-out that is the worker's start,
   // which is exactly the admission semantics a shared pool implies.
   const int64_t start_ms = NowMs();
+  JsonlRequestRunner::LineContext context;
+  context.admission = &admission;
+  context.now_ms = start_ms;
+  context.reject_reason = "batch deadline exhausted";
+  context.fallback_id = "L" + std::to_string(line_number);
   JsonlRequestRunner::Outcome line_outcome;
-  std::string result =
-      runner.Run(line, line_number, &admission, start_ms,
-                 "batch deadline exhausted", &line_outcome);
+  std::string result = runner.Run(line, line_number, context, &line_outcome);
   outcome->kind = line_outcome.disposition;
   outcome->degraded = line_outcome.degraded;
   outcome->latency_ms = NowMs() - start_ms;

@@ -7,6 +7,7 @@
 #include "io/graph_io.h"
 #include "obs/json.h"
 #include "obs/json_value.h"
+#include "obs/log.h"
 #include "util/check.h"
 
 namespace pebblejoin {
@@ -24,6 +25,23 @@ bool ReadNonNegative(const JsonValue& value, const std::string& key,
   }
   *out = *parsed;
   return true;
+}
+
+// The "id" key must be a non-empty string of at most this many bytes —
+// long enough for any reasonable correlation scheme, short enough that a
+// hostile client cannot bloat journals and status tables.
+constexpr size_t kMaxRequestIdBytes = 128;
+
+const char* DispositionName(JsonlRequestRunner::Disposition disposition) {
+  switch (disposition) {
+    case JsonlRequestRunner::Disposition::kSolved:
+      return "solved";
+    case JsonlRequestRunner::Disposition::kError:
+      return "error";
+    case JsonlRequestRunner::Disposition::kRejected:
+      return "rejected";
+  }
+  return "error";
 }
 
 }  // namespace
@@ -51,12 +69,35 @@ JsonlRequestRunner::JsonlRequestRunner(SolveEngine* engine, Defaults defaults)
 
 std::string JsonlRequestRunner::Run(const std::string& line,
                                     int64_t line_number,
-                                    const DeadlineAdmission* admission,
-                                    int64_t now_ms,
-                                    const std::string& reject_reason,
+                                    const LineContext& context,
                                     Outcome* outcome) const {
+  const std::string response = Dispatch(line, line_number, context, outcome);
+  // One journal record per processed line, carrying the effective id —
+  // the hop that lets `grep '"id":"..."'` find a request in the journal
+  // even when the line never reached the solver.
+  Journal* journal = engine_->defaults().journal;
+  if (journal != nullptr) {
+    journal->Emit(LogLevel::kInfo, "request.done",
+                  {LogField::Str("id", outcome->request_id),
+                   LogField::Num("line", line_number),
+                   LogField::Str("disposition",
+                                 DispositionName(outcome->disposition)),
+                   LogField::Flag("degraded", outcome->degraded),
+                   LogField::Num("wall_us", outcome->wall_us)});
+  }
+  return response;
+}
+
+std::string JsonlRequestRunner::Dispatch(const std::string& line,
+                                         int64_t line_number,
+                                         const LineContext& context,
+                                         Outcome* outcome) const {
   outcome->disposition = Disposition::kError;
   outcome->degraded = false;
+  outcome->request_id = context.fallback_id;
+  outcome->client_id = false;
+  outcome->wall_us = 0;
+  outcome->provenance.clear();
 
   std::string error;
   JsonValue::ParseLimits limits;
@@ -130,6 +171,14 @@ std::string JsonlRequestRunner::Run(const std::string& line,
       }
       budget.memory_limit_bytes = mb << 20;
       budget_set = true;
+    } else if (key == "id") {
+      if (!value.is_string() || value.string_value().empty() ||
+          value.string_value().size() > kMaxRequestIdBytes) {
+        return JsonlErrorRecord(
+            line_number, "\"id\" needs a non-empty string of at most 128 bytes");
+      }
+      outcome->request_id = value.string_value();
+      outcome->client_id = true;
     } else {
       return JsonlErrorRecord(line_number, "unknown key \"" + key + "\"");
     }
@@ -145,10 +194,11 @@ std::string JsonlRequestRunner::Run(const std::string& line,
   // — under fan-out that is the worker's start, which is exactly the
   // admission semantics a shared pool implies.
   bool admission_clamped = false;
-  if (admission != nullptr && !admission->unlimited()) {
-    if (!admission->Admit(now_ms, &budget)) {
+  if (context.admission != nullptr && !context.admission->unlimited()) {
+    if (!context.admission->Admit(context.now_ms, &budget)) {
       outcome->disposition = Disposition::kRejected;
-      return JsonlErrorRecord(line_number, "rejected: " + reject_reason);
+      return JsonlErrorRecord(line_number,
+                              "rejected: " + context.reject_reason);
     }
     admission_clamped = true;
   }
@@ -163,14 +213,24 @@ std::string JsonlRequestRunner::Run(const std::string& line,
   request.solver = solver;
   request.planner = planner;
   request.journal_line = line_number;
+  request.request_id = outcome->request_id;
+  request.echo_id = outcome->client_id;
+  request.trace = context.trace;
   if (budget_set || admission_clamped) request.budget = budget;
   const SolveResult result = engine_->Solve(request);
   outcome->disposition = Disposition::kSolved;
+  outcome->wall_us = result.analysis.stats.solve_wall_us;
   for (const SolveOutcome& component : result.analysis.solution.outcomes) {
     if (component.degraded()) {
       outcome->degraded = true;
       break;
     }
+  }
+  // Distinct solvers in first-use order: the answer's provenance.
+  for (const std::string& name : result.analysis.solution.solver_used) {
+    if (outcome->provenance.find(name) != std::string::npos) continue;
+    if (!outcome->provenance.empty()) outcome->provenance += ",";
+    outcome->provenance += name;
   }
   return AnalysisJson(result.analysis);
 }

@@ -5,7 +5,7 @@
 //
 //   {"graph": "bipartite 2 2 4\n0 0\n...", "predicate": "equijoin",
 //    "solver": "fallback", "planner": "calibrated", "deadline_ms": 50,
-//    "node_budget": 100000, "memory_mb": 64}
+//    "node_budget": 100000, "memory_mb": 64, "id": "req-42"}
 //
 // Only "graph" is required; every other key overrides the runner default
 // for that line, with the CLI's spellings (engine/names.h) and the CLI's
@@ -19,6 +19,15 @@
 // what the batch round-trip tests and the serve-vs-batch CI diff pin.
 // Keeping this in one class is what guarantees a request means the same
 // thing whether it arrived in a file or over a socket.
+//
+// Request correlation: "id" is an optional client-chosen string (1..128
+// bytes) echoed as the response's leading "id" field and stamped on every
+// journal event, flight-recorder replay, and trace span of that request.
+// A line without one gets the surface's generated fallback id ("L<line>"
+// in batch, "c<conn>-<line>" in serve) for journal/trace correlation only
+// — never echoed, so id-less output stays byte-identical to earlier
+// builds. Every processed line additionally journals one "request.done"
+// event carrying the effective id, disposition, and wall clock.
 //
 // Admission hooks (engine/admission.h): an optional DeadlineAdmission is
 // judged at the line's start time (clamp-or-shed against the aggregate
@@ -74,24 +83,52 @@ class JsonlRequestRunner {
   struct Outcome {
     Disposition disposition = Disposition::kError;
     bool degraded = false;  // solved, but the outcome was budget-cut
+    // Effective correlation id: the client's "id" when the line carried
+    // one (client_id == true, echoed in the response), else the caller's
+    // fallback id (journal/trace only, never echoed).
+    std::string request_id;
+    bool client_id = false;
+    // Solve wall clock in microseconds (0 for errors and rejects).
+    int64_t wall_us = 0;
+    // Comma-joined distinct solvers that produced the answer — the plan
+    // provenance the slow-request table surfaces.
+    std::string provenance;
+  };
+
+  // Caller-side context for one line: admission judgment, clock reading,
+  // and correlation hooks.
+  struct LineContext {
+    // Judged at `now_ms` before the solve when non-null — a shed line
+    // yields {"line":N,"error":"rejected: <reject_reason>"}.
+    const DeadlineAdmission* admission = nullptr;
+    int64_t now_ms = 0;
+    std::string reject_reason;
+    // Correlation id used when the line has no client-supplied "id"
+    // ("L<line>" in batch, "c<conn>-<line>" in serve).
+    std::string fallback_id;
+    // Per-request trace sink (not thread-safe; owned by the caller). The
+    // solve's spans land here when non-null.
+    TraceSession* trace = nullptr;
   };
 
   // The engine is borrowed and must outlive the runner.
   JsonlRequestRunner(SolveEngine* engine, Defaults defaults);
 
   // Parses and solves one line; returns the response line (no trailing
-  // newline). `admission`, when non-null, is judged at `now_ms` before the
-  // solve — a shed line yields {"line":N,"error":"rejected: <reason>"}
-  // with `reject_reason` as the reason text. `journal_line` stamps the
-  // engine's journal events for this request.
+  // newline). `line_number` stamps the engine's journal events and the
+  // error records for this request. Emits one "request.done" journal
+  // event per call when the engine journals.
   std::string Run(const std::string& line, int64_t line_number,
-                  const DeadlineAdmission* admission, int64_t now_ms,
-                  const std::string& reject_reason, Outcome* outcome) const;
+                  const LineContext& context, Outcome* outcome) const;
 
   const Defaults& defaults() const { return defaults_; }
   SolveEngine* engine() const { return engine_; }
 
  private:
+  // The parse-admit-solve body; Run wraps it to journal "request.done".
+  std::string Dispatch(const std::string& line, int64_t line_number,
+                       const LineContext& context, Outcome* outcome) const;
+
   SolveEngine* engine_;  // borrowed
   Defaults defaults_;
 };

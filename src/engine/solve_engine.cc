@@ -7,6 +7,7 @@
 #include "engine/names.h"
 #include "graph/components.h"
 #include "obs/prof.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -133,6 +134,16 @@ SolveResult SolveEngine::Solve(const SolveRequest& request) {
   analysis.left_size = request.graph->left_size();
   analysis.right_size = request.graph->right_size();
   analysis.output_size = request.graph->num_edges();
+  // Echo the correlation id only when it was client-supplied; generated
+  // fallback ids correlate journals and traces without touching the
+  // response bytes.
+  if (request.echo_id) analysis.request_id = request.request_id;
+  if (trace != nullptr && !request.request_id.empty()) {
+    // Tag the request's trace stream so a sampled Chrome trace can be
+    // matched back to its journal events and response line by id.
+    trace->Instant("request", "correlate",
+                   {TraceArg::Str("id", request.request_id)});
+  }
 
   // Per-request event carrier: tees into the session journal and retains
   // the flight-recorder ring. Built only when a journal is configured.
@@ -142,6 +153,9 @@ SolveResult SolveEngine::Solve(const SolveRequest& request) {
     event_log.emplace(defaults.journal, defaults.flight_recorder);
     if (request.journal_line >= 0) {
       event_log->AddBaseField(LogField::Num("line", request.journal_line));
+    }
+    if (!request.request_id.empty()) {
+      event_log->AddBaseField(LogField::Str("id", request.request_id));
     }
     log = &*event_log;
     log->Emit(LogLevel::kDebug, "solve.begin",
@@ -293,6 +307,34 @@ SolveResult SolveEngine::Solve(const SolveRequest& request) {
       }
     }
     if (!dump_reason.empty()) log->DumpFlightRecorder(dump_reason);
+    // Tail capture: a request over the slow threshold journals what ran —
+    // winning solvers plus the ladder plan when one was active — and
+    // flushes its flight recorder if the degraded path above did not
+    // already.
+    if (defaults.slow_request_ms >= 0 &&
+        stats.solve_wall_us >= defaults.slow_request_ms * 1000) {
+      std::string solvers;
+      for (const std::string& name : analysis.solution.solver_used) {
+        if (solvers.find(name) != std::string::npos) continue;
+        if (!solvers.empty()) solvers += ",";
+        solvers += name;
+      }
+      std::vector<LogField> slow_fields = {
+          LogField::Num("wall_us", stats.solve_wall_us),
+          LogField::Num("threshold_ms", defaults.slow_request_ms),
+          LogField::Num("cost", analysis.solution.effective_cost),
+          LogField::Str("solvers", solvers)};
+      for (const SolveOutcome& outcome : analysis.solution.outcomes) {
+        if (!outcome.plan.active) continue;
+        slow_fields.push_back(
+            LogField::Str("plan_solver", outcome.plan.predicted_solver));
+        slow_fields.push_back(
+            LogField::Num("plan_rung", outcome.plan.actual_rung));
+        break;
+      }
+      log->Emit(LogLevel::kWarn, "request.slow", slow_fields);
+      if (dump_reason.empty()) log->DumpFlightRecorder("slow-request");
+    }
     log->Emit(LogLevel::kInfo, "solve.end",
               {LogField::Num("cost", analysis.solution.effective_cost),
                LogField::Num("jumps", analysis.solution.jumps),

@@ -39,6 +39,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 
 #include "core/classifier.h"
 #include "graph/bipartite_graph.h"
@@ -152,6 +153,11 @@ struct AnalyzerOptions {
   // their hot loops; where perf_event_open is denied the request records
   // stats.perf = "unavailable:<reason>" and proceeds identically.
   bool perf = false;
+  // Tail capture: a request whose solve wall clock reaches this many
+  // milliseconds gets its flight recorder dumped ("slow-request") plus a
+  // "request.slow" journal event with the winning solvers and ladder plan.
+  // Negative disables; only read when `journal` is set.
+  int64_t slow_request_ms = -1;
 };
 
 // Everything the analyzer learned about one join.
@@ -168,6 +174,10 @@ struct JoinAnalysis {
   PebbleSolution solution;
   bool perfect = false;  // solution.effective_cost == m
   double cost_ratio = 1.0;  // effective_cost / m (1.0 when m == 0)
+  // Client-supplied correlation id to echo as the report's leading "id"
+  // field; empty (the default, and every request without a client id)
+  // omits the field, keeping id-less output byte-identical.
+  std::string request_id;
   // Per-request solver telemetry: counters the hot paths flushed into the
   // request's BudgetContext, the budget/wall-clock fields the engine fills
   // in after the solve, and the per-stage pipeline timings.
@@ -193,6 +203,12 @@ struct SolveRequest {
   // field on every event of this request). The batch runner sets it so a
   // shared journal stays attributable across interleaved lines.
   int64_t journal_line = -1;
+  // Correlation id: when non-empty it is stamped as an "id" base field on
+  // every journal event (and flight-recorder replay) of this request and
+  // tagged on its trace. Echoed in the report only when echo_id is also
+  // set — i.e. when the id was client-supplied rather than generated.
+  std::string request_id;
+  bool echo_id = false;
 };
 
 // What one request produced. Thin on purpose: the analysis carries the

@@ -121,6 +121,15 @@ Histogram MetricsRegistry::FindOrCreateHistogram(const std::string& name) {
   return Histogram(cell.get());
 }
 
+void MetricsRegistry::RecordExemplar(const std::string& name, int64_t value,
+                                     const std::string& request_id) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  Exemplar& exemplar = exemplars_[name];
+  exemplar.value = value;
+  exemplar.request_id = request_id;
+}
+
 void MetricsRegistry::WriteSnapshotJson(JsonWriter* json) const {
   std::lock_guard<std::mutex> lock(mutex_);
   json->BeginObject();
@@ -193,6 +202,24 @@ std::string OpenMetricsName(const std::string& name) {
   return out;
 }
 
+// OpenMetrics label-value escaping: backslash, double quote, newline.
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 void MetricsRegistry::WriteOpenMetrics(std::ostream* out) const {
@@ -225,7 +252,16 @@ void MetricsRegistry::WriteOpenMetrics(std::ostream* out) const {
       *out << metric << "_bucket{le=\"" << le << "\"} " << cumulative
            << "\n";
     }
-    *out << metric << "_bucket{le=\"+Inf\"} " << count << "\n";
+    *out << metric << "_bucket{le=\"+Inf\"} " << count;
+    // Exemplar on the open-ended bucket (every sample falls inside it):
+    // one traceable request id per histogram family.
+    const auto exemplar = exemplars_.find(name);
+    if (exemplar != exemplars_.end()) {
+      *out << " # {request_id=\""
+           << EscapeLabelValue(exemplar->second.request_id) << "\"} "
+           << exemplar->second.value;
+    }
+    *out << "\n";
     *out << metric << "_sum " << cell->sum.load(std::memory_order_relaxed)
          << "\n";
     *out << metric << "_count " << count << "\n";

@@ -170,6 +170,14 @@ class MetricsRegistry {
   Gauge FindOrCreateGauge(const std::string& name);
   Histogram FindOrCreateHistogram(const std::string& name);
 
+  // Attaches (or overwrites) the most-recent exemplar of histogram `name`:
+  // one sample value plus the request id that produced it. The OpenMetrics
+  // exposition renders it on the histogram's `le="+Inf"` bucket line
+  // (`... # {request_id="..."} <value>`), which is how a scraped tail
+  // sample links back to a journal/trace id. No-op on a disabled registry.
+  void RecordExemplar(const std::string& name, int64_t value,
+                      const std::string& request_id);
+
   // Snapshot of every registered metric as one JSON object:
   // {"counters":{...},"gauges":{...},"histograms":{"name":{"count":..,
   // "sum":..,"min":..,"max":..,"buckets":{"<upper>":n,...}},...}}.
@@ -196,6 +204,11 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<obs_internal::GaugeCell>> gauges_;
   std::map<std::string, std::unique_ptr<obs_internal::HistogramCell>>
       histograms_;
+  struct Exemplar {
+    int64_t value = 0;
+    std::string request_id;
+  };
+  std::map<std::string, Exemplar> exemplars_;
 };
 
 }  // namespace pebblejoin

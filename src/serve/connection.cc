@@ -73,9 +73,16 @@ void Connection::SubmitSolve(std::string line, int64_t line_number) {
   auto task = [this, line = std::move(line), line_number, seq]() {
     const int64_t start_ms = NowMs();
     JsonlRequestRunner::Outcome outcome;
+    // Generated correlation id for lines without a client "id": stable,
+    // unique per (connection, line), and never echoed in the response.
+    const std::string fallback_id =
+        "c" + std::to_string(id_) + "-" + std::to_string(line_number);
     std::string response =
-        env_.router->RunSolve(line, line_number, start_ms, &outcome);
-    env_.router->RecordRequestWall((NowMs() - start_ms) * 1000);
+        env_.router->RunSolve(line, line_number, start_ms, fallback_id,
+                              &outcome);
+    const int64_t done_ms = NowMs();
+    env_.router->RecordCompletion(outcome, (done_ms - start_ms) * 1000,
+                                  done_ms);
     env_.router->ReleaseSolve(id_);
     response += '\n';
     {
@@ -113,7 +120,7 @@ void Connection::HandleLine() {
       // The rest of the request (headers) is read and discarded so the
       // client can finish sending before it sees our close.
       const int64_t seq = next_submit_seq_++;
-      Deposit(seq, env_.router->HttpResponse(cur_line_));
+      Deposit(seq, env_.router->HttpResponse(cur_line_, NowMs()));
       discard_input_ = true;
       close_after_flush_ = true;
       return;
@@ -126,7 +133,8 @@ void Connection::HandleLine() {
                    {LogField::Num("line", line_number_),
                     LogField::Str("reason", reason)});
         const int64_t seq = next_submit_seq_++;
-        Deposit(seq, env_.router->RejectRecord(line_number_, reason) + "\n");
+        Deposit(seq, env_.router->RejectRecord(line_number_, reason, NowMs()) +
+                         "\n");
         return;
       }
       SubmitSolve(cur_line_, line_number_);
@@ -163,8 +171,9 @@ void Connection::HandleBytes(const char* data, size_t n) {
                   LogField::Num("cap_bytes", cap)});
       const int64_t seq = next_submit_seq_++;
       Deposit(seq, env_.router->RejectRecord(
-                       line_number_, "line exceeds " + std::to_string(cap) +
-                                         " bytes") +
+                       line_number_,
+                       "line exceeds " + std::to_string(cap) + " bytes",
+                       NowMs()) +
                        "\n");
       ++rejected_;
       discarding_line_ = true;

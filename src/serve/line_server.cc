@@ -47,7 +47,7 @@ LineServer::LineServer(SolveEngine* engine, ServeOptions options)
       conns_active_(
           engine->metrics()->FindOrCreateGauge("serve.conns_active")) {
   JP_CHECK(engine_ != nullptr);
-  router_.emplace(engine_, options_);
+  router_.emplace(engine_, options_, clock_());
 }
 
 LineServer::~LineServer() {
@@ -245,6 +245,9 @@ void LineServer::AcceptLoop() {
   }
   summary_.aborted = phase_.load(std::memory_order_acquire) ==
                      static_cast<int>(ServePhase::kAborting);
+  // Sampled trace files are written asynchronously; make every trace
+  // enqueued by the drained requests durable before announcing drain.end.
+  router_->FlushTraces();
   log.Emit(LogLevel::kInfo, "drain.end",
            {LogField::Num("elapsed_ms", NowMs() - drain_begin_ms),
             LogField::Num("connections", summary_.connections),

@@ -81,6 +81,23 @@ struct ServeOptions {
   std::optional<PlannerChoice> planner;
   std::optional<SolveBudget> budget;
 
+  // --- Observability -------------------------------------------------------
+  // SLO targets the /statusz burn rates are computed against: window p99
+  // versus `slo_p99_ms`, window error rate versus `slo_error_rate`.
+  // Negative = unset (reported as -1, burn omitted as -1).
+  int64_t slo_p99_ms = -1;
+  double slo_error_rate = -1.0;
+  // Tail capture: a full Chrome trace for one in every `trace_sample`
+  // solve requests (0 = off), written to `trace_dir`/trace-<id>.json with
+  // the request's correlation id in the filename and stream.
+  int64_t trace_sample = 0;
+  std::string trace_dir = ".";
+  // Sliding-window telemetry ring shape (obs/timeseries.h): the /statusz
+  // window series and window gauges aggregate the trailing
+  // window_buckets * window_bucket_ms milliseconds.
+  int window_buckets = 60;
+  int64_t window_bucket_ms = 10000;
+
   // --- Determinism seams --------------------------------------------------
   // Milliseconds on an arbitrary monotone scale; tests inject
   // FakeClock::AsFunction() (clock skew included — skew is just a clock

@@ -4,6 +4,7 @@
 #include <array>
 #include <numeric>
 
+#include "util/bitset.h"
 #include "util/check.h"
 #include "util/random.h"
 
@@ -65,20 +66,20 @@ Tour GreedyPathCoverTour(const Tsp12Instance& instance, uint64_t seed) {
   // Walk each path from one endpoint; isolated nodes are length-0 paths.
   Tour tour;
   tour.reserve(n);
-  std::vector<bool> emitted(n, false);
+  Bitset emitted(n);
   for (int start = 0; start < n; ++start) {
-    if (emitted[start] || path_degree[start] == 2) continue;
+    if (emitted.Test(start) || path_degree[start] == 2) continue;
     int prev = -1;
     int cur = start;
     while (cur != -1) {
-      emitted[cur] = true;
+      emitted.Set(cur);
       tour.push_back(cur);
       int next = -1;
       for (int cand : chosen[cur]) {
         if (cand != -1 && cand != prev) next = cand;
       }
       prev = cur;
-      cur = (next != -1 && !emitted[next]) ? next : -1;
+      cur = (next != -1 && !emitted.Test(next)) ? next : -1;
     }
   }
   JP_CHECK(static_cast<int>(tour.size()) == n);

@@ -296,6 +296,35 @@ grep -q "20 rejected" "$WORK_DIR/rej_err.txt" \
 grep -q "20 solved" "$WORK_DIR/q_err.txt" \
   || note_failure "queued lines must still solve under a dry pool"
 
+# --- Request correlation ids ----------------------------------------------
+# A client-supplied "id" leads the response document and threads through
+# the journal's request.done event; id-less output never invents one, and
+# stripping the echoed id recovers the id-less bytes exactly.
+ID_LINE=$(printf '%s' "$GOOD_LINE" | sed 's/}$/, "id": "smoke-1"}/')
+printf '%s\n' "$ID_LINE" > "$WORK_DIR/id.jsonl"
+if ! "$BIN" batch --jsonl "$WORK_DIR/id.jsonl" \
+    --journal "$WORK_DIR/id_journal.jsonl" \
+    > "$WORK_DIR/id_out.jsonl" 2>/dev/null; then
+  note_failure "batch with a client id must exit 0"
+fi
+head -1 "$WORK_DIR/id_out.jsonl" | grep -q '^{"id":"smoke-1",' \
+  || note_failure "the client id must lead the response document"
+grep '"event":"request.done"' "$WORK_DIR/id_journal.jsonl" \
+  | grep -q '"id":"smoke-1"' \
+  || note_failure "request.done must carry the client id"
+grep -q '"id"' "$WORK_DIR/batch_out.jsonl" \
+  && note_failure "id-less batch output must carry no id key"
+head -1 "$WORK_DIR/id_out.jsonl" | sed 's/^{"id":"smoke-1",/{/' \
+  | python3 "$TOOLS_DIR/json_normalize.py" > "$WORK_DIR/id_stripped.jsonl"
+head -1 "$WORK_DIR/seq_norm.jsonl" > "$WORK_DIR/first_norm.jsonl"
+cmp -s "$WORK_DIR/id_stripped.jsonl" "$WORK_DIR/first_norm.jsonl" \
+  || note_failure "an id must not perturb the solve output"
+# A malformed id is a structured per-line error, not a crash.
+printf '%s' "$GOOD_LINE" | sed 's/}$/, "id": 7}/' \
+  | "$BIN" batch --jsonl - 2>/dev/null \
+  | grep -q 'needs a non-empty string' \
+  || note_failure "a non-string id must produce a structured error"
+
 # --- Journal, flight recorder, OpenMetrics --------------------------------
 expect_fail "journal missing path" -- analyze --journal
 expect_fail "metrics-out missing path" -- analyze --metrics-out

@@ -29,8 +29,11 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+
 #include "core/report.h"
 #include "engine/solve_engine.h"
+#include "serve/request_router.h"
 #include "graph/bipartite_graph.h"
 #include "graph/generators.h"
 #include "io/graph_io.h"
@@ -654,6 +657,136 @@ TEST(ServeTest, HttpResponsesCarryExactContentLengthAndClose) {
 
   server.BeginDrain();
   server.Wait();
+}
+
+TEST(ServeTest, RequestIdIsEchoedOnlyWhenClientSupplied) {
+  SolveEngine engine;
+  LineServer server(&engine, TestOptions());
+  START_SERVER(server);
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send(Line(WorstCaseFamily(4), ", \"id\": \"req-42\"") +
+                          "\n" + Line(WorstCaseFamily(4)) + "\n"));
+
+  // The client-supplied id leads the response document; the id-less line's
+  // response carries no "id" key at all (byte-identity with batch).
+  std::string response;
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_EQ(response.rfind("{\"id\":\"req-42\",", 0), 0u) << response;
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_EQ(response.find("\"id\""), std::string::npos) << response;
+  EXPECT_NE(response.find("\"winner\""), std::string::npos) << response;
+
+  client.Close();
+  server.BeginDrain();
+  server.Wait();
+}
+
+TEST(ServeTest, ReadyzReports503WhileDraining) {
+  SolveEngine engine;
+  ServeOptions options;
+  RequestRouter router(&engine, options, /*start_ms=*/0);
+
+  std::string reply = router.HttpResponse("GET /readyz HTTP/1.1", 0);
+  EXPECT_EQ(reply.rfind("HTTP/1.1 200 OK", 0), 0u) << reply.substr(0, 200);
+  EXPECT_NE(reply.find("ready"), std::string::npos);
+
+  router.BeginDrain(0);
+  reply = router.HttpResponse("GET /readyz HTTP/1.1", 0);
+  EXPECT_EQ(reply.rfind("HTTP/1.1 503 Service Unavailable", 0), 0u)
+      << reply.substr(0, 200);
+  EXPECT_NE(reply.find("draining"), std::string::npos);
+  // Liveness is unaffected: a draining process is still alive.
+  reply = router.HttpResponse("GET /healthz HTTP/1.1", 0);
+  EXPECT_EQ(reply.rfind("HTTP/1.1 200 OK", 0), 0u) << reply.substr(0, 200);
+}
+
+TEST(ServeTest, ReadyzReports503AtTheInflightCeiling) {
+  SolveEngine engine;
+  ServeOptions options;
+  options.max_inflight = 1;
+  RequestRouter router(&engine, options, /*start_ms=*/0);
+
+  std::string denied;
+  ASSERT_TRUE(router.AdmitSolve(/*conn_id=*/1, &denied)) << denied;
+  std::string reply = router.HttpResponse("GET /readyz HTTP/1.1", 0);
+  EXPECT_EQ(reply.rfind("HTTP/1.1 503 Service Unavailable", 0), 0u)
+      << reply.substr(0, 200);
+  EXPECT_NE(reply.find("saturated"), std::string::npos);
+
+  router.ReleaseSolve(/*conn_id=*/1);
+  reply = router.HttpResponse("GET /readyz HTTP/1.1", 0);
+  EXPECT_EQ(reply.rfind("HTTP/1.1 200 OK", 0), 0u) << reply.substr(0, 200);
+}
+
+TEST(ServeTest, StatuszReportsWindowSloAndSlowRequests) {
+  SolveEngine engine;
+  ServeOptions options = TestOptions();
+  options.slo_p99_ms = 1000;
+  options.slo_error_rate = 0.1;
+  LineServer server(&engine, options);
+  START_SERVER(server);
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(
+      client.Send(Line(WorstCaseFamily(4), ", \"id\": \"slowest-1\"") + "\n"));
+  std::string response;
+  ASSERT_TRUE(client.ReadLine(&response));
+  client.Close();
+
+  TestClient scraper(server.port());
+  ASSERT_TRUE(scraper.connected());
+  ASSERT_TRUE(scraper.Send("GET /statusz HTTP/1.1\r\n\r\n"));
+  const std::string reply = scraper.ReadAll();
+  EXPECT_EQ(reply.rfind("HTTP/1.1 200 OK", 0), 0u) << reply.substr(0, 200);
+  EXPECT_NE(reply.find("application/json"), std::string::npos);
+  EXPECT_NE(reply.find("\"build\""), std::string::npos);
+  EXPECT_NE(reply.find("\"uptime_ms\""), std::string::npos);
+  EXPECT_NE(reply.find("\"window\""), std::string::npos);
+  EXPECT_NE(reply.find("\"qps\""), std::string::npos);
+  EXPECT_NE(reply.find("\"slo\""), std::string::npos);
+  EXPECT_NE(reply.find("\"p99_burn\""), std::string::npos);
+  // The completed request surfaces in the slow-request table by its
+  // correlation id, with solver provenance attached.
+  EXPECT_NE(reply.find("\"slow_requests\""), std::string::npos);
+  EXPECT_NE(reply.find("\"slowest-1\""), std::string::npos);
+  EXPECT_NE(reply.find("\"solvers\""), std::string::npos);
+
+  server.BeginDrain();
+  server.Wait();
+}
+
+TEST(ServeTest, TraceSampleWritesAChromeTracePerSampledRequest) {
+  SolveEngine engine;
+  ServeOptions options = TestOptions();
+  options.trace_sample = 1;  // sample every request
+  options.trace_dir = ::testing::TempDir();
+  LineServer server(&engine, options);
+  START_SERVER(server);
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(
+      client.Send(Line(WorstCaseFamily(4), ", \"id\": \"t1\"") + "\n"));
+  std::string response;
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_EQ(response.rfind("{\"id\":\"t1\",", 0), 0u) << response;
+
+  // The trace file is written asynchronously (off the solve path); drain
+  // flushes the writer, so after Wait() the file must exist, named by the
+  // request's correlation id and carrying the correlate instant.
+  client.Close();
+  server.BeginDrain();
+  server.Wait();
+
+  std::ifstream trace(options.trace_dir + "/trace-t1.json");
+  ASSERT_TRUE(trace.is_open());
+  std::string trace_body((std::istreambuf_iterator<char>(trace)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_NE(trace_body.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace_body.find("\"t1\""), std::string::npos);
 }
 
 TEST(ServeTest, AbortStopsTheServerImmediately) {

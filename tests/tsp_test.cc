@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <array>
 
 #include "graph/generators.h"
 #include "gtest/gtest.h"
@@ -9,6 +10,7 @@
 #include "tsp/path_cover.h"
 #include "tsp/tour.h"
 #include "tsp/tsp12.h"
+#include "util/random.h"
 
 namespace pebblejoin {
 namespace {
@@ -117,6 +119,72 @@ TEST(PathCoverTest, IsolatedNodesBecomeJumps) {
   const Tour tour = GreedyPathCoverTour(inst, 1);
   EXPECT_TRUE(IsValidTour(inst, tour));
   EXPECT_EQ(TourJumps(inst, tour), 3);
+}
+
+// Reference copy of GreedyPathCoverTour as it stood before the emitted
+// set moved from std::vector<bool> to util/bitset.h — same rng draws,
+// same greedy choices. The differential test below pins the migration to
+// be a pure representation change.
+Tour ReferencePathCoverTour(const Tsp12Instance& instance, uint64_t seed) {
+  const int n = instance.num_nodes();
+  const Graph& good = instance.good();
+  Rng rng(seed);
+  std::vector<int> edge_order = rng.Permutation(good.num_edges());
+
+  std::vector<int> path_degree(n, 0);
+  std::vector<std::array<int, 2>> chosen(n, {-1, -1});
+  std::vector<int> parent(n);
+  for (int i = 0; i < n; ++i) parent[i] = i;
+  auto find = [&parent](int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+
+  for (int e : edge_order) {
+    const Graph::Edge& edge = good.edge(e);
+    if (path_degree[edge.u] >= 2 || path_degree[edge.v] >= 2) continue;
+    const int ru = find(edge.u);
+    const int rv = find(edge.v);
+    if (ru == rv) continue;  // would close a cycle
+    parent[ru] = rv;
+    chosen[edge.u][path_degree[edge.u]++] = edge.v;
+    chosen[edge.v][path_degree[edge.v]++] = edge.u;
+  }
+
+  Tour tour;
+  tour.reserve(n);
+  std::vector<bool> emitted(n, false);
+  for (int start = 0; start < n; ++start) {
+    if (emitted[start] || path_degree[start] == 2) continue;
+    int prev = -1;
+    int cur = start;
+    while (cur != -1) {
+      emitted[cur] = true;
+      tour.push_back(cur);
+      int next = -1;
+      for (int cand : chosen[cur]) {
+        if (cand != -1 && cand != prev) next = cand;
+      }
+      prev = cur;
+      cur = (next != -1 && !emitted[next]) ? next : -1;
+    }
+  }
+  return tour;
+}
+
+TEST(PathCoverTest, BitsetMigrationIsByteIdentical) {
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    for (double density : {0.05, 0.2, 0.5}) {
+      const Tsp12Instance inst(
+          RandomGraph(20 + static_cast<int>(seed % 7), density, seed));
+      EXPECT_EQ(GreedyPathCoverTour(inst, seed),
+                ReferencePathCoverTour(inst, seed))
+          << "seed=" << seed << " density=" << density;
+    }
+  }
 }
 
 TEST(LocalSearchTest, NeverInvalidatesAndNeverWorsens) {

@@ -20,8 +20,13 @@ import re
 import sys
 
 NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+# A sample line, optionally carrying an OpenMetrics exemplar suffix
+# (` # {request_id="..."} <value>`) as the serve histograms emit on their
+# le="+Inf" bucket line.
 SAMPLE = re.compile(r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
-                    r'(?:\{le="(?P<le>[^"]*)"\})? (?P<value>\S+)$')
+                    r'(?:\{le="(?P<le>[^"]*)"\})? (?P<value>\S+)'
+                    r'(?P<exemplar> # \{[a-zA-Z_][a-zA-Z0-9_]*='
+                    r'"(?:[^"\\]|\\.)*"\} \S+)?$')
 
 
 def lint(lines):
@@ -58,6 +63,15 @@ def lint(lines):
             if math.isnan(value) or math.isinf(value):
                 errors.append(f"line {i}: non-finite sample: {name}")
                 continue
+            exemplar = m.group("exemplar")
+            if exemplar is not None:
+                if not (name.endswith("_bucket") and m.group("le") == "+Inf"):
+                    errors.append(f"line {i}: exemplar outside a histogram "
+                                  f"+Inf bucket: {name}")
+                try:
+                    float(exemplar.rsplit(" ", 1)[1])
+                except ValueError:
+                    errors.append(f"line {i}: non-numeric exemplar value")
             base = re.sub(r"_(total|bucket|sum|count)$", "", name)
             family = base if base in types else name
             if family not in types:
@@ -109,6 +123,17 @@ def self_test():
         ("non-cumulative histogram",
          ["# TYPE h histogram", 'h_bucket{le="1"} 5', 'h_bucket{le="+Inf"} 3',
           "h_count 3", "h_sum 1", "# EOF"], True),
+        ("exemplar on +Inf bucket",
+         ["# TYPE h histogram", 'h_bucket{le="1"} 1',
+          'h_bucket{le="+Inf"} 2 # {request_id="req-1"} 1234',
+          "h_sum 10", "h_count 2", "# EOF"], False),
+        ("exemplar on a counter",
+         ["# TYPE c counter", 'c_total 1 # {request_id="x"} 1', "# EOF"],
+         True),
+        ("non-numeric exemplar value",
+         ["# TYPE h histogram",
+          'h_bucket{le="+Inf"} 1 # {request_id="x"} fast',
+          "h_sum 1", "h_count 1", "# EOF"], True),
     ]
     failures = []
     for name, lines, want_errors in cases:

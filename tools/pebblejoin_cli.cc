@@ -22,22 +22,31 @@
 //                    [budget flags] [--batch-deadline-ms N]
 //                    [--admission queue|reject] [--solver NAME]
 //                    [--predicate NAME] [--progress-every-ms N]
-//                    [telemetry flags]
+//                    [--slow-request-ms N] [telemetry flags]
 //   pebblejoin serve [--host H] [--port P] [--threads N]
 //                    [--max-conns N] [--max-inflight N]
 //                    [--per-conn-inflight N] [--idle-timeout-ms N]
 //                    [--max-line-bytes N] [--request-deadline-ms N]
-//                    [--drain-ms N] [budget flags] [--solver NAME]
+//                    [--drain-ms N] [--slo-p99-ms N] [--slo-error-rate R]
+//                    [--trace-sample N] [--trace-dir DIR]
+//                    [--slow-request-ms N] [budget flags] [--solver NAME]
 //                    [--predicate NAME] [telemetry flags]
 //
 // `serve` runs the long-lived JSONL solve service (serve/line_server.h):
 // the batch wire format over TCP, one request object per line in, one
-// `analyze --json` document per line out, plus `GET /metrics` answering
-// OpenMetrics on the same port. First SIGTERM/SIGINT drains gracefully
-// (stop accepting, finish or shed in-flight inside --drain-ms, exit 0);
-// a second signal aborts (exit 1). --port 0 picks an ephemeral port; the
-// bound address is announced on stderr as "serving on HOST:PORT".
-// Protocol, flags, and failure modes: docs/serving.md.
+// `analyze --json` document per line out, plus HTTP GET on the same port:
+// /metrics (OpenMetrics), /healthz (liveness), /readyz (readiness — 503
+// while draining or saturated), /statusz (JSON status: build, uptime,
+// sliding-window qps/error-rate/latency, SLO burn against --slo-p99-ms and
+// --slo-error-rate, slowest recent requests). A request line may carry an
+// "id" string echoed in its response and stamped through journal, trace,
+// and /statusz. --trace-sample N captures a full Chrome trace for one in
+// every N requests into --trace-dir; --slow-request-ms T journals and
+// flight-dumps every request slower than T. First SIGTERM/SIGINT drains
+// gracefully (stop accepting, finish or shed in-flight inside --drain-ms,
+// exit 0); a second signal aborts (exit 1). --port 0 picks an ephemeral
+// port; the bound address is announced on stderr as "serving on
+// HOST:PORT". Protocol, flags, and failure modes: docs/serving.md.
 //
 // Budget flags (analyze/solve): --deadline-ms N, --memory-mb N,
 // --node-budget N. Giving any of them without an explicit --solver selects
@@ -171,14 +180,18 @@ int Usage() {
       "                   [--admission queue|reject] [--solver NAME]\n"
       "                   [--planner NAME] [--cost-model FILE]\n"
       "                   [--predicate NAME] [--progress-every-ms N]\n"
-      "                   [--journal FILE] [--log-level LEVEL]\n"
-      "                   [--flight-recorder N] [--metrics-out FILE]\n"
-      "                   [--perf-stats] [--profile-out FILE]\n"
+      "                   [--slow-request-ms N] [--journal FILE]\n"
+      "                   [--log-level LEVEL] [--flight-recorder N]\n"
+      "                   [--metrics-out FILE] [--perf-stats]\n"
+      "                   [--profile-out FILE]\n"
       "  pebblejoin serve [--host H] [--port P] [--threads N]\n"
       "                   [--max-conns N] [--max-inflight N]\n"
       "                   [--per-conn-inflight N] [--idle-timeout-ms N]\n"
       "                   [--max-line-bytes N] [--request-deadline-ms N]\n"
-      "                   [--drain-ms N] [budget flags] [--solver NAME]\n"
+      "                   [--drain-ms N] [--slo-p99-ms N]\n"
+      "                   [--slo-error-rate R] [--trace-sample N]\n"
+      "                   [--trace-dir DIR] [--slow-request-ms N]\n"
+      "                   [budget flags] [--solver NAME]\n"
       "                   [--planner NAME] [--cost-model FILE]\n"
       "                   [--predicate NAME] [--journal FILE]\n"
       "                   [--log-level LEVEL] [--flight-recorder N]\n"
@@ -214,6 +227,16 @@ bool ParseInt64(const char* token, int64_t* out) {
   errno = 0;
   char* end = nullptr;
   const long long value = std::strtoll(token, &end, 10);
+  if (errno == ERANGE || end == token || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+bool ParseDouble(const char* token, double* out) {
+  if (token == nullptr || *token == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(token, &end);
   if (errno == ERANGE || end == token || *end != '\0') return false;
   *out = value;
   return true;
@@ -1021,6 +1044,7 @@ int CmdBatch(int argc, char** argv) {
   std::string metrics_out;
   bool perf = false;
   std::string profile_out;
+  int64_t slow_request_ms = -1;
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
     const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
@@ -1129,6 +1153,13 @@ int CmdBatch(int argc, char** argv) {
       }
       options.progress_every_ms = ms;
       ++i;
+    } else if (flag == "--slow-request-ms") {
+      int64_t ms = 0;
+      if (value == nullptr || !ParseInt64(value, &ms) || ms < 0) {
+        return Fail("--slow-request-ms needs a non-negative integer");
+      }
+      slow_request_ms = ms;
+      ++i;
     } else {
       bool known = false;
       const int consumed =
@@ -1197,6 +1228,7 @@ int CmdBatch(int argc, char** argv) {
   }
   engine_options.defaults.perf = perf;
   engine_options.defaults.cost_model = cost_model;
+  engine_options.defaults.slow_request_ms = slow_request_ms;
   SolveEngine engine(engine_options);
   BatchRunner runner(&engine, options);
   SamplingProfiler profiler;
@@ -1249,6 +1281,7 @@ int CmdServe(int argc, char** argv) {
   int flight_recorder = EventLog::kDefaultCapacity;
   std::string metrics_out;
   bool perf = false;
+  int64_t slow_request_ms = -1;
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
     const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
@@ -1325,6 +1358,41 @@ int CmdServe(int argc, char** argv) {
         return Fail("--drain-ms needs a non-negative integer");
       }
       sopts.drain_ms = ms;
+      ++i;
+    } else if (flag == "--slo-p99-ms") {
+      int64_t ms = 0;
+      if (value == nullptr || !ParseInt64(value, &ms) || ms < 1) {
+        return Fail("--slo-p99-ms needs a positive integer");
+      }
+      sopts.slo_p99_ms = ms;
+      ++i;
+    } else if (flag == "--slo-error-rate") {
+      double rate = 0.0;
+      if (value == nullptr || !ParseDouble(value, &rate) || rate <= 0.0 ||
+          rate > 1.0) {
+        return Fail("--slo-error-rate needs a number in (0, 1]");
+      }
+      sopts.slo_error_rate = rate;
+      ++i;
+    } else if (flag == "--trace-sample") {
+      int64_t n = 0;
+      if (value == nullptr || !ParseInt64(value, &n) || n < 0) {
+        return Fail("--trace-sample needs a non-negative integer (0 = off)");
+      }
+      sopts.trace_sample = n;
+      ++i;
+    } else if (flag == "--trace-dir") {
+      if (value == nullptr || *value == '\0') {
+        return Fail("--trace-dir needs a directory path");
+      }
+      sopts.trace_dir = value;
+      ++i;
+    } else if (flag == "--slow-request-ms") {
+      int64_t ms = 0;
+      if (value == nullptr || !ParseInt64(value, &ms) || ms < 0) {
+        return Fail("--slow-request-ms needs a non-negative integer");
+      }
+      slow_request_ms = ms;
       ++i;
     } else if (flag == "--deadline-ms") {
       int64_t ms = 0;
@@ -1410,6 +1478,7 @@ int CmdServe(int argc, char** argv) {
   }
   engine_options.defaults.perf = perf;
   engine_options.defaults.cost_model = cost_model;
+  engine_options.defaults.slow_request_ms = slow_request_ms;
   SolveEngine engine(engine_options);
   LineServer server(&engine, sopts);
   std::string error;

@@ -12,11 +12,20 @@
 //
 //   pebblejoin_loadgen --port P --jsonl REQS.jsonl [--host H]
 //                      [--clients N] [--window W] [--repeat R]
-//                      [--out FILE] [--timeout-ms N]
+//                      [--out FILE] [--timeout-ms N] [--ids]
+//                      [--latency-out FILE]
 //
-// Exit code 0 iff every client connected, sent its share, and received
-// every response inside --timeout-ms. A latency summary (p50/p95 per line,
-// measured enqueue-to-response) prints on stderr.
+// --ids stamps every outgoing line with a client-chosen correlation id
+// ("c<client>x<k>", spliced into the request object as its "id" key) and
+// verifies each response echoes the id its line was sent with — the
+// client-side half of the serve id round-trip. Any echo mismatch fails
+// the run. --latency-out writes one JSONL record per request, in corpus
+// order: {"id":...,"latency_ms":N,"error":bool}.
+//
+// Exit code 0 iff every client connected, sent its share, received
+// every response inside --timeout-ms, and (under --ids) every id echoed
+// correctly. A latency summary (p50/p95 per line, measured
+// enqueue-to-response) prints on stderr.
 //
 // Keep --window at or below the server's --per-conn-inflight: the server
 // sheds lines beyond that cap with rejection records (by design), which
@@ -74,12 +83,18 @@ struct ClientResult {
   std::string error;
   std::vector<std::string> responses;   // per-connection order
   std::vector<int64_t> latencies_ms;    // enqueue-to-response
+  std::vector<uint8_t> response_errors; // 1 iff that response carried "error"
   int64_t errors = 0;                   // responses carrying "error"
+  int64_t id_mismatches = 0;            // responses missing their sent id
 };
 
 // One client: nonblocking socket, window-bounded pipelining, poll loop.
+// `ids` (nullable) holds the correlation id sent with each line, in line
+// order; responses are verified against it positionally — the server
+// guarantees per-connection ordering, so response k must echo ids[k].
 void RunClient(const std::string& host, int port,
-               const std::vector<std::string>* lines, int window,
+               const std::vector<std::string>* lines,
+               const std::vector<std::string>* ids, int window,
                int64_t timeout_ms, ClientResult* result) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
@@ -181,7 +196,14 @@ void RunClient(const std::string& host, int port,
         start = nl + 1;
         result->latencies_ms.push_back(NowMs() - send_times_ms.front());
         send_times_ms.pop_front();
-        if (line.find("\"error\"") != std::string::npos) ++result->errors;
+        if (ids != nullptr) {
+          const std::string needle = "\"id\":\"" + (*ids)[received] + "\"";
+          if (line.find(needle) == std::string::npos) ++result->id_mismatches;
+        }
+        const bool is_error =
+            line.find("\"error\"") != std::string::npos;
+        if (is_error) ++result->errors;
+        result->response_errors.push_back(is_error ? 1 : 0);
         result->responses.push_back(std::move(line));
         ++received;
       }
@@ -203,6 +225,8 @@ int main(int argc, char** argv) {
   int64_t window = 4;
   int64_t repeat = 1;
   int64_t timeout_ms = 60000;
+  bool use_ids = false;
+  std::string latency_out_path;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
@@ -235,6 +259,11 @@ int main(int argc, char** argv) {
       if (!need_i64(&repeat, 1, 100000)) return 2;
     } else if (flag == "--timeout-ms") {
       if (!need_i64(&timeout_ms, 1, int64_t{1} << 40)) return 2;
+    } else if (flag == "--ids") {
+      use_ids = true;
+    } else if (flag == "--latency-out" && value != nullptr) {
+      latency_out_path = value;
+      ++i;
     } else {
       std::fprintf(stderr, "error: unknown flag '%s'\n", flag.c_str());
       return 2;
@@ -244,7 +273,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: pebblejoin_loadgen --port P --jsonl REQS.jsonl "
                  "[--host H] [--clients N] [--window W] [--repeat R] "
-                 "[--out FILE] [--timeout-ms N]\n");
+                 "[--out FILE] [--timeout-ms N] [--ids] "
+                 "[--latency-out FILE]\n");
     return 2;
   }
 
@@ -278,13 +308,34 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --ids: stamp each outgoing line with a client-unique correlation id
+  // spliced before the object's closing brace. Malformed lines (no brace)
+  // are sent untouched — the server answers them with a parse error and
+  // the positional check flags the missing echo.
+  std::vector<std::vector<std::string>> ids(n_clients);
+  if (use_ids) {
+    for (size_t c = 0; c < n_clients; ++c) {
+      ids[c].reserve(shares[c].size());
+      for (size_t k = 0; k < shares[c].size(); ++k) {
+        const std::string id =
+            "c" + std::to_string(c) + "x" + std::to_string(k);
+        ids[c].push_back(id);
+        const size_t brace = shares[c][k].rfind('}');
+        if (brace != std::string::npos) {
+          shares[c][k].insert(brace, ", \"id\": \"" + id + "\"");
+        }
+      }
+    }
+  }
+
   const int64_t start_ms = NowMs();
   std::vector<ClientResult> results(n_clients);
   std::vector<std::thread> threads;
   threads.reserve(n_clients);
   for (size_t c = 0; c < n_clients; ++c) {
     threads.emplace_back(RunClient, host, static_cast<int>(port), &shares[c],
-                         static_cast<int>(window), timeout_ms, &results[c]);
+                         use_ids ? &ids[c] : nullptr, static_cast<int>(window),
+                         timeout_ms, &results[c]);
   }
   for (std::thread& t : threads) t.join();
   const int64_t wall_ms = NowMs() - start_ms;
@@ -292,6 +343,7 @@ int main(int argc, char** argv) {
   bool ok = true;
   int64_t responses = 0;
   int64_t errors = 0;
+  int64_t id_mismatches = 0;
   std::vector<int64_t> latencies;
   for (size_t c = 0; c < n_clients; ++c) {
     if (!results[c].ok) {
@@ -301,8 +353,16 @@ int main(int argc, char** argv) {
     }
     responses += static_cast<int64_t>(results[c].responses.size());
     errors += results[c].errors;
+    id_mismatches += results[c].id_mismatches;
     latencies.insert(latencies.end(), results[c].latencies_ms.begin(),
                      results[c].latencies_ms.end());
+  }
+  if (id_mismatches > 0) {
+    std::fprintf(stderr,
+                 "error: %lld responses did not echo the id they were "
+                 "sent with\n",
+                 static_cast<long long>(id_mismatches));
+    ok = false;
   }
 
   if (ok && !out_path.empty()) {
@@ -322,12 +382,41 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Per-request latency records, reassembled into corpus order exactly
+  // like --out (global line g was client g % n_clients's next line).
+  if (ok && !latency_out_path.empty()) {
+    std::ofstream lat_out(latency_out_path);
+    if (!lat_out.is_open()) {
+      std::fprintf(stderr, "error: cannot open '%s'\n",
+                   latency_out_path.c_str());
+      return 1;
+    }
+    std::vector<size_t> cursor(n_clients, 0);
+    for (size_t g = 0; g < global; ++g) {
+      const size_t c = g % n_clients;
+      const size_t k = cursor[c]++;
+      lat_out << "{";
+      if (use_ids) lat_out << "\"id\":\"" << ids[c][k] << "\",";
+      lat_out << "\"latency_ms\":" << results[c].latencies_ms[k]
+              << ",\"error\":"
+              << (results[c].response_errors[k] != 0 ? "true" : "false")
+              << "}\n";
+    }
+    if (!lat_out.good()) {
+      std::fprintf(stderr, "error: writing '%s' failed\n",
+                   latency_out_path.c_str());
+      return 1;
+    }
+  }
+
   std::fprintf(stderr,
                "loadgen: %lld clients, %zu lines, %lld responses, %lld "
-               "errors, p50=%lldms p95=%lldms, wall=%lldms\n",
+               "errors, %lld id mismatches, p50=%lldms p95=%lldms, "
+               "wall=%lldms\n",
                static_cast<long long>(clients), global,
                static_cast<long long>(responses),
                static_cast<long long>(errors),
+               static_cast<long long>(id_mismatches),
                static_cast<long long>(Percentile(latencies, 0.50)),
                static_cast<long long>(Percentile(latencies, 0.95)),
                static_cast<long long>(wall_ms));
